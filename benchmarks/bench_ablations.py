@@ -1,0 +1,98 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation removes one CM advantage and shows the speedup collapse,
+confirming the mechanism the paper credits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import gemm, histogram as hg, prefix_sum as ps, spmv
+from repro.workloads.common import run_and_time
+
+
+def test_spmv_dynamic_simd_width(benchmark, capsys):
+    """Webbase: force SIMD16 (the SIMT width) vs dynamic 4/8/16."""
+    m = spmv.make_webbase()
+    x = np.random.default_rng(1).standard_normal(m.ncols).astype(np.float32)
+    ref = spmv.reference(m, x)
+    out = {}
+
+    def once():
+        out["dyn"] = run_and_time("dyn", lambda d: spmv.run_cm(d, m, x))
+        out["fixed"] = run_and_time(
+            "fixed", lambda d: spmv.run_cm(d, m, x, force_width=16))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    assert np.allclose(out["dyn"].output, ref, rtol=1e-3, atol=1e-3)
+    assert np.allclose(out["fixed"].output, ref, rtol=1e-3, atol=1e-3)
+    gain = out["fixed"].total_time_us / out["dyn"].total_time_us
+    benchmark.extra_info["fixed_over_dynamic"] = round(gain, 2)
+    with capsys.disabled():
+        print(f"\n  [ablation spmv] fixed-SIMD16 / dynamic-width = "
+              f"{gain:.2f}x (dynamic width wins)")
+    assert gain >= 1.0
+
+
+def test_histogram_register_blocking(benchmark, capsys):
+    """Pixels per CM thread: more register-resident work per dispatch."""
+    px = hg.make_random(1 << 19)
+    ref = hg.reference(px)
+    rows = {}
+
+    def once():
+        for ppt in (512, 2048, 8192):
+            rows[ppt] = run_and_time(
+                f"ppt{ppt}", lambda d, p=ppt: hg.run_cm(d, px, p))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    for ppt, r in rows.items():
+        assert np.array_equal(r.output, ref)
+        benchmark.extra_info[f"ppt_{ppt}_us"] = round(r.total_time_us, 1)
+    with capsys.disabled():
+        times = {k: round(v.total_time_us, 1) for k, v in rows.items()}
+        print(f"\n  [ablation histogram] pixels/thread -> us: {times}")
+
+
+def test_gemm_block_size(benchmark, capsys):
+    """CM register-block depth: 16 rows (the SIMT block) vs 32 rows."""
+    import repro.cm as cm
+    a, b, c = gemm.make_inputs(256, 256, 256)
+    ref = gemm.reference(a, b, c)
+    out = {}
+
+    def once():
+        out[32] = run_and_time("bm32", lambda d: gemm._run_cm_typed(
+            d, a, b, c, 1.0, 0.0, cm.float32, 32, 16, "cm_bm32"))
+        out[16] = run_and_time("bm16", lambda d: gemm._run_cm_typed(
+            d, a, b, c, 1.0, 0.0, cm.float32, 16, 16, "cm_bm16"))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    for r in out.values():
+        assert np.allclose(r.output, ref, rtol=1e-2, atol=1e-2)
+    ratio = out[16].total_time_us / out[32].total_time_us
+    benchmark.extra_info["bm16_over_bm32"] = round(ratio, 3)
+    with capsys.disabled():
+        print(f"\n  [ablation gemm] 16-row block / 32-row block = "
+              f"{ratio:.3f}x (bigger block wins)")
+    assert ratio >= 1.0
+
+
+def test_prefix_span(benchmark, capsys):
+    """Elements scanned per CM thread in registers."""
+    v = ps.make_input(1 << 15)
+    ref = ps.reference(v)
+    rows = {}
+
+    def once():
+        for span in (128, 256):
+            rows[span] = run_and_time(
+                f"span{span}", lambda d, s=span: ps.run_cm(d, v, span=s))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    for span, r in rows.items():
+        assert np.array_equal(r.output, ref)
+        benchmark.extra_info[f"span_{span}_us"] = round(r.total_time_us, 1)
+    with capsys.disabled():
+        times = {k: round(v2.total_time_us, 1) for k, v2 in rows.items()}
+        print(f"\n  [ablation prefix] span -> us: {times}")

@@ -1,0 +1,29 @@
+"""Figure 5: k-means clustering.
+
+Paper: CM 30%-50% faster (speedup 1.3-1.5) across three data sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import kmeans as km
+
+
+@pytest.mark.parametrize("n,k,label", [
+    (1 << 15, 16, "32k pts, k=16"),
+    (1 << 15, 20, "32k pts, k=20"),
+    (49152, 24, "48k pts, k=24"),
+])
+def test_kmeans(compare, n, k, label):
+    pts, _ = km.make_points(n, k=k)
+    rng = np.random.default_rng(0)
+    c0 = pts[rng.choice(n, k, replace=False)].copy()
+    ref = km.reference(pts, c0, iterations=2)
+    compare(
+        f"kmeans {label}",
+        cm_fn=lambda d: km.run_cm(d, pts, c0, iterations=2),
+        ocl_fn=lambda d: km.run_ocl(d, pts, c0, iterations=2),
+        reference=ref,
+        paper="1.3-1.5",
+        check=lambda out: np.allclose(out, ref, atol=0.5),
+    )

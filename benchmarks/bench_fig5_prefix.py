@@ -1,0 +1,24 @@
+"""Figure 5: prefix sum (inclusive scan).
+
+Paper: CM 1.6x over the Blelloch-style SLM scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import prefix_sum as ps
+
+
+@pytest.mark.parametrize("log2n", [14, 15, 16])
+def test_prefix_sum(compare, log2n):
+    v = ps.make_input(1 << log2n)
+    ref = ps.reference(v)
+    results = compare(
+        f"prefix 2^{log2n}",
+        cm_fn=lambda d: ps.run_cm(d, v),
+        ocl_fn=lambda d: ps.run_ocl(d, v),
+        reference=ref,
+        paper="1.6",
+        check=lambda out: np.array_equal(out, ref),
+    )
+    assert sum(r.timing.barriers for r in results["cm"].device.runs) == 0

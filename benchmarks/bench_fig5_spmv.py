@@ -1,0 +1,28 @@
+"""Figure 5: SpMV on protein-like, nd24k-like, and webbase-like matrices.
+
+Paper: 1.10x (Protein), 1.25x (Nd24k), 2.6x (Webbase, where dynamic SIMD
+width and empty-row skipping pay off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import spmv
+
+
+@pytest.mark.parametrize("maker,label,paper", [
+    (spmv.make_protein, "protein-like", "1.10"),
+    (spmv.make_nd24k, "nd24k-like", "1.25"),
+    (spmv.make_webbase, "webbase-like", "2.6"),
+])
+def test_spmv(compare, maker, label, paper):
+    m = maker()
+    x = np.random.default_rng(1).standard_normal(m.ncols).astype(np.float32)
+    ref = spmv.reference(m, x)
+    compare(
+        f"spmv {label}",
+        cm_fn=lambda d: spmv.run_cm(d, m, x),
+        ocl_fn=lambda d: spmv.run_ocl(d, m, x),
+        reference=ref,
+        paper=paper,
+    )

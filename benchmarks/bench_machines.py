@@ -1,0 +1,63 @@
+"""Machine scaling: the same kernels on Gen9 SKL vs Gen11 ICL.
+
+The paper's artifact notes results should hold on "any Intel GPU above
+Gen9".  This bench runs the linear filter and SGEMM on both machine
+models and checks that (a) CM wins on both and (b) the bigger machine
+is faster.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GEN9_SKL, GEN11_ICL
+from repro.workloads import gemm, linear_filter as lf
+from repro.workloads.common import run_and_time
+
+
+@pytest.mark.parametrize("machine,label", [(GEN9_SKL, "Gen9 SKL"),
+                                           (GEN11_ICL, "Gen11 ICL")])
+def test_linear_filter_scales(benchmark, capsys, machine, label):
+    img = lf.make_image(256, 192)
+    ref = lf.reference(img)
+    out = {}
+
+    def once():
+        out["cm"] = run_and_time("cm", lambda d: lf.run_cm(d, img),
+                                 machine=machine)
+        out["ocl"] = run_and_time("ocl", lambda d: lf.run_ocl(d, img),
+                                  machine=machine)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    assert np.array_equal(out["cm"].output, ref)
+    speedup = out["ocl"].total_time_us / out["cm"].total_time_us
+    benchmark.extra_info.update({
+        "machine": label,
+        "cm_us": round(out["cm"].total_time_us, 1),
+        "speedup": round(speedup, 2),
+    })
+    with capsys.disabled():
+        print(f"\n  [linear on {label}] cm={out['cm'].total_time_us:.1f}us "
+              f"speedup={speedup:.2f}x")
+    assert speedup > 1.0
+
+
+def test_gen11_beats_gen9(benchmark, capsys):
+    a, b, c = gemm.make_inputs(256, 256, 128)
+    out = {}
+
+    def once():
+        out["skl"] = run_and_time(
+            "skl", lambda d: gemm.run_cm_sgemm(d, a, b, c),
+            machine=GEN9_SKL)
+        out["icl"] = run_and_time(
+            "icl", lambda d: gemm.run_cm_sgemm(d, a, b, c),
+            machine=GEN11_ICL)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    skl, icl = out["skl"].kernel_time_us, out["icl"].kernel_time_us
+    benchmark.extra_info.update({"skl_us": round(skl, 1),
+                                 "icl_us": round(icl, 1)})
+    with capsys.disabled():
+        print(f"\n  [sgemm scaling] Gen9={skl:.1f}us Gen11={icl:.1f}us "
+              f"({skl / icl:.2f}x)")
+    assert skl > icl

@@ -1,0 +1,57 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs a paired CM/OpenCL workload on the simulated Gen11
+device, verifies correctness against the numpy reference, and reports
+the paper's Figure 5 metric — ``speedup = OpenCL time / CM time`` — in
+``extra_info`` and on stdout.  pytest-benchmark's own timer measures the
+simulation's host wall time, which is meaningless for the reproduction;
+the simulated microseconds are what EXPERIMENTS.md records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.common import run_and_time
+
+
+@pytest.fixture
+def compare(benchmark, capsys):
+    """Run a CM/OCL pair once, check both, report the simulated speedup."""
+
+    def _run(name, cm_fn, ocl_fn, reference, paper, check=None,
+             extra_runs=()):
+        check = check or (lambda out: np.allclose(out, reference,
+                                                  rtol=1e-3, atol=1e-3))
+        results = {}
+
+        def once():
+            results["cm"] = run_and_time("cm", cm_fn)
+            results["ocl"] = run_and_time("ocl", ocl_fn)
+            for label, fn in extra_runs:
+                results[label] = run_and_time(label, fn)
+
+        benchmark.pedantic(once, rounds=1, iterations=1)
+        cm_run, ocl_run = results["cm"], results["ocl"]
+        assert check(cm_run.output), f"{name}: CM output wrong"
+        assert check(ocl_run.output), f"{name}: OpenCL output wrong"
+        speedup = ocl_run.total_time_us / cm_run.total_time_us
+        benchmark.extra_info.update({
+            "workload": name,
+            "cm_us": round(cm_run.total_time_us, 1),
+            "ocl_us": round(ocl_run.total_time_us, 1),
+            "speedup_ocl_over_cm": round(speedup, 2),
+            "paper_speedup": paper,
+            "cm_launches": cm_run.launches,
+            "ocl_launches": ocl_run.launches,
+        })
+        for label in results:
+            if label not in ("cm", "ocl"):
+                benchmark.extra_info[f"{label}_us"] = round(
+                    results[label].total_time_us, 1)
+        with capsys.disabled():
+            print(f"\n  [{name}] cm={cm_run.total_time_us:9.1f}us "
+                  f"ocl={ocl_run.total_time_us:9.1f}us "
+                  f"speedup={speedup:5.2f}x (paper: {paper})")
+        return results
+
+    return _run

@@ -1,0 +1,61 @@
+"""Image processing: the linear filter and histogram, CM vs OpenCL.
+
+Reproduces the paper's running example (Sections III-VI): the same 3x3
+box blur written three ways — CM with 2D block reads and matrix selects,
+naive SIMT OpenCL with nine sampler gathers per pixel, and the tuned
+media-block SIMT version — plus the histogram's register-vs-SLM contrast
+on inputs with different contention.
+
+Run:  python examples/image_processing.py
+"""
+
+import numpy as np
+
+from repro.workloads import histogram as hg
+from repro.workloads import linear_filter as lf
+from repro.workloads.common import run_and_time, speedup
+
+
+def blur_comparison() -> None:
+    print("== 3x3 linear filter, 512x384 RGB ==")
+    img = lf.make_image(512, 384)
+    ref = lf.reference(img)
+
+    cm_run = run_and_time("CM (Algorithm 2)", lambda d: lf.run_cm(d, img))
+    naive = run_and_time("OpenCL naive (Algorithm 1)",
+                         lambda d: lf.run_ocl(d, img))
+    tuned = run_and_time("OpenCL + media_block_io",
+                         lambda d: lf.run_ocl_optimized(d, img))
+
+    for run in (cm_run, naive, tuned):
+        ok = np.array_equal(run.output, ref)
+        timing = run.device.runs[0].timing
+        print(f"  {run.name:28s} {run.total_time_us:8.1f} us  "
+              f"correct={ok}  bound_by={timing.bound_by}")
+    print(f"  speedup vs naive OpenCL : {speedup(naive, cm_run):.2f}x")
+    print(f"  speedup vs tuned OpenCL : {speedup(tuned, cm_run):.2f}x "
+          f"(paper: tuned OpenCL stays below 50% of CM)")
+
+
+def histogram_contention() -> None:
+    print("\n== 256-bin histogram: input-dependent SLM contention ==")
+    n = 1 << 20
+    for maker, label in ((hg.make_random, "random pixels"),
+                         (hg.make_natural, "natural image"),
+                         (hg.make_homogeneous, "homogeneous background")):
+        px = maker(n)
+        ref = hg.reference(px)
+        cm_run = run_and_time("cm", lambda d: hg.run_cm(d, px))
+        ocl_run = run_and_time("ocl", lambda d: hg.run_ocl(d, px))
+        assert np.array_equal(cm_run.output, ref)
+        assert np.array_equal(ocl_run.output, ref)
+        print(f"  {label:24s} cm={cm_run.total_time_us:7.1f} us  "
+              f"ocl={ocl_run.total_time_us:7.1f} us  "
+              f"speedup={speedup(ocl_run, cm_run):.2f}x")
+    print("  (CM's register-file histogram is input-independent; the "
+          "OpenCL SLM atomics serialize on flat images — Section VI-A-2)")
+
+
+if __name__ == "__main__":
+    blur_comparison()
+    histogram_contention()

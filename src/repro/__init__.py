@@ -1,0 +1,22 @@
+"""C-for-Metal (CGO 2021) reproduction.
+
+An explicit SIMD programming stack for a simulated Intel Gen GPU:
+
+- :mod:`repro.cm` — the CM language (vector/matrix types, select
+  regioning, memory intrinsics, SIMD control flow),
+- :mod:`repro.ocl` — an OpenCL-style SIMT baseline stack,
+- :mod:`repro.compiler` — the CM compiler (SSA rdregion/wrregion IR,
+  baling, legalization, vISA, register allocation, Gen ISA emission),
+- :mod:`repro.isa`, :mod:`repro.memory`, :mod:`repro.sim` — the simulated
+  hardware substrate,
+- :mod:`repro.workloads` — paired CM/OpenCL implementations of the
+  paper's evaluation workloads.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim.device import Device
+from repro.sim.machine import GEN9_SKL, GEN11_ICL, GEN12_TGL, MachineConfig
+
+__all__ = ["Device", "MachineConfig", "GEN11_ICL", "GEN9_SKL",
+           "GEN12_TGL", "__version__"]

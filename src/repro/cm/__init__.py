@@ -1,0 +1,63 @@
+"""The CM (C-for-Metal) programming language, embedded in Python.
+
+Public surface mirrors the CM language specification as presented in
+Section IV of the paper:
+
+- container types: :func:`vector`, :func:`matrix` (+ reference types),
+- operations: ``select``, ``iselect``, ``merge``, ``format``,
+  ``replicate``, boolean reductions ``any``/``all``,
+- memory intrinsics: :func:`read`, :func:`write`,
+  :func:`read_scattered`, :func:`write_scattered`, :func:`atomic`, and the
+  SLM variants,
+- SIMD control flow: :func:`simd_if`,
+- kernel helpers: :func:`cm_kernel`, :func:`thread_x`, :func:`thread_y`,
+- stdlib-style functions: ``cm_sum``, ``cm_min``, ``cm_sqrt``, ...
+
+Quick example (the paper's 2x2 transpose idiom)::
+
+    from repro import cm
+
+    v = cm.vector(cm.float32, 4, [1.0, 2.0, 3.0, 4.0])   # [a b c d]
+    v0 = v.replicate(2, 1, 2, 0, 0)                      # [a a b b]
+    v1 = v.replicate(2, 1, 2, 0, 2)                      # [c c d d]
+    v2 = cm.vector(cm.float32, 4)
+    v2.merge(v0, v1, [1, 0, 1, 0])                       # [a c b d]
+"""
+
+from repro.cm.dtypes import (
+    char, double, float32, half, int32, int64, short, uchar, uint, uint64,
+    ushort,
+)
+from repro.cm.functions import (
+    cm_abs, cm_avg, cm_dp4, cm_exp, cm_frc, cm_inv, cm_log, cm_max, cm_min,
+    cm_mul_add, cm_pack_mask, cm_prod, cm_reduce_max, cm_reduce_min,
+    cm_rsqrt, cm_shl, cm_sqrt, cm_sum, cm_unpack_mask,
+)
+from repro.cm.intrinsics import (
+    atomic, read, read_scattered, slm_atomic, slm_read, slm_write, write,
+    write_scattered,
+)
+from repro.cm.kernel import cm_kernel, thread_id, thread_x, thread_y
+from repro.cm.simd_cf import SimdIf, simd_if
+from repro.cm.vector import (
+    CMTypeError, Matrix, MatrixRef, Vector, VectorRef, matrix, vector,
+)
+
+__all__ = [
+    # element types
+    "char", "uchar", "short", "ushort", "int32", "uint", "int64", "uint64",
+    "half", "float32", "double",
+    # containers
+    "vector", "matrix", "Vector", "Matrix", "VectorRef", "MatrixRef",
+    "CMTypeError",
+    # memory
+    "read", "write", "read_scattered", "write_scattered", "atomic",
+    "slm_read", "slm_write", "slm_atomic",
+    # control flow / kernels
+    "simd_if", "SimdIf", "cm_kernel", "thread_x", "thread_y", "thread_id",
+    # functions
+    "cm_sum", "cm_prod", "cm_min", "cm_max", "cm_abs", "cm_sqrt", "cm_rsqrt",
+    "cm_inv", "cm_log", "cm_exp", "cm_reduce_min", "cm_reduce_max", "cm_shl",
+    "cm_mul_add", "cm_dp4", "cm_frc", "cm_avg", "cm_pack_mask",
+    "cm_unpack_mask",
+]

@@ -1,0 +1,78 @@
+"""CM element types.
+
+CM element types map one-to-one onto Gen ISA types.  The C-style aliases
+(``uchar``, ``short``, ``uint`` ...) are what CM source uses in
+``vector<uchar, 32>`` declarations; in this embedded-Python rendering one
+writes ``vector(uchar, 32)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.dtypes import (
+    B, D, DF, DType, F, HF, Q, UB, UD, UQ, UW, W,
+    convert, promote,
+)
+
+
+# C-style CM aliases.
+uchar = UB
+char = B
+ushort = UW
+short = W
+uint = UD
+int32 = D
+uint64 = UQ
+int64 = Q
+half = HF
+float32 = F
+double = DF
+
+_PY_TO_CM = {
+    int: D,
+    float: F,
+    bool: UW,
+}
+
+
+def as_cm_dtype(t) -> DType:
+    """Coerce a CM alias, Gen DType, numpy dtype, or Python type to DType."""
+    if isinstance(t, DType):
+        return t
+    try:
+        if t in _PY_TO_CM:
+            return _PY_TO_CM[t]
+    except TypeError:
+        pass
+    np_dt = np.dtype(t)
+    if np_dt == np.dtype(bool):
+        return UW  # boolean masks are ushort 0/1 vectors in CM
+    return _from_numpy(np_dt)
+
+
+def _from_numpy(np_dtype: np.dtype) -> DType:
+    from repro.isa.dtypes import dtype_from_numpy
+
+    return dtype_from_numpy(np_dtype)
+
+
+def common_type(a: DType, b: DType) -> DType:
+    """CM/C++ usual arithmetic conversion (delegates to the ISA rules)."""
+    return promote(a, b)
+
+
+def convert_values(values: np.ndarray, dst: DType,
+                   saturate: bool = False) -> np.ndarray:
+    return convert(values, dst, saturate=saturate)
+
+
+def scalar_dtype(value) -> DType:
+    """The CM type a Python scalar takes in a mixed expression."""
+    if isinstance(value, (bool, np.bool_)):
+        return UW
+    if isinstance(value, (int, np.integer)):
+        return D
+    if isinstance(value, (float, np.floating)):
+        return F
+    raise TypeError(f"not a scalar usable in CM expressions: {value!r}")

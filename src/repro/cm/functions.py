@@ -1,0 +1,215 @@
+"""CM standard-library style functions.
+
+Element-wise math (``cm_sqrt``, ``cm_inv`` ... — Gen extended-math ops),
+element-wise ``cm_min``/``cm_max`` (Gen ``sel``-based), and tree
+reductions (``cm_sum``, ``cm_reduce_min``/``max``) which lower to log2(N)
+SIMD instructions by operating on successive halves of the register data,
+exactly how the CM compiler emits them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cm.dtypes import as_cm_dtype, common_type, convert_values, scalar_dtype
+from repro.cm.vector import Vector, _CMBase, _is_scalar
+from repro.isa.dtypes import DType, F
+from repro.sim import context as ctx
+
+
+def _unary_math(x: _CMBase, np_fn) -> Vector:
+    vals = x._read()
+    dt = x.dtype if x.dtype.is_float else F
+    vals = convert_values(vals, dt)
+    ctx.emit_alu(x.n_elems, dt, is_math=True)
+    out = np_fn(vals).astype(dt.np_dtype)
+    return x._result_like(out, dt)
+
+
+def cm_sqrt(x: _CMBase) -> Vector:
+    return _unary_math(x, np.sqrt)
+
+
+def cm_rsqrt(x: _CMBase) -> Vector:
+    return _unary_math(x, lambda v: 1.0 / np.sqrt(v))
+
+
+def cm_inv(x: _CMBase) -> Vector:
+    return _unary_math(x, lambda v: 1.0 / v)
+
+
+def cm_log(x: _CMBase) -> Vector:
+    return _unary_math(x, np.log2)
+
+
+def cm_exp(x: _CMBase) -> Vector:
+    return _unary_math(x, np.exp2)
+
+
+def cm_abs(x: _CMBase) -> Vector:
+    vals = x._read()
+    ctx.emit_alu(x.n_elems, x.dtype)
+    return x._result_like(np.abs(vals), x.dtype)
+
+
+def _binary_sel(x, y, np_fn):
+    if isinstance(x, _CMBase):
+        n, base = x.n_elems, x
+    elif isinstance(y, _CMBase):
+        n, base = y.n_elems, y
+    else:
+        raise TypeError("cm_min/cm_max need at least one vector operand")
+    xv, x_dt, _ = base._operand(x, n)
+    yv, y_dt, _ = base._operand(y, n)
+    dt = common_type(x_dt, y_dt)
+    ctx.emit_alu(n, dt)
+    out = np_fn(convert_values(xv, dt), convert_values(yv, dt))
+    return base._result_like(out.astype(dt.np_dtype), dt)
+
+
+def cm_min(x, y) -> Vector:
+    """Element-wise min (Gen ``sel.l``)."""
+    return _binary_sel(x, y, np.minimum)
+
+
+def cm_max(x, y) -> Vector:
+    """Element-wise max (Gen ``sel.ge``)."""
+    return _binary_sel(x, y, np.maximum)
+
+
+def _tree_reduce_cycles(n: int, dtype: DType) -> None:
+    """Charge log2-tree reduction instructions (halving widths)."""
+    width = n // 2
+    while width >= 1:
+        ctx.emit_alu(width, dtype)
+        width //= 2
+
+
+def cm_sum(x: _CMBase, dtype=None):
+    """Sum of all elements, computed as a log2 tree of SIMD adds.
+
+    Returns a Python scalar.  ``dtype`` (default: float for float inputs,
+    int otherwise) sets the accumulation type.
+    """
+    vals = x._read()
+    dt = as_cm_dtype(dtype) if dtype is not None else (
+        x.dtype if x.dtype.is_float else as_cm_dtype(int))
+    vals = convert_values(vals, dt)
+    _tree_reduce_cycles(x.n_elems, dt)
+    total = vals.sum(dtype=np.float64 if dt.is_float else np.int64)
+    return float(total) if dt.is_float else int(total)
+
+
+def cm_prod(x: _CMBase, dtype=None):
+    """Product of all elements (log2 tree of SIMD muls)."""
+    vals = x._read()
+    dt = as_cm_dtype(dtype) if dtype is not None else (
+        x.dtype if x.dtype.is_float else as_cm_dtype(int))
+    vals = convert_values(vals, dt)
+    _tree_reduce_cycles(x.n_elems, dt)
+    prod = np.prod(vals.astype(np.float64 if dt.is_float else np.int64))
+    return float(prod) if dt.is_float else int(prod)
+
+
+def cm_reduce_min(x: _CMBase):
+    """Minimum over all elements (log2 tree of ``sel.l``)."""
+    vals = x._read()
+    _tree_reduce_cycles(x.n_elems, x.dtype)
+    v = vals.min()
+    return float(v) if x.dtype.is_float else int(v)
+
+
+def cm_reduce_max(x: _CMBase):
+    """Maximum over all elements (log2 tree of ``sel.ge``)."""
+    vals = x._read()
+    _tree_reduce_cycles(x.n_elems, x.dtype)
+    v = vals.max()
+    return float(v) if x.dtype.is_float else int(v)
+
+
+def cm_shl(x, shift):
+    """Shift left helper mirroring CM's ``cm_shl``."""
+    if isinstance(x, _CMBase):
+        return x << shift
+    if _is_scalar(x):
+        ctx.emit_scalar()
+        return int(x) << int(shift)
+    raise TypeError("cm_shl needs a vector or scalar")
+
+
+def cm_mul_add(acc: _CMBase, a, b) -> _CMBase:
+    """Fused multiply-add ``acc += a * b`` as a single Gen ``mad``.
+
+    Written explicitly, ``acc += a * b`` costs a ``mul`` and an ``add``;
+    the CM compiler fuses them — this helper models the fused form, which
+    the GEMM kernels rely on for peak rate.
+    """
+    n = acc.n_elems
+    av, a_dt, _ = acc._operand(a, n)
+    bv, b_dt, _ = acc._operand(b, n)
+    dt = common_type(common_type(a_dt, b_dt), acc.dtype)
+    result = (convert_values(acc._read(), dt)
+              + convert_values(av, dt) * convert_values(bv, dt))
+    ctx.emit_alu(n, dt)  # one mad
+    acc._write(convert_values(result, acc.dtype))
+    return acc
+
+
+def cm_frc(x: _CMBase) -> Vector:
+    """Fractional part (Gen ``frc``): ``x - floor(x)``."""
+    return _unary_math(x, lambda v: v - np.floor(v))
+
+
+def cm_avg(x, y) -> Vector:
+    """Rounding integer average (Gen ``avg``): ``(x + y + 1) >> 1``."""
+    base = x if isinstance(x, _CMBase) else y
+    n = base.n_elems
+    xv, x_dt, _ = base._operand(x, n)
+    yv, y_dt, _ = base._operand(y, n)
+    dt = common_type(x_dt, y_dt)
+    if dt.is_float:
+        raise TypeError("cm_avg is an integer operation")
+    ctx.emit_alu(n, dt)
+    out = (xv.astype(np.int64) + yv.astype(np.int64) + 1) >> 1
+    return base._result_like(convert_values(out, dt), dt)
+
+
+def cm_dp4(x: _CMBase, y) -> Vector:
+    """4-wide dot product (Gen ``dp4``): every group of four elements
+    yields their dot product, broadcast across the group (the Gen
+    semantics: dst lanes of a group all receive the sum)."""
+    n = x.n_elems
+    if n % 4:
+        raise ValueError("cm_dp4 requires a multiple of 4 elements")
+    xv = convert_values(x._read(), F)
+    yv, _, _ = x._operand(y, n)
+    yv = convert_values(yv, F)
+    ctx.emit_alu(n, F)
+    prods = (xv * yv).reshape(-1, 4).sum(axis=1)
+    out = np.repeat(prods, 4).astype(F.np_dtype)
+    return x._result_like(out, F)
+
+
+def cm_pack_mask(mask: _CMBase) -> int:
+    """Pack a <=32-lane mask vector into an integer bitfield."""
+    vals = mask._read()
+    if vals.size > 32:
+        raise ValueError("cm_pack_mask packs at most 32 lanes")
+    ctx.emit_scalar()
+    bits = 0
+    for i, v in enumerate(vals):
+        if v:
+            bits |= 1 << i
+    return bits
+
+
+def cm_unpack_mask(bits: int, n: int) -> Vector:
+    """Unpack an integer bitfield into an n-lane ushort mask vector."""
+    from repro.isa.dtypes import UW
+
+    ctx.emit_scalar()
+    vals = np.asarray([(int(bits) >> i) & 1 for i in range(n)],
+                      dtype=UW.np_dtype)
+    out = Vector(UW, n)
+    out._buf[:] = vals
+    return out

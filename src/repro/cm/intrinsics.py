@@ -1,0 +1,293 @@
+"""CM memory intrinsics.
+
+The paper's Section IV-B set, mapped onto surfaces from
+:mod:`repro.memory`:
+
+- ``read(image, x, y, m)`` / ``write(image, x, y, m)`` — 2D media block
+  read/write of raw bytes between an image surface and a matrix,
+- ``read(buffer, offset, v)`` / ``write(buffer, offset, v)`` — oword block
+  read/write between a linear buffer and a vector (16-byte aligned),
+- ``read_scattered`` / ``write_scattered`` — per-lane gather/scatter with a
+  vector of element offsets,
+- ``atomic`` — native Gen atomics (``inc``, ``add``, ``max``, ...),
+- ``slm_read`` / ``slm_write`` / ``slm_atomic`` — the same against shared
+  local memory, with bank-conflict accounting.
+
+All functions record the corresponding memory trace events, including the
+unique-cache-line footprint that the timing model charges to DRAM
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cm.dtypes import as_cm_dtype
+from repro.cm.vector import Matrix, MatrixRef, Vector, VectorRef, _CMBase
+from repro.memory.slm import (
+    ATOMIC_OPS_PER_CYCLE, SharedLocalMemory, bank_conflict_cycles,
+)
+from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
+from repro.sim import context as ctx
+from repro.sim.trace import MemKind
+
+OWORD = 16
+
+#: Media block message limits: wider/taller blocks split into several sends.
+_MEDIA_MSG_WIDTH = 32
+_MEDIA_MSG_HEIGHT = 8
+#: Oword block messages move at most 8 owords.
+_OWORD_MSG_BYTES = 128
+#: Scattered messages carry 16 lanes each.
+_SCATTER_LANES = 16
+
+
+def _container_buf(container: _CMBase) -> np.ndarray:
+    if not container._buf.flags["C_CONTIGUOUS"]:
+        raise TypeError("memory intrinsics require contiguous register data")
+    return container._buf
+
+
+def _extra_messages(count: int) -> None:
+    """Charge the front end for messages beyond the first."""
+    if count > 1:
+        ctx.emit_scalar(2 * (count - 1))
+
+
+# -- 2D media block and oword block access ----------------------------------
+
+
+def read(surface: Surface, arg0: int, arg1=None, arg2=None,
+         aligned: bool = True) -> None:
+    """Block read: ``read(image, x, y, m)`` or ``read(buffer, offset, v)``.
+
+    ``aligned=False`` selects the DWORD-aligned oword block read variant
+    (offset only 4-byte aligned), as CM's ``CM_DWORD_ALIGNED`` modifier.
+    """
+    if isinstance(surface, SharedLocalMemory):
+        raise TypeError("use slm_read for shared local memory")
+    if isinstance(surface, Image2DSurface):
+        if arg2 is None:
+            raise TypeError("image read needs (surface, x, y, matrix)")
+        _media_block_read(surface, int(arg0), int(arg1), arg2)
+    elif isinstance(surface, (BufferSurface, Surface)):
+        if arg1 is None or arg2 is not None:
+            raise TypeError("buffer read needs (surface, offset, vector)")
+        _oword_block_read(surface, int(arg0), arg1, aligned=aligned)
+    else:
+        raise TypeError(f"cannot read from {type(surface).__name__}")
+
+
+def write(surface: Surface, arg0: int, arg1=None, arg2=None) -> None:
+    """Block write: ``write(image, x, y, m)`` or ``write(buffer, offset, v)``."""
+    if isinstance(surface, SharedLocalMemory):
+        raise TypeError("use slm_write for shared local memory")
+    if isinstance(surface, Image2DSurface):
+        if arg2 is None:
+            raise TypeError("image write needs (surface, x, y, matrix)")
+        _media_block_write(surface, int(arg0), int(arg1), arg2)
+    elif isinstance(surface, (BufferSurface, Surface)):
+        if arg1 is None or arg2 is not None:
+            raise TypeError("buffer write needs (surface, offset, vector)")
+        _oword_block_write(surface, int(arg0), arg1)
+    else:
+        raise TypeError(f"cannot write to {type(surface).__name__}")
+
+
+def _media_block_read(surface: Image2DSurface, x: int, y: int,
+                      m: Union[Matrix, MatrixRef]) -> None:
+    buf = _container_buf(m)
+    height, cols = buf.shape
+    width_bytes = cols * m.dtype.size
+    block = surface.read_block(x, y, width_bytes, height)
+    buf[...] = block.view(m.dtype.np_dtype).reshape(buf.shape)
+    nbytes = width_bytes * height
+    lines, new = surface.mark_lines_block2d(x, y, width_bytes, height,
+                                            surface.pitch)
+    messages = -(-width_bytes // _MEDIA_MSG_WIDTH) * -(-height // _MEDIA_MSG_HEIGHT)
+    _extra_messages(messages)
+    ev = ctx.emit_memory(MemKind.BLOCK2D_READ, nbytes=nbytes, lines=lines,
+                         dram_lines=new, l3_bytes=nbytes, msgs=messages)
+    m._owner._dep = ev
+
+
+def _media_block_write(surface: Image2DSurface, x: int, y: int,
+                       m: Union[Matrix, MatrixRef]) -> None:
+    vals = m._read().reshape(m._buf.shape)
+    height, cols = vals.shape
+    width_bytes = cols * m.dtype.size
+    surface.write_block(x, y, width_bytes, height, vals)
+    nbytes = width_bytes * height
+    lines, new = surface.mark_lines_block2d(x, y, width_bytes, height,
+                                            surface.pitch)
+    messages = -(-width_bytes // _MEDIA_MSG_WIDTH) * -(-height // _MEDIA_MSG_HEIGHT)
+    _extra_messages(messages)
+    ctx.emit_memory(MemKind.BLOCK2D_WRITE, nbytes=nbytes, lines=lines,
+                    dram_lines=new, l3_bytes=nbytes, msgs=messages,
+                    is_read=False)
+
+
+def _oword_block_read(surface: Surface, offset: int,
+                      v: Union[Vector, VectorRef],
+                      aligned: bool = True) -> None:
+    if aligned and offset % OWORD:
+        raise ValueError(f"oword block read offset {offset} not 16B aligned")
+    if offset % 4:
+        raise ValueError(f"oword block read offset {offset} not 4B aligned")
+    buf = _container_buf(v)
+    nbytes = buf.size * v.dtype.size
+    data = surface.read_linear(offset, nbytes)
+    buf[...] = data.view(v.dtype.np_dtype).reshape(buf.shape)
+    messages = -(-nbytes // _OWORD_MSG_BYTES)
+    _extra_messages(messages)
+    lines, new = surface.mark_lines_range(offset, nbytes)
+    ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes,
+                         lines=lines, dram_lines=new, l3_bytes=nbytes,
+                         msgs=messages)
+    v._owner._dep = ev
+
+
+def _oword_block_write(surface: Surface, offset: int,
+                       v: Union[Vector, VectorRef]) -> None:
+    if offset % OWORD:
+        raise ValueError(f"oword block write offset {offset} not 16B aligned")
+    vals = np.ascontiguousarray(v._read().astype(v.dtype.np_dtype, copy=False))
+    nbytes = vals.size * v.dtype.size
+    surface.write_linear(offset, vals)
+    messages = -(-nbytes // _OWORD_MSG_BYTES)
+    _extra_messages(messages)
+    lines, new = surface.mark_lines_range(offset, nbytes)
+    ctx.emit_memory(MemKind.OWORD_WRITE, nbytes=nbytes,
+                    lines=lines, dram_lines=new, l3_bytes=nbytes,
+                    msgs=messages, is_read=False)
+
+
+# -- scattered access ---------------------------------------------------------
+
+
+def _offsets_bytes(element_offsets, global_offset: int, elem_size: int):
+    if isinstance(element_offsets, _CMBase):
+        offs = element_offsets._read().astype(np.int64)
+    else:
+        offs = np.asarray(element_offsets, dtype=np.int64)
+    return (offs + int(global_offset)) * elem_size
+
+
+def read_scattered(surface: Surface, global_offset: int, element_offsets,
+                   ret: Union[Vector, VectorRef]) -> None:
+    """Vector gather: lane ``i`` loads element ``global_offset+offsets[i]``."""
+    mask = ctx.current_mask()
+    byte_offs = _offsets_bytes(element_offsets, global_offset, ret.dtype.size)
+    data = surface.gather(byte_offs, ret.dtype, mask=mask)
+    if mask is None:
+        _container_buf(ret)[...] = data.reshape(ret._buf.shape)
+    else:
+        ret._write(data)
+    n = len(byte_offs)
+    lines, new = surface.mark_lines_offsets(byte_offs, ret.dtype.size,
+                                            mask=mask)
+    messages = -(-n // _SCATTER_LANES)
+    _extra_messages(messages)
+    ev = ctx.emit_memory(MemKind.GATHER, nbytes=n * ret.dtype.size,
+                         lines=lines, dram_lines=new, msgs=messages)
+    ret._owner._dep = ev
+
+
+def write_scattered(surface: Surface, global_offset: int, element_offsets,
+                    values: Union[Vector, VectorRef]) -> None:
+    """Vector scatter: lane ``i`` stores to ``global_offset+offsets[i]``."""
+    mask = ctx.current_mask()
+    vals = values._read()
+    byte_offs = _offsets_bytes(element_offsets, global_offset, values.dtype.size)
+    surface.scatter(byte_offs, vals.astype(values.dtype.np_dtype, copy=False),
+                    mask=mask)
+    n = len(byte_offs)
+    lines, new = surface.mark_lines_offsets(byte_offs, values.dtype.size,
+                                            mask=mask)
+    messages = -(-n // _SCATTER_LANES)
+    _extra_messages(messages)
+    ctx.emit_memory(MemKind.SCATTER, nbytes=n * values.dtype.size,
+                    lines=lines, dram_lines=new, msgs=messages,
+                    is_read=False)
+
+
+def atomic(op: str, surface: Surface, element_offsets,
+           src: Optional[_CMBase] = None, dtype=None) -> Vector:
+    """Global atomic; returns the old values (``write_atomic<op>`` in CM)."""
+    if dtype is None:
+        dtype = src.dtype if src is not None else as_cm_dtype("uint32")
+    dt = as_cm_dtype(dtype)
+    mask = ctx.current_mask()
+    byte_offs = _offsets_bytes(element_offsets, 0, dt.size)
+    operands = None
+    if src is not None:
+        operands = src._read().astype(dt.np_dtype, copy=False)
+    old = surface.atomic(op, byte_offs, operands, dt, mask=mask)
+    n = len(byte_offs)
+    lines, new = surface.mark_lines_offsets(byte_offs, dt.size, mask=mask)
+    messages = -(-n // _SCATTER_LANES)
+    ev = ctx.emit_memory(MemKind.ATOMIC, nbytes=n * dt.size, lines=lines,
+                         dram_lines=new, msgs=messages)
+    thread = ctx.current()
+    if thread is not None:
+        active = byte_offs if mask is None else byte_offs[np.asarray(mask, bool)]
+        thread.trace.atomic_global(active // 4, surface_id=id(surface))
+    out = Vector(dt, n, init=None)
+    out._buf[:] = old
+    out._dep = ev
+    return out
+
+
+# -- shared local memory -------------------------------------------------------
+
+
+def slm_read(slm: SharedLocalMemory, element_offsets,
+             ret: Union[Vector, VectorRef]) -> None:
+    """SLM gather (element offsets in units of the return element type)."""
+    byte_offs = _offsets_bytes(element_offsets, 0, ret.dtype.size)
+    mask = ctx.current_mask()
+    data = slm.gather(byte_offs, ret.dtype, mask=mask)
+    if mask is None:
+        _container_buf(ret)[...] = data.reshape(ret._buf.shape)
+    else:
+        ret._write(data)
+    cycles = bank_conflict_cycles(byte_offs, mask=mask)
+    ev = ctx.emit_memory(MemKind.SLM_READ, nbytes=len(byte_offs) * ret.dtype.size,
+                         slm_cycles=cycles)
+    ret._owner._dep = ev
+
+
+def slm_write(slm: SharedLocalMemory, element_offsets,
+              values: Union[Vector, VectorRef]) -> None:
+    vals = values._read()
+    byte_offs = _offsets_bytes(element_offsets, 0, values.dtype.size)
+    mask = ctx.current_mask()
+    slm.scatter(byte_offs, vals.astype(values.dtype.np_dtype, copy=False),
+                mask=mask)
+    cycles = bank_conflict_cycles(byte_offs, mask=mask)
+    ctx.emit_memory(MemKind.SLM_WRITE,
+                    nbytes=len(byte_offs) * values.dtype.size,
+                    slm_cycles=cycles, is_read=False)
+
+
+def slm_atomic(op: str, slm: SharedLocalMemory, element_offsets,
+               src: Optional[_CMBase] = None, dtype=None) -> Vector:
+    """SLM atomic; same-address lanes serialize at the bank."""
+    if dtype is None:
+        dtype = src.dtype if src is not None else as_cm_dtype("uint32")
+    dt = as_cm_dtype(dtype)
+    mask = ctx.current_mask()
+    byte_offs = _offsets_bytes(element_offsets, 0, dt.size)
+    operands = src._read().astype(dt.np_dtype, copy=False) if src is not None else None
+    old = slm.atomic(op, byte_offs, operands, dt, mask=mask)
+    cycles = bank_conflict_cycles(byte_offs, mask=mask,
+                                  same_address_broadcast=False,
+                                  ops_per_cycle=ATOMIC_OPS_PER_CYCLE)
+    ev = ctx.emit_memory(MemKind.SLM_ATOMIC, nbytes=len(byte_offs) * dt.size,
+                         slm_cycles=cycles)
+    out = Vector(dt, len(byte_offs), init=None)
+    out._buf[:] = old
+    out._dep = ev
+    return out

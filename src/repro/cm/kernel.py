@@ -1,0 +1,47 @@
+"""CM kernel helpers: thread coordinates and the kernel decorator.
+
+A CM kernel describes the work of one *hardware thread* (not one
+work-item).  The host enqueues a grid of threads via
+:meth:`repro.sim.device.Device.run_cm`; inside the kernel,
+``thread_x()``/``thread_y()`` return the thread's grid coordinates — the
+equivalent of CM's ``cm_group_id``/media-walker thread origin.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from repro.sim import context as ctx
+
+
+def thread_x() -> int:
+    """This hardware thread's X coordinate in the launch grid."""
+    return ctx.require().thread_id[0]
+
+
+def thread_y() -> int:
+    """This hardware thread's Y coordinate (0 for 1D launches)."""
+    tid = ctx.require().thread_id
+    return tid[1] if len(tid) > 1 else 0
+
+
+def thread_id(dim: int = 0) -> int:
+    tid = ctx.require().thread_id
+    return tid[dim] if dim < len(tid) else 0
+
+
+def cm_kernel(fn: Callable) -> Callable:
+    """Mark a function as a CM kernel (documentation + launch-time checks)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if ctx.current() is None:
+            raise RuntimeError(
+                f"CM kernel {fn.__name__!r} must be launched through "
+                "Device.run_cm, not called directly")
+        return fn(*args, **kwargs)
+
+    wrapper.__cm_kernel__ = True
+    wrapper.__wrapped_kernel__ = fn
+    return wrapper

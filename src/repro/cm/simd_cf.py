@@ -1,0 +1,80 @@
+"""SIMD (divergent) control flow.
+
+CM's default control flow is scalar C++ control flow: conditions must be
+scalars and all lanes branch uniformly — in this embedding that is plain
+Python ``if``/``for``.  For per-lane divergence CM provides the
+``SIMD_IF_BEGIN``/``SIMD_ELSE``/``SIMD_IF_END`` macros backed by Gen's
+``simd-goto``/``simd-join`` instructions.  Here they are context
+managers::
+
+    with simd_if(cond > 0) as branch:
+        v.select(8, 2, 0).assign(1)
+    with branch.orelse():
+        v.select(8, 2, 1).assign(1)
+
+Inside a block, every write whose width matches the mask is predicated by
+the active lanes (writes of other widths must be scalar, per the CM
+specification).  Inactive lanes do not observe the block's writes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cm.vector import _CMBase
+from repro.sim import context as ctx
+
+
+def _mask_values(cond) -> np.ndarray:
+    if isinstance(cond, _CMBase):
+        return cond._read().astype(bool).copy()
+    return np.asarray(cond, dtype=bool).reshape(-1)
+
+
+class SimdIf:
+    """A divergent if/else region (``SIMD_IF_BEGIN`` ... ``SIMD_IF_END``)."""
+
+    def __init__(self, cond) -> None:
+        self._mask = _mask_values(cond)
+        self._entered = False
+
+    def __enter__(self) -> "SimdIf":
+        thread = ctx.current()
+        if thread is None:
+            raise RuntimeError("SIMD control flow requires a kernel context")
+        # simd-goto costs a couple of instructions on Gen.
+        ctx.emit_scalar(2)
+        thread.push_mask(self._mask)
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        ctx.require().pop_mask()
+        ctx.emit_scalar(1)  # simd-join
+        return False
+
+    def orelse(self) -> "SimdElse":
+        """The ``SIMD_ELSE`` block; lanes inactive in the then-block run."""
+        if not self._entered:
+            raise RuntimeError("orelse() before the simd_if block ran")
+        return SimdElse(~self._mask)
+
+
+class SimdElse:
+    def __init__(self, mask: np.ndarray) -> None:
+        self._mask = mask
+
+    def __enter__(self) -> "SimdElse":
+        ctx.emit_scalar(2)
+        ctx.require().push_mask(self._mask)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        ctx.require().pop_mask()
+        ctx.emit_scalar(1)
+        return False
+
+
+def simd_if(cond) -> SimdIf:
+    """Open a divergent if; see the module docstring for usage."""
+    return SimdIf(cond)

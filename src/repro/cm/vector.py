@@ -1,0 +1,543 @@
+"""CM vector and matrix types.
+
+These are the two container types at the core of the CM programming model
+(Section IV-A of the paper).  Variables live in the register file; the
+``select`` family returns *references* backed by numpy strided views, so
+reads map to Gen region addressing (zero cost) and writes go straight
+through to the base object's storage — exactly the aliasing semantics of
+CM's ``vector_ref``/``matrix_ref``.
+
+Cost accounting follows the What-You-Write-Is-What-You-Get contract:
+
+- ``select``/``row``/``column``/``format``/``replicate`` are free (regions),
+- assigning *register data* (a named variable or a reference) emits ``mov``
+  instructions (cf. Fig. 4's nine SIMD16 movs),
+- assigning a just-computed expression is baled into the computing
+  instruction and emits nothing extra,
+- every arithmetic operation emits the legalized instruction count for its
+  element count and execution type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cm.dtypes import (
+    as_cm_dtype, common_type, convert_values, scalar_dtype,
+)
+from repro.isa.dtypes import DType, UW
+from repro.sim import context as ctx
+
+Scalar = Union[int, float, np.integer, np.floating, np.bool_]
+
+
+class CMTypeError(TypeError):
+    """Shape or element-type violation in a CM expression."""
+
+
+def _is_scalar(x) -> bool:
+    return isinstance(x, (int, float, np.integer, np.floating, np.bool_))
+
+
+class _CMBase:
+    """Shared machinery for vectors, matrices and their references."""
+
+    # Subclasses set: _buf (numpy view), dtype (DType), _owner (base object),
+    # _is_reg_data (True for named variables and references).
+    _buf: np.ndarray
+    dtype: DType
+    _is_reg_data: bool
+
+    def __init__(self) -> None:
+        self._owner: _CMBase = self
+        self._dep = None  # MemEvent backing this storage, if loaded
+
+    # -- basic introspection ---------------------------------------------
+
+    @property
+    def n_elems(self) -> int:
+        return self._buf.size
+
+    def __len__(self) -> int:
+        return self._buf.shape[0]
+
+    def to_numpy(self) -> np.ndarray:
+        """Copy of the contents as a numpy array (host-side inspection)."""
+        return self._buf.copy()
+
+    # -- internal value plumbing -----------------------------------------
+
+    def _read(self) -> np.ndarray:
+        """Flattened element values; consumes the owning load dependency."""
+        owner = self._owner
+        if owner._dep is not None:
+            ctx.consume(owner._dep)
+        return self._buf.reshape(-1)
+
+    def _result_like(self, values: np.ndarray, dtype: DType) -> "Vector":
+        out = Vector.__new__(Vector)
+        _CMBase.__init__(out)
+        out._buf = values.reshape(-1)
+        out.dtype = dtype
+        out._is_reg_data = False
+        return out
+
+    @staticmethod
+    def _operand(x, n: int):
+        """(values, dtype, is_reg_data) for an operand of an n-elem op."""
+        if _is_scalar(x):
+            dt = scalar_dtype(x)
+            return np.full(n, x, dtype=dt.np_dtype), dt, False
+        if isinstance(x, _CMBase):
+            if x.n_elems == n:
+                return x._read(), x.dtype, x._is_reg_data
+            if x.n_elems == 1:
+                return np.full(n, x._read()[0]), x.dtype, x._is_reg_data
+            raise CMTypeError(
+                f"operand has {x.n_elems} elements, expected {n} (CM requires "
+                "identical element counts in mixed vector/matrix operations)")
+        if isinstance(x, (np.ndarray, list, tuple)):
+            x = np.asarray(x)
+            if x.size not in (n, 1):
+                raise CMTypeError(f"array operand has {x.size} elements, expected {n}")
+            vals = np.broadcast_to(x.reshape(-1), (n,))
+            return vals, as_cm_dtype(x.dtype), False
+        raise CMTypeError(f"cannot use {type(x).__name__} in a CM expression")
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _binop(self, other, np_fn, is_math: bool = False,
+               reverse: bool = False, compare: bool = False):
+        n = self.n_elems
+        a = self._read()
+        b, b_dt, _ = self._operand(other, n)
+        if reverse:
+            a, b = b, a
+            exec_dt = common_type(b_dt, self.dtype)
+        else:
+            exec_dt = common_type(self.dtype, b_dt)
+        av = convert_values(a, exec_dt)
+        bv = convert_values(b, exec_dt)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            result = np_fn(av, bv)
+        ctx.emit_alu(n, exec_dt, is_math=is_math)
+        if compare:
+            return self._result_like(result.astype(UW.np_dtype), UW)
+        return self._result_like(result.astype(exec_dt.np_dtype, copy=False),
+                                 exec_dt)
+
+    def __add__(self, o): return self._binop(o, np.add)
+    def __radd__(self, o): return self._binop(o, np.add, reverse=True)
+    def __sub__(self, o): return self._binop(o, np.subtract)
+    def __rsub__(self, o): return self._binop(o, np.subtract, reverse=True)
+    def __mul__(self, o): return self._binop(o, np.multiply)
+    def __rmul__(self, o): return self._binop(o, np.multiply, reverse=True)
+
+    def __truediv__(self, o):
+        return self._binop(o, _c_divide, is_math=True)
+
+    def __rtruediv__(self, o):
+        return self._binop(o, _c_divide, is_math=True, reverse=True)
+
+    def __floordiv__(self, o):
+        return self._binop(o, _c_divide, is_math=True)
+
+    def __mod__(self, o):
+        return self._binop(o, _c_mod, is_math=True)
+
+    def __and__(self, o): return self._binop(o, np.bitwise_and)
+    def __rand__(self, o): return self._binop(o, np.bitwise_and, reverse=True)
+    def __or__(self, o): return self._binop(o, np.bitwise_or)
+    def __ror__(self, o): return self._binop(o, np.bitwise_or, reverse=True)
+    def __xor__(self, o): return self._binop(o, np.bitwise_xor)
+    def __rxor__(self, o): return self._binop(o, np.bitwise_xor, reverse=True)
+    def __lshift__(self, o): return self._binop(o, np.left_shift)
+    def __rshift__(self, o): return self._binop(o, np.right_shift)
+
+    def __neg__(self):
+        vals = self._read()
+        ctx.emit_alu(self.n_elems, self.dtype)
+        return self._result_like(-vals, self.dtype)
+
+    def __invert__(self):
+        vals = self._read()
+        ctx.emit_alu(self.n_elems, self.dtype)
+        return self._result_like(~vals, self.dtype)
+
+    def __abs__(self):
+        # Source-modifier on Gen: free when baled, charge a mov standalone.
+        vals = self._read()
+        ctx.emit_alu(self.n_elems, self.dtype)
+        return self._result_like(np.abs(vals), self.dtype)
+
+    # Comparisons produce ushort masks (0/1 per lane), per the CM spec.
+    def __lt__(self, o): return self._binop(o, np.less, compare=True)
+    def __le__(self, o): return self._binop(o, np.less_equal, compare=True)
+    def __gt__(self, o): return self._binop(o, np.greater, compare=True)
+    def __ge__(self, o): return self._binop(o, np.greater_equal, compare=True)
+    def __eq__(self, o): return self._binop(o, np.equal, compare=True)      # noqa: A003
+    def __ne__(self, o): return self._binop(o, np.not_equal, compare=True)  # noqa: A003
+
+    __hash__ = None  # mutable register data
+
+    # -- assignment ---------------------------------------------------------
+
+    def _coerce_source(self, value, sat: bool = False):
+        """(converted values, came-from-register-data) for an assignment."""
+        n = self.n_elems
+        vals, _dt, is_reg = self._operand(value, n)
+        return convert_values(vals, self.dtype, saturate=sat), is_reg
+
+    def _write(self, values: np.ndarray,
+               mask: Optional[np.ndarray] = None) -> None:
+        flat = self._buf.reshape(-1) if self._buf.flags["C_CONTIGUOUS"] \
+            else None
+        simd_mask = ctx.current_mask()
+        if simd_mask is not None:
+            if self.n_elems != len(simd_mask) and self.n_elems != 1:
+                raise CMTypeError(
+                    f"SIMD control flow: operation width {self.n_elems} must "
+                    f"match the mask width {len(simd_mask)} or be scalar")
+            mask = simd_mask if mask is None else (mask & simd_mask)
+        if mask is None:
+            if flat is not None:
+                flat[:] = values
+            else:
+                self._buf[...] = values.reshape(self._buf.shape)
+        else:
+            m = np.asarray(mask, dtype=bool).reshape(self._buf.shape)
+            self._buf[m] = values.reshape(self._buf.shape)[m]
+
+    def assign(self, value, sat: bool = False) -> "_CMBase":
+        """CM assignment ``this = value`` (with optional saturation).
+
+        Copying register data (a named variable or a select/format/replicate
+        reference) emits mov instructions; a freshly computed expression is
+        baled into its producing instruction and costs nothing extra here.
+        """
+        vals, is_reg = self._coerce_source(value, sat=sat)
+        if is_reg or _is_scalar(value):
+            ctx.emit_alu(self.n_elems, self.dtype)
+        self._write(vals.copy())
+        return self
+
+    def _iop(self, other, np_fn, is_math: bool = False):
+        n = self.n_elems
+        a = self._read()
+        b, b_dt, _ = self._operand(other, n)
+        exec_dt = common_type(self.dtype, b_dt)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            result = np_fn(convert_values(a, exec_dt), convert_values(b, exec_dt))
+        ctx.emit_alu(n, exec_dt, is_math=is_math)
+        self._write(convert_values(result, self.dtype))
+        return self
+
+    def __iadd__(self, o): return self._iop(o, np.add)
+    def __isub__(self, o): return self._iop(o, np.subtract)
+    def __imul__(self, o): return self._iop(o, np.multiply)
+    def __itruediv__(self, o): return self._iop(o, _c_divide, is_math=True)
+    def __iand__(self, o): return self._iop(o, np.bitwise_and)
+    def __ior__(self, o): return self._iop(o, np.bitwise_or)
+    def __ixor__(self, o): return self._iop(o, np.bitwise_xor)
+    def __ilshift__(self, o): return self._iop(o, np.left_shift)
+    def __irshift__(self, o): return self._iop(o, np.right_shift)
+
+    # -- merge (conditional update) ---------------------------------------
+
+    def merge(self, x, mask, y=None) -> "_CMBase":
+        """``v.merge(x, mask)`` or ``v.merge(x, y, mask)``.
+
+        Two-operand form: copy ``x`` into active lanes (predicated mov).
+        Three-operand form (``merge(x, y, mask)``): active lanes take ``x``,
+        inactive take ``y`` (Gen ``sel``).
+        """
+        if y is not None:
+            x, y, mask = x, mask, y  # CM argument order merge(x, y, mask)
+        n = self.n_elems
+        mvals, _dt, _ = self._operand(mask, n)
+        active = mvals.astype(bool)
+        xv, _, _ = self._operand(x, n)
+        xv = convert_values(xv, self.dtype)
+        ctx.emit_alu(n, self.dtype)
+        if y is None:
+            self._write(xv, mask=active)
+        else:
+            yv, _, _ = self._operand(y, n)
+            yv = convert_values(yv, self.dtype)
+            self._write(np.where(active, xv, yv))
+        return self
+
+    # -- boolean reductions -------------------------------------------------
+
+    def any(self) -> bool:      # noqa: A003
+        """1 if any element is non-zero (maps to Gen compare)."""
+        ctx.emit_alu(self.n_elems, self.dtype)
+        return bool(np.any(self._read()))
+
+    def all(self) -> bool:      # noqa: A003
+        """1 if all elements are non-zero (maps to Gen compare)."""
+        ctx.emit_alu(self.n_elems, self.dtype)
+        return bool(np.all(self._read()))
+
+    # -- regioning ------------------------------------------------------------
+
+    def replicate(self, rep: int, vstride: int = 0, width: int = 1,
+                  hstride: int = 0, offset: int = 0) -> "Vector":
+        """``v.replicate<REP, VS, W, HS>(offset)``: generic register gather.
+
+        Gathers ``rep`` blocks of ``width`` elements; block ``b``, element
+        ``w`` comes from ``offset + b*vstride + w*hstride``.  Maps to a Gen
+        region, so it is free until the value is actually consumed.
+        """
+        flat = self._read()
+        idx = (offset
+               + np.repeat(np.arange(rep) * vstride, width)
+               + np.tile(np.arange(width) * hstride, rep))
+        if idx.size and (idx.min() < 0 or idx.max() >= flat.size):
+            raise IndexError(
+                f"replicate indices [{idx.min()}, {idx.max()}] out of range "
+                f"for {flat.size} elements")
+        out = self._result_like(flat[idx].copy(), self.dtype)
+        out._is_reg_data = True  # still register data (a region view)
+        return out
+
+    def iselect(self, indices) -> "Vector":
+        """Indexed (register-indirect) gather; always an r-value."""
+        flat = self._read()
+        idx, _, _ = self._operand(indices, indices.n_elems) \
+            if isinstance(indices, _CMBase) else \
+            (np.asarray(indices, dtype=np.int64), None, None)
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= flat.size):
+            raise IndexError("iselect index out of range")
+        # Register-indirect addressing costs a real mov per Gen restrictions.
+        ctx.emit_alu(idx.size, self.dtype, inst_factor=2)
+        return self._result_like(flat[idx].copy(), self.dtype)
+
+    def format(self, dtype, rows: Optional[int] = None,
+               cols: Optional[int] = None):
+        """Reinterpret element type / shape, aliasing the same registers."""
+        dt = as_cm_dtype(dtype)
+        if not self._buf.flags["C_CONTIGUOUS"]:
+            raise CMTypeError("format requires contiguous register data")
+        raw = self._buf.reshape(-1).view(np.uint8)
+        if raw.size % dt.size:
+            raise CMTypeError(
+                f"cannot format {raw.size} bytes as {dt.name} elements")
+        new = raw.view(dt.np_dtype)
+        if rows is None:
+            return VectorRef(new, dt, self._owner)
+        if cols is None:
+            cols = new.size // rows
+        if rows * cols != new.size:
+            raise CMTypeError(
+                f"format shape {rows}x{cols} != {new.size} elements")
+        return MatrixRef(new.reshape(rows, cols), dt, self._owner)
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        return f"{kind}<{self.dtype.name},{self._buf.shape}>({self._buf!r})"
+
+
+def _c_divide(a, b):
+    if np.issubdtype(a.dtype, np.floating):
+        return a / b
+    q = np.where(b != 0, np.trunc(a / np.where(b != 0, b, 1)), 0)
+    return q.astype(a.dtype)
+
+
+def _c_mod(a, b):
+    if np.issubdtype(a.dtype, np.floating):
+        return np.fmod(a, b)
+    d = _c_divide(a, b)
+    return (a - d * b).astype(a.dtype)
+
+
+class Vector(_CMBase):
+    """``vector<T, N>``: N elements of type T in consecutive registers."""
+
+    def __init__(self, dtype, n: int, init=None) -> None:
+        super().__init__()
+        dt = as_cm_dtype(dtype)
+        if n <= 0:
+            raise CMTypeError(f"vector size must be positive, got {n}")
+        self.dtype = dt
+        self._buf = np.zeros(n, dtype=dt.np_dtype)
+        self._is_reg_data = True
+        if init is not None:
+            if isinstance(init, (_CMBase, int, float, np.integer, np.floating)):
+                self.assign(init)
+            else:
+                arr = np.asarray(init).reshape(-1)
+                if arr.size != n:
+                    raise CMTypeError(
+                        f"initializer has {arr.size} elements, vector has {n}")
+                self._buf[:] = convert_values(arr, dt)
+
+    # -- element & region access -------------------------------------------
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return VectorRef(self._buf[i], self.dtype, self._owner)
+        return self._buf[int(i)].item()
+
+    def __setitem__(self, i, value) -> None:
+        if isinstance(i, slice):
+            VectorRef(self._buf[i], self.dtype, self._owner).assign(value)
+            return
+        ctx.emit_scalar()
+        self._buf[int(i)] = convert_values(np.asarray(value), self.dtype)
+
+    def select(self, size: int, stride: int = 1, offset: int = 0) -> "VectorRef":
+        """``v.select<size, stride>(offset)`` — an l-value region reference."""
+        last = offset + (size - 1) * stride
+        if offset < 0 or last >= self.n_elems:
+            raise IndexError(
+                f"select<{size},{stride}>({offset}) out of range for "
+                f"vector of {self.n_elems}")
+        view = self._buf[offset:last + 1:stride]
+        return VectorRef(view, self.dtype, self._owner)
+
+
+class Matrix(_CMBase):
+    """``matrix<T, R, C>``: R x C elements in row-major registers."""
+
+    def __init__(self, dtype, rows: int, cols: int, init=None) -> None:
+        super().__init__()
+        dt = as_cm_dtype(dtype)
+        if rows <= 0 or cols <= 0:
+            raise CMTypeError(f"matrix dims must be positive, got {rows}x{cols}")
+        self.dtype = dt
+        self._buf = np.zeros((rows, cols), dtype=dt.np_dtype)
+        self._is_reg_data = True
+        if init is not None:
+            if isinstance(init, (_CMBase, int, float, np.integer, np.floating)):
+                self.assign(init)
+            else:
+                arr = np.asarray(init)
+                if arr.size != rows * cols:
+                    raise CMTypeError(
+                        f"initializer has {arr.size} elements, matrix has "
+                        f"{rows * cols}")
+                self._buf[:] = convert_values(
+                    arr.reshape(rows, cols), dt)
+
+    @property
+    def rows(self) -> int:
+        return self._buf.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self._buf.shape[1]
+
+    def __getitem__(self, key):
+        i, j = key
+        return self._buf[int(i), int(j)].item()
+
+    def __setitem__(self, key, value) -> None:
+        i, j = key
+        ctx.emit_scalar()
+        self._buf[int(i), int(j)] = convert_values(np.asarray(value), self.dtype)
+
+    def row(self, i: int) -> "VectorRef":
+        return VectorRef(self._buf[int(i), :], self.dtype, self._owner)
+
+    def column(self, j: int) -> "VectorRef":
+        return VectorRef(self._buf[:, int(j)], self.dtype, self._owner)
+
+    def select(self, vsize: int, vstride: int, hsize: int, hstride: int,
+               i: int = 0, j: int = 0) -> "MatrixRef":
+        """``m.select<vsize, vstride, hsize, hstride>(i, j)``."""
+        vlast = i + (vsize - 1) * vstride
+        hlast = j + (hsize - 1) * hstride
+        if i < 0 or j < 0 or vlast >= self.rows or hlast >= self.cols:
+            raise IndexError(
+                f"select<{vsize},{vstride},{hsize},{hstride}>({i},{j}) out of "
+                f"range for {self.rows}x{self.cols} matrix")
+        view = self._buf[i:vlast + 1:vstride, j:hlast + 1:hstride]
+        return MatrixRef(view, self.dtype, self._owner)
+
+
+class VectorRef(_CMBase):
+    """``vector_ref<T, N>``: an aliased view of base register data."""
+
+    def __init__(self, view: np.ndarray, dtype: DType, owner: _CMBase) -> None:
+        super().__init__()
+        self._buf = view
+        self.dtype = dtype
+        self._owner = owner
+        self._is_reg_data = True
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return VectorRef(self._buf[i], self.dtype, self._owner)
+        return self._buf[int(i)].item()
+
+    def __setitem__(self, i, value) -> None:
+        if isinstance(i, slice):
+            VectorRef(self._buf[i], self.dtype, self._owner).assign(value)
+            return
+        ctx.emit_scalar()
+        self._buf[int(i)] = convert_values(np.asarray(value), self.dtype)
+
+    def select(self, size: int, stride: int = 1, offset: int = 0) -> "VectorRef":
+        last = offset + (size - 1) * stride
+        if offset < 0 or last >= self.n_elems:
+            raise IndexError("nested select out of range")
+        return VectorRef(self._buf[offset:last + 1:stride], self.dtype,
+                         self._owner)
+
+
+class MatrixRef(_CMBase):
+    """``matrix_ref<T, R, C>``: an aliased 2D view of base register data."""
+
+    def __init__(self, view: np.ndarray, dtype: DType, owner: _CMBase) -> None:
+        super().__init__()
+        self._buf = view
+        self.dtype = dtype
+        self._owner = owner
+        self._is_reg_data = True
+
+    @property
+    def rows(self) -> int:
+        return self._buf.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self._buf.shape[1]
+
+    def __getitem__(self, key):
+        i, j = key
+        return self._buf[int(i), int(j)].item()
+
+    def __setitem__(self, key, value) -> None:
+        i, j = key
+        ctx.emit_scalar()
+        self._buf[int(i), int(j)] = convert_values(np.asarray(value), self.dtype)
+
+    def row(self, i: int) -> VectorRef:
+        return VectorRef(self._buf[int(i), :], self.dtype, self._owner)
+
+    def column(self, j: int) -> VectorRef:
+        return VectorRef(self._buf[:, int(j)], self.dtype, self._owner)
+
+    def select(self, vsize: int, vstride: int, hsize: int, hstride: int,
+               i: int = 0, j: int = 0) -> "MatrixRef":
+        vlast = i + (vsize - 1) * vstride
+        hlast = j + (hsize - 1) * hstride
+        if i < 0 or j < 0 or vlast >= self.rows or hlast >= self.cols:
+            raise IndexError("nested select out of range")
+        view = self._buf[i:vlast + 1:vstride, j:hlast + 1:hstride]
+        return MatrixRef(view, self.dtype, self._owner)
+
+
+def vector(dtype, n: int, init=None) -> Vector:
+    """Declare a ``vector<T, N>`` (CM style, lowercase)."""
+    return Vector(dtype, n, init)
+
+
+def matrix(dtype, rows: int, cols: int, init=None) -> Matrix:
+    """Declare a ``matrix<T, R, C>`` (CM style, lowercase)."""
+    return Matrix(dtype, rows, cols, init)

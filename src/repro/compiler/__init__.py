@@ -1,0 +1,30 @@
+"""The CM compiler (CMC), Section V of the paper.
+
+Pipeline (mirroring Fig. 3):
+
+1. **Front end** (:mod:`repro.compiler.frontend`): traces a restricted CM
+   kernel (straight-line; Python loops unroll) into an SSA IR where
+   partial vector reads/writes are the ``rdregion``/``wrregion``
+   intrinsics.
+2. **Middle end** (:mod:`repro.compiler.passes`): constant folding,
+   region collapsing, dead-vector removal, vector decomposition, then
+   baling analysis.
+3. **vISA** (:mod:`repro.compiler.visa`): emission into a virtual ISA
+   with unlimited virtual registers; legalization splits operations to
+   the 2-GRF / native-SIMD limits, searching for ``<V;W,H>`` regions that
+   keep each chunk a single instruction (this is what turns the linear
+   filter's 6x24 select into the nine SIMD16 movs of Fig. 4).
+4. **Finalizer** (:mod:`repro.compiler.finalizer`): linear-scan register
+   allocation onto the 128x32B GRF (spilling to scratch via oword
+   messages), emitting executable Gen ISA for
+   :class:`repro.isa.executor.FunctionalExecutor`.
+
+Use :func:`compile_kernel` to run the whole pipeline and
+:meth:`CompiledKernel.run` to execute the result.
+"""
+
+from repro.compiler.driver import CompiledKernel, compile_kernel
+from repro.compiler.frontend import trace_kernel
+from repro.compiler.ir import Function
+
+__all__ = ["compile_kernel", "CompiledKernel", "trace_kernel", "Function"]

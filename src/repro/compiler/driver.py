@@ -1,0 +1,85 @@
+"""Compiler driver: front end -> passes -> vISA -> finalizer -> run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.finalizer import (
+    SCRATCH_BTI, Allocation, finalize,
+)
+from repro.compiler.frontend import trace_kernel
+from repro.compiler.ir import Function
+from repro.compiler.passes import analyze_bales, run_default_pipeline
+from repro.compiler.scheduler import schedule_sends
+from repro.compiler.visa import VProgram, emit_visa
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.grf import GRF_SIZE_BYTES
+from repro.isa.instructions import Instruction, format_program
+from repro.memory.surfaces import BufferSurface, Surface
+
+
+@dataclass
+class CompiledKernel:
+    """The output of the full pipeline, ready to execute per thread."""
+
+    name: str
+    ir: Function
+    visa: VProgram
+    program: List[Instruction]
+    allocation: Allocation
+    surfaces: List[str] = field(default_factory=list)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.program)
+
+    def asm(self) -> str:
+        """Gen-assembly listing of the compiled kernel."""
+        return format_program(self.program)
+
+    def run(self, surfaces: Sequence[Surface],
+            scalars: Dict[str, int] | None = None) -> FunctionalExecutor:
+        """Execute one hardware thread of the compiled kernel.
+
+        ``surfaces`` bind positionally to the kernel's surface params;
+        ``scalars`` supplies the symbolic integer parameters (thread
+        coordinates etc.).
+        """
+        table = {i: s for i, s in enumerate(surfaces)}
+        if self.allocation.scratch_bytes:
+            table[SCRATCH_BTI] = BufferSurface.allocate(
+                self.allocation.scratch_bytes)
+        ex = FunctionalExecutor(table)
+        for name, value in (scalars or {}).items():
+            vreg = self.visa.params.get(name)
+            if vreg is None:
+                continue  # optimized away
+            base = self.allocation.grf_offset[vreg.id]
+            ex.grf.write_bytes(base, np.asarray([value], dtype=np.int32))
+        ex.run(self.program)
+        return ex
+
+
+def compile_kernel(body: Callable, name: str,
+                   surfaces: Sequence[Tuple[str, bool]],
+                   scalar_params: Sequence[str] = (),
+                   optimize: bool = True) -> CompiledKernel:
+    """Run the full CMC pipeline on a traceable kernel body.
+
+    ``body(cmx, *surface_params, *scalars)`` is traced with the
+    trace-mode CM API (see :mod:`repro.compiler.frontend`).
+    """
+    fn = trace_kernel(body, name, surfaces, scalar_params)
+    if optimize:
+        run_default_pipeline(fn)
+    bales = analyze_bales(fn)
+    visa = emit_visa(fn, bales)
+    if optimize:
+        schedule_sends(visa)
+    program, alloc = finalize(visa)
+    return CompiledKernel(
+        name=name, ir=fn, visa=visa, program=program, allocation=alloc,
+        surfaces=[nm for nm, _img in surfaces])

@@ -1,0 +1,312 @@
+"""The finalizer: register allocation and Gen ISA encoding.
+
+Takes legalized vISA, performs linear-scan register allocation onto the
+128 x 32-byte GRF (reserving r0 for the thread payload and the top
+registers for spill staging), inserts spill/fill code around accesses to
+virtual registers that did not get a physical home (scratch lives in a
+dedicated scratch surface at BTI 255, like the real stack/scratch space),
+and encodes executable :class:`repro.isa.instructions.Instruction`
+objects for the functional executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.visa import (
+    CompileError, VImm, VInstr, VOperand, VProgram, VReg, VVectorImm,
+)
+from repro.isa.dtypes import DType, UD
+from repro.isa.grf import GRF_SIZE_BYTES, NUM_GRF, RegOperand
+from repro.isa.instructions import (
+    CondMod, FlagOperand, Immediate, Instruction, MessageDesc, MsgKind,
+    Opcode, Predicate,
+)
+from repro.isa.regions import Region
+
+#: Binding-table index of the scratch (spill) surface.
+SCRATCH_BTI = 255
+#: First allocatable register (r0 is the hardware thread payload).
+FIRST_REG = 1
+#: Registers reserved at the top of the file for spill staging: three
+#: slots of two GRFs each (dst + two sources can all be spilled).
+SPILL_STAGING_REGS = 6
+
+
+@dataclass
+class Allocation:
+    """Where each virtual register ended up."""
+
+    grf_offset: Dict[int, int] = field(default_factory=dict)   # vreg id -> byte
+    scratch_offset: Dict[int, int] = field(default_factory=dict)
+    scratch_bytes: int = 0
+    spills: int = 0
+    max_grf_bytes: int = 0
+
+
+def _live_ranges(prog: VProgram) -> Dict[int, Tuple[int, int]]:
+    ranges: Dict[int, Tuple[int, int]] = {}
+
+    def touch(vreg: VReg, pos: int) -> None:
+        lo, hi = ranges.get(vreg.id, (pos, pos))
+        ranges[vreg.id] = (min(lo, pos), max(hi, pos))
+
+    for pos, instr in enumerate(prog.instrs):
+        if instr.dst is not None:
+            touch(instr.dst.vreg, pos)
+        for s in instr.srcs:
+            if isinstance(s, VOperand):
+                touch(s.vreg, pos)
+        if instr.msg:
+            for key in ("x", "y", "offset", "global_offset", "payload",
+                        "addr"):
+                v = instr.msg.get(key)
+                if isinstance(v, VOperand):
+                    touch(v.vreg, pos)
+    # Parameters are written before the program runs.
+    for vreg in prog.params.values():
+        lo, hi = ranges.get(vreg.id, (0, 0))
+        ranges[vreg.id] = (0, max(hi, 0))
+    return ranges
+
+
+def allocate_registers(prog: VProgram,
+                       num_grf: int = NUM_GRF) -> Allocation:
+    """Linear-scan allocation; vregs that do not fit go to scratch."""
+    alloc = Allocation()
+    ranges = _live_ranges(prog)
+    capacity = (num_grf - SPILL_STAGING_REGS) * GRF_SIZE_BYTES
+    base = FIRST_REG * GRF_SIZE_BYTES
+    # [start_byte, end_byte, expiry, vreg_id]
+    active: List[Tuple[int, int, int, int]] = []
+    order = sorted(((ranges[v.id][0], v) for v in prog.vregs
+                    if v.id in ranges), key=lambda t: (t[0], t[1].id))
+    for start_pos, vreg in order:
+        size = -(-vreg.size_bytes // GRF_SIZE_BYTES) * GRF_SIZE_BYTES
+        expiry = ranges[vreg.id][1]
+        active = [a for a in active if a[2] >= start_pos]
+        # first-fit scan of the free space
+        taken = sorted((a[0], a[1]) for a in active)
+        cursor = base
+        placed = None
+        for lo, hi in taken:
+            if cursor + size <= lo:
+                placed = cursor
+                break
+            cursor = max(cursor, hi)
+        if placed is None and cursor + size <= capacity:
+            placed = cursor
+        if placed is None:
+            # Spill: whole-vreg scratch slot, staged through reserved regs.
+            if vreg.size_bytes > 2 * GRF_SIZE_BYTES:
+                raise CompileError(
+                    f"virtual register {vreg!r} is too large to spill")
+            alloc.scratch_offset[vreg.id] = alloc.scratch_bytes
+            alloc.scratch_bytes += size
+            alloc.spills += 1
+            continue
+        active.append((placed, placed + size, expiry, vreg.id))
+        alloc.grf_offset[vreg.id] = placed
+        alloc.max_grf_bytes = max(alloc.max_grf_bytes, placed + size)
+    return alloc
+
+
+class _Encoder:
+    """vISA -> executable Gen instructions, with spill/fill insertion."""
+
+    def __init__(self, prog: VProgram, alloc: Allocation) -> None:
+        self.prog = prog
+        self.alloc = alloc
+        self.out: List[Instruction] = []
+        base = (NUM_GRF - SPILL_STAGING_REGS) * GRF_SIZE_BYTES
+        slot = 2 * GRF_SIZE_BYTES
+        self._staging_slots = (base, base + slot, base + 2 * slot)
+        self._current_staging: Dict[int, int] = {}
+
+    # -- operand encoding ----------------------------------------------------
+
+    def _vreg_base(self, vreg: VReg) -> Optional[int]:
+        return self.alloc.grf_offset.get(vreg.id)
+
+    def _encode_operand(self, op: VOperand, exec_size: int,
+                        is_dst: bool) -> RegOperand:
+        base = self._vreg_base(op.vreg)
+        if base is None:  # spilled: staged at the reserved top registers
+            base = self._current_staging[op.vreg.id]
+        byte = base + op.offset_bytes
+        if byte % op.dtype.size:
+            raise CompileError(
+                f"misaligned operand at byte {byte} for {op.dtype.name}")
+        reg, rem = divmod(byte, GRF_SIZE_BYTES)
+        subreg = rem // op.dtype.size
+        if rem % op.dtype.size:
+            raise CompileError("sub-register offset not element aligned")
+        if is_dst:
+            return RegOperand(reg, subreg, op.dtype,
+                              dst_stride=op.dst_stride)
+        region = Region(op.vstride, op.width, op.hstride) \
+            if op.width else Region.scalar()
+        return RegOperand(reg, subreg, op.dtype, region=region)
+
+    # -- spill plumbing -----------------------------------------------------
+
+    def _fill(self, vreg: VReg, staging_base: int) -> None:
+        """Load a spilled vreg from scratch into a staging slot."""
+        off = self.alloc.scratch_offset[vreg.id]
+        size = -(-vreg.size_bytes // 16) * 16
+        self.out.append(Instruction(
+            Opcode.SEND,
+            msg=MessageDesc(
+                kind=MsgKind.OWORD_BLOCK_READ, surface=SCRATCH_BTI,
+                addr0=Immediate(off, UD),
+                payload_reg=staging_base // GRF_SIZE_BYTES,
+                payload_bytes=size),
+            comment=f"fill {vreg.name or vreg.id}"))
+
+    def _spill(self, vreg: VReg, staging_base: int) -> None:
+        off = self.alloc.scratch_offset[vreg.id]
+        size = -(-vreg.size_bytes // 16) * 16
+        self.out.append(Instruction(
+            Opcode.SEND,
+            msg=MessageDesc(
+                kind=MsgKind.OWORD_BLOCK_WRITE, surface=SCRATCH_BTI,
+                addr0=Immediate(off, UD),
+                payload_reg=staging_base // GRF_SIZE_BYTES,
+                payload_bytes=size),
+            comment=f"spill {vreg.name or vreg.id}"))
+
+    def _spilled_operands(self, instr: VInstr) -> List[VReg]:
+        seen = []
+        def check(op):
+            if isinstance(op, VOperand) and \
+                    op.vreg.id in self.alloc.scratch_offset and \
+                    op.vreg not in seen:
+                seen.append(op.vreg)
+        for s in instr.srcs:
+            check(s)
+        if instr.dst is not None:
+            check(instr.dst)
+        if instr.msg:
+            for key in ("x", "y", "offset", "global_offset", "payload",
+                        "addr"):
+                check(instr.msg.get(key))
+        return seen
+
+    # -- instruction encoding -----------------------------------------------
+
+    def encode(self) -> List[Instruction]:
+        for instr in self.prog.instrs:
+            spilled = self._spilled_operands(instr)
+            if len(spilled) > len(self._staging_slots):
+                raise CompileError(
+                    f"{len(spilled)} spilled operands in one instruction "
+                    f"exceed the {len(self._staging_slots)} staging slots")
+            self._current_staging = {}
+            for slot, vreg in zip(self._staging_slots, spilled):
+                self._current_staging[vreg.id] = slot
+                self._fill(vreg, slot)
+            if instr.op is Opcode.SEND:
+                self._encode_send(instr)
+            else:
+                self._encode_alu(instr)
+            if instr.dst is not None and \
+                    instr.dst.vreg.id in self.alloc.scratch_offset:
+                self._spill(instr.dst.vreg,
+                            self._current_staging[instr.dst.vreg.id])
+        return self.out
+
+    def _encode_alu(self, instr: VInstr) -> None:
+        srcs = []
+        for s in instr.srcs:
+            if isinstance(s, VImm):
+                srcs.append(Immediate(s.value, s.dtype))
+            elif isinstance(s, VVectorImm):
+                srcs.append(VectorImmediate(tuple(s.values.tolist()), s.dtype))
+            else:
+                srcs.append(self._encode_operand(s, instr.exec_size, False))
+        dst = None
+        if instr.dst is not None:
+            dst = self._encode_operand(instr.dst, instr.exec_size, True)
+        pred = None
+        if instr.pred_flag is not None:
+            pred = Predicate(FlagOperand(instr.pred_flag))
+        self.out.append(Instruction(
+            instr.op, exec_size=instr.exec_size, dst=dst, srcs=srcs,
+            pred=pred, cond_mod=instr.cond_mod,
+            flag=FlagOperand(0) if instr.cond_mod else None,
+            math_fn=instr.math_fn))
+
+    def _addr(self, v):
+        if isinstance(v, VImm):
+            return Immediate(int(v.value), UD)
+        return self._encode_operand(v, 1, False)
+
+    def _payload_reg(self, op: VOperand) -> int:
+        base = self._vreg_base(op.vreg)
+        if base is None:
+            base = self._current_staging[op.vreg.id]
+        byte = base + op.offset_bytes
+        if byte % GRF_SIZE_BYTES:
+            raise CompileError("message payload must be GRF aligned")
+        return byte // GRF_SIZE_BYTES
+
+    def _encode_send(self, instr: VInstr) -> None:
+        msg = instr.msg
+        kind = msg["kind"]
+        bti = msg["bti"]
+        if kind in ("media.read", "media.write"):
+            payload = instr.dst if kind == "media.read" else msg["payload"]
+            desc = MessageDesc(
+                kind=MsgKind.MEDIA_BLOCK_READ if kind == "media.read"
+                else MsgKind.MEDIA_BLOCK_WRITE,
+                surface=bti,
+                block_width=msg["width"], block_height=msg["height"],
+                addr0=self._addr(msg["x"]), addr1=self._addr(msg["y"]),
+                payload_reg=self._payload_reg(payload))
+        elif kind in ("oword.read", "oword.write"):
+            payload = instr.dst if kind == "oword.read" else msg["payload"]
+            desc = MessageDesc(
+                kind=MsgKind.OWORD_BLOCK_READ if kind == "oword.read"
+                else MsgKind.OWORD_BLOCK_WRITE,
+                surface=bti,
+                addr0=self._addr(msg["offset"]),
+                payload_reg=self._payload_reg(payload),
+                payload_bytes=msg["nbytes"])
+        elif kind in ("gather", "scatter"):
+            payload = instr.dst if kind == "gather" else msg["payload"]
+            desc = MessageDesc(
+                kind=MsgKind.GATHER if kind == "gather" else MsgKind.SCATTER,
+                surface=bti,
+                addr0=self._addr(msg["global_offset"]),
+                addr_reg=self._payload_reg(msg["addr"]),
+                payload_reg=self._payload_reg(payload),
+                payload_bytes=msg["n"] * msg["elem"].size,
+                elem_dtype=msg["elem"])
+            self.out.append(Instruction(
+                Opcode.SEND, exec_size=msg["n"], msg=desc))
+            return
+        else:
+            raise CompileError(f"unknown send kind {kind!r}")
+        self.out.append(Instruction(Opcode.SEND, msg=desc))
+
+
+@dataclass(frozen=True)
+class VectorImmediate:
+    """A packed vector immediate (up to 8 elements on Gen)."""
+
+    values: tuple
+    dtype: DType
+
+    def __str__(self) -> str:
+        return f"v{list(self.values)}:{self.dtype.name}"
+
+
+def finalize(prog: VProgram,
+             num_grf: int = NUM_GRF) -> Tuple[List[Instruction], Allocation]:
+    """Allocate registers and encode executable Gen instructions."""
+    alloc = allocate_registers(prog, num_grf)
+    encoder = _Encoder(prog, alloc)
+    return encoder.encode(), alloc

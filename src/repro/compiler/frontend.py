@@ -1,0 +1,455 @@
+"""Trace-mode front end: CM kernels to SSA IR.
+
+A restricted CM kernel (straight-line; Python loops unroll at trace time;
+scalar control flow must not depend on traced values) is executed with
+*trace vectors* that build IR instead of computing.  Matrices are
+flattened to vectors — exactly what CMC does — and every ``select``
+becomes a ``rdregion`` (reads) or ``wrregion`` (writes).
+
+The traced kernel's surface arguments are declared via ``params``;
+integer arguments (thread coordinates etc.) become symbolic scalars that
+lower to scalar IR, so one compiled binary serves every thread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cm.dtypes import as_cm_dtype, common_type, scalar_dtype
+from repro.compiler.ir import (
+    Function, Instr, Region, SurfaceParam, Value, VecType, make_constant,
+)
+from repro.isa.dtypes import D, DType, UW
+
+_BIN_OPS = {
+    "add": np.add, "sub": np.subtract, "mul": np.multiply,
+    "min": np.minimum, "max": np.maximum,
+    "and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor,
+    "shl": np.left_shift, "shr": np.right_shift,
+}
+
+
+class TraceError(RuntimeError):
+    """The kernel used a feature the trace front end does not support."""
+
+
+class _Tracer:
+    """Builds one Function while a kernel body runs."""
+
+    def __init__(self, name: str) -> None:
+        self.fn = Function(name)
+
+    def emit(self, op: str, result_type: Optional[VecType],
+             operands: Sequence = (), region: Optional[Region] = None,
+             attrs: Optional[dict] = None) -> Optional[Value]:
+        result = Value(result_type) if result_type is not None else None
+        self.fn.append(Instr(op, result, operands, region=region, attrs=attrs))
+        return result
+
+    def constant(self, values, dtype: DType) -> Value:
+        return make_constant(self.fn, np.asarray(values), dtype)
+
+
+_current_tracer: Optional[_Tracer] = None
+
+
+def _tracer() -> _Tracer:
+    if _current_tracer is None:
+        raise TraceError("no kernel is being traced")
+    return _current_tracer
+
+
+class TraceScalar:
+    """A symbolic integer (kernel parameter or address arithmetic)."""
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def _binop(self, other, op: str, reverse: bool = False) -> "TraceScalar":
+        tr = _tracer()
+        if isinstance(other, TraceScalar):
+            rhs = other.value
+        elif isinstance(other, (int, np.integer)):
+            rhs = int(other)
+        else:
+            raise TraceError(f"cannot mix {type(other).__name__} into "
+                             "scalar address arithmetic")
+        a, b = (rhs, self.value) if reverse else (self.value, rhs)
+        out = tr.emit(op, VecType(D, 1), [a, b])
+        return TraceScalar(out)
+
+    def __add__(self, o): return self._binop(o, "add")
+    def __radd__(self, o): return self._binop(o, "add", reverse=True)
+    def __sub__(self, o): return self._binop(o, "sub")
+    def __mul__(self, o): return self._binop(o, "mul")
+    def __rmul__(self, o): return self._binop(o, "mul", reverse=True)
+    def __lshift__(self, o): return self._binop(o, "shl")
+    def __rshift__(self, o): return self._binop(o, "shr")
+
+    def __repr__(self) -> str:
+        return f"TraceScalar({self.value!r})"
+
+
+ScalarOrTrace = Union[int, TraceScalar]
+
+
+class TraceRef:
+    """A region reference into a trace variable (select/row/column)."""
+
+    def __init__(self, var: "TraceVar", region: Region, n: int,
+                 shape: Tuple[int, ...]) -> None:
+        self.var = var
+        self.region = region
+        self.n = n
+        self.shape = shape
+        self.dtype = var.dtype
+
+    # reads ---------------------------------------------------------------
+
+    def _read_value(self) -> Value:
+        tr = _tracer()
+        return tr.emit("rdregion", VecType(self.dtype, self.n),
+                       [self.var.current], region=self.region)
+
+    def _as_temp(self) -> "TraceTemp":
+        return TraceTemp(self._read_value(), self.dtype, self.shape)
+
+    def __add__(self, o): return self._as_temp() + o
+    def __sub__(self, o): return self._as_temp() - o
+    def __mul__(self, o): return self._as_temp() * o
+    def select(self, *args, **kw):
+        return self._as_temp_ref_error()
+
+    def _as_temp_ref_error(self):
+        raise TraceError("nested selects are not supported by the trace "
+                         "front end; collapse them in the kernel source")
+
+    # writes --------------------------------------------------------------
+
+    def assign(self, value) -> "TraceRef":
+        tr = _tracer()
+        new = _coerce_to_value(value, self.dtype, self.n)
+        updated = tr.emit("wrregion", self.var.current.vtype,
+                          [self.var.current, new], region=self.region)
+        self.var.current = updated
+        return self
+
+    def __iadd__(self, o):
+        self.assign(self._as_temp() + o)
+        return self
+
+    def __isub__(self, o):
+        self.assign(self._as_temp() - o)
+        return self
+
+    def __imul__(self, o):
+        self.assign(self._as_temp() * o)
+        return self
+
+
+class _Arith:
+    """Shared arithmetic for temps and variables."""
+
+    dtype: DType
+    shape: Tuple[int, ...]
+
+    def _value(self) -> Value:
+        raise NotImplementedError
+
+    @property
+    def n(self) -> int:
+        return int(np.prod(self.shape))
+
+    def _binop(self, other, op: str, reverse: bool = False) -> "TraceTemp":
+        tr = _tracer()
+        a = self._value()
+        if isinstance(other, (TraceTemp, TraceVar)):
+            b = other._value()
+            b_dt = other.dtype
+        elif isinstance(other, TraceRef):
+            b = other._read_value()
+            b_dt = other.dtype
+        elif isinstance(other, (int, float, np.integer, np.floating)):
+            b_dt = scalar_dtype(other)
+            b = other
+        elif isinstance(other, (np.ndarray, list, tuple)):
+            arr = np.asarray(other)
+            b_dt = as_cm_dtype(arr.dtype)
+            b = tr.constant(arr, b_dt)
+        else:
+            raise TraceError(f"cannot trace operand {type(other).__name__}")
+        exec_dt = common_type(self.dtype, b_dt)
+        ops = [b, a] if reverse else [a, b]
+        out = tr.emit(op, VecType(exec_dt, self.n), ops)
+        return TraceTemp(out, exec_dt, self.shape)
+
+    def __add__(self, o): return self._binop(o, "add")
+    def __radd__(self, o): return self._binop(o, "add", reverse=True)
+    def __sub__(self, o): return self._binop(o, "sub")
+    def __rsub__(self, o): return self._binop(o, "sub", reverse=True)
+    def __mul__(self, o): return self._binop(o, "mul")
+    def __rmul__(self, o): return self._binop(o, "mul", reverse=True)
+    def __and__(self, o): return self._binop(o, "and")
+    def __or__(self, o): return self._binop(o, "or")
+    def __xor__(self, o): return self._binop(o, "xor")
+    def __lshift__(self, o): return self._binop(o, "shl")
+    def __rshift__(self, o): return self._binop(o, "shr")
+
+    def _cmp(self, other, cond: str) -> "TraceTemp":
+        tr = _tracer()
+        a = self._value()
+        b = other._value() if isinstance(other, (TraceTemp, TraceVar)) else other
+        out = tr.emit(f"cmp.{cond}", VecType(UW, self.n), [a, b])
+        return TraceTemp(out, UW, self.shape)
+
+    def __lt__(self, o): return self._cmp(o, "lt")
+    def __le__(self, o): return self._cmp(o, "le")
+    def __gt__(self, o): return self._cmp(o, "gt")
+    def __ge__(self, o): return self._cmp(o, "ge")
+    def __eq__(self, o): return self._cmp(o, "eq")   # noqa: A003
+    def __ne__(self, o): return self._cmp(o, "ne")   # noqa: A003
+
+    __hash__ = None
+
+
+class TraceTemp(_Arith):
+    """The SSA result of an expression."""
+
+    def __init__(self, value: Value, dtype: DType,
+                 shape: Tuple[int, ...]) -> None:
+        self.value = value
+        self.dtype = dtype
+        self.shape = shape
+
+    def _value(self) -> Value:
+        return self.value
+
+
+class TraceVar(_Arith):
+    """A named CM vector/matrix variable (mutable; SSA via versioning)."""
+
+    def __init__(self, dtype, shape: Tuple[int, ...], init=None,
+                 name: str = "") -> None:
+        tr = _tracer()
+        self.dtype = as_cm_dtype(dtype)
+        self.shape = shape
+        n = int(np.prod(shape))
+        if init is None:
+            init = np.zeros(n, dtype=self.dtype.np_dtype)
+        if isinstance(init, (int, float, np.integer, np.floating)):
+            init = np.full(n, init, dtype=self.dtype.np_dtype)
+        if isinstance(init, (np.ndarray, list, tuple)):
+            self.current = tr.constant(
+                np.asarray(init).reshape(-1).astype(self.dtype.np_dtype),
+                self.dtype)
+        else:
+            raise TraceError("trace variables initialize from constants")
+        if name:
+            self.current.name = name
+
+    def _value(self) -> Value:
+        return self.current
+
+    # -- regions --------------------------------------------------------
+
+    def select(self, *args) -> TraceRef:
+        if len(self.shape) == 1:
+            size, stride, offset = (list(args) + [0])[:3] if len(args) >= 2 \
+                else (args[0], 1, 0)
+            region = Region(vstride=size * stride, width=size,
+                            hstride=stride,
+                            offset_bytes=offset * self.dtype.size)
+            return TraceRef(self, region, size, (size,))
+        vsize, vstride, hsize, hstride = args[:4]
+        i, j = (list(args[4:]) + [0, 0])[:2]
+        cols = self.shape[1]
+        region = Region(vstride=vstride * cols, width=hsize,
+                        hstride=hstride,
+                        offset_bytes=(i * cols + j) * self.dtype.size)
+        return TraceRef(self, region, vsize * hsize, (vsize, hsize))
+
+    def row(self, i: int) -> TraceRef:
+        cols = self.shape[1]
+        region = Region(vstride=cols, width=cols, hstride=1,
+                        offset_bytes=i * cols * self.dtype.size)
+        return TraceRef(self, region, cols, (cols,))
+
+    def column(self, j: int) -> TraceRef:
+        rows, cols = self.shape
+        region = Region(vstride=cols, width=1, hstride=0,
+                        offset_bytes=j * self.dtype.size)
+        return TraceRef(self, region, rows, (rows,))
+
+    def replicate(self, rep: int, vstride: int = 0, width: int = 1,
+                  hstride: int = 0, offset: int = 0) -> TraceTemp:
+        tr = _tracer()
+        region = Region(vstride=vstride, width=width, hstride=hstride,
+                        offset_bytes=offset * self.dtype.size)
+        out = tr.emit("rdregion", VecType(self.dtype, rep * width),
+                      [self.current], region=region,
+                      attrs={"replicate": rep})
+        return TraceTemp(out, self.dtype, (rep * width,))
+
+    # -- whole-variable assignment ----------------------------------------
+
+    def assign(self, value) -> "TraceVar":
+        self.current = _coerce_to_value(value, self.dtype, self.n)
+        return self
+
+    def merge(self, x, mask, y=None) -> "TraceVar":
+        tr = _tracer()
+        if y is not None:
+            x, y, mask = x, mask, y
+        mask_val = _coerce_to_value(mask, UW, self.n)
+        xv = _coerce_to_value(x, self.dtype, self.n)
+        if y is None:
+            out = tr.emit("sel", VecType(self.dtype, self.n),
+                          [mask_val, xv, self.current])
+        else:
+            yv = _coerce_to_value(y, self.dtype, self.n)
+            out = tr.emit("sel", VecType(self.dtype, self.n),
+                          [mask_val, xv, yv])
+        self.current = out
+        return self
+
+    def __iadd__(self, o):
+        self.assign(self._binop(o, "add"))
+        return self
+
+    def __isub__(self, o):
+        self.assign(self._binop(o, "sub"))
+        return self
+
+    def __imul__(self, o):
+        self.assign(self._binop(o, "mul"))
+        return self
+
+
+def _coerce_to_value(value, dtype: DType, n: int) -> Value:
+    """Get an SSA Value of <n x dtype> from any traceable operand."""
+    tr = _tracer()
+    if isinstance(value, TraceRef):
+        value = value._as_temp()
+    if isinstance(value, (TraceTemp, TraceVar)):
+        src = value._value()
+        if value.dtype is not dtype:
+            src = tr.emit("mov", VecType(dtype, n), [src])
+        elif isinstance(value, (TraceRef,)):
+            pass
+        return src
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return tr.constant(np.full(n, value, dtype=dtype.np_dtype), dtype)
+    if isinstance(value, (np.ndarray, list, tuple)):
+        arr = np.asarray(value).reshape(-1).astype(dtype.np_dtype)
+        if arr.size != n:
+            raise TraceError(f"constant has {arr.size} elements, need {n}")
+        return tr.constant(arr, dtype)
+    raise TraceError(f"cannot assign {type(value).__name__}")
+
+
+# -- memory intrinsics (trace mode) --------------------------------------------
+
+
+def _scalar_operand(x: ScalarOrTrace):
+    return x.value if isinstance(x, TraceScalar) else int(x)
+
+
+def read(surface: SurfaceParam, arg0, arg1=None, arg2=None,
+         aligned: bool = True) -> None:
+    """Trace-mode ``cm.read``: media block (image) or oword block (buffer)."""
+    tr = _tracer()
+    if surface.is_image:
+        m = arg2
+        rows, cols = m.shape
+        out = tr.emit("media.read", VecType(m.dtype, m.n),
+                      [surface.bti, _scalar_operand(arg0),
+                       _scalar_operand(arg1)],
+                      attrs={"width": cols * m.dtype.size, "height": rows})
+        m.current = out
+    else:
+        v = arg1
+        out = tr.emit("oword.read", VecType(v.dtype, v.n),
+                      [surface.bti, _scalar_operand(arg0)],
+                      attrs={"aligned": aligned})
+        v.current = out
+
+
+def write(surface: SurfaceParam, arg0, arg1=None, arg2=None) -> None:
+    """Trace-mode ``cm.write``."""
+    tr = _tracer()
+    if surface.is_image:
+        m = arg2
+        rows, cols = m.shape
+        tr.emit("media.write", None,
+                [surface.bti, _scalar_operand(arg0), _scalar_operand(arg1),
+                 m._value()],
+                attrs={"width": cols * m.dtype.size, "height": rows})
+    else:
+        v = arg1
+        tr.emit("oword.write", None,
+                [surface.bti, _scalar_operand(arg0), v._value()])
+
+
+def read_scattered(surface: SurfaceParam, global_offset, element_offsets,
+                   ret: TraceVar) -> None:
+    tr = _tracer()
+    offs = _coerce_to_value(element_offsets, as_cm_dtype(np.uint32), ret.n)
+    out = tr.emit("gather", VecType(ret.dtype, ret.n),
+                  [surface.bti, _scalar_operand(global_offset), offs])
+    ret.current = out
+
+
+def write_scattered(surface: SurfaceParam, global_offset, element_offsets,
+                    values) -> None:
+    tr = _tracer()
+    n = values.n
+    offs = _coerce_to_value(element_offsets, as_cm_dtype(np.uint32), n)
+    tr.emit("scatter", None,
+            [surface.bti, _scalar_operand(global_offset), offs,
+             values._value()])
+
+
+# -- the tracing entry point ---------------------------------------------------
+
+
+def trace_kernel(body: Callable, name: str,
+                 surfaces: Sequence[Tuple[str, bool]],
+                 scalar_params: Sequence[str] = ()) -> Function:
+    """Trace ``body`` into a :class:`Function`.
+
+    ``surfaces`` is a list of (name, is_image) pairs assigned consecutive
+    binding-table indices; ``scalar_params`` become symbolic integers.
+    ``body`` is called as ``body(cmx, *surface_params, *scalar_traces)``
+    where ``cmx`` is this module (providing the trace-mode CM API).
+    """
+    global _current_tracer
+    import repro.compiler.frontend as cmx
+
+    tracer = _Tracer(name)
+    _current_tracer = tracer
+    try:
+        params = [SurfaceParam(nm, bti, is_image)
+                  for bti, (nm, is_image) in enumerate(surfaces)]
+        tracer.fn.params = params
+        scalars = []
+        for nm in scalar_params:
+            val = tracer.emit("param", VecType(D, 1), [], attrs={"name": nm})
+            val.name = nm
+            scalars.append(TraceScalar(val))
+        body(cmx, *params, *scalars)
+    finally:
+        _current_tracer = None
+    return tracer.fn
+
+
+# Convenience constructors mirroring the eager cm API.
+
+
+def vector(dtype, n: int, init=None) -> TraceVar:
+    return TraceVar(dtype, (n,), init)
+
+
+def matrix(dtype, rows: int, cols: int, init=None) -> TraceVar:
+    return TraceVar(dtype, (rows, cols), init)

@@ -1,0 +1,170 @@
+"""SSA intermediate representation with rdregion/wrregion intrinsics.
+
+LLVM IR is SSA: every value is defined once.  Partial reads and writes of
+CM vectors/matrices therefore cannot mutate; the paper's Section V models
+them with two intrinsics, reproduced here:
+
+- ``rdregion(v; vstride, width, hstride, offset)`` — extract a strided
+  region of ``v`` as a new (smaller) value,
+- ``wrregion(old, new; vstride, width, hstride, offset)`` — a copy of
+  ``old`` with ``new`` inserted at the strided region (returns the whole
+  updated vector, preserving SSA).
+
+Region parameters use *element* units for strides/width and *bytes* for
+the start offset, matching the ``llvm.genx.rdregioni`` example in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+
+
+@dataclass(frozen=True)
+class VecType:
+    """``<n x dtype>``."""
+
+    dtype: DType
+    n: int
+
+    def __str__(self) -> str:
+        return f"<{self.n} x {self.dtype.name}>"
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n * self.dtype.size
+
+
+class Value:
+    """An SSA value."""
+
+    _counter = 0
+
+    def __init__(self, vtype: VecType, name: str = "") -> None:
+        Value._counter += 1
+        self.id = Value._counter
+        self.vtype = vtype
+        self.name = name or f"v{self.id}"
+        self.producer: Optional["Instr"] = None
+
+    def __repr__(self) -> str:
+        return f"%{self.name}:{self.vtype}"
+
+
+@dataclass(frozen=True)
+class Region:
+    """rdregion/wrregion parameters (element strides, byte offset)."""
+
+    vstride: int
+    width: int
+    hstride: int
+    offset_bytes: int
+
+    def element_indices(self, n: int, elem_size: int) -> np.ndarray:
+        """Flat element indices selected for an n-element access."""
+        i = np.arange(n)
+        rows, cols = np.divmod(i, self.width)
+        return (self.offset_bytes // elem_size
+                + rows * self.vstride + cols * self.hstride)
+
+    def __str__(self) -> str:
+        return (f"<{self.vstride};{self.width},{self.hstride}>"
+                f"@{self.offset_bytes}")
+
+
+Operand = Union[Value, int, float]
+
+
+class Instr:
+    """One SSA instruction.
+
+    ``op`` is a lowercase mnemonic: arithmetic (``add``, ``mul``, ``mad``,
+    ``min``, ``max``, ``mov``, ``sel``, ``cmp.lt`` ...), math
+    (``math.inv`` ...), the region intrinsics (``rdregion``,
+    ``wrregion``), ``constant``, and memory ops (``media.read``,
+    ``media.write``, ``oword.read``, ``oword.write``, ``gather``,
+    ``scatter``).
+    """
+
+    def __init__(self, op: str, result: Optional[Value],
+                 operands: Sequence[Operand] = (),
+                 region: Optional[Region] = None,
+                 attrs: Optional[dict] = None) -> None:
+        self.op = op
+        self.result = result
+        self.operands = list(operands)
+        self.region = region
+        self.attrs = attrs or {}
+        if result is not None:
+            result.producer = self
+
+    def value_operands(self) -> List[Value]:
+        return [o for o in self.operands if isinstance(o, Value)]
+
+    def __repr__(self) -> str:
+        lhs = f"{self.result!r} = " if self.result is not None else ""
+        ops = ", ".join(
+            repr(o) if isinstance(o, Value) else str(o) for o in self.operands)
+        region = f" {self.region}" if self.region is not None else ""
+        attrs = f" {self.attrs}" if self.attrs else ""
+        return f"{lhs}{self.op} {ops}{region}{attrs}"
+
+
+@dataclass
+class SurfaceParam:
+    """A kernel surface argument bound to a binding-table index."""
+
+    name: str
+    bti: int
+    is_image: bool = False
+
+    def __repr__(self) -> str:
+        kind = "image2d" if self.is_image else "buffer"
+        return f"{kind} {self.name}@bti[{self.bti}]"
+
+
+@dataclass
+class Function:
+    """A straight-line CM kernel in SSA form."""
+
+    name: str
+    params: List[SurfaceParam] = field(default_factory=list)
+    instrs: List[Instr] = field(default_factory=list)
+    constants: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def append(self, instr: Instr) -> Optional[Value]:
+        self.instrs.append(instr)
+        return instr.result
+
+    def uses(self) -> Dict[int, List[Instr]]:
+        """value id -> instructions that read it."""
+        out: Dict[int, List[Instr]] = {}
+        for ins in self.instrs:
+            for v in ins.value_operands():
+                out.setdefault(v.id, []).append(ins)
+        return out
+
+    def constant_of(self, value: Value) -> Optional[np.ndarray]:
+        """The constant payload of a value, if it is one."""
+        return self.constants.get(value.id)
+
+    def __str__(self) -> str:
+        lines = [f"define @{self.name}({', '.join(map(repr, self.params))}) {{"]
+        for ins in self.instrs:
+            lines.append(f"  {ins!r}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def make_constant(fn: Function, values: np.ndarray, dtype: DType) -> Value:
+    """Materialize a constant vector value in ``fn``."""
+    arr = np.ascontiguousarray(values, dtype=dtype.np_dtype).reshape(-1)
+    val = Value(VecType(dtype, arr.size), name=f"c{Value._counter + 1}")
+    fn.append(Instr("constant", val))
+    fn.constants[val.id] = arr
+    return val

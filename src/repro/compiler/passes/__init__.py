@@ -1,0 +1,24 @@
+"""Middle-end passes over the rdregion/wrregion SSA IR (Section V)."""
+
+from repro.compiler.passes.constant_fold import constant_fold
+from repro.compiler.passes.region_collapse import region_collapse
+from repro.compiler.passes.dead_code import dead_code_eliminate
+from repro.compiler.passes.decompose import vector_decompose
+from repro.compiler.passes.baling import BaleInfo, analyze_bales
+
+DEFAULT_PIPELINE = (constant_fold, region_collapse, dead_code_eliminate,
+                    vector_decompose)
+
+
+def run_default_pipeline(fn):
+    """Run the standard middle-end optimization pipeline in place."""
+    for pass_fn in DEFAULT_PIPELINE:
+        pass_fn(fn)
+    return fn
+
+
+__all__ = [
+    "constant_fold", "region_collapse", "dead_code_eliminate",
+    "vector_decompose", "analyze_bales", "BaleInfo",
+    "run_default_pipeline",
+]

@@ -1,0 +1,99 @@
+"""Baling analysis (Section V).
+
+A *bale* is a group of IR instructions that map onto a single vISA/Gen
+instruction: the main (root) operation plus
+
+- ``rdregion`` producers folded into source operand regions,
+- a type-converting ``mov`` folded into the root's destination,
+- a ``wrregion`` consumer folded into the root's destination region.
+
+The analysis marks which instructions are absorbed ("baled in"); emission
+then skips them and attaches their region/type information to the root.
+An instruction with multiple uses is never baled into one of them (the
+real pass clones it instead; cloning is unnecessary here because the
+front end produces single-use temporaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.ir import Function, Instr, Region, Value
+
+#: Root operations that accept source regions / destination regions.
+ROOT_OPS = {
+    "add", "sub", "mul", "mad", "min", "max", "and", "or", "xor",
+    "shl", "shr", "mov", "sel",
+} | {f"cmp.{c}" for c in ("lt", "le", "gt", "ge", "eq", "ne")}
+
+
+@dataclass
+class BaleInfo:
+    """Result of baling analysis."""
+
+    #: instruction id -> reason it is absorbed into another instruction
+    absorbed: Dict[int, str] = field(default_factory=dict)
+    #: root instr id -> {operand index -> source rdregion instr}
+    src_regions: Dict[int, Dict[int, Instr]] = field(default_factory=dict)
+    #: root instr id -> the wrregion instr acting as its destination
+    dst_wrregion: Dict[int, Instr] = field(default_factory=dict)
+    #: root instr id -> the conversion mov folded into its destination
+    dst_conv: Dict[int, Instr] = field(default_factory=dict)
+
+    def is_absorbed(self, instr: Instr) -> bool:
+        return id(instr) in self.absorbed
+
+
+def analyze_bales(fn: Function) -> BaleInfo:
+    info = BaleInfo()
+    uses = fn.uses()
+
+    def single_use(v: Value) -> bool:
+        return len(uses.get(v.id, ())) == 1
+
+    # 1. Fold rdregions into their single consumer's source operands.
+    for instr in fn.instrs:
+        if instr.op not in ROOT_OPS:
+            continue
+        for i, op in enumerate(instr.operands):
+            if not isinstance(op, Value) or op.producer is None:
+                continue
+            prod = op.producer
+            if prod.op == "rdregion" and single_use(op):
+                info.absorbed[id(prod)] = "src_region"
+                info.src_regions.setdefault(id(instr), {})[i] = prod
+
+    # 2. Fold a conversion mov into its producer's destination.
+    for instr in fn.instrs:
+        if instr.op != "mov" or len(instr.operands) != 1:
+            continue
+        src = instr.operands[0]
+        if not isinstance(src, Value) or src.producer is None:
+            continue
+        prod = src.producer
+        if (prod.op in ROOT_OPS and prod.op != "mov" and single_use(src)
+                and id(prod) not in info.absorbed
+                and src.vtype.n == instr.result.vtype.n):
+            info.absorbed[id(instr)] = "dst_conv"
+            info.dst_conv[id(prod)] = instr
+
+    # 3. Fold wrregions into the producer of their 'new' operand.
+    for instr in fn.instrs:
+        if instr.op != "wrregion":
+            continue
+        new = instr.operands[1]
+        if not isinstance(new, Value) or new.producer is None:
+            continue
+        prod = new.producer
+        root = prod
+        # The producer may itself have been folded as a dst conversion.
+        if id(prod) in info.absorbed:
+            if info.absorbed[id(prod)] != "dst_conv":
+                continue
+            root = prod.operands[0].producer
+        if (root is not None and root.op in ROOT_OPS and single_use(new)
+                and id(root) not in info.dst_wrregion):
+            info.absorbed[id(instr)] = "dst_region"
+            info.dst_wrregion[id(root)] = instr
+    return info

@@ -1,0 +1,79 @@
+"""Vector constant folding through rdregion/wrregion (Section V).
+
+Extends classic constant folding so that constants propagate through the
+region intrinsics: a ``rdregion`` of a constant vector folds to the
+gathered constant, a ``wrregion`` of two constants folds to the merged
+constant, and element-wise arithmetic on constants folds to its result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cm.dtypes import convert_values
+from repro.compiler.ir import Function, Instr, Value
+
+_FOLDABLE = {
+    "add": np.add, "sub": np.subtract, "mul": np.multiply,
+    "min": np.minimum, "max": np.maximum,
+    "and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor,
+    "shl": np.left_shift, "shr": np.right_shift,
+}
+
+
+def _operand_constant(fn: Function, op) -> np.ndarray | None:
+    if isinstance(op, Value):
+        return fn.constant_of(op)
+    if isinstance(op, (int, float, np.integer, np.floating)):
+        return np.asarray(op)
+    return None
+
+
+def _fold_to_constant(fn: Function, instr: Instr, values: np.ndarray) -> None:
+    result = instr.result
+    arr = convert_values(np.broadcast_to(values, (result.vtype.n,)),
+                         result.vtype.dtype)
+    fn.constants[result.id] = np.ascontiguousarray(arr)
+    instr.op = "constant"
+    instr.operands = []
+    instr.region = None
+    instr.attrs = {}
+
+
+def constant_fold(fn: Function) -> int:
+    """Fold constants in place; returns the number of folded instructions."""
+    folded = 0
+    for instr in fn.instrs:
+        if instr.result is None or instr.op == "constant":
+            continue
+        if instr.op in _FOLDABLE and len(instr.operands) == 2:
+            a = _operand_constant(fn, instr.operands[0])
+            b = _operand_constant(fn, instr.operands[1])
+            if a is not None and b is not None:
+                with np.errstate(over="ignore"):
+                    _fold_to_constant(fn, instr, _FOLDABLE[instr.op](a, b))
+                folded += 1
+        elif instr.op == "mov" and len(instr.operands) == 1:
+            a = _operand_constant(fn, instr.operands[0])
+            if a is not None:
+                _fold_to_constant(fn, instr, a)
+                folded += 1
+        elif instr.op == "rdregion":
+            a = _operand_constant(fn, instr.operands[0])
+            if a is not None:
+                idx = instr.region.element_indices(
+                    instr.result.vtype.n, instr.operands[0].vtype.dtype.size)
+                _fold_to_constant(fn, instr, a[idx])
+                folded += 1
+        elif instr.op == "wrregion":
+            old = _operand_constant(fn, instr.operands[0])
+            new = _operand_constant(fn, instr.operands[1])
+            if old is not None and new is not None:
+                merged = old.copy()
+                idx = instr.region.element_indices(
+                    instr.operands[1].vtype.n,
+                    instr.operands[0].vtype.dtype.size)
+                merged[idx] = new
+                _fold_to_constant(fn, instr, merged)
+                folded += 1
+    return folded

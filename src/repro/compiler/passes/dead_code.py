@@ -1,0 +1,72 @@
+"""Dead vector removal.
+
+Generalized dead-code elimination over vector values: anything not
+reachable from a side-effecting instruction (memory writes) is removed.
+Additionally, a ``wrregion`` whose written elements are completely
+overwritten by a later ``wrregion`` in the same single-use chain is
+elided — the element-liveness case the paper's "dead vector removal"
+covers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.ir import Function, Instr, Value
+
+SIDE_EFFECTS = {"media.write", "oword.write", "scatter"}
+
+
+def _elide_overwritten_wrregions(fn: Function) -> int:
+    """wrregion chains: drop writes fully shadowed by the next write."""
+    uses = fn.uses()
+    removed = 0
+    for instr in fn.instrs:
+        if instr.op != "wrregion":
+            continue
+        old = instr.operands[0]
+        if not isinstance(old, Value) or old.producer is None:
+            continue
+        prev = old.producer
+        if prev.op != "wrregion" or len(uses.get(old.id, ())) != 1:
+            continue
+        elem = old.vtype.dtype.size
+        prev_idx = prev.region.element_indices(prev.operands[1].vtype.n, elem)
+        cur_idx = instr.region.element_indices(instr.operands[1].vtype.n, elem)
+        if np.isin(prev_idx, cur_idx).all():
+            # prev's write is fully shadowed: skip it in the chain.
+            instr.operands[0] = prev.operands[0]
+            removed += 1
+    return removed
+
+
+def dead_code_eliminate(fn: Function) -> int:
+    """Remove dead instructions in place; returns how many were removed."""
+    removed = _elide_overwritten_wrregions(fn)
+    live: set[int] = set()
+    worklist = []
+    for instr in fn.instrs:
+        if instr.op in SIDE_EFFECTS:
+            worklist.append(instr)
+    seen_instrs = set()
+    while worklist:
+        instr = worklist.pop()
+        if id(instr) in seen_instrs:
+            continue
+        seen_instrs.add(id(instr))
+        for v in instr.value_operands():
+            if v.id not in live:
+                live.add(v.id)
+                if v.producer is not None:
+                    worklist.append(v.producer)
+    kept = []
+    for instr in fn.instrs:
+        if instr.op in SIDE_EFFECTS or (
+                instr.result is not None and instr.result.id in live):
+            kept.append(instr)
+        else:
+            removed += 1
+            if instr.result is not None:
+                fn.constants.pop(instr.result.id, None)
+    fn.instrs = kept
+    return removed

@@ -1,0 +1,145 @@
+"""Vector decomposition (Section V).
+
+If a large vector can be divided into segments whose rdregions and
+wrregions are disjoint, it is split into multiple small vectors, which
+increases the register allocator's flexibility (smaller, independently
+placeable live ranges instead of one monolithic block).
+
+This implementation handles the common case: a vector variable whose
+entire wrregion chain and all rdregions partition cleanly at a half
+boundary.  Each half becomes its own SSA chain; accesses are re-based
+into the half they fall in.  The pass iterates, so a 4-way splittable
+vector decomposes in two rounds of :func:`vector_decompose`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import Function, Instr, Region, Value, VecType
+
+
+def _chain_of(fn: Function, uses) -> List[List[Instr]]:
+    """Collect wrregion chains rooted at constants (vector variables)."""
+    chains = []
+    for instr in fn.instrs:
+        if instr.op != "constant":
+            continue
+        chain = [instr]
+        cur = instr.result
+        while True:
+            consumers = [u for u in uses.get(cur.id, []) if u.op == "wrregion"
+                         and u.operands[0] is cur]
+            if len(consumers) != 1:
+                break
+            chain.append(consumers[0])
+            cur = consumers[0].result
+        if len(chain) > 1:
+            chains.append(chain)
+    return chains
+
+
+def _access_span(instr: Instr, elem: int) -> Tuple[int, int]:
+    """(first, last) element index touched by a region access."""
+    if instr.op == "rdregion":
+        n = instr.result.vtype.n
+    else:
+        n = instr.operands[1].vtype.n
+    idx = instr.region.element_indices(n, elem)
+    return int(idx.min()), int(idx.max())
+
+
+def vector_decompose(fn: Function) -> int:
+    """Split half-separable vector chains in place; returns split count."""
+    uses = fn.uses()
+    splits = 0
+    for chain in _chain_of(fn, uses):
+        base = chain[0].result
+        n = base.vtype.n
+        if n < 4 or n % 2:
+            continue
+        half = n // 2
+        elem = base.vtype.dtype.size
+        accesses: List[Tuple[Instr, int]] = []  # (instr, half index)
+        ok = True
+        versions = [c.result for c in chain]
+        for version in versions:
+            for user in uses.get(version.id, []):
+                if user.op == "rdregion":
+                    lo, hi = _access_span(user, elem)
+                elif user.op == "wrregion" and user.operands[0] is version:
+                    lo, hi = _access_span(user, elem)
+                else:
+                    ok = False
+                    break
+                if hi < half:
+                    accesses.append((user, 0))
+                elif lo >= half:
+                    accesses.append((user, 1))
+                else:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if not ok or not accesses:
+            continue
+
+        splits += 1
+        halves = _split_chain(fn, chain, half, accesses)
+        del halves
+        uses = fn.uses()
+    return splits
+
+
+def _split_chain(fn: Function, chain: List[Instr], half: int,
+                 accesses: List[Tuple[Instr, int]]) -> None:
+    base_instr = chain[0]
+    base = base_instr.result
+    elem = base.vtype.dtype.size
+    const = fn.constants[base.id]
+    htype = VecType(base.vtype.dtype, half)
+
+    # Two fresh constant roots.
+    lo_val = Value(htype, name=f"{base.name}.lo")
+    hi_val = Value(htype, name=f"{base.name}.hi")
+    lo_instr = Instr("constant", lo_val)
+    hi_instr = Instr("constant", hi_val)
+    fn.constants[lo_val.id] = const[:half].copy()
+    fn.constants[hi_val.id] = const[half:].copy()
+
+    pos = fn.instrs.index(base_instr)
+    fn.instrs[pos:pos + 1] = [lo_instr, hi_instr]
+    fn.constants.pop(base.id, None)
+
+    which: Dict[int, int] = {id(instr): h for instr, h in accesses}
+    current = [lo_val, hi_val]
+    # For every whole-vector version, the (lo, hi) half values live there.
+    snapshots: Dict[int, Tuple[Value, Value]] = {
+        base.id: (lo_val, hi_val)}
+
+    for instr in chain[1:]:
+        h = which[id(instr)]
+        r = instr.region
+        offset = r.offset_bytes - (half * elem if h else 0)
+        instr.operands[0] = current[h]
+        instr.region = Region(r.vstride, r.width, r.hstride, offset)
+        old_result = instr.result
+        new_result = Value(htype, name=f"{old_result.name}.h{h}")
+        instr.result = new_result
+        new_result.producer = instr
+        current = list(current)
+        current[h] = new_result
+        snapshots[old_result.id] = (current[0], current[1])
+
+    # Point every rdregion at the half value live at the version it read.
+    for instr, h in accesses:
+        if instr.op != "rdregion":
+            continue
+        version = instr.operands[0]
+        if isinstance(version, Value) and version.id in snapshots:
+            instr.operands[0] = snapshots[version.id][h]
+        r = instr.region
+        instr.region = Region(r.vstride, r.width, r.hstride,
+                              r.offset_bytes - (half * elem if h else 0))

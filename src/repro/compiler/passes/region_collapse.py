@@ -1,0 +1,104 @@
+"""Region collapsing: instruction combining for rdregion/wrregion.
+
+Patterns folded (Section V's "region collapsing" examples):
+
+- ``rdregion(rdregion(x, R1), R2)`` — composes into a single rdregion
+  when the combined element pattern is expressible as a ``<V;W,H>``
+  region,
+- ``rdregion(wrregion(old, new, R), R)`` with the *same* region —
+  forwards ``new`` directly,
+- ``wrregion`` that overwrites the whole vector contiguously — becomes
+  a plain value forward (the old value is irrelevant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler.ir import Function, Instr, Region, Value
+
+
+def region_from_indices(indices: np.ndarray,
+                        offset_scale: int = 1) -> Optional[Region]:
+    """Find ``<V;W,H>`` region parameters reproducing ``indices``.
+
+    Returns None when no single region matches.  ``offset_scale`` converts
+    the leading index into the byte offset (element size).
+    """
+    n = len(indices)
+    base = int(indices[0])
+    rel = indices - base
+    for width in (16, 8, 4, 2, 1):
+        if n % width:
+            continue
+        h = int(rel[1] - rel[0]) if width > 1 else 0
+        v = int(rel[width]) if n > width else 0
+        i = np.arange(n)
+        candidate = (i // width) * v + (i % width) * h
+        if np.array_equal(candidate, rel) and h >= 0 and v >= 0:
+            if n == width and v == 0:
+                v = width * h  # canonical contiguous form, e.g. <16;16,1>
+            return Region(vstride=v, width=width, hstride=max(h, 0),
+                          offset_bytes=base * offset_scale)
+    return None
+
+
+def _same_region(a: Region, b: Region) -> bool:
+    return (a.vstride, a.width, a.hstride, a.offset_bytes) == \
+        (b.vstride, b.width, b.hstride, b.offset_bytes)
+
+
+def region_collapse(fn: Function) -> int:
+    """Collapse regions in place; returns the number of rewrites."""
+    rewrites = 0
+    uses = fn.uses()
+    for instr in fn.instrs:
+        if instr.op == "rdregion" and "replicate" not in instr.attrs:
+            src = instr.operands[0]
+            prod = src.producer
+            if prod is None:
+                continue
+            if prod.op == "rdregion" and "replicate" not in prod.attrs:
+                elem = prod.operands[0].vtype.dtype.size
+                outer = instr.region.element_indices(
+                    instr.result.vtype.n, src.vtype.dtype.size)
+                inner = prod.region.element_indices(
+                    prod.result.vtype.n, elem)
+                combined = region_from_indices(inner[outer], elem)
+                if combined is not None:
+                    instr.operands[0] = prod.operands[0]
+                    instr.region = combined
+                    rewrites += 1
+            elif prod.op == "wrregion" and _same_region(prod.region,
+                                                        instr.region):
+                new_val = prod.operands[1]
+                if new_val.vtype.n == instr.result.vtype.n:
+                    _forward(fn, uses, instr.result, new_val)
+                    instr.op = "mov"
+                    instr.operands = [new_val]
+                    instr.region = None
+                    rewrites += 1
+        elif instr.op == "wrregion":
+            old, new = instr.operands[0], instr.operands[1]
+            if isinstance(new, Value) and new.vtype.n == old.vtype.n:
+                r = instr.region
+                if (r.offset_bytes == 0 and r.hstride == 1
+                        and r.width >= 1 and _covers_all(r, old)):
+                    instr.op = "mov"
+                    instr.operands = [new]
+                    instr.region = None
+                    rewrites += 1
+    return rewrites
+
+
+def _covers_all(region: Region, old: Value) -> bool:
+    idx = region.element_indices(old.vtype.n, old.vtype.dtype.size)
+    return bool(np.array_equal(np.sort(idx), np.arange(old.vtype.n)))
+
+
+def _forward(fn: Function, uses, _from: Value, _to: Value) -> None:
+    # Left intentionally minimal: the mov this rewrites into is cleaned up
+    # by dead-code elimination after copy propagation at bale time.
+    del fn, uses, _from, _to

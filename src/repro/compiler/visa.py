@@ -1,0 +1,540 @@
+"""vISA: the virtual ISA between the middle end and the finalizer.
+
+vISA is "very close to Gen ISA but offers more convenience as a
+compilation target as it has unlimited virtual registers and hides
+various hardware-specific restrictions" (Section V).  Emission from the
+SSA IR happens here together with **legalization**: every operation is
+split into chunks that satisfy
+
+- the 2-GRF operand limit (chunk elements x element size <= 64 bytes),
+- the native SIMD widths (1/2/4/8/16/32),
+- expressibility of each source chunk as a single ``<V;W,H>`` region and
+  each destination chunk as a strided run.
+
+The chunk search is what turns the linear filter's 6x24 byte-to-float
+select into nine SIMD16 movs whose regions hop across matrix rows
+(Fig. 4): a chunk spanning two 24-byte rows legalizes as ``<16;8,1>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compiler.ir import Function, Instr, Value
+from repro.compiler.passes.baling import BaleInfo, ROOT_OPS
+from repro.compiler.passes.region_collapse import region_from_indices
+from repro.isa.dtypes import D, DType, UW
+from repro.isa.instructions import CondMod, MathFn, Opcode
+
+_OPCODE_MAP = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "mad": Opcode.MAD, "min": Opcode.MIN, "max": Opcode.MAX,
+    "and": Opcode.AND, "or": Opcode.OR, "xor": Opcode.XOR,
+    "shl": Opcode.SHL, "shr": Opcode.SHR, "mov": Opcode.MOV,
+}
+
+
+class CompileError(RuntimeError):
+    pass
+
+
+@dataclass
+class VReg:
+    """A virtual register: a contiguous byte range, unlimited supply."""
+
+    id: int
+    size_bytes: int
+    name: str = ""
+
+    def __repr__(self) -> str:
+        return f"V{self.id}<{self.size_bytes}B>"
+
+
+@dataclass
+class VOperand:
+    """An operand addressing a virtual register with a region."""
+
+    vreg: VReg
+    dtype: DType
+    offset_bytes: int = 0
+    # source region (element units); None means packed contiguous
+    vstride: int = 0
+    width: int = 1
+    hstride: int = 0
+    dst_stride: int = 1
+
+    @classmethod
+    def packed(cls, vreg: VReg, dtype: DType, offset_bytes: int = 0,
+               n: int = 1) -> "VOperand":
+        w = min(n, 8)
+        return cls(vreg, dtype, offset_bytes, vstride=w, width=w, hstride=1)
+
+    def __repr__(self) -> str:
+        return (f"{self.vreg!r}.{self.offset_bytes}"
+                f"<{self.vstride};{self.width},{self.hstride}>"
+                f":{self.dtype.name}")
+
+
+@dataclass
+class VImm:
+    value: Union[int, float]
+    dtype: DType
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.dtype.name}"
+
+
+@dataclass
+class VVectorImm:
+    """A packed vector immediate (materializing non-splat constants)."""
+
+    values: np.ndarray
+    dtype: DType
+
+    def __repr__(self) -> str:
+        return f"{list(self.values)}:{self.dtype.name}"
+
+
+VSource = Union[VOperand, VImm, VVectorImm]
+
+
+@dataclass
+class VInstr:
+    op: Opcode
+    exec_size: int = 1
+    dst: Optional[VOperand] = None
+    srcs: List[VSource] = field(default_factory=list)
+    cond_mod: Optional[CondMod] = None
+    math_fn: Optional[MathFn] = None
+    pred_flag: Optional[int] = None
+    msg: Optional[dict] = None  # send message description
+
+    def __repr__(self) -> str:
+        parts = [self.op.value, f"({self.exec_size})"]
+        if self.dst is not None:
+            parts.append(repr(self.dst))
+        parts.extend(repr(s) for s in self.srcs)
+        if self.msg:
+            parts.append(str(self.msg))
+        return " ".join(parts)
+
+
+@dataclass
+class VProgram:
+    """The vISA module for one kernel."""
+
+    name: str
+    instrs: List[VInstr] = field(default_factory=list)
+    vregs: List[VReg] = field(default_factory=list)
+    #: parameter name -> VReg holding its runtime value
+    params: Dict[str, VReg] = field(default_factory=dict)
+
+    def new_vreg(self, size_bytes: int, name: str = "") -> VReg:
+        vreg = VReg(len(self.vregs) + 1, size_bytes, name)
+        self.vregs.append(vreg)
+        return vreg
+
+    def __str__(self) -> str:
+        lines = [f".kernel {self.name}"]
+        lines += [f".decl {v!r} {v.name}" for v in self.vregs]
+        lines += [f"  {i!r}" for i in self.instrs]
+        return "\n".join(lines)
+
+
+class _Emitter:
+    def __init__(self, fn: Function, bales: BaleInfo) -> None:
+        self.fn = fn
+        self.bales = bales
+        self.prog = VProgram(fn.name)
+        #: storage class representative: value id -> root value id
+        self._class: Dict[int, int] = {}
+        self._vreg_of_class: Dict[int, VReg] = {}
+        self._materialized_consts: Dict[int, VReg] = {}
+
+    # -- storage classes ----------------------------------------------------
+
+    def _rep(self, v: Value) -> int:
+        vid = v.id
+        while self._class.get(vid, vid) != vid:
+            vid = self._class[vid]
+        return vid
+
+    def _union(self, child: Value, parent: Value) -> None:
+        self._class[self._rep(child)] = self._rep(parent)
+
+    def _assign_classes(self) -> None:
+        # wrregion chains share storage with their base vector.
+        for instr in self.fn.instrs:
+            if instr.op == "wrregion" and isinstance(instr.operands[0], Value):
+                self._union(instr.result, instr.operands[0])
+
+    def vreg_for(self, v: Value) -> VReg:
+        rep = self._rep(v)
+        if rep not in self._vreg_of_class:
+            self._vreg_of_class[rep] = self.prog.new_vreg(
+                v.vtype.size_bytes, name=v.name)
+        vreg = self._vreg_of_class[rep]
+        if v.vtype.size_bytes > vreg.size_bytes:
+            vreg.size_bytes = v.vtype.size_bytes
+        return vreg
+
+    # -- constants ------------------------------------------------------------
+
+    def materialize_constant(self, v: Value) -> VReg:
+        """Emit movs filling a vreg with a non-splat constant vector."""
+        if v.id in self._materialized_consts:
+            return self._materialized_consts[v.id]
+        arr = self.fn.constants[v.id]
+        dt = v.vtype.dtype
+        vreg = self.vreg_for(v)
+        # Gen vector immediates pack 8 elements; one mov per 8.
+        for i in range(0, arr.size, 8):
+            chunk = arr[i:i + 8]
+            dst = VOperand(vreg, dt, offset_bytes=i * dt.size)
+            self.prog.instrs.append(VInstr(
+                Opcode.MOV, exec_size=len(chunk), dst=dst,
+                srcs=[VVectorImm(chunk.copy(), dt)]))
+        self._materialized_consts[v.id] = vreg
+        return vreg
+
+    def _const_splat(self, v: Value):
+        arr = self.fn.constant_of(v)
+        if arr is None or arr.size == 0:
+            return None
+        if np.all(arr == arr.flat[0]):
+            return arr.flat[0]
+        return None
+
+    # -- operand lowering -------------------------------------------------
+
+    def _src_indices(self, instr: Instr, op_index: int, n: int):
+        """(value, element-index array) for operand ``op_index`` of a root."""
+        regions = self.bales.src_regions.get(id(instr), {})
+        op = instr.operands[op_index]
+        if op_index in regions:
+            rd = regions[op_index]
+            base = rd.operands[0]
+            elem = base.vtype.dtype.size
+            # The region formula covers replicate patterns directly:
+            # element i = offset + (i // width) * vstride + (i % width) * h.
+            idx = rd.region.element_indices(rd.result.vtype.n, elem)
+            if idx.size != n:
+                # broadcast scalar-region reads
+                idx = np.resize(idx, n)
+            return base, idx
+        if isinstance(op, Value):
+            return op, np.arange(n) if op.vtype.n == n else np.zeros(n, int)
+        return op, None
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self) -> VProgram:
+        self._assign_classes()
+        for instr in self.fn.instrs:
+            if self.bales.is_absorbed(instr):
+                continue
+            op = instr.op
+            if op == "constant":
+                uses = self.fn.uses().get(instr.result.id, [])
+                del uses  # materialized lazily by consumers
+                continue
+            if op == "param":
+                vreg = self.prog.new_vreg(4, name=instr.attrs["name"])
+                self.prog.params[instr.attrs["name"]] = vreg
+                self._vreg_of_class[self._rep(instr.result)] = vreg
+                continue
+            if op in ROOT_OPS:
+                self._emit_root(instr)
+            elif op == "wrregion":
+                self._emit_wrregion_copy(instr)
+            elif op == "rdregion":
+                self._emit_rdregion_copy(instr)
+            elif op.startswith(("media.", "oword.")) or op in ("gather",
+                                                               "scatter"):
+                self._emit_memory(instr)
+            else:
+                raise CompileError(f"cannot emit {op!r}")
+        return self.prog
+
+    # .. roots ...............................................................
+
+    def _effective_dst(self, instr: Instr):
+        """(dst value, element indices, dtype) after dst conv/wrregion bales."""
+        result = instr.result
+        dtype = result.vtype.dtype
+        conv = self.bales.dst_conv.get(id(instr))
+        if conv is not None:
+            result = conv.result
+            dtype = result.vtype.dtype
+        wr = self.bales.dst_wrregion.get(id(instr))
+        if wr is not None:
+            base = wr.operands[0]
+            elem = base.vtype.dtype.size
+            idx = wr.region.element_indices(wr.operands[1].vtype.n, elem)
+            return wr.result, idx, wr.result.vtype.dtype
+        n = result.vtype.n
+        return result, np.arange(n), dtype
+
+    def _lower_source(self, instr: Instr, i: int, n: int):
+        op = instr.operands[i]
+        if isinstance(op, Value):
+            const_splat = self._const_splat(op)
+            if const_splat is not None and op.producer is not None \
+                    and op.producer.op == "constant":
+                return ("imm", VImm(const_splat.item(), op.vtype.dtype), None)
+            if self.fn.constant_of(op) is not None:
+                self.materialize_constant(op)
+            base, idx = self._src_indices(instr, i, n)
+            return ("reg", base, idx)
+        # python scalar
+        dt = D if isinstance(op, (int, np.integer)) else \
+            instr.result.vtype.dtype
+        return ("imm", VImm(op, dt), None)
+
+    def _overlaps_hazardously(self, dst_val, dst_idx, srcs) -> bool:
+        """True when a split op could read registers an earlier chunk wrote.
+
+        Gen reads all sources before writing within ONE instruction, but
+        legalization splits wide ops: if the destination storage aliases a
+        source with a *different* element pattern, a later chunk may read
+        data an earlier chunk already overwrote.
+        """
+        dst_rep = self._rep(dst_val)
+        for kind, payload, idx in srcs:
+            if kind != "reg" or idx is None:
+                continue
+            if self._rep(payload) != dst_rep:
+                continue
+            if not np.array_equal(idx, dst_idx):
+                return True
+        return False
+
+    def _emit_root(self, instr: Instr) -> None:
+        if instr.op == "sel":
+            self._emit_sel(instr)
+            return
+        is_cmp = instr.op.startswith("cmp.")
+        dst_val, dst_idx, dst_dtype = self._effective_dst(instr)
+        n = len(dst_idx)
+        srcs = [self._lower_source(instr, i, n)
+                for i in range(len(instr.operands))]
+        opcode = Opcode.CMP if is_cmp else _OPCODE_MAP[instr.op]
+        cond = CondMod(instr.op.split(".")[1]) if is_cmp else None
+        if self._overlaps_hazardously(dst_val, dst_idx, srcs):
+            # Compute into a fresh temporary, then copy into the aliased
+            # destination region (the copy's source cannot alias its dst).
+            tmp = self.prog.new_vreg(n * dst_dtype.size, name="ovl")
+            tmp_val_idx = np.arange(n)
+            self._emit_legalized(opcode, cond, tmp, dst_dtype,
+                                 tmp_val_idx, srcs, n)
+            dst_vreg = self.vreg_for(dst_val)
+            self._emit_legalized(
+                Opcode.MOV, None, dst_vreg, dst_dtype, dst_idx,
+                [("vreg", (tmp, dst_dtype), tmp_val_idx)], n)
+            return
+        dst_vreg = self.vreg_for(dst_val)
+        self._emit_legalized(opcode, cond, dst_vreg, dst_dtype, dst_idx,
+                             srcs, n)
+
+    def _emit_sel(self, instr: Instr) -> None:
+        """sel(mask, x, y): cmp to a flag, then predicated sel."""
+        dst_val, dst_idx, dst_dtype = self._effective_dst(instr)
+        n = len(dst_idx)
+        mask_src = self._lower_source(instr, 0, n)
+        x_src = self._lower_source(instr, 1, n)
+        y_src = self._lower_source(instr, 2, n)
+        dst_vreg = self.vreg_for(dst_val)
+        chunks = self._chunks(n, dst_dtype, dst_idx,
+                              [mask_src, x_src, y_src])
+        for lo, hi in chunks:
+            cmp_srcs = [self._chunk_operand(mask_src, lo, hi),
+                        VImm(0, UW)]
+            self.prog.instrs.append(VInstr(
+                Opcode.CMP, exec_size=hi - lo, dst=None, srcs=cmp_srcs,
+                cond_mod=CondMod.NE))
+            dst = self._dst_operand(dst_vreg, dst_dtype, dst_idx, lo, hi)
+            self.prog.instrs.append(VInstr(
+                Opcode.SEL, exec_size=hi - lo, dst=dst,
+                srcs=[self._chunk_operand(x_src, lo, hi),
+                      self._chunk_operand(y_src, lo, hi)],
+                pred_flag=0))
+
+    # .. legalization ........................................................
+
+    def _chunks(self, n: int, dst_dtype: DType, dst_idx, srcs):
+        """Split [0, n) into legal executable chunks."""
+        max_elem = dst_dtype.size
+        for kind, payload, idx in srcs:
+            if kind == "reg":
+                max_elem = max(max_elem, payload.vtype.dtype.size)
+            elif kind == "vreg":
+                max_elem = max(max_elem, payload[1].size)
+        out = []
+        lo = 0
+        while lo < n:
+            for e in (32, 16, 8, 4, 2, 1):
+                if lo + e > n or e * max_elem > 64:
+                    continue
+                if not _arith_progression(dst_idx[lo:lo + e]):
+                    continue
+                ok = True
+                for kind, payload, idx in srcs:
+                    if kind in ("reg", "vreg") and idx is not None and \
+                            region_from_indices(idx[lo:lo + e]) is None:
+                        ok = False
+                        break
+                if ok:
+                    out.append((lo, lo + e))
+                    lo += e
+                    break
+            else:
+                raise CompileError("cannot legalize operation chunk")
+        return out
+
+    def _chunk_operand(self, src, lo: int, hi: int) -> VSource:
+        kind, payload, idx = src
+        if kind == "imm":
+            return payload
+        if kind == "vreg":
+            vreg, dtype = payload
+            sub = idx[lo:hi]
+            region = region_from_indices(sub - sub[0])
+            return VOperand(vreg, dtype,
+                            offset_bytes=int(sub[0]) * dtype.size,
+                            vstride=region.vstride, width=region.width,
+                            hstride=region.hstride)
+        value = payload
+        elem = value.vtype.dtype.size
+        vreg = self.vreg_for(value)
+        sub = idx[lo:hi]
+        region = region_from_indices(sub - sub[0])
+        return VOperand(vreg, value.vtype.dtype,
+                        offset_bytes=int(sub[0]) * elem,
+                        vstride=region.vstride, width=region.width,
+                        hstride=region.hstride)
+
+    def _dst_operand(self, vreg: VReg, dtype: DType, dst_idx, lo: int,
+                     hi: int) -> VOperand:
+        sub = dst_idx[lo:hi]
+        stride = int(sub[1] - sub[0]) if len(sub) > 1 else 1
+        return VOperand(vreg, dtype, offset_bytes=int(sub[0]) * dtype.size,
+                        dst_stride=max(stride, 1))
+
+    def _emit_legalized(self, opcode, cond, dst_vreg, dst_dtype, dst_idx,
+                        srcs, n) -> None:
+        for lo, hi in self._chunks(n, dst_dtype, dst_idx, srcs):
+            dst = self._dst_operand(dst_vreg, dst_dtype, dst_idx, lo, hi)
+            ops = [self._chunk_operand(s, lo, hi) for s in srcs]
+            self.prog.instrs.append(VInstr(
+                opcode, exec_size=hi - lo, dst=dst, srcs=ops,
+                cond_mod=cond))
+
+    # .. unbaled region ops (plain copies) ..................................
+
+    def _emit_rdregion_copy(self, instr: Instr) -> None:
+        base = instr.operands[0]
+        if self.fn.constant_of(base) is not None:
+            self.materialize_constant(base)
+        elem = base.vtype.dtype.size
+        n = instr.result.vtype.n
+        idx = instr.region.element_indices(n, elem)
+        dst_vreg = self.vreg_for(instr.result)
+        self._emit_legalized(Opcode.MOV, None, dst_vreg,
+                             instr.result.vtype.dtype, np.arange(n),
+                             [("reg", base, idx)], n)
+
+    def _emit_wrregion_copy(self, instr: Instr) -> None:
+        old, new = instr.operands
+        elem = old.vtype.dtype.size
+        if isinstance(new, Value) and self.fn.constant_of(new) is not None:
+            self.materialize_constant(new)
+        n = new.vtype.n
+        dst_idx = instr.region.element_indices(n, elem)
+        src = ("reg", new, np.arange(n))
+        if self._overlaps_hazardously(instr.result, dst_idx, [src]):
+            tmp = self.prog.new_vreg(n * new.vtype.dtype.size, name="ovl")
+            self._emit_legalized(Opcode.MOV, None, tmp, new.vtype.dtype,
+                                 np.arange(n), [src], n)
+            src = ("vreg", (tmp, new.vtype.dtype), np.arange(n))
+        dst_vreg = self.vreg_for(instr.result)  # same class as old
+        self._emit_legalized(Opcode.MOV, None, dst_vreg,
+                             instr.result.vtype.dtype, dst_idx, [src], n)
+
+    # .. memory ...............................................................
+
+    def _addr_operand(self, op):
+        if isinstance(op, Value):
+            return VOperand.packed(self.vreg_for(op), D, 0, 1)
+        return VImm(int(op), D)
+
+    def _emit_memory(self, instr: Instr) -> None:
+        op = instr.op
+        msg: dict = {"kind": op, "bti": instr.operands[0]}
+        if op == "media.read":
+            msg.update(x=self._addr_operand(instr.operands[1]),
+                       y=self._addr_operand(instr.operands[2]),
+                       width=instr.attrs["width"],
+                       height=instr.attrs["height"])
+            dst = VOperand.packed(self.vreg_for(instr.result),
+                                  instr.result.vtype.dtype)
+            self.prog.instrs.append(VInstr(Opcode.SEND, dst=dst, msg=msg))
+        elif op == "media.write":
+            data = instr.operands[3]
+            msg.update(x=self._addr_operand(instr.operands[1]),
+                       y=self._addr_operand(instr.operands[2]),
+                       width=instr.attrs["width"],
+                       height=instr.attrs["height"],
+                       payload=self._payload(data))
+            self.prog.instrs.append(VInstr(Opcode.SEND, msg=msg))
+        elif op == "oword.read":
+            msg.update(offset=self._addr_operand(instr.operands[1]),
+                       nbytes=instr.result.vtype.size_bytes)
+            dst = VOperand.packed(self.vreg_for(instr.result),
+                                  instr.result.vtype.dtype)
+            self.prog.instrs.append(VInstr(Opcode.SEND, dst=dst, msg=msg))
+        elif op == "oword.write":
+            data = instr.operands[2]
+            msg.update(offset=self._addr_operand(instr.operands[1]),
+                       nbytes=data.vtype.size_bytes,
+                       payload=self._payload(data))
+            self.prog.instrs.append(VInstr(Opcode.SEND, msg=msg))
+        elif op == "gather":
+            offs = instr.operands[2]
+            msg.update(global_offset=self._addr_operand(instr.operands[1]),
+                       addr=self._payload(offs),
+                       elem=instr.result.vtype.dtype,
+                       n=instr.result.vtype.n)
+            dst = VOperand.packed(self.vreg_for(instr.result),
+                                  instr.result.vtype.dtype)
+            self.prog.instrs.append(VInstr(Opcode.SEND, dst=dst, msg=msg))
+        elif op == "scatter":
+            offs, data = instr.operands[2], instr.operands[3]
+            msg.update(global_offset=self._addr_operand(instr.operands[1]),
+                       addr=self._payload(offs),
+                       elem=data.vtype.dtype,
+                       n=data.vtype.n,
+                       payload=self._payload(data))
+            self.prog.instrs.append(VInstr(Opcode.SEND, msg=msg))
+        else:
+            raise CompileError(f"unknown memory op {op!r}")
+
+    def _payload(self, value: Value) -> VOperand:
+        if self.fn.constant_of(value) is not None:
+            self.materialize_constant(value)
+        return VOperand.packed(self.vreg_for(value), value.vtype.dtype,
+                               n=value.vtype.n)
+
+
+def _arith_progression(idx: np.ndarray) -> bool:
+    if len(idx) <= 1:
+        return True
+    d = np.diff(idx)
+    return bool(np.all(d == d[0]) and d[0] >= 0)
+
+
+def emit_visa(fn: Function, bales: BaleInfo) -> VProgram:
+    """Lower an optimized Function to legalized vISA."""
+    return _Emitter(fn, bales).emit()

@@ -1,0 +1,34 @@
+"""Gen ISA model.
+
+This subpackage models the parts of the Intel Gen instruction set
+architecture that the C-for-Metal paper relies on:
+
+- typed SIMD instructions with per-instruction execution size,
+- the general register file (GRF): 128 registers x 32 bytes, byte addressable,
+- region-based operand addressing ``<V;W,H>`` (vertical stride, width,
+  horizontal stride) that lets one instruction gather/scatter elements
+  across registers at zero cost,
+- execution masks and predication,
+- a functional executor used to run programs produced by the CM compiler
+  back end (``repro.compiler``).
+"""
+
+from repro.isa.dtypes import (
+    DType,
+    UB, B, UW, W, UD, D, UQ, Q, F, DF, HF,
+    dtype_from_numpy,
+)
+from repro.isa.regions import Region, RegionDesc, region_element_offsets
+from repro.isa.grf import GRF_SIZE_BYTES, NUM_GRF, GRFFile, RegOperand
+from repro.isa.instructions import Instruction, Opcode, Immediate
+from repro.isa.executor import FunctionalExecutor
+
+__all__ = [
+    "DType",
+    "UB", "B", "UW", "W", "UD", "D", "UQ", "Q", "F", "DF", "HF",
+    "dtype_from_numpy",
+    "Region", "RegionDesc", "region_element_offsets",
+    "GRF_SIZE_BYTES", "NUM_GRF", "GRFFile", "RegOperand",
+    "Instruction", "Opcode", "Immediate",
+    "FunctionalExecutor",
+]

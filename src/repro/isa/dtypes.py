@@ -1,0 +1,136 @@
+"""Gen ISA data types.
+
+Gen instructions are typed per operand.  The type controls the element
+width used by region addressing and the throughput of the instruction on
+the EU.  The standard Gen assembly suffixes are used throughout
+(``:ub``, ``:w``, ``:f`` ...) so that disassembly printed by this package
+looks like the listings in the paper (e.g. Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A Gen ISA element type.
+
+    Attributes:
+        name: canonical lowercase Gen assembly suffix (e.g. ``"f"``).
+        size: element size in bytes.
+        np_dtype: the numpy dtype used to store elements of this type.
+        is_float: True for floating point types.
+        is_signed: True for signed integer or float types.
+    """
+
+    name: str
+    size: int
+    np_dtype: np.dtype
+    is_float: bool
+    is_signed: bool
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+    @property
+    def min(self):
+        """Smallest representable value (for saturation semantics)."""
+        if self.is_float:
+            return float(np.finfo(self.np_dtype).min)
+        return int(np.iinfo(self.np_dtype).min)
+
+    @property
+    def max(self):
+        """Largest representable value (for saturation semantics)."""
+        if self.is_float:
+            return float(np.finfo(self.np_dtype).max)
+        return int(np.iinfo(self.np_dtype).max)
+
+
+UB = DType("ub", 1, np.dtype(np.uint8), False, False)
+B = DType("b", 1, np.dtype(np.int8), False, True)
+UW = DType("uw", 2, np.dtype(np.uint16), False, False)
+W = DType("w", 2, np.dtype(np.int16), False, True)
+UD = DType("ud", 4, np.dtype(np.uint32), False, False)
+D = DType("d", 4, np.dtype(np.int32), False, True)
+UQ = DType("uq", 8, np.dtype(np.uint64), False, False)
+Q = DType("q", 8, np.dtype(np.int64), False, True)
+HF = DType("hf", 2, np.dtype(np.float16), True, True)
+F = DType("f", 4, np.dtype(np.float32), True, True)
+DF = DType("df", 8, np.dtype(np.float64), True, True)
+
+ALL_DTYPES = (UB, B, UW, W, UD, D, UQ, Q, HF, F, DF)
+
+_BY_NAME = {t.name: t for t in ALL_DTYPES}
+_BY_NUMPY = {t.np_dtype: t for t in ALL_DTYPES}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a Gen type by its assembly suffix (``"f"``, ``"ub"``, ...)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown Gen dtype {name!r}") from None
+
+
+def dtype_from_numpy(np_dtype) -> DType:
+    """Map a numpy dtype to the corresponding Gen type."""
+    key = np.dtype(np_dtype)
+    try:
+        return _BY_NUMPY[key]
+    except KeyError:
+        raise ValueError(f"no Gen dtype for numpy dtype {key}") from None
+
+
+def promote(a: DType, b: DType) -> DType:
+    """C-style usual arithmetic conversion between two Gen types.
+
+    Float beats integer; the wider type wins; mixed-signedness of equal
+    width promotes to unsigned (as in C).  Sub-int integer types promote
+    to :data:`D` first, matching both C integer promotion and the CM
+    compiler's behaviour of computing byte/word arithmetic in dword.
+    """
+    if a is b:
+        return a
+    if a.is_float or b.is_float:
+        if a.is_float and b.is_float:
+            return a if a.size >= b.size else b
+        return a if a.is_float else b
+    # Integer promotion: anything smaller than dword computes as dword.
+    a = _int_promote(a)
+    b = _int_promote(b)
+    if a is b:
+        return a
+    if a.size != b.size:
+        return a if a.size > b.size else b
+    # Same width, mixed signedness -> unsigned wins.
+    return a if not a.is_signed else b
+
+
+def _int_promote(t: DType) -> DType:
+    return D if (not t.is_float and t.size < 4) else t
+
+
+def convert(values: np.ndarray, dst: DType, saturate: bool = False) -> np.ndarray:
+    """Convert ``values`` to ``dst`` with Gen conversion semantics.
+
+    Float-to-int conversion truncates toward zero.  Integer narrowing wraps
+    by default and clamps when ``saturate`` is set (the Gen ``.sat``
+    modifier).  Float destinations never wrap.
+    """
+    src = np.asarray(values)
+    if dst.is_float:
+        return src.astype(dst.np_dtype)
+    if saturate:
+        lo, hi = dst.min, dst.max
+        clipped = np.clip(src, lo, hi)
+        return np.trunc(clipped).astype(dst.np_dtype) if np.issubdtype(
+            clipped.dtype, np.floating) else clipped.astype(dst.np_dtype)
+    if np.issubdtype(src.dtype, np.floating):
+        # Truncate toward zero, then wrap into the destination like C.
+        as_i64 = np.trunc(src).astype(np.int64, copy=False)
+        return as_i64.astype(dst.np_dtype)
+    return src.astype(dst.np_dtype)

@@ -1,0 +1,281 @@
+"""Functional executor for straight-line Gen ISA programs.
+
+This is the "hardware" that programs produced by the CM compiler back end
+run on.  It owns a :class:`~repro.isa.grf.GRFFile` per thread, a set of
+flag registers, and a binding table mapping surface indices to memory
+objects from :mod:`repro.memory`.
+
+The executor is *functional*: it computes architectural state only.
+Timing is the job of :mod:`repro.sim.timing` (the eager path); the
+compiler path exists to validate codegen (Section V of the paper) by
+differential testing against the eager path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.isa.dtypes import DType, UD, convert, promote
+from repro.isa.grf import GRFFile, RegOperand, GRF_SIZE_BYTES
+from repro.isa.instructions import (
+    CondMod, Immediate, Instruction, MathFn, MsgKind, Opcode,
+)
+from repro.isa.regions import Region
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program performs an illegal operation."""
+
+
+class FunctionalExecutor:
+    """Execute a straight-line Gen program for a single hardware thread."""
+
+    def __init__(self, surfaces: Mapping[int, object] | None = None,
+                 num_regs: int = 128) -> None:
+        self.grf = GRFFile(num_regs)
+        self.flags: dict[int, np.ndarray] = {}
+        self.surfaces = dict(surfaces or {})
+        self.instructions_executed = 0
+
+    # -- operand access ----------------------------------------------------
+
+    def _fetch(self, src, exec_size: int) -> np.ndarray:
+        if isinstance(src, Immediate):
+            return np.full(exec_size, src.value, dtype=src.dtype.np_dtype)
+        if isinstance(src, RegOperand):
+            return self.grf.read_region(src, exec_size)
+        values = getattr(src, "values", None)
+        if values is not None:  # packed vector immediate
+            arr = np.asarray(values, dtype=src.dtype.np_dtype)
+            return np.resize(arr, exec_size)
+        raise ExecutionError(f"bad source operand {src!r}")
+
+    def _src_dtype(self, src) -> DType:
+        return src.dtype
+
+
+    def _flag_lanes(self, index: int) -> np.ndarray:
+        if index not in self.flags:
+            self.flags[index] = np.zeros(32, dtype=bool)
+        return self.flags[index]
+
+    def _pred_mask(self, inst: Instruction) -> np.ndarray | None:
+        if inst.pred is None:
+            return None
+        lanes = self._flag_lanes(inst.pred.flag.index)[: inst.exec_size]
+        return ~lanes if inst.pred.invert else lanes.copy()
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, program: Sequence[Instruction]) -> None:
+        for inst in program:
+            self.execute(inst)
+
+    def execute(self, inst: Instruction) -> None:
+        self.instructions_executed += 1
+        op = inst.opcode
+        if op is Opcode.NOP or op is Opcode.BARRIER:
+            return
+        if op is Opcode.SEND:
+            self._execute_send(inst)
+            return
+        if op is Opcode.CMP:
+            self._execute_cmp(inst)
+            return
+        self._execute_alu(inst)
+
+    # -- ALU ------------------------------------------------------------------
+
+    def _execute_alu(self, inst: Instruction) -> None:
+        n = inst.exec_size
+        dst = inst.dst
+        if dst is None:
+            raise ExecutionError(f"ALU instruction without destination: {inst}")
+        srcs = [self._fetch(s, n) for s in inst.srcs]
+        src_dtypes = [self._src_dtype(s) for s in inst.srcs]
+
+        if inst.opcode is Opcode.MOV:
+            result = srcs[0]
+        elif inst.opcode is Opcode.SEL:
+            mask = self._pred_mask(inst)
+            if mask is None:
+                raise ExecutionError("sel requires a predicate")
+            result = np.where(mask, srcs[0], srcs[1])
+            # sel writes all lanes; the predicate only chooses the source.
+            inst = _without_pred(inst)
+        else:
+            exec_dtype = src_dtypes[0]
+            for t in src_dtypes[1:]:
+                exec_dtype = promote(exec_dtype, t)
+            if not dst.dtype.is_float and exec_dtype.is_float and \
+                    inst.opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+                raise ExecutionError("bitwise ops on float operands")
+            ops = [convert(s, exec_dtype) for s in srcs]
+            result = _alu_compute(inst, exec_dtype, ops)
+
+        result = convert(result, dst.dtype, saturate=inst.sat)
+        self.grf.write_region(dst, result, mask=self._pred_mask(inst))
+
+    def _execute_cmp(self, inst: Instruction) -> None:
+        n = inst.exec_size
+        a = self._fetch(inst.srcs[0], n)
+        b = self._fetch(inst.srcs[1], n)
+        exec_dtype = promote(self._src_dtype(inst.srcs[0]),
+                             self._src_dtype(inst.srcs[1]))
+        a = convert(a, exec_dtype)
+        b = convert(b, exec_dtype)
+        cmp_fn = {
+            CondMod.EQ: np.equal, CondMod.NE: np.not_equal,
+            CondMod.LT: np.less, CondMod.LE: np.less_equal,
+            CondMod.GT: np.greater, CondMod.GE: np.greater_equal,
+        }[inst.cond_mod]
+        result = cmp_fn(a, b)
+        flag = self._flag_lanes(inst.flag.index if inst.flag else 0)
+        flag[:n] = result
+        if inst.dst is not None:
+            self.grf.write_region(inst.dst, result.astype(inst.dst.dtype.np_dtype))
+
+    # -- memory ------------------------------------------------------------
+
+    def _surface(self, index: int):
+        try:
+            return self.surfaces[index]
+        except KeyError:
+            raise ExecutionError(f"no surface bound at BTI {index}") from None
+
+    def _scalar(self, src) -> int:
+        if isinstance(src, Immediate):
+            return int(src.value)
+        return int(self.grf.read_region(src, 1)[0])
+
+    def _execute_send(self, inst: Instruction) -> None:
+        msg = inst.msg
+        if msg is None:
+            raise ExecutionError("send without message descriptor")
+        surf = self._surface(msg.surface)
+        kind = msg.kind
+        base = msg.payload_reg * GRF_SIZE_BYTES
+
+        if kind is MsgKind.MEDIA_BLOCK_READ:
+            x = self._scalar(msg.addr0)
+            y = self._scalar(msg.addr1)
+            block = surf.read_block(x, y, msg.block_width, msg.block_height)
+            self.grf.write_bytes(base, block)
+        elif kind is MsgKind.MEDIA_BLOCK_WRITE:
+            x = self._scalar(msg.addr0)
+            y = self._scalar(msg.addr1)
+            data = self.grf.read_bytes(base, msg.block_width * msg.block_height)
+            surf.write_block(x, y, msg.block_width, msg.block_height, data)
+        elif kind is MsgKind.OWORD_BLOCK_READ:
+            offset = self._scalar(msg.addr0)
+            data = surf.read_linear(offset, msg.payload_bytes)
+            self.grf.write_bytes(base, data)
+        elif kind is MsgKind.OWORD_BLOCK_WRITE:
+            offset = self._scalar(msg.addr0)
+            data = self.grf.read_bytes(base, msg.payload_bytes)
+            surf.write_linear(offset, data)
+        elif kind in (MsgKind.GATHER, MsgKind.SCATTER, MsgKind.ATOMIC):
+            self._execute_scattered(inst, surf)
+        else:
+            raise ExecutionError(f"unhandled message kind {kind}")
+
+    def _execute_scattered(self, inst: Instruction, surf) -> None:
+        msg = inst.msg
+        n = inst.exec_size
+        addr_op = RegOperand(msg.addr_reg, 0, UD,
+                             region=_contiguous_region(n))
+        offsets = self.grf.read_region(addr_op, n).astype(np.int64)
+        global_off = self._scalar(msg.addr0) if msg.addr0 is not None else 0
+        elem = msg.elem_dtype
+        # Scattered messages take element-granular offsets (CM semantics).
+        offsets = (offsets + global_off) * elem.size
+        base = msg.payload_reg * GRF_SIZE_BYTES
+        mask = self._pred_mask(inst)
+
+        if msg.kind is MsgKind.GATHER:
+            data = surf.gather(offsets, elem, mask=mask)
+            self.grf.write_bytes(base, np.ascontiguousarray(data))
+        elif msg.kind is MsgKind.SCATTER:
+            raw = self.grf.read_bytes(base, n * elem.size).view(elem.np_dtype)
+            surf.scatter(offsets, raw, mask=mask)
+        else:  # ATOMIC
+            raw = None
+            if msg.payload_bytes:
+                raw = self.grf.read_bytes(base, n * elem.size).view(elem.np_dtype)
+            old = surf.atomic(msg.atomic_op, offsets, raw, elem, mask=mask)
+            if inst.dst is not None:
+                self.grf.write_bytes(inst.dst.byte_offset,
+                                     np.ascontiguousarray(old))
+
+
+def _without_pred(inst: Instruction) -> Instruction:
+    clone = Instruction(**{**inst.__dict__})
+    clone.pred = None
+    return clone
+
+
+def _alu_compute(inst: Instruction, exec_dtype: DType,
+                 ops: list[np.ndarray]) -> np.ndarray:
+    op = inst.opcode
+    if op is Opcode.ADD:
+        return ops[0] + ops[1]
+    if op is Opcode.SUB:
+        return ops[0] - ops[1]
+    if op is Opcode.MUL:
+        return ops[0] * ops[1]
+    if op is Opcode.MAD:
+        return ops[0] + ops[1] * ops[2]
+    if op is Opcode.AND:
+        return ops[0] & ops[1]
+    if op is Opcode.OR:
+        return ops[0] | ops[1]
+    if op is Opcode.XOR:
+        return ops[0] ^ ops[1]
+    if op is Opcode.NOT:
+        return ~ops[0]
+    if op is Opcode.SHL:
+        return ops[0] << ops[1]
+    if op is Opcode.SHR:
+        return ops[0] >> ops[1]
+    if op is Opcode.ASR:
+        return ops[0] >> ops[1]
+    if op is Opcode.MIN:
+        return np.minimum(ops[0], ops[1])
+    if op is Opcode.MAX:
+        return np.maximum(ops[0], ops[1])
+    if op is Opcode.AVG:
+        return (ops[0] + ops[1] + 1) >> 1
+    if op is Opcode.MATH:
+        return _math_compute(inst.math_fn, ops)
+    raise ExecutionError(f"unhandled opcode {op}")
+
+
+def _math_compute(fn: MathFn, ops: list[np.ndarray]) -> np.ndarray:
+    if fn is MathFn.INV:
+        return 1.0 / ops[0]
+    if fn is MathFn.SQRT:
+        return np.sqrt(ops[0])
+    if fn is MathFn.RSQRT:
+        return 1.0 / np.sqrt(ops[0])
+    if fn is MathFn.LOG:
+        return np.log2(ops[0])
+    if fn is MathFn.EXP:
+        return np.exp2(ops[0])
+    if fn is MathFn.POW:
+        return np.power(ops[0], ops[1])
+    if fn is MathFn.FDIV:
+        return ops[0] / ops[1]
+    if fn is MathFn.IDIV:
+        return (ops[0] // ops[1]).astype(ops[0].dtype)
+    if fn is MathFn.SIN:
+        return np.sin(ops[0])
+    if fn is MathFn.COS:
+        return np.cos(ops[0])
+    raise ExecutionError(f"unhandled math fn {fn}")
+
+
+def _contiguous_region(n: int) -> Region:
+    width = min(n, 8)
+    return Region(width, width, 1)

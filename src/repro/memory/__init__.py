@@ -1,0 +1,29 @@
+"""Memory subsystem: surfaces, shared local memory, traffic accounting.
+
+Kernel code never touches host numpy arrays directly; it goes through
+*surfaces* (the Gen binding-table abstraction).  Linear buffers serve
+oword block reads/writes, scattered gather/scatter and atomics; 2D image
+surfaces serve media block reads/writes and sampler accesses.  Shared
+local memory (SLM) is a per-work-group banked scratchpad.
+"""
+
+from repro.memory.surfaces import (
+    BufferSurface,
+    Image2DSurface,
+    Surface,
+    SurfaceIndex,
+    apply_atomic,
+)
+from repro.memory.slm import SharedLocalMemory, bank_conflict_cycles
+from repro.memory.traffic import unique_cache_lines
+
+__all__ = [
+    "Surface",
+    "BufferSurface",
+    "Image2DSurface",
+    "SurfaceIndex",
+    "apply_atomic",
+    "SharedLocalMemory",
+    "bank_conflict_cycles",
+    "unique_cache_lines",
+]

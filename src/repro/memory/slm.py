@@ -1,0 +1,69 @@
+"""Shared local memory (SLM).
+
+On Gen, each work-group may allocate up to 64 KB of SLM on its subslice.
+SLM is organized in banks of 4-byte words; a SIMD access whose lanes hit
+the same bank in different words serializes, which is the bank-conflict
+effect the paper's histogram discussion hinges on.  Same-address atomics
+serialize fully at the bank's atomic ALU.
+
+The storage/semantics reuse :class:`repro.memory.surfaces.Surface`; this
+module adds the banking cost model used by :mod:`repro.sim.timing`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.memory.surfaces import Surface
+
+#: Number of SLM banks per subslice (Gen9/Gen11: 16 banks x 4 bytes).
+NUM_BANKS = 16
+#: Bank word width in bytes.
+BANK_WIDTH = 4
+#: Same-address atomic updates the SLM atomic ALU retires per cycle
+#: (read-modify-write forwarding lets it chain two updates per clock).
+ATOMIC_OPS_PER_CYCLE = 2.0
+
+
+def bank_conflict_cycles(byte_offsets: np.ndarray,
+                         mask: Optional[np.ndarray] = None,
+                         same_address_broadcast: bool = True,
+                         ops_per_cycle: float = 1.0) -> int:
+    """Cycles an SLM access occupies its banks, given lane byte offsets.
+
+    The cost is the maximum number of *distinct words* any single bank must
+    serve.  Lanes reading the same word count once when
+    ``same_address_broadcast`` is true (reads broadcast); for atomics the
+    caller passes ``False`` because read-modify-writes to one word cannot
+    be merged, and ``ops_per_cycle=ATOMIC_OPS_PER_CYCLE`` for the atomic
+    ALU's forwarding rate.
+    """
+    offs = np.asarray(byte_offsets, dtype=np.int64)
+    if mask is not None:
+        offs = offs[np.asarray(mask, dtype=bool)]
+    if offs.size == 0:
+        return 0
+    words = offs // BANK_WIDTH
+    banks = words % NUM_BANKS
+    worst = 0
+    for bank in np.unique(banks):
+        in_bank = words[banks == bank]
+        if same_address_broadcast:
+            worst = max(worst, len(np.unique(in_bank)))
+        else:
+            worst = max(worst, len(in_bank))
+    return int(-(-worst // ops_per_cycle))
+
+
+class SharedLocalMemory(Surface):
+    """One work-group's SLM allocation."""
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes > 64 * 1024:
+            raise ValueError(f"SLM allocation of {nbytes} bytes exceeds 64 KB")
+        super().__init__(np.zeros(nbytes, dtype=np.uint8))
+
+    def clear(self) -> None:
+        self.bytes[:] = 0

@@ -1,0 +1,329 @@
+"""Surfaces: the memory objects kernels access through binding-table indices.
+
+A CM or OpenCL kernel argument of type ``SurfaceIndex`` is a handle to one
+of these objects; host code creates surfaces from numpy arrays and binds
+them to kernels (mirroring the runtime API calls described in Section
+IV-B of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+
+
+class SurfaceIndex(int):
+    """A binding-table index.  Behaves like an int; exists for API clarity."""
+
+    __slots__ = ()
+
+
+def apply_atomic(store: np.ndarray, op: str, offsets: np.ndarray,
+                 operands: Optional[np.ndarray], elem: DType,
+                 mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Apply a Gen atomic op lane-by-lane against ``store`` (a byte array).
+
+    Lanes execute in lane order, which models the hardware's serialization
+    of same-address atomics within one message.  Returns the old value per
+    lane (inactive lanes return 0).
+    """
+    n = len(offsets)
+    old = np.zeros(n, dtype=elem.np_dtype)
+    view = store.view(elem.np_dtype)
+    size = elem.size
+    for lane in range(n):
+        if mask is not None and not mask[lane]:
+            continue
+        byte_off = int(offsets[lane])
+        if byte_off % size:
+            raise ValueError(f"misaligned atomic at byte offset {byte_off}")
+        idx = byte_off // size
+        cur = view[idx]
+        old[lane] = cur
+        src = operands[lane] if operands is not None else None
+        view[idx] = _atomic_result(op, cur, src, elem)
+    return old
+
+
+def _atomic_result(op: str, cur, src, elem: DType):
+    if op == "inc":
+        return cur + 1
+    if op == "dec":
+        return cur - 1
+    if op == "add":
+        return cur + src
+    if op == "sub":
+        return cur - src
+    if op == "min":
+        return min(cur, src)
+    if op == "max":
+        return max(cur, src)
+    if op == "and":
+        return cur & src
+    if op == "or":
+        return cur | src
+    if op == "xor":
+        return cur ^ src
+    if op == "xchg":
+        return src
+    if op == "cmpxchg":
+        # src is a pair packed as (compare, new); we receive new in src and
+        # compare via the second operand array handled by the caller.
+        raise ValueError("cmpxchg must go through Surface.atomic_cmpxchg")
+    raise ValueError(f"unknown atomic op {op!r}")
+
+
+#: Cache line granularity for DRAM-traffic tracking.
+LINE = 64
+
+
+class Surface:
+    """Base class: flat byte storage + linear/scattered/atomic access.
+
+    Each surface tracks which cache lines have been touched since the last
+    :meth:`reset_line_tracking`.  The first touch of a line is *compulsory*
+    DRAM traffic; re-touches hit in L3.  The timing model charges the two
+    against separate bandwidth bounds.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        arr = np.ascontiguousarray(data)
+        self._host = arr
+        self.bytes = arr.view(np.uint8).ravel()
+        self._touched_lines: set[int] = set()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bytes.size
+
+    def to_numpy(self) -> np.ndarray:
+        """The surface contents viewed as the host array it was built from."""
+        return self._host
+
+    # -- cache-line tracking -------------------------------------------------
+
+    def reset_line_tracking(self) -> None:
+        self._touched_lines.clear()
+
+    def mark_lines_range(self, byte_offset: int, nbytes: int):
+        """Mark a contiguous access; returns (total_lines, new_lines).
+
+        Offsets are clamped to the surface (block reads clamp at edges).
+        """
+        byte_offset = min(max(byte_offset, 0), max(self.bytes.size - 1, 0))
+        end = min(byte_offset + max(nbytes, 1), self.bytes.size)
+        first = byte_offset // LINE
+        last = (max(end, byte_offset + 1) - 1) // LINE
+        total = last - first + 1
+        new = 0
+        touched = self._touched_lines
+        for line in range(first, last + 1):
+            if line not in touched:
+                touched.add(line)
+                new += 1
+        return total, new
+
+    def mark_lines_offsets(self, byte_offsets, access_bytes: int = 4,
+                           mask=None):
+        """Mark scattered accesses; returns (total_lines, new_lines)."""
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        if mask is not None:
+            offs = offs[np.asarray(mask, dtype=bool)]
+        if offs.size == 0:
+            return 0, 0
+        first = offs // LINE
+        last = (offs + access_bytes - 1) // LINE
+        lines = np.unique(np.concatenate([first, last]))
+        total = len(lines)
+        touched = self._touched_lines
+        new = 0
+        for line in lines.tolist():
+            if line not in touched:
+                touched.add(line)
+                new += 1
+        return total, new
+
+    def mark_lines_block2d(self, x: int, y: int, width: int, height: int,
+                           pitch: int):
+        """Mark a 2D block access row by row; returns (total, new)."""
+        total = new = 0
+        for row in range(height):
+            t, n = self.mark_lines_range((y + row) * pitch + x, width)
+            total += t
+            new += n
+        return total, new
+
+    # -- linear (oword block) access ------------------------------------
+
+    def read_linear(self, byte_offset: int, nbytes: int) -> np.ndarray:
+        self._check(byte_offset, nbytes)
+        return self.bytes[byte_offset:byte_offset + nbytes].copy()
+
+    def write_linear(self, byte_offset: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).ravel()
+        self._check(byte_offset, raw.size)
+        self.bytes[byte_offset:byte_offset + raw.size] = raw
+
+    # -- scattered access --------------------------------------------------
+
+    def gather(self, byte_offsets: np.ndarray, elem: DType,
+               mask: Optional[np.ndarray] = None) -> np.ndarray:
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        out = np.zeros(len(offs), dtype=elem.np_dtype)
+        active = slice(None) if mask is None else np.asarray(mask, dtype=bool)
+        idx = offs[active]
+        if idx.size:
+            self._check(int(idx.min()), 0)
+            self._check(int(idx.max()), elem.size)
+            byte_idx = idx[:, None] + np.arange(elem.size)
+            out[active] = self.bytes[byte_idx].copy().view(elem.np_dtype).ravel()
+        return out
+
+    def scatter(self, byte_offsets: np.ndarray, values: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> None:
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        values = np.ascontiguousarray(values)
+        elem_size = values.dtype.itemsize
+        raw = values.view(np.uint8).reshape(len(offs), elem_size)
+        if mask is not None:
+            keep = np.asarray(mask, dtype=bool)
+            offs, raw = offs[keep], raw[keep]
+        if not offs.size:
+            return
+        self._check(int(offs.min()), 0)
+        self._check(int(offs.max()), elem_size)
+        # Duplicate offsets take the last lane's value (hardware scatter order).
+        byte_idx = offs[:, None] + np.arange(elem_size)
+        self.bytes[byte_idx] = raw
+
+    # -- atomics ---------------------------------------------------------
+
+    def atomic(self, op: str, byte_offsets: np.ndarray,
+               operands: Optional[np.ndarray], elem: DType,
+               mask: Optional[np.ndarray] = None) -> np.ndarray:
+        return apply_atomic(self.bytes, op, np.asarray(byte_offsets, np.int64),
+                            operands, elem, mask)
+
+    def atomic_cmpxchg(self, byte_offsets: np.ndarray, compare: np.ndarray,
+                       newval: np.ndarray, elem: DType,
+                       mask: Optional[np.ndarray] = None) -> np.ndarray:
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        view = self.bytes.view(elem.np_dtype)
+        old = np.zeros(len(offs), dtype=elem.np_dtype)
+        for lane in range(len(offs)):
+            if mask is not None and not mask[lane]:
+                continue
+            idx = int(offs[lane]) // elem.size
+            old[lane] = view[idx]
+            if view[idx] == compare[lane]:
+                view[idx] = newval[lane]
+        return old
+
+    def _check(self, byte_offset: int, nbytes: int) -> None:
+        if byte_offset < 0 or byte_offset + nbytes > self.bytes.size:
+            raise IndexError(
+                f"surface access [{byte_offset}, {byte_offset + nbytes}) "
+                f"outside surface of {self.bytes.size} bytes")
+
+
+class BufferSurface(Surface):
+    """A linearly-addressed buffer surface."""
+
+    @classmethod
+    def allocate(cls, nbytes: int) -> "BufferSurface":
+        return cls(np.zeros(nbytes, dtype=np.uint8))
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "BufferSurface":
+        return cls(array)
+
+
+class Image2DSurface(Surface):
+    """A 2D image surface (row-major, ``bytes_per_pixel`` per texel).
+
+    Serves media block reads/writes (raw bytes, coordinates clamped to the
+    surface like the Gen media block unit) and sampler-style typed reads
+    used by the OpenCL baselines.
+    """
+
+    def __init__(self, data: np.ndarray, bytes_per_pixel: int = 1) -> None:
+        arr = np.ascontiguousarray(data)
+        if arr.ndim == 3:
+            height, width_px, channels = arr.shape
+            if channels * arr.dtype.itemsize != bytes_per_pixel:
+                raise ValueError(
+                    f"array channel bytes {channels * arr.dtype.itemsize} "
+                    f"!= bytes_per_pixel {bytes_per_pixel}")
+        elif arr.ndim == 2:
+            height, width_b = arr.shape
+            if (width_b * arr.dtype.itemsize) % bytes_per_pixel:
+                raise ValueError("row bytes not a multiple of bytes_per_pixel")
+            width_px = width_b * arr.dtype.itemsize // bytes_per_pixel
+        else:
+            raise ValueError("image surfaces require 2D or 3D arrays")
+        super().__init__(arr)
+        self.height = int(height)
+        self.width = int(width_px)
+        self.bytes_per_pixel = int(bytes_per_pixel)
+        self.pitch = self.width * self.bytes_per_pixel
+
+    @property
+    def width_bytes(self) -> int:
+        return self.pitch
+
+    # -- media block access ------------------------------------------------
+
+    def read_block(self, x: int, y: int, width: int, height: int) -> np.ndarray:
+        """Read a ``height`` x ``width``-byte block at byte column ``x``.
+
+        Out-of-bounds rows/columns are clamped to the surface edge, which
+        matches the replication behaviour of the Gen media block read unit
+        and is what the paper's linear filter relies on for its borders.
+        """
+        rows = np.clip(np.arange(y, y + height), 0, self.height - 1)
+        cols = np.clip(np.arange(x, x + width), 0, self.pitch - 1)
+        img = self.bytes.reshape(self.height, self.pitch)
+        return img[np.ix_(rows, cols)].copy()
+
+    def write_block(self, x: int, y: int, width: int, height: int,
+                    data: np.ndarray) -> None:
+        """Write a block; out-of-bounds texels are dropped (hw behaviour)."""
+        block = np.ascontiguousarray(data).view(np.uint8).reshape(height, width)
+        img = self.bytes.reshape(self.height, self.pitch)
+        y0, y1 = max(y, 0), min(y + height, self.height)
+        x0, x1 = max(x, 0), min(x + width, self.pitch)
+        if y0 >= y1 or x0 >= x1:
+            return
+        img[y0:y1, x0:x1] = block[y0 - y:y1 - y, x0 - x:x1 - x]
+
+    # -- sampler-style typed access (OpenCL images) -------------------------
+
+    def read_pixels(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Gather pixels at integer coords, clamped to the edge.
+
+        Returns an ``(n, bytes_per_pixel)`` uint8 array, one row per lane —
+        the raw channels of each texel.  The OpenCL layer converts these to
+        float, mirroring the image unit's format conversion.
+        """
+        xs = np.clip(np.asarray(xs, dtype=np.int64), 0, self.width - 1)
+        ys = np.clip(np.asarray(ys, dtype=np.int64), 0, self.height - 1)
+        img = self.bytes.reshape(self.height, self.pitch)
+        base = xs * self.bytes_per_pixel
+        cols = base[:, None] + np.arange(self.bytes_per_pixel)
+        return img[ys[:, None], cols].copy()
+
+    def write_pixels(self, xs: np.ndarray, ys: np.ndarray,
+                     values: np.ndarray) -> None:
+        """Scatter raw pixel bytes at integer coords (OOB writes dropped)."""
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        ok = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        raw = np.ascontiguousarray(values).view(np.uint8)
+        raw = raw.reshape(len(xs), self.bytes_per_pixel)
+        img = self.bytes.reshape(self.height, self.pitch)
+        base = xs[ok] * self.bytes_per_pixel
+        cols = base[:, None] + np.arange(self.bytes_per_pixel)
+        img[ys[ok][:, None], cols] = raw[ok]

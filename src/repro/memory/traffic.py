@@ -1,0 +1,55 @@
+"""Memory traffic accounting helpers.
+
+The timing model charges global-memory accesses by the number of unique
+cache lines each message touches — the same coalescing rule the Gen data
+port applies.  Redundant loads across *different* messages are charged
+again: that is precisely the inefficiency of the SIMT linear filter the
+paper highlights (each work-item re-reads pixels its neighbours already
+loaded), so the model must not dedupe across messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Cache line size in bytes (Gen L3 / LLC granularity).
+CACHE_LINE_BYTES = 64
+
+
+def unique_cache_lines(byte_offsets: np.ndarray, access_bytes: int = 4,
+                       mask: Optional[np.ndarray] = None,
+                       line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Unique cache lines touched by per-lane accesses of ``access_bytes``."""
+    offs = np.asarray(byte_offsets, dtype=np.int64)
+    if mask is not None:
+        offs = offs[np.asarray(mask, dtype=bool)]
+    if offs.size == 0:
+        return 0
+    first = offs // line_bytes
+    last = (offs + access_bytes - 1) // line_bytes
+    if np.array_equal(first, last):
+        return len(np.unique(first))
+    lines = np.concatenate([first, last])
+    return len(np.unique(lines))
+
+
+def block_cache_lines(nbytes: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Cache lines for a contiguous block transfer of ``nbytes``."""
+    return max(1, -(-nbytes // line_bytes))
+
+
+def block2d_cache_lines(width_bytes: int, height: int, pitch: int,
+                        line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Cache lines for a 2D block: each row is a separate contiguous run.
+
+    Rows of a 2D block land in different lines whenever the surface pitch
+    exceeds the line size (the common case), so the cost is per-row.
+    """
+    per_row = block_cache_lines(width_bytes, line_bytes)
+    if pitch < line_bytes:
+        # Tiny surfaces: several rows share a line.
+        rows_per_line = max(1, line_bytes // max(pitch, 1))
+        return max(1, -(-height // rows_per_line)) * per_row
+    return per_row * height

@@ -1,0 +1,64 @@
+"""OpenCL-style SIMT programming model (the paper's baseline).
+
+Kernels are written per work-item; the runtime executes them implicitly
+vectorized over a subgroup (one Gen hardware thread, dispatch SIMD width
+8/16/32 — the vectorization IGC performs).  Work-groups provide shared
+local memory and barriers; Intel extensions (``cl_intel_subgroups``,
+``cl_intel_media_block_io``) are available, since the paper's baselines
+are expert-tuned kernels that use them.
+
+A kernel is a Python function reading its indices through
+:func:`get_global_id` etc.  Kernels that use barriers are generator
+functions that ``yield ocl.barrier()``::
+
+    def histogram_kernel(src, hist):
+        gid = ocl.get_global_id(0)
+        ...
+        yield ocl.barrier()
+        ...
+
+Launch with :func:`enqueue` over an NDRange.
+"""
+
+from repro.ocl.simt import SimtValue, where, select
+from repro.ocl.builtins import (
+    BARRIER, barrier, get_global_id, get_global_size, get_group_id,
+    get_local_id, get_local_size, get_num_groups, get_sub_group_local_id,
+    get_sub_group_size, uniform_max, uniform_min, uniform_any,
+    native_sqrt, native_rsqrt, native_recip, fmin_, fmax_, min_, max_,
+    convert, mad,
+)
+from repro.ocl.memory import (
+    atomic_add_global, atomic_add_slm, atomic_inc_global, atomic_inc_slm,
+    atomic_min_global, atomic_max_global,
+    intel_sub_group_block_read, intel_sub_group_block_read_rows,
+    intel_sub_group_block_write,
+    intel_media_block_read, intel_media_block_write,
+    load, load_uniform, read_imagef, slm_load, slm_store, store,
+    vload, vstore,
+    sub_group_broadcast, sub_group_reduce_add, sub_group_reduce_max,
+    sub_group_reduce_min, sub_group_shuffle, write_imageui,
+)
+from repro.ocl.runtime import NDRangeResult, enqueue
+
+__all__ = [
+    "SimtValue", "where", "select",
+    "BARRIER", "barrier",
+    "get_global_id", "get_global_size", "get_group_id", "get_local_id",
+    "get_local_size", "get_num_groups", "get_sub_group_local_id",
+    "get_sub_group_size",
+    "uniform_max", "uniform_min", "uniform_any",
+    "native_sqrt", "native_rsqrt", "native_recip",
+    "fmin_", "fmax_", "min_", "max_", "convert", "mad",
+    "load", "store", "load_uniform", "slm_load", "slm_store",
+    "vload", "vstore",
+    "read_imagef", "write_imageui",
+    "atomic_inc_slm", "atomic_add_slm", "atomic_inc_global",
+    "atomic_add_global", "atomic_min_global", "atomic_max_global",
+    "sub_group_shuffle", "sub_group_broadcast", "sub_group_reduce_add",
+    "sub_group_reduce_min", "sub_group_reduce_max",
+    "intel_sub_group_block_read", "intel_sub_group_block_read_rows",
+    "intel_sub_group_block_write",
+    "intel_media_block_read", "intel_media_block_write",
+    "enqueue", "NDRangeResult",
+]

@@ -1,0 +1,188 @@
+"""OpenCL work-item builtins and math functions.
+
+These read the subgroup execution state installed by
+:mod:`repro.ocl.runtime` on the current thread context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cm.dtypes import as_cm_dtype, convert_values
+from repro.isa.dtypes import F, UD
+from repro.memory.slm import SharedLocalMemory
+from repro.ocl.simt import SimtValue
+from repro.sim import context as ctx
+
+#: Sentinel yielded by kernels at barrier points.
+BARRIER = object()
+
+
+@dataclass
+class SubgroupInfo:
+    """Execution state of one subgroup (= one Gen hardware thread)."""
+
+    simd: int
+    global_ids: Tuple[np.ndarray, ...]
+    local_ids: Tuple[np.ndarray, ...]
+    group_ids: Tuple[int, ...]
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+    slm: Optional[SharedLocalMemory]
+    subgroup_id: int = 0
+
+
+def _info() -> SubgroupInfo:
+    thread = ctx.require()
+    info = getattr(thread, "ocl_info", None)
+    if info is None:
+        raise RuntimeError("not inside an OpenCL NDRange kernel")
+    return info
+
+
+def get_sub_group_size() -> int:
+    return _info().simd
+
+
+def get_sub_group_local_id() -> SimtValue:
+    info = _info()
+    return SimtValue(np.arange(info.simd, dtype=UD.np_dtype), UD)
+
+
+def get_global_id(dim: int) -> SimtValue:
+    info = _info()
+    if dim >= len(info.global_ids):
+        return SimtValue(np.zeros(info.simd, dtype=UD.np_dtype), UD)
+    return SimtValue(info.global_ids[dim].astype(UD.np_dtype), UD)
+
+
+def get_local_id(dim: int) -> SimtValue:
+    info = _info()
+    if dim >= len(info.local_ids):
+        return SimtValue(np.zeros(info.simd, dtype=UD.np_dtype), UD)
+    return SimtValue(info.local_ids[dim].astype(UD.np_dtype), UD)
+
+
+def get_group_id(dim: int) -> int:
+    info = _info()
+    return info.group_ids[dim] if dim < len(info.group_ids) else 0
+
+
+def get_global_size(dim: int) -> int:
+    info = _info()
+    return info.global_size[dim] if dim < len(info.global_size) else 1
+
+
+def get_local_size(dim: int) -> int:
+    info = _info()
+    return info.local_size[dim] if dim < len(info.local_size) else 1
+
+
+def get_num_groups(dim: int) -> int:
+    return get_global_size(dim) // get_local_size(dim)
+
+
+def barrier():
+    """Work-group barrier.  Kernels must ``yield ocl.barrier()``."""
+    thread = ctx.require()
+    thread.trace.barrier()
+    return BARRIER
+
+
+# -- uniform helpers ---------------------------------------------------------
+#
+# OpenCL has no "read a lane's value on the host" primitive; a kernel that
+# needs a uniform trip count from per-lane data pays a subgroup reduction.
+# These helpers model that (log2 tree of SIMD ops) and return a Python
+# scalar usable in uniform control flow.
+
+
+def _uniform_reduce(val: SimtValue, np_fn):
+    width = val.width // 2
+    while width >= 1:
+        ctx.emit_alu(width, val.dtype)
+        width //= 2
+    return np_fn(val.vals)
+
+
+def uniform_max(val: SimtValue):
+    out = _uniform_reduce(val, np.max)
+    return float(out) if val.dtype.is_float else int(out)
+
+
+def uniform_min(val: SimtValue):
+    out = _uniform_reduce(val, np.min)
+    return float(out) if val.dtype.is_float else int(out)
+
+
+def uniform_any(val: SimtValue) -> bool:
+    return bool(_uniform_reduce(val, np.any))
+
+
+# -- math / misc --------------------------------------------------------------
+
+
+def _unary_math(x: SimtValue, np_fn) -> SimtValue:
+    dt = x.dtype if x.dtype.is_float else F
+    vals = convert_values(x.vals, dt)
+    ctx.emit_alu(x.width, dt, is_math=True)
+    return SimtValue(np_fn(vals).astype(dt.np_dtype), dt)
+
+
+def native_sqrt(x: SimtValue) -> SimtValue:
+    return _unary_math(x, np.sqrt)
+
+
+def native_rsqrt(x: SimtValue) -> SimtValue:
+    return _unary_math(x, lambda v: 1.0 / np.sqrt(v))
+
+
+def native_recip(x: SimtValue) -> SimtValue:
+    return _unary_math(x, lambda v: 1.0 / v)
+
+
+def _binary_sel(a, b, np_fn) -> SimtValue:
+    base = a if isinstance(a, SimtValue) else b
+    av, a_dt = base._coerce(a)
+    bv, b_dt = base._coerce(b)
+    from repro.cm.dtypes import common_type
+
+    dt = common_type(a_dt, b_dt)
+    ctx.emit_alu(base.width, dt)
+    out = np_fn(convert_values(av, dt), convert_values(bv, dt))
+    return SimtValue(out.astype(dt.np_dtype), dt)
+
+
+def fmin_(a, b) -> SimtValue:
+    return _binary_sel(a, b, np.minimum)
+
+
+def fmax_(a, b) -> SimtValue:
+    return _binary_sel(a, b, np.maximum)
+
+
+min_ = fmin_
+max_ = fmax_
+
+
+def mad(a, b, c) -> SimtValue:
+    """Fused multiply-add ``a*b + c`` (one Gen ``mad``)."""
+    base = next(v for v in (a, b, c) if isinstance(v, SimtValue))
+    av, a_dt = base._coerce(a)
+    bv, b_dt = base._coerce(b)
+    cv, c_dt = base._coerce(c)
+    from repro.cm.dtypes import common_type
+
+    dt = common_type(common_type(a_dt, b_dt), c_dt)
+    ctx.emit_alu(base.width, dt)
+    out = (convert_values(av, dt) * convert_values(bv, dt)
+           + convert_values(cv, dt))
+    return SimtValue(out.astype(dt.np_dtype), dt)
+
+
+def convert(x: SimtValue, dtype) -> SimtValue:
+    """``convert_<type>()``: explicit conversion."""
+    return x.astype(as_cm_dtype(dtype))

@@ -1,0 +1,444 @@
+"""OpenCL memory operations: global/SLM access, images, subgroup extensions.
+
+Global buffer access is per-work-item (gather/scatter); coalescing is
+modeled by charging unique cache lines per message, so a subgroup reading
+16 consecutive dwords costs one line while a strided read costs 16.  The
+``cl_intel_subgroups`` block read/write and ``cl_intel_media_block_io``
+extensions provide the coalesced block messages the paper's tuned
+baselines use — at the price of AoS-distributed data that needs shuffle
+moves to rearrange (modeled in :class:`MediaBlock`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cm.dtypes import as_cm_dtype
+from repro.isa.dtypes import DType, F, UB, UD
+from repro.memory.slm import (
+    ATOMIC_OPS_PER_CYCLE, SharedLocalMemory, bank_conflict_cycles,
+)
+from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
+from repro.ocl.simt import SimtValue
+from repro.sim import context as ctx
+from repro.sim.trace import MemKind
+
+
+def _lane_mask(mask) -> Optional[np.ndarray]:
+    if mask is None:
+        return None
+    if isinstance(mask, SimtValue):
+        return mask.vals.astype(bool)
+    return np.asarray(mask, dtype=bool)
+
+
+def _byte_offsets(index: SimtValue, elem_size: int) -> np.ndarray:
+    return index.vals.astype(np.int64) * elem_size
+
+
+# -- global buffer access ------------------------------------------------------
+
+
+def load(buffer: Surface, index: SimtValue, dtype=UD, mask=None) -> SimtValue:
+    """Per-work-item load ``buffer[index]`` (element index)."""
+    dt = as_cm_dtype(dtype)
+    m = _lane_mask(mask)
+    offs = _byte_offsets(index, dt.size)
+    data = buffer.gather(offs, dt, mask=m)
+    lines, new = buffer.mark_lines_offsets(offs, dt.size, mask=m)
+    ev = ctx.emit_memory(MemKind.GATHER, nbytes=index.width * dt.size,
+                         lines=lines, dram_lines=new)
+    out = SimtValue(data, dt)
+    out._dep = ev
+    return out
+
+
+def store(buffer: Surface, index: SimtValue, value: SimtValue,
+          mask=None) -> None:
+    """Per-work-item store ``buffer[index] = value``."""
+    m = _lane_mask(mask)
+    offs = _byte_offsets(index, value.dtype.size)
+    buffer.scatter(offs, value.vals, mask=m)
+    lines, new = buffer.mark_lines_offsets(offs, value.dtype.size, mask=m)
+    ctx.emit_memory(MemKind.SCATTER, nbytes=value.width * value.dtype.size,
+                    lines=lines, dram_lines=new, is_read=False)
+
+
+def vload(buffer: Surface, width: int, index: SimtValue, dtype=UD,
+          mask=None) -> list:
+    """``vloadN``: each work-item loads ``width`` consecutive elements
+    starting at ``index*width``; one (wider) gather message.  Returns one
+    SimtValue per vector component."""
+    dt = as_cm_dtype(dtype)
+    m = _lane_mask(mask)
+    base = index.vals.astype(np.int64) * width
+    all_offs = ((base[:, None] + np.arange(width)) * dt.size).ravel()
+    all_mask = None if m is None else np.repeat(m, width)
+    lines, new = buffer.mark_lines_offsets(all_offs, dt.size, mask=all_mask)
+    comps = [buffer.gather((base + c) * dt.size, dt, mask=m)
+             for c in range(width)]
+    n = index.width * width
+    ev = ctx.emit_memory(MemKind.GATHER, nbytes=n * dt.size,
+                         lines=lines, dram_lines=new)
+    out = []
+    for c in range(width):
+        v = SimtValue(comps[c], dt)
+        v._dep = ev
+        out.append(v)
+    return out
+
+
+def vstore(buffer: Surface, width: int, index: SimtValue, values: list,
+           mask=None) -> None:
+    """``vstoreN``: the scatter counterpart of :func:`vload`."""
+    m = _lane_mask(mask)
+    base = index.vals.astype(np.int64) * width
+    dt = values[0].dtype
+    all_offs = ((base[:, None] + np.arange(width)) * dt.size).ravel()
+    all_mask = None if m is None else np.repeat(m, width)
+    lines, new = buffer.mark_lines_offsets(all_offs, dt.size, mask=all_mask)
+    for c, v in enumerate(values):
+        buffer.scatter((base + c) * dt.size,
+                       v.vals.astype(dt.np_dtype, copy=False), mask=m)
+    n = index.width * width
+    ctx.emit_memory(MemKind.SCATTER, nbytes=n * dt.size,
+                    lines=lines, dram_lines=new, is_read=False)
+
+
+def load_uniform(buffer: Surface, index: int, dtype=UD):
+    """A uniform scalar load (the compiler emits one scalar message)."""
+    dt = as_cm_dtype(dtype)
+    data = buffer.gather(np.asarray([index * dt.size]), dt)
+    lines, new = buffer.mark_lines_range(index * dt.size, dt.size)
+    ev = ctx.emit_memory(MemKind.GATHER, nbytes=dt.size, lines=lines,
+                         dram_lines=new)
+    ctx.consume(ev)
+    v = data[0]
+    return float(v) if dt.is_float else int(v)
+
+
+# -- shared local memory --------------------------------------------------------
+
+
+def slm_load(slm: SharedLocalMemory, index: SimtValue, dtype=UD,
+             mask=None) -> SimtValue:
+    dt = as_cm_dtype(dtype)
+    m = _lane_mask(mask)
+    offs = _byte_offsets(index, dt.size)
+    data = slm.gather(offs, dt, mask=m)
+    ev = ctx.emit_memory(MemKind.SLM_READ, nbytes=index.width * dt.size,
+                         slm_cycles=bank_conflict_cycles(offs, mask=m))
+    out = SimtValue(data, dt)
+    out._dep = ev
+    return out
+
+
+def slm_store(slm: SharedLocalMemory, index: SimtValue, value: SimtValue,
+              mask=None) -> None:
+    m = _lane_mask(mask)
+    offs = _byte_offsets(index, value.dtype.size)
+    slm.scatter(offs, value.vals, mask=m)
+    ctx.emit_memory(MemKind.SLM_WRITE, nbytes=value.width * value.dtype.size,
+                    slm_cycles=bank_conflict_cycles(offs, mask=m),
+                    is_read=False)
+
+
+# -- atomics ------------------------------------------------------------------
+
+
+def _slm_atomic(slm: SharedLocalMemory, op: str, index: SimtValue,
+                operand: Optional[SimtValue], dtype, mask) -> SimtValue:
+    dt = as_cm_dtype(dtype)
+    m = _lane_mask(mask)
+    offs = _byte_offsets(index, dt.size)
+    vals = operand.vals.astype(dt.np_dtype) if operand is not None else None
+    old = slm.atomic(op, offs, vals, dt, mask=m)
+    cycles = bank_conflict_cycles(offs, mask=m, same_address_broadcast=False,
+                                  ops_per_cycle=ATOMIC_OPS_PER_CYCLE)
+    ev = ctx.emit_memory(MemKind.SLM_ATOMIC, nbytes=index.width * dt.size,
+                         slm_cycles=cycles)
+    out = SimtValue(old, dt)
+    out._dep = ev
+    return out
+
+
+def atomic_inc_slm(slm: SharedLocalMemory, index: SimtValue,
+                   mask=None) -> SimtValue:
+    return _slm_atomic(slm, "inc", index, None, UD, mask)
+
+
+def atomic_add_slm(slm: SharedLocalMemory, index: SimtValue,
+                   value: SimtValue, mask=None) -> SimtValue:
+    return _slm_atomic(slm, "add", index, value, value.dtype, mask)
+
+
+def _global_atomic(buffer: Surface, op: str, index: SimtValue,
+                   operand: Optional[SimtValue], dtype, mask) -> SimtValue:
+    dt = as_cm_dtype(dtype)
+    m = _lane_mask(mask)
+    offs = _byte_offsets(index, dt.size)
+    vals = operand.vals.astype(dt.np_dtype) if operand is not None else None
+    old = buffer.atomic(op, offs, vals, dt, mask=m)
+    lines, new = buffer.mark_lines_offsets(offs, dt.size, mask=m)
+    ev = ctx.emit_memory(MemKind.ATOMIC, nbytes=index.width * dt.size,
+                         lines=lines, dram_lines=new)
+    thread = ctx.current()
+    if thread is not None:
+        active = offs if m is None else offs[m]
+        thread.trace.atomic_global(active // 4, surface_id=id(buffer))
+    out = SimtValue(old, dt)
+    out._dep = ev
+    return out
+
+
+def atomic_inc_global(buffer: Surface, index: SimtValue, mask=None) -> SimtValue:
+    return _global_atomic(buffer, "inc", index, None, UD, mask)
+
+
+def atomic_add_global(buffer: Surface, index: SimtValue, value: SimtValue,
+                      mask=None) -> SimtValue:
+    return _global_atomic(buffer, "add", index, value, value.dtype, mask)
+
+
+def atomic_min_global(buffer: Surface, index: SimtValue, value: SimtValue,
+                      mask=None) -> SimtValue:
+    return _global_atomic(buffer, "min", index, value, value.dtype, mask)
+
+
+def atomic_max_global(buffer: Surface, index: SimtValue, value: SimtValue,
+                      mask=None) -> SimtValue:
+    return _global_atomic(buffer, "max", index, value, value.dtype, mask)
+
+
+# -- images -------------------------------------------------------------------
+
+
+def read_imagef(image: Image2DSurface, x: SimtValue, y: SimtValue,
+                mask=None) -> Tuple[SimtValue, ...]:
+    """Sampler read returning per-channel floats (coords clamped).
+
+    One message per subgroup; the sampler fetches one texel per lane and
+    the image unit converts the 8-bit channels to float.  To keep CM and
+    OpenCL kernels numerically identical, channels are returned
+    de-normalized (0..255) rather than 0..1.
+    """
+    m = _lane_mask(mask)
+    pixels = image.read_pixels(x.vals.astype(np.int64), y.vals.astype(np.int64))
+    xs = np.clip(x.vals.astype(np.int64), 0, image.width - 1)
+    ys = np.clip(y.vals.astype(np.int64), 0, image.height - 1)
+    offs = ys * image.pitch + xs * image.bytes_per_pixel
+    lines, new = image.mark_lines_offsets(offs, image.bytes_per_pixel, mask=m)
+    ev = ctx.emit_memory(
+        MemKind.SAMPLER,
+        nbytes=x.width * image.bytes_per_pixel,
+        lines=lines, dram_lines=new,
+        l3_bytes=x.width * image.bytes_per_pixel,
+        texels=x.width if m is None else int(np.count_nonzero(m)))
+    channels = []
+    for c in range(4):
+        if c < image.bytes_per_pixel:
+            ch = SimtValue(pixels[:, c].astype(F.np_dtype), F)
+        else:
+            ch = SimtValue(np.zeros(x.width, dtype=F.np_dtype), F)
+        ch._dep = ev
+        channels.append(ch)
+    return tuple(channels)
+
+
+def write_imageui(image: Image2DSurface, x: SimtValue, y: SimtValue,
+                  channels: Tuple[SimtValue, ...], mask=None) -> None:
+    """Image write of per-channel integer values (one scatter message)."""
+    m = _lane_mask(mask)
+    n = x.width
+    raw = np.zeros((n, image.bytes_per_pixel), dtype=np.uint8)
+    for c in range(image.bytes_per_pixel):
+        if c < len(channels):
+            raw[:, c] = np.clip(channels[c].vals, 0, 255).astype(np.uint8)
+    xs = x.vals.astype(np.int64)
+    ys = y.vals.astype(np.int64)
+    if m is not None:
+        xs, ys, raw = xs[m], ys[m], raw[m]
+    image.write_pixels(xs, ys, raw)
+    offs = ys * image.pitch + xs * image.bytes_per_pixel
+    lines, new = image.mark_lines_offsets(offs, image.bytes_per_pixel)
+    ctx.emit_memory(MemKind.IMAGE_WRITE, nbytes=n * image.bytes_per_pixel,
+                    lines=lines, dram_lines=new, is_read=False)
+
+
+# -- cl_intel_subgroups ---------------------------------------------------------
+
+
+def sub_group_shuffle(val: SimtValue, idx) -> SimtValue:
+    """``intel_sub_group_shuffle``: read another lane's value.
+
+    Dynamic lane indices lower to register-indirect moves (2 instructions);
+    this is the shuffle cost the paper notes the OpenCL compiler cannot
+    optimize away.
+    """
+    if isinstance(idx, SimtValue):
+        lanes = idx.vals.astype(np.int64) % val.width
+        ctx.emit_alu(val.width, val.dtype, inst_factor=2)
+    else:
+        lanes = np.full(val.width, int(idx) % val.width)
+        ctx.emit_alu(val.width, val.dtype)
+    return SimtValue(val.vals[lanes].copy(), val.dtype)
+
+
+def sub_group_broadcast(val: SimtValue, lane: int) -> SimtValue:
+    ctx.emit_alu(val.width, val.dtype)
+    return SimtValue(np.full(val.width, val.vals[int(lane)],
+                             dtype=val.dtype.np_dtype), val.dtype)
+
+
+def _sub_group_reduce(val: SimtValue, np_fn) -> SimtValue:
+    width = val.width // 2
+    while width >= 1:
+        ctx.emit_alu(width, val.dtype)
+        width //= 2
+    out = np_fn(val.vals)
+    return SimtValue(np.full(val.width, out, dtype=val.dtype.np_dtype),
+                     val.dtype)
+
+
+def sub_group_reduce_add(val: SimtValue) -> SimtValue:
+    return _sub_group_reduce(val, np.sum)
+
+
+def sub_group_reduce_min(val: SimtValue) -> SimtValue:
+    return _sub_group_reduce(val, np.min)
+
+
+def sub_group_reduce_max(val: SimtValue) -> SimtValue:
+    return _sub_group_reduce(val, np.max)
+
+
+def intel_sub_group_block_read(buffer: Surface, elem_offset: int,
+                               dtype=UD) -> SimtValue:
+    """Coalesced block read: lane ``i`` gets element ``elem_offset + i``."""
+    dt = as_cm_dtype(dtype)
+    info_width = _subgroup_width()
+    nbytes = info_width * dt.size
+    data = buffer.read_linear(elem_offset * dt.size, nbytes).view(dt.np_dtype)
+    lines, new = buffer.mark_lines_range(elem_offset * dt.size, nbytes)
+    ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes,
+                         lines=lines, dram_lines=new, l3_bytes=nbytes)
+    out = SimtValue(data.copy(), dt)
+    out._dep = ev
+    return out
+
+
+def intel_sub_group_block_read_rows(buffer: Surface, elem_offset: int,
+                                    rows: int, pitch_elems: int,
+                                    dtype=UD) -> list:
+    """A tile of ``rows`` subgroup block reads (``row stride pitch_elems``).
+
+    OpenCL buffers have no 2D block message: every row is its own
+    ``intel_sub_group_block_read`` with its own address setup — the
+    amortization CM's media block read provides and this cannot.
+    Returns one SimtValue per row.
+    """
+    dt = as_cm_dtype(dtype)
+    width = _subgroup_width()
+    out = []
+    lines = new = 0
+    for r in range(rows):
+        off = (elem_offset + r * pitch_elems) * dt.size
+        ln, nw = buffer.mark_lines_range(off, width * dt.size)
+        lines += ln
+        new += nw
+        data = buffer.read_linear(off, width * dt.size).view(dt.np_dtype)
+        out.append(SimtValue(data.copy(), dt))
+    nbytes = rows * width * dt.size
+    # Per-message header setup beyond the first (same rule as CM's
+    # multi-message block transfers).
+    ctx.emit_scalar(2 * (rows - 1)) if rows > 1 else None
+    ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes, lines=lines,
+                         dram_lines=new, l3_bytes=nbytes, msgs=rows)
+    for v in out:
+        v._dep = ev
+    return out
+
+
+def intel_sub_group_block_write(buffer: Surface, elem_offset: int,
+                                value: SimtValue) -> None:
+    nbytes = value.width * value.dtype.size
+    buffer.write_linear(elem_offset * value.dtype.size,
+                        value.vals.astype(value.dtype.np_dtype, copy=False))
+    lines, new = buffer.mark_lines_range(elem_offset * value.dtype.size, nbytes)
+    ctx.emit_memory(MemKind.OWORD_WRITE, nbytes=nbytes,
+                    lines=lines, dram_lines=new, l3_bytes=nbytes,
+                    is_read=False)
+
+
+def _subgroup_width() -> int:
+    from repro.ocl.builtins import _info
+
+    return _info().simd
+
+
+class MediaBlock:
+    """Result of ``cl_intel_media_block_io`` reads.
+
+    The hardware distributes the raw block across the subgroup's lanes in
+    array-of-structures order; any SoA view a kernel needs costs shuffle
+    moves (``gather_row``), which the SIMT compiler cannot remove — this
+    is the layout tax of Section III.
+    """
+
+    def __init__(self, rows: np.ndarray, width: int) -> None:
+        self._rows = rows  # (height, width_bytes) uint8
+        self._width = width  # subgroup width
+        self._dep = None
+
+    def gather_row(self, row: int, byte_indices) -> SimtValue:
+        """Shuffle bytes of one block row into a SoA lane vector."""
+        idx = np.asarray(byte_indices, dtype=np.int64)
+        if idx.size != self._width:
+            raise ValueError(
+                f"gather of {idx.size} bytes != subgroup width {self._width}")
+        # Register-indirect shuffle: 2 instructions per gathered vector.
+        if self._dep is not None:
+            ctx.consume(self._dep)
+        ctx.emit_alu(self._width, UB, inst_factor=2)
+        return SimtValue(self._rows[row, idx].copy().astype(UB.np_dtype), UB)
+
+    @property
+    def height(self) -> int:
+        return self._rows.shape[0]
+
+    @property
+    def width_bytes(self) -> int:
+        return self._rows.shape[1]
+
+
+def intel_media_block_read(image: Image2DSurface, x: int, y: int,
+                           width_bytes: int, height: int) -> MediaBlock:
+    """2D media block read (raw bytes, clamped at edges)."""
+    block = image.read_block(int(x), int(y), width_bytes, height)
+    lines, new = image.mark_lines_block2d(int(x), int(y), width_bytes,
+                                          height, image.pitch)
+    messages = -(-width_bytes // 32) * -(-height // 8)
+    ev = ctx.emit_memory(
+        MemKind.BLOCK2D_READ, nbytes=width_bytes * height,
+        lines=lines, dram_lines=new, l3_bytes=width_bytes * height,
+        msgs=messages)
+    mb = MediaBlock(block, _subgroup_width())
+    mb._dep = ev
+    return mb
+
+
+def intel_media_block_write(image: Image2DSurface, x: int, y: int,
+                            rows: np.ndarray) -> None:
+    """2D media block write of raw bytes assembled by the kernel."""
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    height, width_bytes = rows.shape
+    image.write_block(int(x), int(y), width_bytes, height, rows)
+    lines, new = image.mark_lines_block2d(int(x), int(y), width_bytes,
+                                          height, image.pitch)
+    messages = -(-width_bytes // 32) * -(-height // 8)
+    ctx.emit_memory(
+        MemKind.BLOCK2D_WRITE, nbytes=width_bytes * height,
+        lines=lines, dram_lines=new, l3_bytes=width_bytes * height,
+        msgs=messages, is_read=False)

@@ -1,0 +1,157 @@
+"""NDRange launch: work-groups, subgroups, barrier scheduling.
+
+The runtime dispatches an OpenCL NDRange onto simulated hardware threads:
+each subgroup of ``simd`` consecutive work-items (along dimension 0)
+becomes one hardware thread with its own trace.  Work-groups share an SLM
+allocation and synchronize at barriers; kernels that use barriers are
+generator functions (``yield ocl.barrier()``), and the scheduler runs all
+subgroups of a work-group phase by phase, verifying that every subgroup
+reaches the same number of barriers (a hang on real hardware otherwise).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.slm import SharedLocalMemory
+from repro.ocl.builtins import BARRIER, SubgroupInfo
+from repro.sim import context as ctx_mod
+from repro.sim.context import ThreadContext
+from repro.sim.device import Device, KernelRun
+from repro.sim.trace import ThreadTrace
+
+
+@dataclass
+class NDRangeResult:
+    """Outcome of one NDRange enqueue."""
+
+    run: KernelRun
+
+    @property
+    def total_time_us(self) -> float:
+        return self.run.total_time_us
+
+    @property
+    def kernel_time_us(self) -> float:
+        return self.run.kernel_time_us
+
+
+def _normalize(size) -> Tuple[int, ...]:
+    if isinstance(size, (int, np.integer)):
+        return (int(size),)
+    return tuple(int(s) for s in size)
+
+
+def enqueue(device: Device, kernel: Callable, global_size, local_size=None,
+            args: Tuple = (), simd: int = 16, slm_bytes: int = 0,
+            name: Optional[str] = None) -> NDRangeResult:
+    """Enqueue ``kernel`` over an NDRange (1D or 2D).
+
+    ``simd`` is the dispatch width the OpenCL compiler chose (8/16/32).
+    ``slm_bytes`` is the work-group local memory allocation.  ``args`` are
+    passed through to every kernel invocation (surfaces, SLM handles are
+    given per-work-group as a keyword if the kernel takes ``slm``).
+    """
+    gsize = _normalize(global_size)
+    lsize = _normalize(local_size) if local_size is not None else \
+        (min(gsize[0], 8 * simd),) + (1,) * (len(gsize) - 1)
+    if len(lsize) < len(gsize):
+        lsize = lsize + (1,) * (len(gsize) - len(lsize))
+    for d, (g, l) in enumerate(zip(gsize, lsize)):
+        if g % l:
+            raise ValueError(
+                f"global size {g} not divisible by local size {l} in dim {d}")
+    if lsize[0] % simd:
+        raise ValueError(
+            f"local size {lsize[0]} not a multiple of SIMD width {simd}")
+
+    device.begin_enqueue()
+    wants_slm = "slm" in inspect.signature(kernel).parameters
+    n_groups = [g // l for g, l in zip(gsize, lsize)]
+    traces: list[ThreadTrace] = []
+
+    for gy in range(n_groups[1] if len(n_groups) > 1 else 1):
+        for gx in range(n_groups[0]):
+            group_ids = (gx, gy)[: len(gsize)]
+            slm = SharedLocalMemory(slm_bytes) if slm_bytes else None
+            traces.extend(
+                _run_workgroup(device, kernel, args, gsize, lsize,
+                               group_ids, simd, slm, wants_slm))
+
+    run = device.submit(traces, name or getattr(kernel, "__name__", "ocl"))
+    return NDRangeResult(run)
+
+
+def _subgroup_contexts(device: Device, gsize, lsize, group_ids, simd, slm):
+    """Build (ThreadContext, SubgroupInfo) for every subgroup of one WG."""
+    local_linear = int(np.prod(lsize))
+    n_subgroups = local_linear // simd
+    out = []
+    for sg in range(n_subgroups):
+        lin = sg * simd + np.arange(simd)
+        lid0 = lin % lsize[0]
+        lid1 = lin // lsize[0]
+        local_ids = (lid0,) if len(gsize) == 1 else (lid0, lid1)
+        global_ids = tuple(
+            g * l + lid for g, l, lid in zip(group_ids, lsize, local_ids))
+        trace = ThreadTrace(device.machine)
+        thread = ThreadContext(trace, thread_id=(sg,) + tuple(group_ids))
+        thread.ocl_info = SubgroupInfo(
+            simd=simd, global_ids=global_ids, local_ids=local_ids,
+            group_ids=tuple(group_ids), global_size=tuple(gsize),
+            local_size=tuple(lsize), slm=slm, subgroup_id=sg)
+        out.append((thread, trace))
+    return out
+
+
+def _run_workgroup(device, kernel, args, gsize, lsize, group_ids, simd,
+                   slm, wants_slm):
+    contexts = _subgroup_contexts(device, gsize, lsize, group_ids, simd, slm)
+    kwargs = {"slm": slm} if wants_slm else {}
+
+    if not inspect.isgeneratorfunction(kernel):
+        for thread, _trace in contexts:
+            ctx_mod.activate(thread)
+            try:
+                kernel(*args, **kwargs)
+            finally:
+                ctx_mod.deactivate()
+        return [t for _, t in contexts]
+
+    # Barrier-synchronized execution: run all subgroups phase by phase.
+    gens = []
+    for thread, _trace in contexts:
+        ctx_mod.activate(thread)
+        try:
+            gens.append(kernel(*args, **kwargs))
+        finally:
+            ctx_mod.deactivate()
+    live = list(range(len(gens)))
+    while live:
+        next_live = []
+        states = set()
+        for i in live:
+            thread, _trace = contexts[i]
+            ctx_mod.activate(thread)
+            try:
+                yielded = next(gens[i])
+            except StopIteration:
+                states.add("done")
+            else:
+                if yielded is not BARRIER:
+                    raise RuntimeError(
+                        "OpenCL kernels may only yield ocl.barrier()")
+                states.add("barrier")
+                next_live.append(i)
+            finally:
+                ctx_mod.deactivate()
+        if len(states) > 1:
+            raise RuntimeError(
+                "barrier divergence: some subgroups finished while others "
+                "are waiting at a barrier (this hangs on real hardware)")
+        live = next_live
+    return [t for _, t in contexts]

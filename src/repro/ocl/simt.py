@@ -1,0 +1,186 @@
+"""SIMT values: per-work-item scalars, implicitly vectorized.
+
+A :class:`SimtValue` holds one scalar per work-item of the executing
+subgroup.  Arithmetic on SIMT values models the SIMD instructions the
+OpenCL compiler emits after vectorizing the kernel at the dispatch width:
+every operation charges a full-subgroup-width instruction, whether or not
+all lanes contribute — the SIMT lockstep cost the paper contrasts with
+CM's per-instruction SIMD size control.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.cm.dtypes import (
+    as_cm_dtype, common_type, convert_values, scalar_dtype,
+)
+from repro.isa.dtypes import DType, UW
+from repro.sim import context as ctx
+
+Scalar = Union[int, float, np.integer, np.floating, np.bool_]
+
+
+def _is_scalar(x) -> bool:
+    return isinstance(x, (int, float, np.integer, np.floating, np.bool_))
+
+
+class SimtValue:
+    """One value per work-item in the current subgroup."""
+
+    __slots__ = ("vals", "dtype", "_dep")
+
+    def __init__(self, vals: np.ndarray, dtype: DType) -> None:
+        self.vals = vals
+        self.dtype = dtype
+        self._dep = None  # MemEvent that produced this value, if any
+
+    def _use(self) -> None:
+        if self._dep is not None:
+            ctx.consume(self._dep)
+
+    @classmethod
+    def of(cls, values, dtype=None) -> "SimtValue":
+        arr = np.asarray(values)
+        dt = as_cm_dtype(dtype) if dtype is not None else as_cm_dtype(arr.dtype)
+        return cls(arr.astype(dt.np_dtype, copy=False), dt)
+
+    @classmethod
+    def splat(cls, value: Scalar, width: int, dtype=None) -> "SimtValue":
+        dt = as_cm_dtype(dtype) if dtype is not None else scalar_dtype(value)
+        return cls(np.full(width, value, dtype=dt.np_dtype), dt)
+
+    @property
+    def width(self) -> int:
+        return self.vals.size
+
+    def to_numpy(self) -> np.ndarray:
+        return self.vals.copy()
+
+    def astype(self, dtype) -> "SimtValue":
+        """Explicit conversion (``convert_<type>`` in OpenCL C)."""
+        self._use()
+        dt = as_cm_dtype(dtype)
+        ctx.emit_alu(self.width, dt if dt.size >= self.dtype.size else self.dtype)
+        return SimtValue(convert_values(self.vals, dt), dt)
+
+    # -- operand coercion -------------------------------------------------
+
+    def _coerce(self, other):
+        if isinstance(other, SimtValue):
+            if other.width != self.width:
+                raise ValueError(
+                    f"SIMT width mismatch: {self.width} vs {other.width}")
+            return other.vals, other.dtype
+        if _is_scalar(other):
+            dt = scalar_dtype(other)
+            return np.full(self.width, other, dtype=dt.np_dtype), dt
+        raise TypeError(f"cannot mix {type(other).__name__} into SIMT math")
+
+    def _binop(self, other, np_fn, is_math=False, reverse=False,
+               compare=False) -> "SimtValue":
+        self._use()
+        if isinstance(other, SimtValue):
+            other._use()
+        b, b_dt = self._coerce(other)
+        a = self.vals
+        if reverse:
+            a, b = b, a
+            exec_dt = common_type(b_dt, self.dtype)
+        else:
+            exec_dt = common_type(self.dtype, b_dt)
+        av = convert_values(a, exec_dt)
+        bv = convert_values(b, exec_dt)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            out = np_fn(av, bv)
+        ctx.emit_alu(self.width, exec_dt, is_math=is_math)
+        if compare:
+            return SimtValue(out.astype(UW.np_dtype), UW)
+        return SimtValue(out.astype(exec_dt.np_dtype, copy=False), exec_dt)
+
+    def __add__(self, o): return self._binop(o, np.add)
+    def __radd__(self, o): return self._binop(o, np.add, reverse=True)
+    def __sub__(self, o): return self._binop(o, np.subtract)
+    def __rsub__(self, o): return self._binop(o, np.subtract, reverse=True)
+    def __mul__(self, o): return self._binop(o, np.multiply)
+    def __rmul__(self, o): return self._binop(o, np.multiply, reverse=True)
+    def __truediv__(self, o): return self._binop(o, _c_divide, is_math=True)
+    def __rtruediv__(self, o):
+        return self._binop(o, _c_divide, is_math=True, reverse=True)
+    def __floordiv__(self, o): return self._binop(o, _c_divide, is_math=True)
+    def __mod__(self, o): return self._binop(o, _c_mod, is_math=True)
+    def __and__(self, o): return self._binop(o, np.bitwise_and)
+    def __rand__(self, o): return self._binop(o, np.bitwise_and, reverse=True)
+    def __or__(self, o): return self._binop(o, np.bitwise_or)
+    def __ror__(self, o): return self._binop(o, np.bitwise_or, reverse=True)
+    def __xor__(self, o): return self._binop(o, np.bitwise_xor)
+    def __lshift__(self, o): return self._binop(o, np.left_shift)
+    def __rshift__(self, o): return self._binop(o, np.right_shift)
+
+    def __neg__(self):
+        self._use()
+        ctx.emit_alu(self.width, self.dtype)
+        return SimtValue(-self.vals, self.dtype)
+
+    def __invert__(self):
+        self._use()
+        ctx.emit_alu(self.width, self.dtype)
+        return SimtValue(~self.vals, self.dtype)
+
+    def __abs__(self):
+        self._use()
+        ctx.emit_alu(self.width, self.dtype)
+        return SimtValue(np.abs(self.vals), self.dtype)
+
+    def __lt__(self, o): return self._binop(o, np.less, compare=True)
+    def __le__(self, o): return self._binop(o, np.less_equal, compare=True)
+    def __gt__(self, o): return self._binop(o, np.greater, compare=True)
+    def __ge__(self, o): return self._binop(o, np.greater_equal, compare=True)
+    def __eq__(self, o): return self._binop(o, np.equal, compare=True)      # noqa: A003
+    def __ne__(self, o): return self._binop(o, np.not_equal, compare=True)  # noqa: A003
+
+    __hash__ = None
+
+    def as_mask(self) -> np.ndarray:
+        """Host-side boolean view of a comparison result."""
+        self._use()
+        return self.vals.astype(bool)
+
+    def __repr__(self) -> str:
+        return f"SimtValue<{self.dtype.name},{self.width}>({self.vals!r})"
+
+
+def _c_divide(a, b):
+    if np.issubdtype(a.dtype, np.floating):
+        return a / b
+    q = np.where(b != 0, np.trunc(a / np.where(b != 0, b, 1)), 0)
+    return q.astype(a.dtype)
+
+
+def _c_mod(a, b):
+    if np.issubdtype(a.dtype, np.floating):
+        return np.fmod(a, b)
+    return (a - _c_divide(a, b) * b).astype(a.dtype)
+
+
+def where(cond: SimtValue, a, b) -> SimtValue:
+    """Per-lane select (OpenCL ``select``/ternary; Gen ``sel``)."""
+    if not isinstance(cond, SimtValue):
+        raise TypeError("where() condition must be a SimtValue mask")
+    for v in (cond, a, b):
+        if isinstance(v, SimtValue):
+            v._use()
+    av, a_dt = cond._coerce(a)
+    bv, b_dt = cond._coerce(b)
+    dt = common_type(a_dt, b_dt)
+    ctx.emit_alu(cond.width, dt)
+    out = np.where(cond.vals.astype(bool),
+                   convert_values(av, dt), convert_values(bv, dt))
+    return SimtValue(out, dt)
+
+
+#: OpenCL-style alias: select(b, a, cond) == cond ? a : b
+def select(b, a, cond: SimtValue) -> SimtValue:
+    return where(cond, a, b)

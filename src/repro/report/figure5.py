@@ -1,0 +1,113 @@
+"""Figure 5 as a report: speedup bars for every workload.
+
+``python -m repro.report.figure5`` runs a reduced-size version of every
+Figure 5 workload pair (a couple of minutes of simulation) and renders
+an ASCII bar chart of ``OpenCL time / CM time``, next to the paper's
+published band.  The full-size numbers live in the benchmark harness
+(``pytest benchmarks/ --benchmark-only``); this module is the quick look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.workloads import (
+    bitonic, gemm, histogram, kmeans, linear_filter, prefix_sum, spmv,
+    transpose,
+)
+from repro.workloads.common import run_and_time
+
+
+@dataclass
+class Fig5Row:
+    name: str
+    cm_us: float
+    ocl_us: float
+    paper: str
+
+    @property
+    def speedup(self) -> float:
+        return self.ocl_us / self.cm_us
+
+
+def _pair(name: str, cm_fn: Callable, ocl_fn: Callable,
+          paper: str) -> Fig5Row:
+    cm_run = run_and_time("cm", cm_fn)
+    ocl_run = run_and_time("ocl", ocl_fn)
+    return Fig5Row(name, cm_run.total_time_us, ocl_run.total_time_us, paper)
+
+
+def collect_figure5(quick: bool = True) -> List[Fig5Row]:
+    """Run every Figure 5 workload pair and return speedup rows."""
+    rng = np.random.default_rng(1)
+    rows: List[Fig5Row] = []
+
+    img = linear_filter.make_image(256 if quick else 512,
+                                   192 if quick else 384)
+    rows.append(_pair(
+        "linear filter", lambda d: linear_filter.run_cm(d, img),
+        lambda d: linear_filter.run_ocl_optimized(d, img), ">2.0"))
+
+    keys = bitonic.make_input(12 if quick else 15)
+    rows.append(_pair(
+        "bitonic sort", lambda d: bitonic.run_cm(d, keys),
+        lambda d: bitonic.run_ocl(d, keys), "1.6-2.3"))
+
+    px = histogram.make_homogeneous(1 << (18 if quick else 20))
+    rows.append(_pair(
+        "histogram (flat img)", lambda d: histogram.run_cm(d, px),
+        lambda d: histogram.run_ocl(d, px), "up to 2.7"))
+
+    pts, _ = kmeans.make_points(1 << (14 if quick else 15), k=16)
+    c0 = pts[rng.choice(len(pts), 16, replace=False)].copy()
+    rows.append(_pair(
+        "k-means", lambda d: kmeans.run_cm(d, pts, c0, 2),
+        lambda d: kmeans.run_ocl(d, pts, c0, 2), "1.3-1.5"))
+
+    m = spmv.make_webbase()
+    x = rng.standard_normal(m.ncols).astype(np.float32)
+    rows.append(_pair(
+        "SpMV (webbase)", lambda d: spmv.run_cm(d, m, x),
+        lambda d: spmv.run_ocl(d, m, x), "2.6"))
+
+    a = transpose.make_matrix(256 if quick else 1024)
+    rows.append(_pair(
+        "transpose", lambda d: transpose.run_cm(d, a),
+        lambda d: transpose.run_ocl(d, a), "up to 2.2"))
+
+    # GEMM needs enough C blocks to fill the machine even in quick mode.
+    ga, gb, gc = gemm.make_inputs(256, 256, 128 if quick else 256)
+    rows.append(_pair(
+        "SGEMM", lambda d: gemm.run_cm_sgemm(d, ga, gb, gc),
+        lambda d: gemm.run_ocl_sgemm(d, ga, gb, gc), "~1.10"))
+
+    v = prefix_sum.make_input(1 << (14 if quick else 16))
+    rows.append(_pair(
+        "prefix sum", lambda d: prefix_sum.run_cm(d, v),
+        lambda d: prefix_sum.run_ocl(d, v), "1.6"))
+    return rows
+
+
+def render_figure5(rows: List[Fig5Row], width: int = 40) -> str:
+    """ASCII bar chart in the style of the paper's Figure 5."""
+    top = max(max(r.speedup for r in rows), 1.0)
+    lines = ["Speedup of CM over OpenCL (OpenCL time / CM time)", ""]
+    for r in rows:
+        bar = "#" * max(1, int(r.speedup / top * width))
+        lines.append(f"{r.name:22s} {bar} {r.speedup:4.2f}x  "
+                     f"(paper: {r.paper})")
+    lines.append("")
+    lines.append(f"{'':22s} 1.0x baseline = OpenCL")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rows = collect_figure5(quick=True)
+    print(render_figure5(rows))
+
+
+if __name__ == "__main__":
+    main()

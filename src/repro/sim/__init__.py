@@ -1,0 +1,24 @@
+"""GPU simulator: machine models, thread traces, timing, device runtime.
+
+The paper measures wall-clock time on an IceLake Gen11 GPU.  Here,
+kernels execute functionally (numpy) while recording per-hardware-thread
+instruction/memory *traces*; an analytic timing model then converts the
+traces into cycles using a machine description.  See DESIGN.md for the
+cost-model equations and the substitution rationale.
+"""
+
+from repro.sim.machine import MachineConfig, GEN11_ICL, GEN9_SKL, GEN12_TGL
+from repro.sim.trace import ThreadTrace, MemKind
+from repro.sim.timing import KernelTiming, time_kernel
+from repro.sim.device import Device, KernelRun
+from repro.sim.event_sim import EventTiming, simulate as event_simulate
+from repro.sim import context
+
+__all__ = [
+    "MachineConfig", "GEN11_ICL", "GEN9_SKL", "GEN12_TGL",
+    "ThreadTrace", "MemKind",
+    "KernelTiming", "time_kernel",
+    "EventTiming", "event_simulate",
+    "Device", "KernelRun",
+    "context",
+]

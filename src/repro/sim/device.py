@@ -1,0 +1,147 @@
+"""The simulated GPU device and its runtime queue.
+
+Host code creates a :class:`Device`, wraps numpy arrays in surfaces, and
+enqueues kernels.  Each enqueue runs every hardware thread functionally,
+collects the per-thread traces, and records a :class:`KernelRun` with the
+timing breakdown.  Total time accumulates launch overhead per enqueue —
+this is the effect that penalizes the OpenCL bitonic sort's hundreds of
+kernel launches in Figure 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.surfaces import BufferSurface, Image2DSurface
+from repro.sim import context as ctx_mod
+from repro.sim.context import ThreadContext
+from repro.sim.machine import GEN11_ICL, MachineConfig
+from repro.sim.timing import KernelTiming, time_kernel
+from repro.sim.trace import ThreadTrace
+
+
+@dataclass
+class KernelRun:
+    """One completed kernel enqueue."""
+
+    name: str
+    timing: KernelTiming
+    launch_overhead_us: float
+
+    @property
+    def kernel_time_us(self) -> float:
+        return self.timing.time_us
+
+    @property
+    def total_time_us(self) -> float:
+        return self.timing.time_us + self.launch_overhead_us
+
+
+class Device:
+    """A simulated Gen GPU plus its in-order execution queue."""
+
+    def __init__(self, machine: MachineConfig = GEN11_ICL) -> None:
+        self.machine = machine
+        self.runs: list[KernelRun] = []
+        self.surfaces: list = []
+
+    # -- memory management -------------------------------------------------
+
+    def buffer(self, data_or_size) -> BufferSurface:
+        """Create a linear buffer surface from an array or a byte size."""
+        if isinstance(data_or_size, (int, np.integer)):
+            surf = BufferSurface.allocate(int(data_or_size))
+        else:
+            surf = BufferSurface.from_array(np.asarray(data_or_size))
+        self.surfaces.append(surf)
+        return surf
+
+    def image2d(self, data: np.ndarray, bytes_per_pixel: int = 1) -> Image2DSurface:
+        surf = Image2DSurface(np.asarray(data), bytes_per_pixel)
+        self.surfaces.append(surf)
+        return surf
+
+    def begin_enqueue(self) -> None:
+        """Start a new kernel: caches are cold again for line tracking."""
+        for surf in self.surfaces:
+            surf.reset_line_tracking()
+
+    # -- kernel execution ---------------------------------------------------
+
+    def run_cm(self, kernel: Callable, grid: Sequence[int],
+               args: Tuple = (), name: Optional[str] = None) -> KernelRun:
+        """Launch a CM kernel over a 1D/2D/3D grid of hardware threads.
+
+        The kernel body reads its coordinates via ``repro.cm.thread_x()``
+        etc.; one invocation = one hardware thread (the CM model).
+        """
+        self.begin_enqueue()
+        dims = [range(g) for g in grid]
+        traces = []
+        for tid in itertools.product(*reversed(dims)):
+            thread_id = tuple(reversed(tid))
+            trace = ThreadTrace(self.machine)
+            thread_ctx = ThreadContext(trace, thread_id=thread_id)
+            ctx_mod.activate(thread_ctx)
+            try:
+                kernel(*args)
+            finally:
+                ctx_mod.deactivate()
+            traces.append(trace)
+        return self.submit(traces, name or getattr(kernel, "__name__", "cm"))
+
+    def submit(self, traces: Sequence[ThreadTrace], name: str) -> KernelRun:
+        """Record a completed enqueue built from externally-run traces."""
+        timing = time_kernel(traces, self.machine)
+        run = KernelRun(name=name, timing=timing,
+                        launch_overhead_us=self.machine.launch_overhead_us)
+        self.runs.append(run)
+        return run
+
+    def new_trace(self) -> ThreadTrace:
+        return ThreadTrace(self.machine)
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def total_time_us(self) -> float:
+        """Total queue time: kernels plus launch overhead.
+
+        The first enqueue pays the full driver overhead; subsequent
+        back-to-back enqueues pipeline behind GPU execution and pay only
+        the dispatch gap.
+        """
+        if not self.runs:
+            return 0.0
+        overhead = self.machine.launch_overhead_us + \
+            (len(self.runs) - 1) * self.machine.pipelined_launch_us
+        return self.kernel_time_us + overhead
+
+    @property
+    def kernel_time_us(self) -> float:
+        return sum(r.kernel_time_us for r in self.runs)
+
+    @property
+    def launches(self) -> int:
+        return len(self.runs)
+
+    def reset(self) -> None:
+        self.runs.clear()
+
+    def report(self) -> str:
+        """Human-readable per-run breakdown (for examples and debugging)."""
+        lines = [f"device: {self.machine.name}"]
+        for r in self.runs:
+            tm = r.timing
+            lines.append(
+                f"  {r.name}: {r.total_time_us:9.1f} us "
+                f"(kernel {tm.time_us:9.1f}, bound by {tm.bound_by}, "
+                f"{tm.num_threads} threads, {tm.total_instructions} inst, "
+                f"{tm.dram_bytes} dram bytes)")
+        lines.append(f"  total: {self.total_time_us:.1f} us over "
+                     f"{self.launches} launches")
+        return "\n".join(lines)

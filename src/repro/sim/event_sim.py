@@ -1,0 +1,183 @@
+"""Event-driven timing simulation (cross-check for the analytic model).
+
+The analytic model in :mod:`repro.sim.timing` takes the *max* of
+independent resource bounds.  This module replays the same per-thread
+traces through a discrete-event simulation instead:
+
+- hardware threads are statically assigned round-robin to EU slots
+  (``num_eus`` x ``threads_per_eu``); compute segments serialize on
+  their EU,
+- memory messages queue at shared servers — the per-subslice dataport
+  and sampler, the chip-wide L3 and DRAM — each with the service rates
+  of the machine description,
+- a load blocks its thread at the recorded first-use point (the
+  dependency distance the trace captured), not at issue,
+- barriers release when every thread of the enqueue has arrived (an
+  over-approximation of work-group scope, acceptable for cross-checks).
+
+The result is a second, independently-derived estimate of kernel cycles.
+It is slower (Python event loop) and is used in tests to confirm the
+analytic model's ordering of CM vs OpenCL implementations, not in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.machine import MachineConfig
+from repro.sim.trace import GLOBAL_KINDS, MemKind, SLM_KINDS, ThreadTrace
+
+
+@dataclass
+class _Server:
+    """A shared resource serving work at a fixed rate (cycles per unit)."""
+
+    name: str
+    free_at: float = 0.0
+    busy: float = 0.0
+
+    def serve(self, now: float, cycles: float) -> float:
+        """Occupy the server for ``cycles`` starting no earlier than now."""
+        start = max(now, self.free_at)
+        self.free_at = start + cycles
+        self.busy += cycles
+        return self.free_at
+
+
+@dataclass
+class _Step:
+    """One step of a thread: compute, then optionally a memory message."""
+
+    compute: float
+    event: object = None          # MemEvent or "barrier"
+    hide: float = 0.0             # cycles of independent work after issue
+
+
+def _thread_steps(trace: ThreadTrace) -> List[_Step]:
+    steps: List[_Step] = []
+    cursor = 0.0
+    for ev in trace.events:
+        compute = max(0.0, ev.issue_at - cursor)
+        cursor = ev.issue_at
+        if ev.is_read and ev.consumed_at is not None:
+            hide = max(0.0, ev.consumed_at - ev.issue_at)
+        else:
+            hide = float("inf")   # never blocks the thread
+        steps.append(_Step(compute=compute, event=ev, hide=hide))
+    tail = max(0.0, trace.issue_cycles - cursor)
+    for _ in range(trace.barriers):
+        steps.append(_Step(compute=0.0, event="barrier"))
+    steps.append(_Step(compute=tail))
+    return steps
+
+
+@dataclass
+class EventTiming:
+    """Result of one event-driven replay."""
+
+    cycles: float
+    server_busy: dict = field(default_factory=dict)
+
+    def time_us(self, machine: MachineConfig) -> float:
+        return machine.cycles_to_us(self.cycles)
+
+
+def simulate(traces: Sequence[ThreadTrace],
+             machine: MachineConfig) -> EventTiming:
+    """Replay traces through the discrete-event machine model."""
+    m = machine
+    n_sub = m.num_subslices
+    dataports = [_Server(f"dataport{i}") for i in range(n_sub)]
+    samplers = [_Server(f"sampler{i}") for i in range(n_sub)]
+    slms = [_Server(f"slm{i}") for i in range(n_sub)]
+    l3 = _Server("l3")
+    dram = _Server("dram")
+    atomic_unit = _Server("atomic")
+    # First-touch traffic within the shared LLC capacity never reaches
+    # DRAM (same rule as the analytic model).
+    llc_budget = [m.llc_capacity_bytes]
+    eus = [_Server(f"eu{i}") for i in range(m.num_eus)]
+
+    threads = [_thread_steps(tr) for tr in traces]
+    eu_of = [i % m.num_eus for i in range(len(traces))]
+    sub_of = [eu_of[i] % n_sub for i in range(len(traces))]
+
+    # Barrier bookkeeping: one global rendezvous per barrier round.
+    n_barrier_rounds = max((tr.barriers for tr in traces), default=0)
+    barrier_arrivals: List[List[float]] = [[] for _ in range(n_barrier_rounds)]
+    barrier_expected = sum(1 for tr in traces if tr.barriers > 0) or 1
+
+    def service(ev, now: float, tid: int) -> float:
+        """Route a message through its servers; return response time."""
+        sub = sub_of[tid]
+        if ev.kind in SLM_KINDS:
+            done = slms[sub].serve(now, max(ev.slm_cycles, 1))
+            return done + m.slm_latency
+        if ev.kind is MemKind.SAMPLER:
+            done = samplers[sub].serve(
+                now, ev.texels / m.sampler_texels_per_cycle)
+            l3_done = l3.serve(done, ev.l3_bytes / m.l3_bytes_per_cycle)
+            return max(done, l3_done) + m.sampler_latency
+        if ev.kind in GLOBAL_KINDS:
+            dp_cycles = ev.nbytes / m.dataport_bytes_per_cycle + ev.msgs
+            done = dataports[sub].serve(now, dp_cycles)
+            l3_done = l3.serve(done, ev.l3_bytes / m.l3_bytes_per_cycle)
+            dram_done = l3_done
+            if ev.dram_lines:
+                miss_bytes = ev.dram_lines * 64
+                absorbed = min(llc_budget[0], miss_bytes)
+                llc_budget[0] -= absorbed
+                miss_bytes -= absorbed
+                if miss_bytes:
+                    dram_done = dram.serve(
+                        l3_done, miss_bytes / m.dram_bytes_per_cycle)
+            if ev.kind is MemKind.ATOMIC:
+                dram_done = atomic_unit.serve(
+                    dram_done, ev.msgs * m.atomic_cycles_per_op)
+            return max(done, l3_done, dram_done) + m.dataport_latency
+        return now + m.dram_latency
+
+    # Per-thread state machine driven by a time-ordered heap.
+    ready = [(0.0, tid, 0) for tid in range(len(threads))]
+    heapq.heapify(ready)
+    finish = 0.0
+    waiting_barrier: dict = {}
+
+    while ready:
+        now, tid, step_idx = heapq.heappop(ready)
+        steps = threads[tid]
+        if step_idx >= len(steps):
+            finish = max(finish, now)
+            continue
+        step = steps[step_idx]
+        if step.event == "barrier":
+            round_idx = sum(
+                1 for s in steps[:step_idx] if s.event == "barrier")
+            barrier_arrivals[round_idx].append(now)
+            waiting_barrier.setdefault(round_idx, []).append((tid, step_idx))
+            if len(barrier_arrivals[round_idx]) == barrier_expected:
+                release = max(barrier_arrivals[round_idx]) + m.barrier_cycles
+                for wtid, wstep in waiting_barrier.pop(round_idx):
+                    heapq.heappush(ready, (release, wtid, wstep + 1))
+            continue
+        # Compute segment serializes on this thread's EU.
+        eu = eus[eu_of[tid]]
+        end_compute = eu.serve(now, step.compute)
+        if step.event is None:
+            heapq.heappush(ready, (end_compute, tid, step_idx + 1))
+            continue
+        response = service(step.event, end_compute, tid)
+        if step.hide == float("inf"):
+            resume = end_compute            # never blocks
+        else:
+            # The thread has `hide` cycles of independent work (already
+            # counted in later compute segments) to overlap the wait.
+            resume = max(end_compute, response - step.hide)
+        heapq.heappush(ready, (resume, tid, step_idx + 1))
+
+    busy = {s.name: s.busy for s in
+            [l3, dram, atomic_unit] + dataports + samplers + slms + eus}
+    return EventTiming(cycles=finish, server_busy=busy)

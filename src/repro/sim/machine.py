@@ -1,0 +1,133 @@
+"""Machine descriptions for the simulated Gen GPUs.
+
+Parameters approximate public Gen9 (Skylake GT2) and Gen11 (IceLake GT2)
+configurations.  Absolute values matter less than the *ratios* between
+compute, bandwidth, sampler, SLM and atomic throughput — those ratios are
+what reproduce the shape of the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.dtypes import DType
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of one simulated GPU."""
+
+    name: str
+    #: Number of execution units.
+    num_eus: int = 64
+    #: Hardware threads per EU (each with a private 4 KB GRF).
+    threads_per_eu: int = 7
+    #: EUs are grouped into subslices; samplers, dataport and SLM are
+    #: per-subslice resources.
+    eus_per_subslice: int = 8
+    #: Core clock in Hz.
+    frequency_hz: float = 1.1e9
+    #: Achievable DRAM bandwidth in bytes/second (shared with CPU).
+    dram_bw_bytes: float = 34e9
+    #: L3 cache bandwidth in bytes per cycle (shared across the GPU; the
+    #: L3 is banked, so aggregate bandwidth far exceeds one line per cycle).
+    l3_bytes_per_cycle: int = 512
+    #: Shared LLC capacity: on integrated Gen GPUs the LLC is shared with
+    #: the CPU, so a working set this size is cache-resident and its
+    #: first-touch traffic does not reach DRAM.
+    llc_capacity_bytes: float = 8e6
+    #: Dataport (HDC) bytes per cycle per subslice (block & scattered I/O).
+    dataport_bytes_per_cycle: int = 64
+    #: Fixed dataport occupancy per *block-class* message (media/oword
+    #: block): one address, streaming payload.
+    dataport_block_msg_cycles: int = 1
+    #: Fixed dataport occupancy per *scatter-class* message (gather,
+    #: scatter, atomic): per-lane address decode makes these slower, which
+    #: is why one block message beats many scattered ones (Section III).
+    dataport_scatter_msg_cycles: int = 2
+    #: Sampler texels per cycle per subslice (image gather path).
+    sampler_texels_per_cycle: int = 4
+    #: SLM words (4 B) per cycle per bank; 16 banks per subslice.
+    slm_banks: int = 16
+    #: Global memory load latency in cycles (L3 miss to DRAM).
+    dram_latency: int = 190
+    #: Sampler message latency in cycles.
+    sampler_latency: int = 250
+    #: Dataport (block/scattered) message latency in cycles.
+    dataport_latency: int = 170
+    #: SLM access latency in cycles.
+    slm_latency: int = 60
+    #: Cycles per serialized same-address global atomic op.
+    atomic_cycles_per_op: int = 4
+    #: Pipelined global atomics per cycle per subslice (distinct addresses).
+    atomic_ops_per_cycle: float = 1.0
+    #: Work-group barrier cost in cycles per participating thread
+    #: (signal + wait when all threads arrive together).
+    barrier_cycles: int = 40
+    #: Host-side cost of one kernel enqueue (driver + dispatch), in us.
+    launch_overhead_us: float = 6.0
+    #: GPU-side gap between back-to-back kernels in an in-order queue:
+    #: enqueue cost pipelines behind execution, only the dispatch/sync
+    #: gap remains.
+    pipelined_launch_us: float = 1.0
+    #: Per-instruction front-end issue cost in cycles.
+    issue_cycles_per_inst: int = 1
+
+    # -- derived helpers -------------------------------------------------
+
+    @property
+    def num_subslices(self) -> int:
+        return max(1, self.num_eus // self.eus_per_subslice)
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_eus * self.threads_per_eu
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bw_bytes / self.frequency_hz
+
+    def alu_lanes_per_cycle(self, dtype: DType, is_math: bool = False) -> float:
+        """FPU lanes per cycle per EU for the given execution type.
+
+        Gen EUs execute 8 fp32/int32 lanes per cycle (2x SIMD4 pipes),
+        double rate for <=2-byte integer types, and a reduced rate for
+        8-byte types and extended-math functions.
+        """
+        if is_math:
+            return 2.0
+        if dtype.size >= 8:
+            return 2.0
+        if dtype.size <= 2 and not dtype.is_float:
+            return 16.0
+        return 8.0
+
+    def native_simd(self, elem_size: int) -> int:
+        """Max elements per instruction: operands are capped at 2 GRFs."""
+        return max(1, min(32, 64 // max(elem_size, 1)))
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / self.frequency_hz * 1e6
+
+
+GEN11_ICL = MachineConfig(name="Gen11 ICL GT2 (64 EU)")
+
+GEN9_SKL = MachineConfig(
+    name="Gen9 SKL GT2 (24 EU)",
+    num_eus=24,
+    threads_per_eu=7,
+    eus_per_subslice=8,
+    frequency_hz=1.15e9,
+    dram_bw_bytes=30e9,
+)
+
+GEN12_TGL = MachineConfig(
+    name="Gen12 TGL GT2 (96 EU)",
+    num_eus=96,
+    threads_per_eu=7,
+    eus_per_subslice=16,
+    frequency_hz=1.35e9,
+    dram_bw_bytes=55e9,
+    l3_bytes_per_cycle=768,
+    llc_capacity_bytes=12e6,
+)

@@ -1,0 +1,196 @@
+"""Analytic kernel timing model.
+
+A kernel's runtime is the largest of several resource bounds, computed
+from the per-thread traces (see DESIGN.md):
+
+- **compute**: total EU issue cycles spread over all EUs,
+- **DRAM bandwidth**: compulsory (first-touch) cache lines per surface —
+  re-reads of lines already touched during the kernel hit in L3,
+- **L3 bandwidth**: every message's line transactions, including reuse —
+  redundant loads are not free even when they hit the cache,
+- **dataport**: block/scattered message bytes through the per-subslice
+  data port,
+- **sampler**: texels through the per-subslice samplers,
+- **SLM**: bank-serialization cycles through the per-subslice SLM,
+- **global atomics**: hot-address serial chains plus total atomic
+  throughput,
+- **latency**: per-thread completion time divided by how many threads the
+  machine can overlap (occupancy); a kernel with too few threads, or with
+  un-hidden load latency, lands here.
+
+This is a first-order, deterministic model: it captures exactly the
+effects the paper attributes the CM/OpenCL gaps to (traffic volume,
+message counts, SLM conflicts, atomic contention, barriers, launches).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.sim.machine import MachineConfig
+from repro.sim.trace import GLOBAL_KINDS, MemKind, SLM_KINDS, ThreadTrace
+
+#: Message kinds with per-lane address decode at the dataport.
+SCATTER_CLASS = frozenset({MemKind.GATHER, MemKind.SCATTER, MemKind.ATOMIC,
+                           MemKind.IMAGE_WRITE})
+
+#: Cache line size used to convert line counts to bytes.
+LINE_BYTES = 64
+
+
+@dataclass
+class KernelTiming:
+    """Timing breakdown for one kernel enqueue."""
+
+    machine: MachineConfig
+    num_threads: int = 0
+    total_instructions: int = 0
+    compute_cycles: float = 0.0
+    dram_cycles: float = 0.0
+    l3_cycles: float = 0.0
+    dataport_cycles: float = 0.0
+    sampler_cycles: float = 0.0
+    slm_cycles: float = 0.0
+    atomic_cycles: float = 0.0
+    latency_cycles: float = 0.0
+    #: totals for reporting
+    dram_bytes: int = 0
+    global_read_bytes: int = 0
+    global_write_bytes: int = 0
+    slm_bytes: int = 0
+    texels: int = 0
+    barriers: int = 0
+    messages: int = 0
+    max_grf_bytes: int = 0
+    bounds: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.dram_cycles, self.l3_cycles,
+                   self.dataport_cycles, self.sampler_cycles,
+                   self.slm_cycles, self.atomic_cycles, self.latency_cycles)
+
+    @property
+    def bound_by(self) -> str:
+        named = {
+            "compute": self.compute_cycles,
+            "dram": self.dram_cycles,
+            "l3": self.l3_cycles,
+            "dataport": self.dataport_cycles,
+            "sampler": self.sampler_cycles,
+            "slm": self.slm_cycles,
+            "atomic": self.atomic_cycles,
+            "latency": self.latency_cycles,
+        }
+        return max(named, key=named.get)
+
+    @property
+    def time_us(self) -> float:
+        """Kernel execution time (without enqueue overhead)."""
+        return self.machine.cycles_to_us(self.cycles)
+
+
+def time_kernel(traces: Sequence[ThreadTrace],
+                machine: MachineConfig) -> KernelTiming:
+    """Fold per-thread traces into a kernel timing."""
+    t = KernelTiming(machine=machine, num_threads=len(traces))
+    total_issue = 0.0
+    total_thread_time = 0.0
+    max_thread_time = 0.0
+    dram_lines = 0
+    l3_bytes = 0
+    dataport_bytes = 0
+    block_msgs = 0
+    scatter_msgs = 0
+    texels = 0
+    slm_bank_cycles = 0
+    atomic_addrs: Counter = Counter()
+
+    for tr in traces:
+        total_issue += tr.issue_cycles
+        thread_time = tr.exec_cycles()
+        total_thread_time += thread_time
+        max_thread_time = max(max_thread_time, thread_time)
+        t.total_instructions += tr.inst_count
+        t.barriers += tr.barriers
+        t.messages += len(tr.events)
+        t.max_grf_bytes = max(t.max_grf_bytes, tr.grf_high_water)
+        atomic_addrs.update(tr.atomic_addrs)
+        for ev in tr.events:
+            if ev.kind in GLOBAL_KINDS:
+                dram_lines += ev.dram_lines
+                l3_bytes += ev.l3_bytes
+                t.dram_bytes += ev.dram_lines * LINE_BYTES
+                if ev.is_read:
+                    t.global_read_bytes += ev.nbytes
+                else:
+                    t.global_write_bytes += ev.nbytes
+                if ev.kind is MemKind.SAMPLER:
+                    texels += ev.texels
+                elif ev.kind in SCATTER_CLASS:
+                    dataport_bytes += ev.nbytes
+                    scatter_msgs += ev.msgs
+                else:
+                    dataport_bytes += ev.nbytes
+                    block_msgs += ev.msgs
+            elif ev.kind in SLM_KINDS:
+                slm_bank_cycles += ev.slm_cycles
+                t.slm_bytes += ev.nbytes
+
+    m = machine
+    t.compute_cycles = total_issue / m.num_eus
+    # Working sets that fit the shared LLC do not pay DRAM on first touch.
+    dram_bytes = max(0.0, dram_lines * LINE_BYTES - m.llc_capacity_bytes)
+    t.dram_cycles = dram_bytes / m.dram_bytes_per_cycle
+    t.l3_cycles = l3_bytes / m.l3_bytes_per_cycle
+    t.dataport_cycles = (
+        dataport_bytes / m.dataport_bytes_per_cycle
+        + block_msgs * m.dataport_block_msg_cycles
+        + scatter_msgs * m.dataport_scatter_msg_cycles) / m.num_subslices
+    t.sampler_cycles = texels / (
+        m.num_subslices * m.sampler_texels_per_cycle)
+    t.slm_cycles = slm_bank_cycles / m.num_subslices
+    t.texels = texels
+
+    if atomic_addrs:
+        hottest = max(atomic_addrs.values())
+        total_ops = sum(atomic_addrs.values())
+        t.atomic_cycles = max(
+            hottest * m.atomic_cycles_per_op,
+            total_ops / (m.atomic_ops_per_cycle * m.num_subslices))
+
+    # Latency bound: threads beyond the machine's capacity run in waves.
+    capacity = m.num_threads
+    t.latency_cycles = max(total_thread_time / capacity, max_thread_time)
+
+    t.bounds = {
+        "compute": t.compute_cycles,
+        "dram": t.dram_cycles,
+        "l3": t.l3_cycles,
+        "dataport": t.dataport_cycles,
+        "sampler": t.sampler_cycles,
+        "slm": t.slm_cycles,
+        "atomic": t.atomic_cycles,
+        "latency": t.latency_cycles,
+    }
+    return t
+
+
+def merge_timings(timings: Iterable[KernelTiming],
+                  machine: MachineConfig,
+                  launches: int = None) -> dict:
+    """Summarize a sequence of kernel enqueues into totals for reporting."""
+    timings = list(timings)
+    n = launches if launches is not None else len(timings)
+    exec_us = sum(tm.time_us for tm in timings)
+    return {
+        "launches": n,
+        "kernel_time_us": exec_us,
+        "launch_overhead_us": n * machine.launch_overhead_us,
+        "total_time_us": exec_us + n * machine.launch_overhead_us,
+        "dram_bytes": sum(tm.dram_bytes for tm in timings),
+        "instructions": sum(tm.total_instructions for tm in timings),
+        "barriers": sum(tm.barriers for tm in timings),
+    }

@@ -1,0 +1,171 @@
+"""Per-hardware-thread execution traces.
+
+Every CM or OpenCL hardware thread records what it executed: ALU issue
+cycles (dependency positions included), memory messages with their
+cache-line footprints, SLM bank-serialization cycles, atomics, and
+barriers.  The analytic model in :mod:`repro.sim.timing` converts a set
+of traces into kernel time.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.dtypes import DType
+from repro.sim.machine import MachineConfig
+
+
+class MemKind(enum.Enum):
+    BLOCK2D_READ = "block2d_read"
+    BLOCK2D_WRITE = "block2d_write"
+    OWORD_READ = "oword_read"
+    OWORD_WRITE = "oword_write"
+    GATHER = "gather"
+    SCATTER = "scatter"
+    SAMPLER = "sampler"
+    IMAGE_WRITE = "image_write"
+    ATOMIC = "atomic"
+    SLM_READ = "slm_read"
+    SLM_WRITE = "slm_write"
+    SLM_ATOMIC = "slm_atomic"
+
+
+#: Message kinds that move data over the global-memory path (count toward
+#: the DRAM bandwidth bound).
+GLOBAL_KINDS = frozenset({
+    MemKind.BLOCK2D_READ, MemKind.BLOCK2D_WRITE,
+    MemKind.OWORD_READ, MemKind.OWORD_WRITE,
+    MemKind.GATHER, MemKind.SCATTER,
+    MemKind.SAMPLER, MemKind.IMAGE_WRITE, MemKind.ATOMIC,
+})
+
+SLM_KINDS = frozenset({MemKind.SLM_READ, MemKind.SLM_WRITE, MemKind.SLM_ATOMIC})
+
+
+@dataclass
+class MemEvent:
+    """One memory message issued by a thread."""
+
+    kind: MemKind
+    nbytes: int = 0
+    lines: int = 0            # unique cache lines touched (L3 transactions)
+    dram_lines: int = 0       # first-touch (compulsory) lines -> DRAM traffic
+    l3_bytes: int = 0         # bytes charged to L3 bandwidth
+    msgs: int = 1             # hardware messages this event represents
+    texels: int = 0           # sampler path
+    slm_cycles: int = 0       # bank-serialization cycles (SLM kinds)
+    issue_at: float = 0.0     # thread issue position when sent
+    consumed_at: Optional[float] = None  # issue position of first use
+    is_read: bool = True
+
+    def latency(self, machine: MachineConfig) -> int:
+        if self.kind is MemKind.SAMPLER:
+            return machine.sampler_latency
+        if self.kind in SLM_KINDS:
+            return machine.slm_latency + self.slm_cycles
+        if self.kind in (MemKind.GATHER, MemKind.SCATTER, MemKind.ATOMIC,
+                         MemKind.OWORD_READ, MemKind.OWORD_WRITE,
+                         MemKind.BLOCK2D_READ, MemKind.BLOCK2D_WRITE,
+                         MemKind.IMAGE_WRITE):
+            return machine.dataport_latency
+        return machine.dram_latency
+
+
+@dataclass
+class ThreadTrace:
+    """Everything one hardware thread executed, in issue order."""
+
+    machine: MachineConfig
+    issue_cycles: float = 0.0
+    inst_count: int = 0
+    events: list = field(default_factory=list)
+    barriers: int = 0
+    #: per-(surface-id, word-address) op counts for global atomics
+    atomic_addrs: Counter = field(default_factory=Counter)
+    #: high-water register-file demand in bytes (approximate, eager path)
+    grf_high_water: int = 0
+
+    # -- ALU ----------------------------------------------------------------
+
+    def alu(self, n: int, dtype: DType, is_math: bool = False,
+            inst_factor: int = 1) -> None:
+        """Record an n-element SIMD operation of execution type ``dtype``.
+
+        ``inst_factor`` multiplies the instruction count, for CM ops that
+        legalize to several instructions per chunk (e.g. mul+mov for dp).
+        """
+        m = self.machine
+        n_inst = -(-n // m.native_simd(dtype.size)) * inst_factor
+        lanes = m.alu_lanes_per_cycle(dtype, is_math)
+        cycles = max(n_inst * m.issue_cycles_per_inst, n / lanes)
+        self.inst_count += n_inst
+        self.issue_cycles += cycles
+
+    def scalar_op(self, count: int = 1) -> None:
+        """Scalar/address arithmetic: one instruction each."""
+        self.inst_count += count
+        self.issue_cycles += count * self.machine.issue_cycles_per_inst
+
+    # -- memory ---------------------------------------------------------
+
+    def memory(self, kind: MemKind, nbytes: int = 0, lines: int = 0,
+               dram_lines: int = None, l3_bytes: int = None, texels: int = 0,
+               slm_cycles: int = 0, is_read: bool = True,
+               msgs: int = 1) -> MemEvent:
+        """Record a memory message; returns the event for dep tracking.
+
+        ``lines`` is the L3 transaction count; ``dram_lines`` the
+        compulsory (first-touch) subset, defaulting to ``lines`` when the
+        caller does no reuse tracking.  ``l3_bytes`` is what the message
+        moves over the L3 fabric — the payload for dense block messages,
+        full lines for scattered ones (the default).
+        """
+        # A send occupies the front end briefly.
+        self.inst_count += 1
+        self.issue_cycles += 2 * self.machine.issue_cycles_per_inst
+        ev = MemEvent(kind=kind, nbytes=nbytes, lines=lines,
+                      dram_lines=lines if dram_lines is None else dram_lines,
+                      l3_bytes=lines * 64 if l3_bytes is None else l3_bytes,
+                      texels=texels, msgs=msgs,
+                      slm_cycles=slm_cycles, issue_at=self.issue_cycles,
+                      is_read=is_read)
+        self.events.append(ev)
+        return ev
+
+    def consume(self, event: MemEvent) -> None:
+        """Mark the first use of a load's result (dependency distance)."""
+        if event.consumed_at is None:
+            event.consumed_at = self.issue_cycles
+
+    def atomic_global(self, addr_words, surface_id: int = 0) -> None:
+        """Record global-atomic target addresses for contention modeling."""
+        for w in addr_words:
+            self.atomic_addrs[(surface_id, int(w))] += 1
+
+    def barrier(self) -> None:
+        self.barriers += 1
+
+    def note_grf(self, live_bytes: int) -> None:
+        if live_bytes > self.grf_high_water:
+            self.grf_high_water = live_bytes
+
+    # -- analysis -------------------------------------------------------
+
+    def exec_cycles(self) -> float:
+        """Thread completion time: issue + exposed memory latency + barriers.
+
+        A load's latency is hidden by the independent instructions issued
+        between the load and its first consumer; only the remainder stalls
+        the thread.  Stores and never-consumed loads do not stall.
+        """
+        m = self.machine
+        stall = 0.0
+        for ev in self.events:
+            if not ev.is_read or ev.consumed_at is None:
+                continue
+            covered = ev.consumed_at - ev.issue_at
+            stall += max(0.0, ev.latency(m) - covered)
+        return self.issue_cycles + stall + self.barriers * m.barrier_cycles

@@ -1,0 +1,24 @@
+"""Paired CM / OpenCL workload implementations from the paper's evaluation.
+
+Each module provides, for one workload:
+
+- ``reference(...)`` — a numpy oracle,
+- ``run_cm(device, ...)`` — the CM implementation (Section VI sketch),
+- ``run_ocl(device, ...)`` — the tuned SIMT OpenCL baseline,
+
+both returning a :class:`repro.workloads.common.WorkloadRun` with the
+computed output and timing, so benchmarks can check correctness *and*
+compare simulated time.
+"""
+
+from repro.workloads.common import WorkloadRun, run_and_time
+from repro.workloads import (  # noqa: F401  (re-exported submodules)
+    bitonic, conv, gemm, histogram, kmeans, linear_filter, prefix_sum,
+    spmv, stencil, systolic, transpose,
+)
+
+__all__ = [
+    "WorkloadRun", "run_and_time",
+    "bitonic", "conv", "gemm", "histogram", "kmeans", "linear_filter",
+    "prefix_sum", "spmv", "stencil", "systolic", "transpose",
+]

@@ -1,0 +1,47 @@
+"""Shared workload plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.device import Device
+from repro.sim.machine import GEN11_ICL, MachineConfig
+
+
+@dataclass
+class WorkloadRun:
+    """One workload execution: output plus accumulated device timing."""
+
+    name: str
+    output: np.ndarray
+    total_time_us: float
+    kernel_time_us: float
+    launches: int
+    device: Device = field(repr=False, default=None)
+
+    @property
+    def launch_overhead_us(self) -> float:
+        return self.total_time_us - self.kernel_time_us
+
+
+def run_and_time(name: str, fn: Callable[[Device], np.ndarray],
+                 machine: MachineConfig = GEN11_ICL) -> WorkloadRun:
+    """Run ``fn`` against a fresh device and collect its timing."""
+    device = Device(machine)
+    output = fn(device)
+    return WorkloadRun(
+        name=name,
+        output=output,
+        total_time_us=device.total_time_us,
+        kernel_time_us=device.kernel_time_us,
+        launches=device.launches,
+        device=device,
+    )
+
+
+def speedup(ocl: WorkloadRun, cm: WorkloadRun) -> float:
+    """The paper's Figure 5 metric: OpenCL time / CM time."""
+    return ocl.total_time_us / cm.total_time_us

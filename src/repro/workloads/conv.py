@@ -1,0 +1,154 @@
+"""Convolution kernels from the productivity study (Table I).
+
+- **Conv 1x1** (pointwise convolution): mathematically a GEMM of the
+  ``(H*W) x Cin`` activation matrix with ``Cin x Cout`` weights; both
+  implementations delegate to the register-blocked GEMM kernels, which
+  is exactly how production libraries lower 1x1 convolutions.
+- **Conv 3x3**: a 3x3 convolution producing ``NUM_FILTERS`` output
+  feature maps from one float32 input plane (the compute-heavy regime of
+  the paper's DNN kernels).  The CM kernel block-reads one
+  ``(ROWS+2) x (COLS+2)`` tile and forms every tap as a register select
+  (9 x NUM_FILTERS mads per tile); the tuned SIMT kernel loads two
+  shifted rows per tap row and reconstructs the centre tap with subgroup
+  shuffles before the same mad chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim import context as ctx_mod
+from repro.sim.device import Device
+from repro.workloads import gemm
+
+ROWS, COLS = 8, 16
+
+
+# -- conv 1x1 (pointwise) -----------------------------------------------------
+
+
+def make_conv1x1_inputs(hw: int = 1024, cin: int = 64, cout: int = 64,
+                        seed: int = 41):
+    rng = np.random.default_rng(seed)
+    acts = rng.standard_normal((hw, cin)).astype(np.float32)
+    weights = rng.standard_normal((cin, cout)).astype(np.float32)
+    return acts, weights
+
+
+def conv1x1_reference(acts, weights):
+    return (acts.astype(np.float64) @ weights.astype(np.float64)) \
+        .astype(np.float32)
+
+
+def run_cm_conv1x1(device: Device, acts, weights) -> np.ndarray:
+    bias = np.zeros((acts.shape[0], weights.shape[1]), dtype=np.float32)
+    return gemm.run_cm_sgemm(device, acts, weights, bias)
+
+
+def run_ocl_conv1x1(device: Device, acts, weights) -> np.ndarray:
+    bias = np.zeros((acts.shape[0], weights.shape[1]), dtype=np.float32)
+    return gemm.run_ocl_sgemm(device, acts, weights, bias)
+
+
+# -- conv 3x3 -----------------------------------------------------------------
+
+#: Output feature maps computed per pass (arithmetic intensity knob).
+NUM_FILTERS = 8
+
+
+def make_conv3x3_inputs(width: int, height: int, seed: int = 43):
+    if width % COLS or height % ROWS:
+        raise ValueError(f"interior must be a multiple of {COLS}x{ROWS}")
+    rng = np.random.default_rng(seed)
+    img = rng.standard_normal((height + 2, width + 2)).astype(np.float32)
+    weights = rng.standard_normal((NUM_FILTERS, 3, 3)).astype(np.float32)
+    return img, weights
+
+
+def conv3x3_reference(img: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Returns (NUM_FILTERS, H, W) interior feature maps."""
+    h2, w2 = img.shape
+    out = np.zeros((len(weights), h2 - 2, w2 - 2), dtype=np.float32)
+    for f in range(len(weights)):
+        for i in range(3):
+            for j in range(3):
+                out[f] += weights[f, i, j] * \
+                    img[i:h2 - 2 + i, j:w2 - 2 + j]
+    return out
+
+
+def _cm_conv3x3_kernel(weights: np.ndarray):
+    nf = len(weights)
+
+    @cm.cm_kernel
+    def kernel(src, dsts):
+        tx = cm.thread_x()
+        ty = cm.thread_y()
+        tile = cm.matrix(cm.float32, ROWS + 2, COLS + 2)
+        cm.read(src, tx * COLS * 4, ty * ROWS, tile)
+        for f in range(nf):
+            acc = cm.matrix(cm.float32, ROWS, COLS, 0.0)
+            acc_flat = acc.format(cm.float32)
+            for i in range(3):
+                for j in range(3):
+                    tap = tile.select(ROWS, 1, COLS, 1, i, j)
+                    cm.cm_mul_add(acc_flat, tap, np.float32(weights[f, i, j]))
+            out = cm.matrix(cm.float32, ROWS, COLS)
+            out.assign(acc)
+            cm.write(dsts[f], tx * COLS * 4, ty * ROWS, out)
+
+    return kernel
+
+
+def run_cm_conv3x3(device: Device, img, weights) -> np.ndarray:
+    h2, w2 = img.shape
+    width, height = w2 - 2, h2 - 2
+    src = device.image2d(img.copy(), bytes_per_pixel=4)
+    dsts = [device.image2d(np.zeros((height, width), dtype=np.float32), 4)
+            for _ in range(len(weights))]
+    device.run_cm(_cm_conv3x3_kernel(weights),
+                  grid=(width // COLS, height // ROWS),
+                  args=(src, dsts), name="cm_conv3x3")
+    return np.stack([d.to_numpy() for d in dsts])
+
+
+def _ocl_conv3x3(src, dsts, w2, w_int, weights):
+    """Tuned SIMT conv3x3: two shifted coalesced loads per tap row; the
+    centre tap comes from subgroup shuffles of those registers, so no
+    extra messages are needed.  All NUM_FILTERS mad chains reuse the
+    same three taps per row (batched; the per-lane broadcasts of the
+    weights are immediates)."""
+    x = ocl.get_global_id(0) + 1
+    y = ocl.get_global_id(1) + 1
+    lane = ocl.get_sub_group_local_id()
+    simd = ocl.get_sub_group_size()
+    nf = len(weights)
+    acc = np.zeros((nf, simd), dtype=np.float32)
+    for i in range(3):
+        left = ocl.load(src, (y + i - 1) * w2 + x - 1, dtype=np.float32)
+        right = ocl.load(src, (y + i - 1) * w2 + x + 1, dtype=np.float32)
+        center = ocl.where(lane == (simd - 1),
+                           ocl.sub_group_shuffle(right, simd - 2),
+                           ocl.sub_group_shuffle(left, lane + 1))
+        taps = np.stack([left.vals, center.vals, right.vals])
+        acc += weights[:, i, :] @ taps
+        # nf x 3 mads per row; the weight broadcasts are immediates.
+        ctx_mod.emit_alu(nf * 3 * simd, cm.float32)
+    out_base = (y - 1) * w_int + (x - 1)
+    for f in range(nf):
+        ocl.store(dsts[f], out_base, ocl.SimtValue.of(acc[f], np.float32))
+
+
+def run_ocl_conv3x3(device: Device, img, weights,
+                    simd: int = 16) -> np.ndarray:
+    h2, w2 = img.shape
+    width, height = w2 - 2, h2 - 2
+    src = device.buffer(img.copy())
+    dsts = [device.buffer(np.zeros(height * width, dtype=np.float32))
+            for _ in range(len(weights))]
+    ocl.enqueue(device, _ocl_conv3x3, global_size=(width, height),
+                local_size=(simd, 1),
+                args=(src, dsts, w2, width, weights),
+                simd=simd, name="ocl_conv3x3")
+    return np.stack([d.to_numpy().reshape(height, width) for d in dsts])

@@ -1,0 +1,141 @@
+"""256-bin histogram of an 8-bit image (Section VI-A-2).
+
+- :func:`run_ocl` — the SIMT baseline: each work-group builds a local
+  histogram in SLM with ``atomic_inc`` (bank conflicts and same-address
+  serialization make this input-dependent), then merges it into the
+  global histogram with global atomics.  Performance degrades on
+  homogeneous images where all lanes hit the same bin.
+- :func:`run_cm` — each hardware thread block-reads pixels and counts
+  into a register-resident ``vector<uint, 256>`` using register-indirect
+  increments (no SLM, no atomics in the hot loop, input-independent),
+  then merges with one round of global atomics per thread.
+
+Input generators reproduce the paper's observation: ``make_random`` is
+the OpenCL-friendly case; ``make_homogeneous`` mimics a real-world image
+with a flat background (their "earth" input) that serializes OpenCL's
+atomics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim import context as ctx_mod
+from repro.sim.device import Device
+
+NUM_BINS = 256
+#: Pixels processed per CM hardware thread / per OpenCL work-item batch.
+CM_PIXELS_PER_THREAD = 4096
+OCL_PIXELS_PER_ITEM = 32
+
+
+def make_random(n_pixels: int, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=n_pixels, dtype=np.uint8)
+
+
+def make_homogeneous(n_pixels: int, background: int = 17,
+                     fraction: float = 0.85, seed: int = 3) -> np.ndarray:
+    """An image dominated by one background intensity (like "earth")."""
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, size=n_pixels, dtype=np.uint8)
+    flat = rng.random(n_pixels) < fraction
+    img[flat] = background
+    return img
+
+
+def make_natural(n_pixels: int, run_length: int = 24,
+                 seed: int = 3) -> np.ndarray:
+    """Piecewise-flat intensities (a mid-contention "natural image" case):
+    values change every ~``run_length`` pixels, so most SIMD lanes in a
+    message share a bin without the image being fully homogeneous."""
+    rng = np.random.default_rng(seed)
+    n_runs = -(-n_pixels // run_length)
+    levels = rng.integers(0, 256, size=n_runs, dtype=np.uint8)
+    return np.repeat(levels, run_length)[:n_pixels]
+
+
+def reference(pixels: np.ndarray) -> np.ndarray:
+    return np.bincount(pixels, minlength=NUM_BINS).astype(np.uint32)
+
+
+# -- CM implementation ---------------------------------------------------------
+
+
+@cm.cm_kernel
+def _cm_histogram(src, hist, pixels_per_thread):
+    t = cm.thread_x()
+    base = t * pixels_per_thread
+    bins = cm.vector(cm.uint, NUM_BINS, 0)
+    chunk = cm.vector(cm.uchar, 256)
+    for off in range(0, pixels_per_thread, 256):
+        cm.read(src, base + off, chunk)
+        # Register-indirect increment per pixel: `bins[pix] += 1` compiles
+        # to one indexed add per element (scalar rate, but no atomics and
+        # no SLM round trip).  Functionally: bincount of the chunk.
+        counts = np.bincount(chunk.to_numpy(), minlength=NUM_BINS)
+        ctx_mod.emit_scalar(256)
+        bins._buf += counts.astype(np.uint32)
+    # One atomic merge of this thread's 256 bins into the global histogram.
+    offsets = cm.vector(cm.uint, NUM_BINS, np.arange(NUM_BINS))
+    cm.atomic("add", hist, offsets, src=bins)
+
+
+def run_cm(device: Device, pixels: np.ndarray,
+           pixels_per_thread: int = CM_PIXELS_PER_THREAD) -> np.ndarray:
+    n = len(pixels)
+    if n % pixels_per_thread:
+        raise ValueError("pixel count must divide by pixels_per_thread")
+    src = device.buffer(pixels.copy())
+    hist = device.buffer(np.zeros(NUM_BINS, dtype=np.uint32))
+    device.run_cm(_cm_histogram, grid=(n // pixels_per_thread,),
+                  args=(src, hist, pixels_per_thread), name="cm_histogram")
+    return hist.to_numpy().copy()
+
+
+# -- OpenCL implementation -----------------------------------------------------
+
+
+def _ocl_histogram(src, hist, pixels_per_item, slm):
+    lid = ocl.get_local_id(0)
+    gid = ocl.get_global_id(0)
+    lsize = ocl.get_local_size(0)
+    # Zero the local histogram (256 bins across the work-group).
+    bins_per_item = NUM_BINS // lsize if lsize <= NUM_BINS else 1
+    for i in range(bins_per_item):
+        idx = lid * bins_per_item + i
+        ocl.slm_store(slm, idx, ocl.SimtValue.splat(0, idx.width, np.uint32))
+    yield ocl.barrier()
+
+    total_items = ocl.get_global_size(0)
+    for i in range(pixels_per_item):
+        # Column-major access: consecutive lanes read consecutive bytes,
+        # so each subgroup load is one coalesced 16-byte message.
+        pix = ocl.load(src, gid + i * total_items, dtype=np.uint8)
+        ocl.atomic_inc_slm(slm, pix.astype(np.uint32))
+    yield ocl.barrier()
+
+    # The leading subgroup merges the local histogram into global memory.
+    if int(ocl.get_local_id(0).vals[0]) == 0:
+        simd = ocl.get_sub_group_size()
+        for b0 in range(0, NUM_BINS, simd):
+            idx = ocl.SimtValue.of(np.arange(b0, b0 + simd), np.uint32)
+            counts = ocl.slm_load(slm, idx, dtype=np.uint32)
+            ocl.atomic_add_global(hist, idx, counts)
+
+
+def run_ocl(device: Device, pixels: np.ndarray,
+            pixels_per_item: int = OCL_PIXELS_PER_ITEM,
+            simd: int = 16, wg_size: int = 256) -> np.ndarray:
+    n = len(pixels)
+    items = n // pixels_per_item
+    if n % pixels_per_item or items % wg_size:
+        raise ValueError("pixel count must divide evenly into work-groups")
+    src = device.buffer(pixels.copy())
+    hist = device.buffer(np.zeros(NUM_BINS, dtype=np.uint32))
+    ocl.enqueue(device, _ocl_histogram, global_size=items,
+                local_size=wg_size,
+                args=(src, hist, pixels_per_item), simd=simd,
+                slm_bytes=NUM_BINS * 4, name="ocl_histogram")
+    return hist.to_numpy().copy()

@@ -1,0 +1,244 @@
+"""K-means clustering (Section VI-A-3).
+
+2D float32 points, ``k`` centroids, a fixed number of Lloyd iterations.
+Both implementations alternate two kernels per iteration:
+
+1. *assign*: label every point with its nearest centroid and accumulate
+   per-cluster coordinate sums and counts,
+2. *update*: reduce the partial sums and recompute centroid positions.
+
+- :func:`run_cm` — centroids and the accumulation table live in the
+  **register file** for the whole chunk a hardware thread processes;
+  point chunks are double-buffered (the load overlap the paper credits
+  to the CM compiler) and one round of global atomics merges each
+  thread's partials.  No SLM, no barriers in the hot loop.
+- :func:`run_ocl` — the expert SIMT version: centroids staged in SLM
+  (barrier), per-point accumulation through SLM atomics, and a per-WG
+  merge into global accumulators.  (Gen has no float atomic-add; the real
+  kernel pays an equivalent price with fixed-point adds — we model the
+  float adds at integer-atomic cost.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim import context as ctx_mod
+from repro.sim.device import Device
+
+#: Padded cluster count so block reads/writes stay oword aligned.
+def _kpad(k: int) -> int:
+    return -(-k // 16) * 16
+
+
+def make_points(n: int, k: int = 20, seed: int = 5):
+    """Gaussian blobs around k true centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-100, 100, size=(k, 2)).astype(np.float32)
+    labels = rng.integers(0, k, size=n)
+    pts = centers[labels] + rng.normal(0, 6.0, size=(n, 2))
+    return pts.astype(np.float32), centers
+
+
+def reference(points: np.ndarray, centroids0: np.ndarray,
+              iterations: int) -> np.ndarray:
+    """Numpy oracle for the same fixed-iteration Lloyd loop."""
+    cent = centroids0.astype(np.float64).copy()
+    pts = points.astype(np.float64)
+    for _ in range(iterations):
+        d = ((pts[:, None, :] - cent[None, :, :]) ** 2).sum(axis=2)
+        labels = d.argmin(axis=1)
+        for c in range(len(cent)):
+            sel = labels == c
+            if sel.any():
+                cent[c] = pts[sel].mean(axis=0)
+    return cent.astype(np.float32)
+
+
+# -- CM implementation -------------------------------------------------------
+
+
+@cm.cm_kernel
+def _cm_assign(xs, ys, cent, acc, k, kp, pts_per_thread):
+    t = cm.thread_x()
+    base = t * pts_per_thread
+    cx = cm.vector(cm.float32, kp)
+    cy = cm.vector(cm.float32, kp)
+    cm.read(cent, 0, cx)
+    cm.read(cent, kp * 4, cy)
+    accx = cm.vector(cm.float32, kp, 0.0)
+    accy = cm.vector(cm.float32, kp, 0.0)
+    accn = cm.vector(cm.float32, kp, 0.0)
+    # Double-buffered point chunks: the next chunk's reads issue before
+    # the current chunk is consumed (the overlap the paper credits to
+    # the CM compiler's scheduling of scattered reads).
+    pxs = [cm.vector(cm.float32, 16) for _ in range(2)]
+    pys = [cm.vector(cm.float32, 16) for _ in range(2)]
+    cm.read(xs, base * 4, pxs[0])
+    cm.read(ys, base * 4, pys[0])
+    n_chunks = pts_per_thread // 16
+    for chunk in range(n_chunks):
+        cur, nxt = chunk % 2, (chunk + 1) % 2
+        if chunk + 1 < n_chunks:
+            off = (chunk + 1) * 16
+            cm.read(xs, (base + off) * 4, pxs[nxt])
+            cm.read(ys, (base + off) * 4, pys[nxt])
+        px, py = pxs[cur], pys[cur]
+        best = cm.vector(cm.float32, 16, 3.0e38)
+        bidx = cm.vector(cm.uint, 16, 0)
+        for c in range(k):
+            dx = px - cx[c]
+            dy = py - cy[c]
+            dist = dx * dx
+            cm.cm_mul_add(dist, dy, dy)
+            closer = dist < best
+            best.merge(dist, closer)
+            bidx.merge(c, closer)
+        # Register-indirect accumulation: acc[label] += point, one indexed
+        # add per lane and coordinate (scalar rate, stays in the GRF).
+        labels = bidx.to_numpy()
+        np.add.at(accx._buf, labels, px.to_numpy())
+        np.add.at(accy._buf, labels, py.to_numpy())
+        np.add.at(accn._buf, labels, 1.0)
+        ctx_mod.emit_scalar(48)
+    # One round of global atomics merges this thread's partial sums
+    # (the same merge step the OpenCL version performs per work-group).
+    offs = cm.vector(cm.uint, kp, np.arange(kp))
+    cm.atomic("add", acc, offs, src=accx)
+    cm.atomic("add", acc, offs + kp, src=accy)
+    cm.atomic("add", acc, offs + 2 * kp, src=accn)
+
+
+@cm.cm_kernel
+def _cm_update(acc, cent, k, kp):
+    sums = cm.vector(cm.float32, 3 * kp)
+    cm.read(acc, 0, sums)
+    accx = sums.select(kp, 1, 0)
+    accy = sums.select(kp, 1, kp)
+    accn = sums.select(kp, 1, 2 * kp)
+    denom = cm.cm_max(accn, 1.0)
+    cx = accx / denom
+    cy = accy / denom
+    out = cm.vector(cm.float32, kp)
+    out.assign(cx)
+    cm.write(cent, 0, out)
+    out.assign(cy)
+    cm.write(cent, kp * 4, out)
+
+
+def run_cm(device: Device, points: np.ndarray, centroids0: np.ndarray,
+           iterations: int = 2, pts_per_thread: int = 256) -> np.ndarray:
+    n, k = len(points), len(centroids0)
+    kp = _kpad(k)
+    if n % pts_per_thread:
+        raise ValueError("point count must divide by pts_per_thread")
+    n_threads = n // pts_per_thread
+    xs = device.buffer(np.ascontiguousarray(points[:, 0]))
+    ys = device.buffer(np.ascontiguousarray(points[:, 1]))
+    cent_host = np.zeros(2 * kp, dtype=np.float32)
+    cent_host[:k] = centroids0[:, 0]
+    cent_host[kp:kp + k] = centroids0[:, 1]
+    cent = device.buffer(cent_host)
+    acc = device.buffer(np.zeros(3 * kp, dtype=np.float32))
+    for _ in range(iterations):
+        acc.to_numpy()[:] = 0.0
+        device.run_cm(_cm_assign, grid=(n_threads,),
+                      args=(xs, ys, cent, acc, k, kp, pts_per_thread),
+                      name="cm_kmeans_assign")
+        device.run_cm(_cm_update, grid=(1,),
+                      args=(acc, cent, k, kp),
+                      name="cm_kmeans_update")
+    out = cent.to_numpy()
+    return np.stack([out[:k], out[kp:kp + k]], axis=1)
+
+
+# -- OpenCL implementation ----------------------------------------------------
+
+
+def _ocl_assign(xs, ys, cent, acc, k, kp, pts_per_item, slm):
+    lid = ocl.get_local_id(0)
+    gid = ocl.get_global_id(0)
+    gsz = ocl.get_global_size(0)
+    # Stage centroids into SLM and zero the SLM accumulators.
+    first = lid < 2 * kp
+    centv = ocl.load(cent, lid, dtype=np.float32, mask=first)
+    ocl.slm_store(slm, lid, centv, mask=first)
+    zeros = ocl.SimtValue.splat(0.0, lid.width, np.float32)
+    accm = lid < 3 * kp
+    ocl.slm_store(slm, lid + 2 * kp, zeros, mask=accm)
+    yield ocl.barrier()
+
+    for i in range(pts_per_item):
+        px = ocl.load(xs, gid + i * gsz, dtype=np.float32)
+        py = ocl.load(ys, gid + i * gsz, dtype=np.float32)
+        best = ocl.SimtValue.splat(3.0e38, px.width, np.float32)
+        bidx = ocl.SimtValue.splat(0, px.width, np.uint32)
+        # All centroid loads issue back to back (the compiler schedules
+        # them ahead of the distance chain), so their latency overlaps.
+        cxs = [ocl.slm_load(slm,
+                            ocl.SimtValue.splat(c, px.width, np.uint32),
+                            dtype=np.float32) for c in range(k)]
+        cys = [ocl.slm_load(slm,
+                            ocl.SimtValue.splat(kp + c, px.width, np.uint32),
+                            dtype=np.float32) for c in range(k)]
+        for c in range(k):
+            dx = px - cxs[c]
+            dy = py - cys[c]
+            dist = ocl.mad(dy, dy, dx * dx)
+            closer = dist < best
+            best = ocl.where(closer, dist, best)
+            bidx = ocl.where(closer, c, bidx).astype(np.uint32)
+        slot = bidx + 2 * kp
+        ocl.atomic_add_slm(slm, slot, px)
+        ocl.atomic_add_slm(slm, slot + kp, py)
+        ocl.atomic_add_slm(slm, slot + 2 * kp,
+                           ocl.SimtValue.splat(1.0, px.width, np.float32))
+    yield ocl.barrier()
+
+    # Work-group leader subgroup merges SLM accumulators into global memory.
+    if int(lid.vals[0]) == 0:
+        simd = ocl.get_sub_group_size()
+        for b0 in range(0, 3 * kp, simd):
+            idx = ocl.SimtValue.of(np.arange(b0, b0 + simd), np.uint32)
+            vals = ocl.slm_load(slm, idx + 2 * kp, dtype=np.float32)
+            ocl.atomic_add_global(acc, idx, vals)
+
+
+def _ocl_update(acc, cent, k, kp):
+    gid = ocl.get_global_id(0)
+    sums_x = ocl.load(acc, gid, dtype=np.float32)
+    sums_y = ocl.load(acc, gid + kp, dtype=np.float32)
+    counts = ocl.load(acc, gid + 2 * kp, dtype=np.float32)
+    denom = ocl.fmax_(counts, 1.0)
+    ocl.store(cent, gid, sums_x / denom)
+    ocl.store(cent, gid + kp, sums_y / denom)
+
+
+def run_ocl(device: Device, points: np.ndarray, centroids0: np.ndarray,
+            iterations: int = 2, pts_per_item: int = 32,
+            wg_size: int = 128, simd: int = 16) -> np.ndarray:
+    n, k = len(points), len(centroids0)
+    kp = _kpad(k)
+    items = n // pts_per_item
+    if n % pts_per_item or items % wg_size or wg_size < 3 * kp:
+        raise ValueError("bad decomposition for the OpenCL k-means")
+    xs = device.buffer(np.ascontiguousarray(points[:, 0]))
+    ys = device.buffer(np.ascontiguousarray(points[:, 1]))
+    cent_host = np.zeros(2 * kp, dtype=np.float32)
+    cent_host[:k] = centroids0[:, 0]
+    cent_host[kp:kp + k] = centroids0[:, 1]
+    cent = device.buffer(cent_host)
+    acc = device.buffer(np.zeros(3 * kp, dtype=np.float32))
+    for _ in range(iterations):
+        acc.to_numpy()[:] = 0.0
+        ocl.enqueue(device, _ocl_assign, global_size=items,
+                    local_size=wg_size,
+                    args=(xs, ys, cent, acc, k, kp, pts_per_item),
+                    simd=simd, slm_bytes=(2 * kp + 3 * kp) * 4,
+                    name="ocl_kmeans_assign")
+        ocl.enqueue(device, _ocl_update, global_size=kp, local_size=kp,
+                    args=(acc, cent, k, kp), simd=simd,
+                    name="ocl_kmeans_update")
+    out = cent.to_numpy()
+    return np.stack([out[:k], out[kp:kp + k]], axis=1)

@@ -1,0 +1,164 @@
+"""3x3 box (linear) filter — the paper's running example (Sections III-V).
+
+Input/output are RGB images, 3 bytes per pixel, with a 1-pixel padding
+border so that every 3x3 neighbourhood read stays on the surface (real CM
+deployments pad or clamp the same way).  The interior is ``width`` x
+``height`` pixels with ``width % 8 == 0`` and ``height % 6 == 0``.
+
+Three implementations:
+
+- :func:`run_cm` — Algorithm 2: each hardware thread block-reads an
+  8x32-byte matrix, accumulates nine shifted 6x24 selects in float, scales
+  by 0.1111 and block-writes 6x24 bytes (6x8 pixels per thread).
+- :func:`run_ocl` — Algorithm 1: the straightforward SIMT kernel, one
+  pixel per work-item, nine sampler gathers per pixel.
+- :func:`run_ocl_optimized` — the tuned SIMT version using
+  ``cl_intel_media_block_io``: a subgroup block-reads rows once, but must
+  shuffle the AoS lanes into SoA before computing (Section III), and
+  still reaches less than half of CM's throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim import context as ctx_mod
+from repro.sim.device import Device
+
+SCALE = np.float32(0.1111)
+
+
+def make_image(width: int, height: int, seed: int = 7) -> np.ndarray:
+    """Random padded RGB image of interior ``width`` x ``height`` pixels."""
+    _check_dims(width, height)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(height + 2, (width + 2) * 3),
+                        dtype=np.uint8)
+
+
+def _check_dims(width: int, height: int) -> None:
+    if width % 8 or height % 6:
+        raise ValueError("interior must be a multiple of 8x6 pixels")
+
+
+def reference(img: np.ndarray) -> np.ndarray:
+    """Numpy oracle: 3x3 box blur of the interior, float32 accumulate."""
+    h2, wb = img.shape
+    w2 = wb // 3
+    px = img.reshape(h2, w2, 3).astype(np.float32)
+    acc = np.zeros_like(px)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            acc[1:-1, 1:-1] += px[1 + dy:h2 - 1 + dy, 1 + dx:w2 - 1 + dx]
+    out = img.copy().reshape(h2, w2, 3)
+    out[1:-1, 1:-1] = (acc[1:-1, 1:-1] * SCALE).astype(np.uint8)
+    return out.reshape(h2, wb)
+
+
+# -- CM implementation (Algorithm 2) ---------------------------------------
+
+
+@cm.cm_kernel
+def _cm_linear(inbuf, outbuf):
+    hpos = cm.thread_x()
+    vpos = cm.thread_y()
+    in_m = cm.matrix(cm.uchar, 8, 32)
+    cm.read(inbuf, hpos * 24, vpos * 6, in_m)
+    m = cm.matrix(cm.float32, 6, 24)
+    m.assign(in_m.select(6, 1, 24, 1, 1, 3))
+    m += in_m.select(6, 1, 24, 1, 0, 0)
+    m += in_m.select(6, 1, 24, 1, 0, 3)
+    m += in_m.select(6, 1, 24, 1, 0, 6)
+    m += in_m.select(6, 1, 24, 1, 1, 0)
+    m += in_m.select(6, 1, 24, 1, 1, 6)
+    m += in_m.select(6, 1, 24, 1, 2, 0)
+    m += in_m.select(6, 1, 24, 1, 2, 3)
+    m += in_m.select(6, 1, 24, 1, 2, 6)
+    out = cm.matrix(cm.uchar, 6, 24)
+    out.assign(m * SCALE)
+    cm.write(outbuf, hpos * 24 + 3, vpos * 6 + 1, out)
+
+
+def run_cm(device: Device, img: np.ndarray) -> np.ndarray:
+    h2, wb = img.shape
+    width, height = wb // 3 - 2, h2 - 2
+    _check_dims(width, height)
+    inbuf = device.image2d(img.copy(), bytes_per_pixel=3)
+    outbuf = device.image2d(img.copy(), bytes_per_pixel=3)
+    device.run_cm(_cm_linear, grid=(width // 8, height // 6),
+                  args=(inbuf, outbuf), name="cm_linear")
+    return outbuf.to_numpy()
+
+
+# -- OpenCL implementation (Algorithm 1) -------------------------------------
+
+
+def _ocl_linear(src, dst, width, height):
+    x = ocl.get_global_id(0) + 1
+    y = ocl.get_global_id(1) + 1
+    acc = [None, None, None]
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            r, g, b, _a = ocl.read_imagef(src, x + i, y + j)
+            acc[0] = r if acc[0] is None else acc[0] + r
+            acc[1] = g if acc[1] is None else acc[1] + g
+            acc[2] = b if acc[2] is None else acc[2] + b
+    out = tuple((c * float(SCALE)).astype(np.uint32) for c in acc)
+    ocl.write_imageui(dst, x, y, out)
+
+
+def run_ocl(device: Device, img: np.ndarray, simd: int = 16) -> np.ndarray:
+    h2, wb = img.shape
+    width, height = wb // 3 - 2, h2 - 2
+    _check_dims(width, height)
+    src = device.image2d(img.copy(), bytes_per_pixel=3)
+    dst = device.image2d(img.copy(), bytes_per_pixel=3)
+    ocl.enqueue(device, _ocl_linear, global_size=(width, height),
+                local_size=(simd, 1), args=(src, dst, width, height),
+                simd=simd, name="ocl_linear")
+    return dst.to_numpy()
+
+
+# -- tuned OpenCL with media block reads -------------------------------------
+
+
+def _ocl_linear_blocked(src, dst, width, height):
+    """16 output pixels per subgroup via media block I/O plus shuffles."""
+    simd = ocl.get_sub_group_size()
+    # Each subgroup covers `simd` consecutive output pixels of one row.
+    sg_base_px = int(ocl.get_global_id(0).vals[0]) + 1
+    y = int(ocl.get_global_id(1).vals[0]) + 1
+    # Block-read 3 rows x (simd+2 pixels) of raw bytes once per subgroup.
+    x_bytes = (sg_base_px - 1) * 3
+    w_bytes = (simd + 2) * 3
+    mb = ocl.intel_media_block_read(src, x_bytes, y - 1, w_bytes, 3)
+    lanes = np.arange(simd)
+    out_rows = np.zeros((1, simd * 3), dtype=np.uint8)
+    for c in range(3):
+        acc = None
+        for row in range(3):
+            for dx in range(3):
+                v = mb.gather_row(row, (lanes + dx) * 3 + c)
+                f = v.astype(np.float32)
+                acc = f if acc is None else acc + f
+        res = (acc * float(SCALE)).astype(np.uint8)
+        # SoA -> AoS shuffle before the block write costs moves again.
+        ctx_mod.emit_alu(simd, cm.uchar, inst_factor=2)
+        out_rows[0, c::3] = res.vals
+    ocl.intel_media_block_write(dst, sg_base_px * 3, y, out_rows)
+
+
+def run_ocl_optimized(device: Device, img: np.ndarray,
+                      simd: int = 16) -> np.ndarray:
+    h2, wb = img.shape
+    width, height = wb // 3 - 2, h2 - 2
+    _check_dims(width, height)
+    if width % simd:
+        raise ValueError(f"width must be a multiple of simd={simd}")
+    src = device.image2d(img.copy(), bytes_per_pixel=3)
+    dst = device.image2d(img.copy(), bytes_per_pixel=3)
+    ocl.enqueue(device, _ocl_linear_blocked, global_size=(width, height),
+                local_size=(simd, 1), args=(src, dst, width, height),
+                simd=simd, name="ocl_linear_blocked")
+    return dst.to_numpy()

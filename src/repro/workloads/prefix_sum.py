@@ -1,0 +1,180 @@
+"""Prefix sum (inclusive scan) of uint32 (Section VI-A-7).
+
+- :func:`run_ocl` — Blelloch-style SIMT scan: per-work-group scan in SLM
+  (log-depth up/down sweeps, a barrier per level), block sums to global
+  memory, a second kernel scans the block sums, and a third adds the
+  block offsets back — data moves between local and global memory with
+  multiple barriers, as the paper describes.
+- :func:`run_cm` — each hardware thread scans 256 elements entirely in
+  registers (log2 shifted-add network on the GRF), writes its block total;
+  one thread scans the totals; a final kernel adds the offsets in place
+  through block writes.  Three launches, zero barriers, zero SLM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim.device import Device
+
+#: Elements scanned per CM hardware thread (in registers).
+CM_SPAN = 256
+#: Elements per OpenCL work-group scan (in SLM).
+OCL_WG_SPAN = 256
+
+
+def make_input(n: int, seed: int = 31) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=n, dtype=np.uint32)
+
+
+def reference(values: np.ndarray) -> np.ndarray:
+    return np.cumsum(values.astype(np.uint64)).astype(np.uint32)
+
+
+# -- CM implementation -------------------------------------------------------
+
+
+def _cm_scan_registers(v: cm.Vector) -> None:
+    """In-register inclusive scan: log2(n) shifted SIMD adds."""
+    n = v.n_elems
+    shift = 1
+    while shift < n:
+        upper = v.select(n - shift, 1, shift)
+        lower = v.select(n - shift, 1, 0)
+        tmp = cm.vector(v.dtype, n - shift, lower)
+        upper += tmp
+        shift *= 2
+
+
+@cm.cm_kernel
+def _cm_scan_blocks(buf, sums, span):
+    t = cm.thread_x()
+    v = cm.vector(cm.uint, span)
+    cm.read(buf, t * span * 4, v)
+    _cm_scan_registers(v)
+    cm.write(buf, t * span * 4, v)
+    total = cm.vector(cm.uint, 1)
+    total[0] = v[span - 1]
+    cm.write_scattered(sums, t, [0], total)
+
+
+@cm.cm_kernel
+def _cm_scan_sums(sums, n_blocks):
+    v = cm.vector(cm.uint, n_blocks)
+    cm.read_scattered(sums, 0, np.arange(n_blocks), v)
+    _cm_scan_registers(v)
+    cm.write_scattered(sums, 0, np.arange(n_blocks), v)
+
+
+@cm.cm_kernel
+def _cm_add_offsets(buf, sums, span):
+    t = cm.thread_x()
+    if t == 0:
+        return  # block 0 needs no offset
+    off = cm.vector(cm.uint, 1)
+    cm.read_scattered(sums, t - 1, [0], off)
+    v = cm.vector(cm.uint, span)
+    cm.read(buf, t * span * 4, v)
+    v += off[0]
+    cm.write(buf, t * span * 4, v)
+
+
+def run_cm(device: Device, values: np.ndarray,
+           span: int = CM_SPAN) -> np.ndarray:
+    n = len(values)
+    if n % span or n // span > 256:
+        raise ValueError("need n divisible by span and at most 256 blocks")
+    buf = device.buffer(values.copy())
+    n_blocks = n // span
+    sums = device.buffer(np.zeros(n_blocks, dtype=np.uint32))
+    device.run_cm(_cm_scan_blocks, grid=(n_blocks,), args=(buf, sums, span),
+                  name="cm_scan_blocks")
+    device.run_cm(_cm_scan_sums, grid=(1,), args=(sums, n_blocks),
+                  name="cm_scan_sums")
+    device.run_cm(_cm_add_offsets, grid=(n_blocks,), args=(buf, sums, span),
+                  name="cm_add_offsets")
+    return buf.to_numpy().copy()
+
+
+# -- OpenCL implementation ----------------------------------------------------
+
+
+def _ocl_scan_wg(buf, sums, slm):
+    """Work-group inclusive scan in SLM (Hillis-Steele, barrier per level)."""
+    lid = ocl.get_local_id(0)
+    gid = ocl.get_global_id(0)
+    wg = ocl.get_group_id(0)
+    lsize = ocl.get_local_size(0)
+    v = ocl.load(buf, gid, dtype=np.uint32)
+    ocl.slm_store(slm, lid, v)
+    yield ocl.barrier()
+    shift = 1
+    while shift < lsize:
+        prev = ocl.slm_load(slm, lid - shift, dtype=np.uint32,
+                            mask=lid >= shift)
+        cur = ocl.slm_load(slm, lid, dtype=np.uint32)
+        newv = ocl.where(lid >= shift, cur + prev, cur)
+        yield ocl.barrier()
+        ocl.slm_store(slm, lid, newv)
+        yield ocl.barrier()
+        shift *= 2
+    out = ocl.slm_load(slm, lid, dtype=np.uint32)
+    ocl.store(buf, gid, out)
+    # Last work-item publishes the block total.
+    is_last = lid == (lsize - 1)
+    ocl.store(sums, ocl.SimtValue.splat(wg, lid.width, np.uint32), out,
+              mask=is_last)
+
+
+def _ocl_scan_sums(sums, n_blocks, slm):
+    lid = ocl.get_local_id(0)
+    active = lid < n_blocks
+    v = ocl.load(sums, lid, dtype=np.uint32, mask=active)
+    ocl.slm_store(slm, lid, v, mask=active)
+    yield ocl.barrier()
+    shift = 1
+    lsize = ocl.get_local_size(0)
+    while shift < lsize:
+        prev = ocl.slm_load(slm, lid - shift, dtype=np.uint32,
+                            mask=lid >= shift)
+        cur = ocl.slm_load(slm, lid, dtype=np.uint32)
+        newv = ocl.where(lid >= shift, cur + prev, cur)
+        yield ocl.barrier()
+        ocl.slm_store(slm, lid, newv)
+        yield ocl.barrier()
+        shift *= 2
+    out = ocl.slm_load(slm, lid, dtype=np.uint32)
+    ocl.store(sums, lid, out, mask=active)
+
+
+def _ocl_add_offsets(buf, sums):
+    gid = ocl.get_global_id(0)
+    wg = ocl.get_group_id(0)
+    if wg == 0:
+        return
+    off = ocl.load_uniform(sums, wg - 1, dtype=np.uint32)
+    v = ocl.load(buf, gid, dtype=np.uint32)
+    ocl.store(buf, gid, v + off)
+
+
+def run_ocl(device: Device, values: np.ndarray,
+            wg_span: int = OCL_WG_SPAN, simd: int = 16) -> np.ndarray:
+    n = len(values)
+    if n % wg_span or n // wg_span > wg_span:
+        raise ValueError("need n divisible by wg_span, few enough blocks")
+    buf = device.buffer(values.copy())
+    n_blocks = n // wg_span
+    sums = device.buffer(np.zeros(max(n_blocks, simd), dtype=np.uint32))
+    ocl.enqueue(device, _ocl_scan_wg, global_size=n, local_size=wg_span,
+                args=(buf, sums), simd=simd, slm_bytes=wg_span * 4,
+                name="ocl_scan_wg")
+    ocl.enqueue(device, _ocl_scan_sums,
+                global_size=max(n_blocks, simd),
+                local_size=max(n_blocks, simd),
+                args=(sums, n_blocks), simd=simd,
+                slm_bytes=max(n_blocks, simd) * 4, name="ocl_scan_sums")
+    ocl.enqueue(device, _ocl_add_offsets, global_size=n, local_size=wg_span,
+                args=(buf, sums), simd=simd, name="ocl_add_offsets")
+    return buf.to_numpy().copy()

@@ -1,0 +1,252 @@
+"""Sparse matrix-vector multiplication, CSR format (Section VI-A-4).
+
+``y = A @ x`` for a float32 CSR matrix.
+
+- :func:`run_ocl` — the subgroup-based SIMT kernel: one subgroup per row,
+  lanes strip-mine the row's nonzeros at the full dispatch width.  On
+  matrices with short rows most lanes idle, yet every load/ALU op still
+  costs a full SIMD16 message — the inefficiency the paper targets.
+- :func:`run_cm` — each hardware thread handles a batch of rows and
+  **dynamically selects the instruction SIMD width** (4/8/16) per row
+  based on its nonzero count, and uses a boolean reduction (``all()``)
+  to skip entirely-empty row batches.  Short rows run SIMD4, dense rows
+  SIMD16.
+
+Synthetic matrices reproduce the published structure of the paper's
+inputs: ``make_protein``/``make_nd24k`` (~200 nnz/row, dense-ish) and
+``make_webbase`` (power-law, ~3 nnz/row, many empty rows, high variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim.device import Device
+
+
+@dataclass
+class CSRMatrix:
+    nrows: int
+    ncols: int
+    rowptr: np.ndarray  # uint32, len nrows+1
+    cols: np.ndarray    # uint32, len nnz
+    vals: np.ndarray    # float32, len nnz
+
+    @property
+    def nnz(self) -> int:
+        return len(self.vals)
+
+
+def _from_row_lengths(lengths: np.ndarray, ncols: int,
+                      rng: np.random.Generator) -> CSRMatrix:
+    nrows = len(lengths)
+    rowptr = np.zeros(nrows + 1, dtype=np.uint32)
+    np.cumsum(lengths, out=rowptr[1:])
+    nnz = int(rowptr[-1])
+    cols = np.empty(nnz, dtype=np.uint32)
+    for r in range(nrows):
+        lo, hi = int(rowptr[r]), int(rowptr[r + 1])
+        take = hi - lo
+        if take:
+            cols[lo:hi] = np.sort(rng.choice(ncols, size=take, replace=False))
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    return CSRMatrix(nrows, ncols, rowptr, cols, vals)
+
+
+def make_protein(nrows: int = 2048, seed: int = 13) -> CSRMatrix:
+    """~200 nnz/row, low variance (like the Protein matrix)."""
+    rng = np.random.default_rng(seed)
+    lengths = np.clip(rng.normal(200, 15, nrows), 64, 320).astype(np.int64)
+    return _from_row_lengths(lengths, nrows, rng)
+
+
+def make_nd24k(nrows: int = 2048, seed: int = 17) -> CSRMatrix:
+    """~240 nnz/row with moderate variance (like Nd24k)."""
+    rng = np.random.default_rng(seed)
+    lengths = np.clip(rng.normal(240, 60, nrows), 16, 480).astype(np.int64)
+    return _from_row_lengths(lengths, nrows, rng)
+
+
+def make_webbase(nrows: int = 16384, seed: int = 19) -> CSRMatrix:
+    """Power-law rows, mean ~3 nnz/row, many empties (like Webbase).
+
+    Empty rows come in contiguous runs, as in real web-graph orderings
+    (crawl order clusters dead pages) — which is what makes CM's
+    batch-level empty skip effective.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(1.6, nrows) * 1.6
+    lengths = np.minimum(raw.astype(np.int64), 512)
+    run_starts = rng.random(nrows // 64) < 0.35
+    empty = np.repeat(run_starts, 64)[:nrows]
+    lengths[empty] = 0
+    return _from_row_lengths(lengths, min(nrows, 4096), rng)
+
+
+def reference(m: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    y = np.zeros(m.nrows, dtype=np.float64)
+    for r in range(m.nrows):
+        lo, hi = int(m.rowptr[r]), int(m.rowptr[r + 1])
+        y[r] = np.dot(m.vals[lo:hi].astype(np.float64),
+                      x[m.cols[lo:hi]].astype(np.float64))
+    return y.astype(np.float32)
+
+
+# -- CM implementation -------------------------------------------------------
+
+#: Rows per CM hardware thread.
+CM_ROWS_PER_THREAD = 8
+#: Long rows are strip-mined at this many nonzeros per register block.
+CM_ROW_BLOCK = 64
+
+
+def _simd_width_for(nnz: int) -> int:
+    """The dynamic per-row SIMD width selection (Section VI-A-4)."""
+    if nnz <= 4:
+        return 4
+    if nnz <= 8:
+        return 8
+    return 16
+
+
+@cm.cm_kernel
+def _cm_spmv(rowptr, colbuf, valbuf, xbuf, ybuf, rows_per_thread,
+             force_width=None):
+    t = cm.thread_x()
+    row0 = t * rows_per_thread
+    rp = cm.vector(cm.uint, rows_per_thread + 1)
+    cm.read_scattered(rowptr, row0, np.arange(rows_per_thread + 1), rp)
+    starts = rp.select(rows_per_thread, 1, 0)
+    ends = rp.select(rows_per_thread, 1, 1)
+    # Boolean reduction: if every row in the batch is empty, skip it all.
+    any_work = (ends - starts) > 0
+    out = cm.vector(cm.float32, rows_per_thread, 0.0)
+    if any_work.any():
+        for r in range(rows_per_thread):
+            lo = rp[r]
+            hi = rp[r + 1]
+            nnz = hi - lo
+            if nnz == 0:
+                continue
+            if nnz <= 16:
+                out[r] = _cm_short_row(colbuf, valbuf, xbuf, lo, nnz,
+                                       force_width)
+            else:
+                out[r] = _cm_long_row(colbuf, valbuf, xbuf, lo, hi)
+    cm.write_scattered(ybuf, row0, np.arange(rows_per_thread), out)
+
+
+def _cm_short_row(colbuf, valbuf, xbuf, lo, nnz, force_width=None):
+    """A short row at dynamically-selected SIMD width (4/8/16).
+
+    ``force_width`` disables the dynamic selection (the ablation of the
+    paper's variable-SIMD optimization).
+    """
+    w = force_width or _simd_width_for(nnz)
+    cv = cm.vector(cm.uint, w)
+    vv = cm.vector(cm.float32, w)
+    xv = cm.vector(cm.float32, w)
+    # cols/vals are contiguous: dword-aligned oword block reads, one each.
+    cm.read(colbuf, lo * 4, cv, aligned=False)
+    cm.read(valbuf, lo * 4, vv, aligned=False)
+    cm.read_scattered(xbuf, 0, cv, xv)
+    prod = vv * xv
+    if nnz < w:
+        prod.merge(0.0, np.arange(w) >= nnz)
+    return cm.cm_sum(prod)
+
+
+def _cm_long_row(colbuf, valbuf, xbuf, lo, hi):
+    """A dense row, strip-mined in CM_ROW_BLOCK-nonzero register blocks.
+
+    All loads of a block are issued before the multiply consumes them, so
+    the gathers overlap (the latency hiding the paper attributes to the
+    CM compiler's scheduling).
+    """
+    acc = cm.vector(cm.float32, 16, 0.0)
+    for c0 in range(lo, hi, CM_ROW_BLOCK):
+        take = min(CM_ROW_BLOCK, hi - c0)
+        m = -(-take // 16) * 16  # pad to a SIMD16 multiple
+        cv = cm.vector(cm.uint, m)
+        vv = cm.vector(cm.float32, m)
+        xv = cm.vector(cm.float32, m)
+        cm.read(colbuf, c0 * 4, cv, aligned=False)
+        cm.read(valbuf, c0 * 4, vv, aligned=False)
+        for s0 in range(0, m, 16):
+            cm.read_scattered(xbuf, 0, cv.select(16, 1, s0),
+                              xv.select(16, 1, s0))
+        prod = vv * xv
+        if take < m:
+            prod.merge(0.0, np.arange(m) >= take)
+        acc += prod.format(cm.float32, m // 16, 16).row(0) if m == 16 \
+            else _fold16(prod, m)
+    return cm.cm_sum(acc)
+
+
+def _fold16(prod: cm.Vector, m: int) -> cm.Vector:
+    """Fold an m-element product down to 16 lanes with SIMD adds."""
+    folded = cm.vector(cm.float32, 16, prod.select(16, 1, 0))
+    for s0 in range(16, m, 16):
+        folded += prod.select(16, 1, s0)
+    return folded
+
+
+def run_cm(device: Device, m: CSRMatrix, x: np.ndarray,
+           rows_per_thread: int = CM_ROWS_PER_THREAD,
+           force_width=None) -> np.ndarray:
+    if m.nrows % rows_per_thread:
+        raise ValueError("nrows must divide by rows_per_thread")
+    rowptr = device.buffer(m.rowptr.copy())
+    # Pad cols/vals so block reads of the final row stay on the surface.
+    pad = CM_ROW_BLOCK
+    cols = device.buffer(np.concatenate(
+        [m.cols, np.zeros(pad, dtype=np.uint32)]))
+    vals = device.buffer(np.concatenate(
+        [m.vals, np.zeros(pad, dtype=np.float32)]))
+    xb = device.buffer(np.ascontiguousarray(x, dtype=np.float32))
+    yb = device.buffer(np.zeros(m.nrows, dtype=np.float32))
+    device.run_cm(_cm_spmv, grid=(m.nrows // rows_per_thread,),
+                  args=(rowptr, cols, vals, xb, yb, rows_per_thread,
+                        force_width),
+                  name="cm_spmv")
+    return yb.to_numpy().copy()
+
+
+# -- OpenCL implementation -----------------------------------------------------
+
+
+def _ocl_spmv(rowptr, colbuf, valbuf, xbuf, ybuf):
+    gid = ocl.get_global_id(0)
+    simd = ocl.get_sub_group_size()
+    row = int(gid.vals[0]) // simd  # one row per subgroup
+    lane = ocl.get_sub_group_local_id()
+    lo = ocl.load_uniform(rowptr, row, dtype=np.uint32)
+    hi = ocl.load_uniform(rowptr, row + 1, dtype=np.uint32)
+    acc = ocl.SimtValue.splat(0.0, simd, np.float32)
+    for i0 in range(lo, hi, simd):
+        idx = lane + i0
+        active = idx < hi
+        c = ocl.load(colbuf, idx, dtype=np.uint32, mask=active)
+        v = ocl.load(valbuf, idx, dtype=np.float32, mask=active)
+        xv = ocl.load(xbuf, c, dtype=np.float32, mask=active)
+        acc = acc + ocl.where(active, v * xv, 0.0)
+    total = ocl.sub_group_reduce_add(acc)
+    ocl.store(ybuf, ocl.SimtValue.splat(row, simd, np.uint32), total,
+              mask=lane == 0)
+
+
+def run_ocl(device: Device, m: CSRMatrix, x: np.ndarray,
+            simd: int = 16) -> np.ndarray:
+    rowptr = device.buffer(m.rowptr.copy())
+    cols = device.buffer(m.cols.copy())
+    vals = device.buffer(m.vals.copy())
+    xb = device.buffer(np.ascontiguousarray(x, dtype=np.float32))
+    yb = device.buffer(np.zeros(m.nrows, dtype=np.float32))
+    ocl.enqueue(device, _ocl_spmv, global_size=m.nrows * simd,
+                local_size=8 * simd,
+                args=(rowptr, cols, vals, xb, yb), simd=simd,
+                name="ocl_spmv")
+    return yb.to_numpy().copy()

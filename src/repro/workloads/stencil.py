@@ -1,0 +1,84 @@
+"""Stencil2D: 5-point Jacobi stencil, float32 (Table I row 5).
+
+``out[y,x] = c0*in[y,x] + c1*(in[y-1,x]+in[y+1,x]+in[y,x-1]+in[y,x+1])``
+over the interior of a padded grid.
+
+- CM: each thread block-reads a (ROWS+2) x (COLS+2) tile once and forms
+  the five taps as register selects (one mul + four mads per tile).
+- OpenCL: one output point per work-item, five coalesced loads each —
+  the vertical neighbours are re-read by every row of work-items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cm, ocl
+from repro.sim.device import Device
+
+ROWS, COLS = 8, 16
+C0, C1 = np.float32(0.5), np.float32(0.125)
+
+
+def make_grid(width: int, height: int, seed: int = 37) -> np.ndarray:
+    if width % COLS or height % ROWS:
+        raise ValueError(f"interior must be a multiple of {COLS}x{ROWS}")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((height + 2, width + 2)).astype(np.float32)
+
+
+def reference(grid: np.ndarray) -> np.ndarray:
+    out = grid.copy()
+    c = grid[1:-1, 1:-1]
+    out[1:-1, 1:-1] = (C0 * c
+                       + C1 * (grid[:-2, 1:-1] + grid[2:, 1:-1]
+                               + grid[1:-1, :-2] + grid[1:-1, 2:]))
+    return out
+
+
+@cm.cm_kernel
+def _cm_stencil(src, dst):
+    tx = cm.thread_x()
+    ty = cm.thread_y()
+    tile = cm.matrix(cm.float32, ROWS + 2, COLS + 2)
+    cm.read(src, tx * COLS * 4, ty * ROWS, tile)
+    acc = cm.matrix(cm.float32, ROWS, COLS)
+    acc.assign(tile.select(ROWS, 1, COLS, 1, 1, 1) * C0)
+    for (i, j) in ((0, 1), (2, 1), (1, 0), (1, 2)):
+        acc += tile.select(ROWS, 1, COLS, 1, i, j) * C1
+    out = cm.matrix(cm.float32, ROWS, COLS)
+    out.assign(acc)
+    cm.write(dst, (tx * COLS + 1) * 4, ty * ROWS + 1, out)
+
+
+def run_cm(device: Device, grid: np.ndarray) -> np.ndarray:
+    h2, w2 = grid.shape
+    width, height = w2 - 2, h2 - 2
+    src = device.image2d(grid.copy(), bytes_per_pixel=4)
+    dst = device.image2d(grid.copy(), bytes_per_pixel=4)
+    device.run_cm(_cm_stencil, grid=(width // COLS, height // ROWS),
+                  args=(src, dst), name="cm_stencil2d")
+    return dst.to_numpy().copy()
+
+
+def _ocl_stencil(src, dst, w2):
+    x = ocl.get_global_id(0) + 1
+    y = ocl.get_global_id(1) + 1
+    center = ocl.load(src, y * w2 + x, dtype=np.float32)
+    up = ocl.load(src, (y - 1) * w2 + x, dtype=np.float32)
+    down = ocl.load(src, (y + 1) * w2 + x, dtype=np.float32)
+    left = ocl.load(src, y * w2 + x - 1, dtype=np.float32)
+    right = ocl.load(src, y * w2 + x + 1, dtype=np.float32)
+    out = center * float(C0) + (up + down + left + right) * float(C1)
+    ocl.store(dst, y * w2 + x, out)
+
+
+def run_ocl(device: Device, grid: np.ndarray, simd: int = 16) -> np.ndarray:
+    h2, w2 = grid.shape
+    width, height = w2 - 2, h2 - 2
+    src = device.buffer(grid.copy())
+    dst = device.buffer(grid.copy())
+    ocl.enqueue(device, _ocl_stencil, global_size=(width, height),
+                local_size=(simd, 1), args=(src, dst, w2), simd=simd,
+                name="ocl_stencil2d")
+    return dst.to_numpy().copy()

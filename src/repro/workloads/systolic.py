@@ -1,0 +1,33 @@
+"""Systolic GEMM (Table I row 1).
+
+The paper's systolic GEMM targets a systolic dot-product accumulate
+(DPAS-style) unit on a future GPU.  That unit does not exist on Gen11, so
+per the substitution rule we model it as a deeper-K register-blocked GEMM
+whose accumulation chains stay in registers across a K-tile of 16 — the
+data-movement structure (weights stationary in the register file,
+activations streamed through block reads) is what differentiates the CM
+and SIMT versions, and it is preserved by this mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.device import Device
+from repro.workloads import gemm
+
+make_inputs = gemm.make_inputs
+reference = gemm.reference
+
+
+def run_cm(device: Device, a, b, c, alpha=1.0, beta=0.0) -> np.ndarray:
+    return gemm._run_cm_typed(device, a, b, c, alpha, beta,
+                              __import__("repro.cm", fromlist=["float32"])
+                              .float32, gemm.CM_BM, gemm.CM_BN,
+                              "cm_systolic_gemm")
+
+
+def run_ocl(device: Device, a, b, c, alpha=1.0, beta=0.0) -> np.ndarray:
+    return gemm._run_ocl_typed(device, a, b, c, alpha, beta,
+                               gemm.OCL_BM, gemm.OCL_BN, 16,
+                               "ocl_systolic_gemm")

@@ -1,0 +1,53 @@
+"""Extended CM stdlib functions: dp4, frc, avg, mask packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import cm
+
+
+class TestDp4:
+    def test_groups_of_four(self):
+        x = cm.vector(cm.float32, 8, [1, 2, 3, 4, 1, 0, 0, 0])
+        y = cm.vector(cm.float32, 8, [1, 1, 1, 1, 2, 2, 2, 2])
+        out = cm.cm_dp4(x, y)
+        assert out.to_numpy().tolist() == [10.0] * 4 + [2.0] * 4
+
+    def test_requires_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            cm.cm_dp4(cm.vector(cm.float32, 6), 1.0)
+
+
+class TestFrcAvg:
+    def test_frc(self):
+        v = cm.vector(cm.float32, 4, [1.25, -0.75, 2.0, 0.5])
+        out = cm.cm_frc(v)
+        assert out.to_numpy().tolist() == [0.25, 0.25, 0.0, 0.5]
+
+    def test_avg_rounds_up(self):
+        a = cm.vector(cm.int32, 4, [1, 2, 3, 5])
+        out = cm.cm_avg(a, 2)
+        assert out.to_numpy().tolist() == [2, 2, 3, 4]
+
+    def test_avg_rejects_float(self):
+        with pytest.raises(TypeError):
+            cm.cm_avg(cm.vector(cm.float32, 4), 1.0)
+
+
+class TestMaskPacking:
+    def test_roundtrip(self):
+        mask = cm.vector(cm.ushort, 8, [1, 0, 1, 1, 0, 0, 0, 1])
+        bits = cm.cm_pack_mask(mask)
+        assert bits == 0b10001101
+        back = cm.cm_unpack_mask(bits, 8)
+        assert back.to_numpy().tolist() == [1, 0, 1, 1, 0, 0, 0, 1]
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            cm.cm_pack_mask(cm.vector(cm.ushort, 64, 1))
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_pack_unpack_identity(self, bits):
+        mask = cm.cm_unpack_mask(bits, 16)
+        assert cm.cm_pack_mask(mask) == bits

@@ -1,0 +1,229 @@
+"""CM memory intrinsics and kernel launch plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import Device, cm
+from repro.memory.slm import SharedLocalMemory
+from repro.sim.trace import MemKind
+
+
+def run_thread(fn, device=None, grid=(1,), args=()):
+    device = device or Device()
+    run = device.run_cm(fn, grid=grid, args=args)
+    return device, run
+
+
+class TestBlockIO:
+    def test_oword_block_roundtrip(self):
+        dev = Device()
+        src = dev.buffer(np.arange(32, dtype=np.uint32))
+        dst = dev.buffer(np.zeros(32, dtype=np.uint32))
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 16)
+            cm.read(src, 16, v)
+            cm.write(dst, 32, v)
+
+        run_thread(kernel, dev)
+        assert dst.to_numpy()[8:24].tolist() == list(range(4, 20))
+
+    def test_oword_alignment_enforced(self):
+        dev = Device()
+        src = dev.buffer(np.zeros(32, dtype=np.uint32))
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 4)
+            cm.read(src, 4, v)
+
+        with pytest.raises(ValueError):
+            run_thread(kernel, dev)
+
+    def test_dword_aligned_variant(self):
+        dev = Device()
+        src = dev.buffer(np.arange(32, dtype=np.uint32))
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 4)
+            cm.read(src, 4, v, aligned=False)
+            out["v"] = v.to_numpy()
+
+        run_thread(kernel, dev)
+        assert out["v"].tolist() == [1, 2, 3, 4]
+
+    def test_media_block_roundtrip(self):
+        dev = Device()
+        img = dev.image2d(np.arange(64, dtype=np.uint8).reshape(8, 8))
+        dst = dev.image2d(np.zeros((8, 8), dtype=np.uint8))
+
+        @cm.cm_kernel
+        def kernel():
+            m = cm.matrix(cm.uchar, 2, 4)
+            cm.read(img, 2, 1, m)
+            cm.write(dst, 0, 0, m)
+
+        run_thread(kernel, dev)
+        assert dst.to_numpy()[0, :4].tolist() == [10, 11, 12, 13]
+        assert dst.to_numpy()[1, :4].tolist() == [18, 19, 20, 21]
+
+    def test_block_read_records_event(self):
+        dev = Device()
+        src = dev.buffer(np.zeros(64, dtype=np.uint32))
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 16)
+            cm.read(src, 0, v)
+
+        _, run = run_thread(kernel, dev)
+        t = run.timing
+        assert t.messages == 1
+        assert t.global_read_bytes == 64
+
+
+class TestScattered:
+    def test_gather_scatter(self):
+        dev = Device()
+        src = dev.buffer(np.arange(32, dtype=np.float32))
+        dst = dev.buffer(np.zeros(32, dtype=np.float32))
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.float32, 4)
+            cm.read_scattered(src, 4, [0, 2, 4, 6], v)
+            cm.write_scattered(dst, 0, [1, 3, 5, 7], v)
+
+        run_thread(kernel, dev)
+        host = dst.to_numpy()
+        assert host[1] == 4.0 and host[3] == 6.0 and host[7] == 10.0
+
+    def test_gather_offsets_from_vector(self):
+        dev = Device()
+        src = dev.buffer(np.arange(16, dtype=np.uint32))
+
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            idx = cm.vector(cm.uint, 4, [3, 1, 0, 2])
+            v = cm.vector(cm.uint, 4)
+            cm.read_scattered(src, 0, idx, v)
+            out["v"] = v.to_numpy()
+
+        run_thread(kernel, dev)
+        assert out["v"].tolist() == [3, 1, 0, 2]
+
+
+class TestAtomics:
+    def test_atomic_add_returns_old(self):
+        dev = Device()
+        hist = dev.buffer(np.zeros(8, dtype=np.uint32))
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            offs = cm.vector(cm.uint, 8, np.arange(8))
+            ones = cm.vector(cm.uint, 8, 2)
+            old = cm.atomic("add", hist, offs, src=ones)
+            out["old"] = old.to_numpy()
+
+        run_thread(kernel, dev)
+        assert out["old"].tolist() == [0] * 8
+        assert hist.to_numpy().tolist() == [2] * 8
+
+    def test_atomic_inc_contention_recorded(self):
+        dev = Device()
+        hist = dev.buffer(np.zeros(4, dtype=np.uint32))
+
+        @cm.cm_kernel
+        def kernel():
+            offs = cm.vector(cm.uint, 8, 0)  # all lanes hit element 0
+            cm.atomic("inc", hist, offs)
+
+        _, run = run_thread(kernel, dev)
+        assert hist.to_numpy()[0] == 8
+        assert run.timing.atomic_cycles > 0
+
+
+class TestSLMIntrinsics:
+    def test_slm_read_write(self):
+        dev = Device()
+        slm = SharedLocalMemory(256)
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 4, [5, 6, 7, 8])
+            cm.slm_write(slm, [0, 1, 2, 3], v)
+            r = cm.vector(cm.uint, 4)
+            cm.slm_read(slm, [3, 2, 1, 0], r)
+            out["r"] = r.to_numpy()
+
+        run_thread(kernel, dev)
+        assert out["r"].tolist() == [8, 7, 6, 5]
+
+    def test_slm_atomic(self):
+        dev = Device()
+        slm = SharedLocalMemory(64)
+
+        @cm.cm_kernel
+        def kernel():
+            offs = cm.vector(cm.uint, 4, [0, 0, 1, 1])
+            cm.slm_atomic("inc", slm, offs)
+
+        run_thread(kernel, dev)
+        assert slm.to_numpy()[:8].view(np.uint32)[:2].tolist() == [2, 2]
+
+    def test_slm_rejected_by_global_read(self):
+        slm = SharedLocalMemory(64)
+        dev = Device()
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 4)
+            cm.read(slm, 0, v)
+
+        with pytest.raises(TypeError):
+            run_thread(kernel, dev)
+
+
+class TestKernelLaunch:
+    def test_thread_ids(self):
+        dev = Device()
+        seen = []
+
+        @cm.cm_kernel
+        def kernel():
+            seen.append((cm.thread_x(), cm.thread_y()))
+
+        dev.run_cm(kernel, grid=(2, 3))
+        assert len(seen) == 6
+        assert (1, 2) in seen and (0, 0) in seen
+
+    def test_direct_call_rejected(self):
+        @cm.cm_kernel
+        def kernel():
+            pass
+
+        with pytest.raises(RuntimeError):
+            kernel()
+
+    def test_events_accumulate_per_thread(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(64, dtype=np.float32))
+
+        @cm.cm_kernel
+        def kernel():
+            t = cm.thread_x()
+            v = cm.vector(cm.float32, 16, 1.0)
+            v2 = v * 2.0
+            cm.write(buf, t * 64, v2)
+
+        run = dev.run_cm(kernel, grid=(4,))
+        assert run.timing.num_threads == 4
+        assert run.timing.total_instructions >= 4 * 2
+        assert buf.to_numpy().tolist() == [2.0] * 64

@@ -1,0 +1,153 @@
+"""The select/region operations: Fig. 1 and Fig. 2 semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import cm
+
+
+class TestVectorSelect:
+    def test_fig1_vector_select(self):
+        """v.select<4,2>(1) refers to the odd elements of an 8-float v."""
+        v = cm.vector(cm.float32, 8, np.arange(8))
+        ref = v.select(4, 2, 1)
+        assert ref.to_numpy().tolist() == [1.0, 3.0, 5.0, 7.0]
+
+    def test_select_is_lvalue(self):
+        v = cm.vector(cm.float32, 8, np.arange(8))
+        v.select(4, 2, 1).assign([10, 30, 50, 70])
+        assert v.to_numpy().tolist() == [0, 10, 2, 30, 4, 50, 6, 70]
+
+    def test_select_augmented_assign(self):
+        v = cm.vector(cm.int32, 8, np.arange(8))
+        ref = v.select(4, 2, 0)
+        ref += 100
+        assert v.to_numpy().tolist() == [100, 1, 102, 3, 104, 5, 106, 7]
+
+    def test_select_bounds_checked(self):
+        v = cm.vector(cm.int32, 8)
+        with pytest.raises(IndexError):
+            v.select(4, 2, 2)
+
+    def test_nested_select(self):
+        v = cm.vector(cm.int32, 16, np.arange(16))
+        outer = v.select(8, 2, 0)      # 0,2,4,...,14
+        inner = outer.select(4, 2, 1)  # 2,6,10,14
+        assert inner.to_numpy().tolist() == [2, 6, 10, 14]
+        inner.assign(0)
+        assert v.to_numpy()[2] == 0 and v.to_numpy()[14] == 0
+
+    def test_paper_rdregion_example(self):
+        """b = a.select<4,2>(1); a.select<4,2>(0) = b (Section V)."""
+        a = cm.vector(cm.int32, 8, np.arange(8))
+        b = cm.vector(cm.int32, 4, a.select(4, 2, 1))
+        a.select(4, 2, 0).assign(b)
+        assert b.to_numpy().tolist() == [1, 3, 5, 7]
+        assert a.to_numpy().tolist() == [1, 1, 3, 3, 5, 5, 7, 7]
+
+
+class TestMatrixSelect:
+    def test_fig1_matrix_select(self):
+        """m.select<2,2,2,4>(1,2) picks 4 elements of a 4x8 matrix."""
+        m = cm.matrix(cm.int32, 4, 8, np.arange(32))
+        s = m.select(2, 2, 2, 4, 1, 2)
+        assert s.to_numpy().tolist() == [[10, 14], [26, 30]]
+
+    def test_fig2_6x24_from_8x32(self):
+        """The linear filter's sub-matrix select (Fig. 2)."""
+        m = cm.matrix(cm.uchar, 8, 32, np.arange(256) % 256)
+        s = m.select(6, 1, 24, 1, 1, 3)
+        expect = (np.arange(256).reshape(8, 32) % 256)[1:7, 3:27]
+        assert np.array_equal(s.to_numpy(), expect)
+
+    def test_matrix_select_write_through(self):
+        m = cm.matrix(cm.int32, 4, 4, np.zeros(16))
+        m.select(2, 2, 2, 2, 0, 0).assign([[1, 2], [3, 4]])
+        out = m.to_numpy()
+        assert out[0, 0] == 1 and out[0, 2] == 2
+        assert out[2, 0] == 3 and out[2, 2] == 4
+
+    def test_row_column(self):
+        m = cm.matrix(cm.int32, 3, 4, np.arange(12))
+        assert m.row(1).to_numpy().tolist() == [4, 5, 6, 7]
+        assert m.column(2).to_numpy().tolist() == [2, 6, 10]
+        m.row(0).assign(0)
+        assert m.to_numpy()[0].tolist() == [0, 0, 0, 0]
+
+    def test_vector_ref_from_matrix_row(self):
+        """vector_ref<int, 8> vref(m.row(2)) from Section IV-A."""
+        m = cm.matrix(cm.int32, 4, 8, np.arange(32))
+        vref = m.row(2)
+        assert vref.to_numpy().tolist() == list(range(16, 24))
+        vref += 1
+        assert m[2, 0] == 17
+
+
+class TestIselectReplicateFormat:
+    def test_iselect_gather(self):
+        """v.iselect({0,1,2,2}) from Section IV-A."""
+        v = cm.vector(cm.float32, 16, np.arange(16))
+        idx = cm.vector(cm.ushort, 4, [0, 1, 2, 2])
+        out = v.iselect(idx)
+        assert out.to_numpy().tolist() == [0.0, 1.0, 2.0, 2.0]
+
+    def test_iselect_out_of_range(self):
+        v = cm.vector(cm.float32, 4)
+        with pytest.raises(IndexError):
+            v.iselect([5])
+
+    def test_replicate_paper_example(self):
+        """v.replicate<2,4,4,0>(2) == {v[2]x4, v[6]x4} (Section IV-A)."""
+        v = cm.vector(cm.float32, 8, np.arange(8))
+        out = v.replicate(2, 4, 4, 0, 2)
+        assert out.to_numpy().tolist() == [2.0] * 4 + [6.0] * 4
+
+    def test_replicate_blocks(self):
+        v = cm.vector(cm.int32, 8, np.arange(8))
+        out = v.replicate(2, 1, 2, 0, 0)   # [a, a, b, b]
+        assert out.to_numpy().tolist() == [0, 0, 1, 1]
+
+    def test_format_reinterpret_shape(self):
+        """v.format<char,4,8>() on 8 floats (Section IV-A)."""
+        v = cm.vector(cm.float32, 8, np.arange(8))
+        m = v.format(cm.char, 4, 8)
+        assert (m.rows, m.cols) == (4, 8)
+
+    def test_format_aliases_storage(self):
+        v = cm.vector(cm.uint, 4, [0, 0, 0, 0])
+        bytes_view = v.format(cm.uchar)
+        bytes_view[0] = 0xFF
+        assert v.to_numpy()[0] == 0xFF
+
+    def test_format_size_mismatch(self):
+        v = cm.vector(cm.uchar, 6)
+        with pytest.raises(cm.CMTypeError):
+            v.format(cm.uint)
+
+    def test_transpose_2x2_idiom(self):
+        """The paper's 2x2 register transpose (Section VI-A-5)."""
+        v = cm.vector(cm.float32, 4, [1, 2, 3, 4])  # [a b c d]
+        v0 = v.replicate(2, 1, 2, 0, 0)             # [a a b b]
+        v1 = v.replicate(2, 1, 2, 0, 2)             # [c c d d]
+        v2 = cm.vector(cm.float32, 4)
+        v2.merge(v0, v1, [1, 0, 1, 0])
+        assert v2.to_numpy().tolist() == [1.0, 3.0, 2.0, 4.0]
+
+
+@given(st.integers(1, 8), st.integers(1, 3), st.integers(0, 8))
+def test_select_matches_numpy_slicing(size, stride, offset):
+    n = 32
+    if offset + (size - 1) * stride >= n:
+        return
+    v = cm.vector(cm.int32, n, np.arange(n))
+    ref = v.select(size, stride, offset)
+    expect = np.arange(n)[offset:offset + size * stride:stride][:size]
+    assert ref.to_numpy().tolist() == expect.tolist()
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_matrix_select_identity(rows, cols):
+    m = cm.matrix(cm.int32, rows, cols, np.arange(rows * cols))
+    s = m.select(rows, 1, cols, 1, 0, 0)
+    assert np.array_equal(s.to_numpy(), m.to_numpy())

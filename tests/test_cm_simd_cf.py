@@ -1,0 +1,117 @@
+"""SIMD (divergent) control flow: simd_if / orelse masking."""
+
+import numpy as np
+import pytest
+
+from repro import Device, cm
+
+
+def run_kernel(fn):
+    Device().run_cm(fn, grid=(1,))
+
+
+class TestSimdIf:
+    def test_paper_example(self):
+        """The SIMD_IF_BEGIN/SIMD_ELSE example from Section IV-D."""
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 16, 0)
+            cond = cm.vector(cm.ushort, 16,
+                             [1, 0] * 8)
+            with cm.simd_if(cond > 0) as branch:
+                v.select(16, 1, 0).assign(1)
+            with branch.orelse():
+                v.select(16, 1, 0).assign(2)
+            out["v"] = v.to_numpy()
+
+        run_kernel(kernel)
+        assert out["v"].tolist() == [1, 2] * 8
+
+    def test_masked_inplace_update(self):
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.int32, 8, np.arange(8))
+            cond = v < 4
+            with cm.simd_if(cond):
+                v += 100
+            out["v"] = v.to_numpy()
+
+        run_kernel(kernel)
+        assert out["v"].tolist() == [100, 101, 102, 103, 4, 5, 6, 7]
+
+    def test_nested_masks_intersect(self):
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.int32, 8, 0)
+            a = cm.vector(cm.int32, 8, np.arange(8))
+            with cm.simd_if(a < 6):
+                with cm.simd_if(a > 2):
+                    v += 1
+            out["v"] = v.to_numpy()
+
+        run_kernel(kernel)
+        assert out["v"].tolist() == [0, 0, 0, 1, 1, 1, 0, 0]
+
+    def test_width_mismatch_rejected(self):
+        @cm.cm_kernel
+        def kernel():
+            v8 = cm.vector(cm.int32, 8)
+            cond = cm.vector(cm.ushort, 16, 1)
+            with cm.simd_if(cond > 0):
+                v8 += 1
+
+        with pytest.raises(cm.CMTypeError):
+            run_kernel(kernel)
+
+    def test_nested_width_mismatch_rejected(self):
+        @cm.cm_kernel
+        def kernel():
+            a = cm.vector(cm.ushort, 16, 1)
+            b = cm.vector(cm.ushort, 8, 1)
+            with cm.simd_if(a > 0):
+                with cm.simd_if(b > 0):
+                    pass
+
+        with pytest.raises(ValueError):
+            run_kernel(kernel)
+
+    def test_requires_kernel_context(self):
+        with pytest.raises(RuntimeError):
+            with cm.simd_if(np.asarray([1, 0])):
+                pass
+
+    def test_all_false_mask_no_writes(self):
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.int32, 4, 7)
+            cond = cm.vector(cm.ushort, 4, 0)
+            with cm.simd_if(cond > 0):
+                v.assign(0)
+            out["v"] = v.to_numpy()
+
+        run_kernel(kernel)
+        assert out["v"].tolist() == [7] * 4
+
+    def test_scattered_read_masked(self):
+        dev = Device()
+        src = dev.buffer(np.arange(8, dtype=np.uint32))
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.uint, 4, 99)
+            cond = cm.vector(cm.ushort, 4, [1, 0, 1, 0])
+            with cm.simd_if(cond > 0):
+                cm.read_scattered(src, 0, [4, 5, 6, 7], v)
+            out["v"] = v.to_numpy()
+
+        dev.run_cm(kernel, grid=(1,))
+        assert out["v"].tolist() == [4, 99, 6, 99]

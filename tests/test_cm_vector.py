@@ -1,0 +1,190 @@
+"""CM vector/matrix types: construction, arithmetic, type promotion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import cm
+from repro.cm.vector import CMTypeError
+
+
+class TestConstruction:
+    def test_vector_zero_init(self):
+        v = cm.vector(cm.float32, 8)
+        assert v.to_numpy().tolist() == [0.0] * 8
+
+    def test_vector_scalar_init(self):
+        v = cm.vector(cm.int32, 4, 7)
+        assert v.to_numpy().tolist() == [7] * 4
+
+    def test_vector_array_init_converts(self):
+        v = cm.vector(cm.uchar, 4, [1.9, 2.5, 300.0, -1.0])
+        assert v.to_numpy().tolist() == [1, 2, 44, 255]
+
+    def test_vector_copy_init(self):
+        a = cm.vector(cm.int32, 4, [1, 2, 3, 4])
+        b = cm.vector(cm.float32, 4, a)
+        assert b.to_numpy().tolist() == [1.0, 2.0, 3.0, 4.0]
+        a[0] = 9
+        assert b.to_numpy()[0] == 1.0  # copy, not a view
+
+    def test_matrix_shape(self):
+        m = cm.matrix(cm.short, 3, 5, np.arange(15))
+        assert (m.rows, m.cols) == (3, 5)
+        assert m[2, 4] == 14
+
+    def test_bad_sizes(self):
+        with pytest.raises(CMTypeError):
+            cm.vector(cm.int32, 0)
+        with pytest.raises(CMTypeError):
+            cm.vector(cm.int32, 4, [1, 2, 3])
+
+
+class TestArithmetic:
+    def test_elementwise_ops(self):
+        a = cm.vector(cm.float32, 4, [1, 2, 3, 4])
+        b = cm.vector(cm.float32, 4, [10, 20, 30, 40])
+        assert (a + b).to_numpy().tolist() == [11, 22, 33, 44]
+        assert (b - a).to_numpy().tolist() == [9, 18, 27, 36]
+        assert (a * b).to_numpy().tolist() == [10, 40, 90, 160]
+
+    def test_scalar_broadcast(self):
+        a = cm.vector(cm.int32, 4, [1, 2, 3, 4])
+        assert (a + 10).to_numpy().tolist() == [11, 12, 13, 14]
+        assert (10 - a).to_numpy().tolist() == [9, 8, 7, 6]
+        assert (2 * a).to_numpy().tolist() == [2, 4, 6, 8]
+
+    def test_byte_arith_promotes_to_dword(self):
+        a = cm.vector(cm.uchar, 4, [250, 251, 252, 253])
+        out = a + 10
+        assert out.dtype is cm.int32
+        assert out.to_numpy().tolist() == [260, 261, 262, 263]
+
+    def test_uchar_plus_float_is_float(self):
+        a = cm.vector(cm.uchar, 4, [1, 2, 3, 4])
+        out = a + 0.5
+        assert out.dtype is cm.float32
+
+    def test_c_style_integer_division(self):
+        a = cm.vector(cm.int32, 4, [7, -7, 9, -9])
+        out = a / 2
+        assert out.to_numpy().tolist() == [3, -3, 4, -4]
+
+    def test_division_by_zero_is_silent(self):
+        a = cm.vector(cm.int32, 2, [1, 2])
+        out = a / cm.vector(cm.int32, 2, [0, 1])
+        assert out.to_numpy()[1] == 2
+
+    def test_shift_ops(self):
+        a = cm.vector(cm.uint, 4, [1, 2, 4, 8])
+        assert (a << 2).to_numpy().tolist() == [4, 8, 16, 32]
+        assert (a >> 1).to_numpy().tolist() == [0, 1, 2, 4]
+
+    def test_matrix_vector_mixed_shapes(self):
+        m = cm.matrix(cm.int32, 2, 4, np.arange(8))
+        v = cm.vector(cm.int32, 8, np.ones(8))
+        out = m + v
+        assert out.to_numpy().tolist() == list(range(1, 9))
+
+    def test_shape_mismatch_rejected(self):
+        a = cm.vector(cm.int32, 4)
+        b = cm.vector(cm.int32, 8)
+        with pytest.raises(CMTypeError):
+            _ = a + b
+
+    def test_inplace_ops_write_through(self):
+        a = cm.vector(cm.float32, 4, [1, 2, 3, 4])
+        a += 1
+        a *= 2
+        assert a.to_numpy().tolist() == [4, 6, 8, 10]
+
+    def test_comparisons_produce_ushort_masks(self):
+        a = cm.vector(cm.int32, 4, [1, 5, 3, 7])
+        mask = a > 3
+        assert mask.dtype is cm.ushort
+        assert mask.to_numpy().tolist() == [0, 1, 0, 1]
+
+    def test_unary(self):
+        a = cm.vector(cm.int32, 3, [1, -2, 3])
+        assert (-a).to_numpy().tolist() == [-1, 2, -3]
+        assert abs(a).to_numpy().tolist() == [1, 2, 3]
+
+
+class TestAssignment:
+    def test_assign_conversion(self):
+        v = cm.vector(cm.uchar, 4)
+        v.assign([1.7, 2.2, 257.0, -1.0])
+        assert v.to_numpy().tolist() == [1, 2, 1, 255]
+
+    def test_assign_saturated(self):
+        v = cm.vector(cm.uchar, 4)
+        v.assign([300, -5, 20, 255.9], sat=True)
+        assert v.to_numpy().tolist() == [255, 0, 20, 255]
+
+    def test_scalar_element_access(self):
+        v = cm.vector(cm.float32, 4, [1, 2, 3, 4])
+        assert v[2] == 3.0
+        v[2] = 9
+        assert v.to_numpy()[2] == 9.0
+
+    def test_matrix_element_access(self):
+        m = cm.matrix(cm.int32, 2, 3, np.arange(6))
+        m[1, 2] = 42
+        assert m[1, 2] == 42
+
+
+class TestMergeAndReductions:
+    def test_merge_two_operand(self):
+        v = cm.vector(cm.int32, 4, [0, 0, 0, 0])
+        v.merge(cm.vector(cm.int32, 4, [1, 2, 3, 4]), [1, 0, 1, 0])
+        assert v.to_numpy().tolist() == [1, 0, 3, 0]
+
+    def test_merge_three_operand(self):
+        v = cm.vector(cm.int32, 4)
+        v.merge(5, 9, [1, 0, 0, 1])
+        assert v.to_numpy().tolist() == [5, 9, 9, 5]
+
+    def test_any_all(self):
+        v = cm.vector(cm.ushort, 4, [0, 0, 1, 0])
+        assert v.any() and not v.all()
+        assert not cm.vector(cm.ushort, 4, 0).any()
+        assert cm.vector(cm.ushort, 4, 1).all()
+
+    def test_cm_sum_and_reduce(self):
+        v = cm.vector(cm.float32, 8, np.arange(8))
+        assert cm.cm_sum(v) == 28.0
+        assert cm.cm_reduce_min(v) == 0.0
+        assert cm.cm_reduce_max(v) == 7.0
+
+    def test_cm_min_max_elementwise(self):
+        a = cm.vector(cm.int32, 4, [1, 5, 3, 7])
+        assert cm.cm_min(a, 4).to_numpy().tolist() == [1, 4, 3, 4]
+        assert cm.cm_max(a, 4).to_numpy().tolist() == [4, 5, 4, 7]
+
+    def test_cm_math(self):
+        v = cm.vector(cm.float32, 4, [4.0, 9.0, 16.0, 25.0])
+        assert cm.cm_sqrt(v).to_numpy().tolist() == [2.0, 3.0, 4.0, 5.0]
+        inv = cm.cm_inv(cm.vector(cm.float32, 2, [2.0, 4.0]))
+        assert inv.to_numpy().tolist() == [0.5, 0.25]
+
+    def test_cm_mul_add(self):
+        acc = cm.vector(cm.float32, 4, 1.0)
+        cm.cm_mul_add(acc, [2, 2, 2, 2], [3, 3, 3, 3])
+        assert acc.to_numpy().tolist() == [7.0] * 4
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=32),
+       st.integers(-100, 100))
+def test_add_matches_numpy_oracle(values, scalar):
+    v = cm.vector(cm.int32, len(values), values)
+    out = v + scalar
+    expect = (np.asarray(values, dtype=np.int32) + scalar).tolist()
+    assert out.to_numpy().tolist() == expect
+
+
+@given(st.lists(st.floats(-1e5, 1e5, allow_nan=False, width=32),
+                min_size=2, max_size=16))
+def test_sum_matches_numpy(values):
+    v = cm.vector(cm.float32, len(values), values)
+    expect = float(np.asarray(values, dtype=np.float32).sum(dtype=np.float64))
+    assert cm.cm_sum(v) == pytest.approx(expect, rel=1e-5, abs=1e-3)

@@ -1,0 +1,185 @@
+"""IR structure, the trace front end, vISA legalization details."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.driver import compile_kernel
+from repro.compiler.frontend import TraceError, trace_kernel
+from repro.compiler.ir import Function, Instr, Region, Value, VecType, \
+    make_constant
+from repro.compiler.passes import analyze_bales
+from repro.compiler.visa import CompileError, emit_visa
+from repro.isa.dtypes import D, F, UB
+from repro.memory.surfaces import BufferSurface
+
+
+class TestIR:
+    def test_region_element_indices(self):
+        r = Region(vstride=32, width=24, hstride=1, offset_bytes=35)
+        idx = r.element_indices(48, 1)
+        assert idx[0] == 35 and idx[23] == 58
+        assert idx[24] == 67  # next row: +32 elements
+
+    def test_constants_registry(self):
+        fn = Function("f")
+        v = make_constant(fn, np.arange(4), D)
+        assert fn.constant_of(v).tolist() == [0, 1, 2, 3]
+        assert v.vtype == VecType(D, 4)
+
+    def test_uses_map(self):
+        fn = Function("f")
+        a = make_constant(fn, np.arange(4), D)
+        out = Value(VecType(D, 4))
+        fn.append(Instr("add", out, [a, a]))
+        uses = fn.uses()
+        # Each operand occurrence is a distinct use (a appears twice).
+        assert len(uses[a.id]) == 2
+
+    def test_printing(self):
+        fn = Function("f")
+        a = make_constant(fn, np.arange(4), D)
+        out = Value(VecType(D, 4))
+        fn.append(Instr("add", out, [a, 5]))
+        text = str(fn)
+        assert "define @f" in text and "add" in text
+
+
+class TestFrontend:
+    def test_loops_unroll(self):
+        def body(cmx, buf):
+            v = cmx.vector(np.int32, 8, np.zeros(8))
+            for _ in range(3):
+                v += 1
+            cmx.write_scattered(buf, 0, np.arange(8), v)
+
+        fn = trace_kernel(body, "k", [("buf", False)])
+        assert sum(i.op == "add" for i in fn.instrs) == 3
+
+    def test_scalar_params_symbolic(self):
+        def body(cmx, buf, tid):
+            v = cmx.vector(np.int32, 4, np.zeros(4))
+            cmx.write(buf, tid * 16, v)
+
+        fn = trace_kernel(body, "k", [("buf", False)], ["tid"])
+        assert any(i.op == "param" for i in fn.instrs)
+        assert any(i.op == "mul" for i in fn.instrs)  # tid * 16
+
+    def test_matrix_flattened_with_2d_region(self):
+        def body(cmx, buf):
+            m = cmx.matrix(np.uint8, 8, 32, np.zeros(256))
+            s = cmx.vector(np.uint8, 144, np.zeros(144))
+            s.assign(m.select(6, 1, 24, 1, 1, 3))
+            cmx.write_scattered(buf, 0, np.arange(144), s)
+
+        fn = trace_kernel(body, "k", [("buf", False)])
+        rd = next(i for i in fn.instrs if i.op == "rdregion")
+        assert rd.region.vstride == 32
+        assert rd.region.width == 24
+        assert rd.region.offset_bytes == 35
+
+    def test_unsupported_nested_select(self):
+        def body(cmx, buf):
+            v = cmx.vector(np.int32, 16, np.zeros(16))
+            v.select(8, 2, 0).select(4, 2, 0)
+
+        with pytest.raises(TraceError):
+            trace_kernel(body, "k", [("buf", False)])
+
+
+class TestLegalization:
+    def test_wide_float_op_splits_to_simd16(self):
+        def body(cmx, buf):
+            a = cmx.vector(np.float32, 64)
+            cmx.read(buf, 0, a)
+            b = cmx.vector(np.float32, 64)
+            b.assign(a + 1.0)
+            cmx.write(buf, 0, b)
+
+        k = compile_kernel(body, "k", [("buf", False)])
+        adds = [i for i in k.program if i.opcode.value == "add"]
+        assert len(adds) == 4
+        assert all(i.exec_size == 16 for i in adds)
+
+    def test_double_ops_limited_to_simd8(self):
+        def body(cmx, buf):
+            a = cmx.vector(np.float64, 16)
+            cmx.read(buf, 0, a)
+            b = cmx.vector(np.float64, 16)
+            b.assign(a + 1.0)
+            cmx.write(buf, 0, b)
+
+        k = compile_kernel(body, "k", [("buf", False)])
+        adds = [i for i in k.program if i.opcode.value == "add"]
+        assert all(i.exec_size <= 8 for i in adds)
+        buf = BufferSurface(np.arange(16, dtype=np.float64))
+        k.run([buf])
+        assert buf.to_numpy().tolist() == [i + 1.0 for i in range(16)]
+
+    def test_non_splat_constants_materialize_in_chunks(self):
+        def body(cmx, buf):
+            idx = cmx.vector(np.uint32, 16, np.arange(16))
+            v = cmx.vector(np.float32, 16)
+            cmx.read_scattered(buf, 0, idx, v)
+            out = cmx.vector(np.float32, 16)
+            out.assign(v)
+            cmx.write(buf, 0, out)
+
+        k = compile_kernel(body, "k", [("buf", False)], optimize=False)
+        vec_imm_movs = [i for i in k.program
+                        if i.opcode.value == "mov" and i.srcs
+                        and hasattr(i.srcs[0], "values")]
+        assert len(vec_imm_movs) == 2  # 16 elements / 8 per vector imm
+
+    def test_splat_constant_becomes_immediate(self):
+        def body(cmx, buf):
+            a = cmx.vector(np.float32, 16)
+            cmx.read(buf, 0, a)
+            b = cmx.vector(np.float32, 16)
+            b.assign(a * 3.0)
+            cmx.write(buf, 0, b)
+
+        k = compile_kernel(body, "k", [("buf", False)])
+        muls = [i for i in k.program if i.opcode.value == "mul"]
+        from repro.isa.instructions import Immediate
+
+        assert any(isinstance(s, Immediate) for m in muls for s in m.srcs)
+
+    def test_visa_printing(self):
+        def body(cmx, buf):
+            a = cmx.vector(np.float32, 8)
+            cmx.read(buf, 0, a)
+            b = cmx.vector(np.float32, 8)
+            b.assign(a + a)
+            cmx.write(buf, 0, b)
+
+        fn = trace_kernel(body, "k", [("buf", False)])
+        prog = emit_visa(fn, analyze_bales(fn))
+        text = str(prog)
+        assert ".kernel k" in text and ".decl" in text
+
+
+class TestCompiledExecution:
+    def test_scalar_param_flow(self):
+        def body(cmx, buf, tid):
+            v = cmx.vector(np.uint32, 4, [1, 2, 3, 4])
+            cmx.write(buf, tid * 16, v)
+
+        k = compile_kernel(body, "k", [("buf", False)], ["tid"])
+        buf = BufferSurface(np.zeros(16, dtype=np.uint32))
+        k.run([buf], {"tid": 2})
+        assert buf.to_numpy()[8:12].tolist() == [1, 2, 3, 4]
+
+    def test_cmp_and_merge_chain(self):
+        def body(cmx, src, dst):
+            v = cmx.vector(np.int32, 16)
+            cmx.read(src, 0, v)
+            clipped = cmx.vector(np.int32, 16, np.zeros(16))
+            clipped.merge(v, 99, v < 50)
+            cmx.write(dst, 0, clipped)
+
+        k = compile_kernel(body, "k", [("src", False), ("dst", False)])
+        src = BufferSurface(np.arange(0, 160, 10, dtype=np.int32))
+        dst = BufferSurface(np.zeros(16, dtype=np.int32))
+        k.run([src, dst])
+        expect = [x if x < 50 else 99 for x in range(0, 160, 10)]
+        assert dst.to_numpy().tolist() == expect

@@ -1,0 +1,176 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import Device, cm, ocl
+from repro.cm.vector import CMTypeError
+from repro.compiler import compile_kernel
+from repro.compiler.visa import CompileError
+from repro.isa.dtypes import D, F
+from repro.isa.executor import ExecutionError, FunctionalExecutor
+from repro.isa.grf import RegOperand
+from repro.isa.instructions import (
+    Immediate, Instruction, MathFn, Opcode,
+)
+from repro.isa.regions import Region
+from repro.memory.surfaces import BufferSurface
+
+
+class TestExecutorEdges:
+    def test_all_math_functions(self):
+        ex = FunctionalExecutor()
+        ex.grf.write_bytes(32, np.asarray([4.0, 0.25, 1.0, 2.0],
+                                          dtype=np.float32))
+        cases = {
+            MathFn.INV: [0.25, 4.0, 1.0, 0.5],
+            MathFn.SQRT: [2.0, 0.5, 1.0, np.sqrt(2.0)],
+            MathFn.RSQRT: [0.5, 2.0, 1.0, 1 / np.sqrt(2.0)],
+            MathFn.LOG: [2.0, -2.0, 0.0, 1.0],
+            MathFn.EXP: [16.0, 2 ** 0.25, 2.0, 4.0],
+        }
+        for fn, expect in cases.items():
+            ex.execute(Instruction(
+                Opcode.MATH, 4, RegOperand(2, 0, F),
+                [RegOperand(1, 0, F, Region(4, 4, 1))], math_fn=fn))
+            got = ex.grf.dump_reg(2, F)[:4]
+            assert got == pytest.approx(expect, rel=1e-5), fn
+
+    def test_pow_and_divides(self):
+        ex = FunctionalExecutor()
+        ex.grf.write_bytes(32, np.asarray([2.0, 3.0], dtype=np.float32))
+        ex.execute(Instruction(
+            Opcode.MATH, 2, RegOperand(2, 0, F),
+            [RegOperand(1, 0, F, Region(2, 2, 1)), Immediate(2.0, F)],
+            math_fn=MathFn.POW))
+        assert ex.grf.dump_reg(2, F)[:2].tolist() == [4.0, 9.0]
+
+    def test_integer_overflow_wraps(self):
+        ex = FunctionalExecutor()
+        ex.grf.write_bytes(32, np.asarray([2**31 - 1], dtype=np.int32))
+        ex.execute(Instruction(
+            Opcode.ADD, 1, RegOperand(2, 0, D),
+            [RegOperand(1, 0, D), Immediate(1, D)]))
+        assert ex.grf.dump_reg(2, D)[0] == -2**31
+
+    def test_shift_ops(self):
+        ex = FunctionalExecutor()
+        ex.grf.write_bytes(32, np.asarray([8, 16], dtype=np.int32))
+        for op, expect in ((Opcode.SHL, [32, 64]), (Opcode.SHR, [2, 4]),
+                           (Opcode.ASR, [2, 4])):
+            ex.execute(Instruction(
+                op, 2, RegOperand(2, 0, D),
+                [RegOperand(1, 0, D, Region(2, 2, 1)), Immediate(2, D)]))
+            assert ex.grf.dump_reg(2, D)[:2].tolist() == expect
+
+    def test_avg_instruction(self):
+        ex = FunctionalExecutor()
+        ex.grf.write_bytes(32, np.asarray([1, 4], dtype=np.int32))
+        ex.execute(Instruction(
+            Opcode.AVG, 2, RegOperand(2, 0, D),
+            [RegOperand(1, 0, D, Region(2, 2, 1)), Immediate(2, D)]))
+        assert ex.grf.dump_reg(2, D)[:2].tolist() == [2, 3]
+
+
+class TestCMErrorPaths:
+    def test_select_negative_offset(self):
+        v = cm.vector(cm.int32, 8)
+        with pytest.raises(IndexError):
+            v.select(4, 1, -1)
+
+    def test_operand_type_rejected(self):
+        v = cm.vector(cm.int32, 4)
+        with pytest.raises(CMTypeError):
+            _ = v + "nope"
+
+    def test_reduction_of_wrong_type(self):
+        with pytest.raises(TypeError):
+            cm.cm_min("a", "b")
+
+    def test_format_on_strided_ref_rejected(self):
+        v = cm.vector(cm.int32, 16)
+        strided = v.select(8, 2, 0)
+        with pytest.raises(CMTypeError):
+            strided.format(cm.uchar)
+
+    def test_intrinsic_requires_contiguous(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(64, dtype=np.uint32))
+
+        @cm.cm_kernel
+        def k():
+            v = cm.vector(cm.uint, 16)
+            cm.read(buf, 0, v.select(8, 2, 0))
+
+        with pytest.raises(TypeError):
+            dev.run_cm(k, grid=(1,))
+
+    def test_scalar_index_out_of_range(self):
+        v = cm.vector(cm.int32, 4)
+        with pytest.raises(IndexError):
+            _ = v[7]
+
+
+class TestCompilerErrorPaths:
+    def test_unsupported_python_value(self):
+        def body(cmx, buf):
+            v = cmx.vector(np.int32, 4, np.zeros(4))
+            v.assign(object())
+
+        from repro.compiler.frontend import TraceError
+
+        with pytest.raises(TraceError):
+            compile_kernel(body, "k", [("buf", False)])
+
+    def test_too_large_to_spill(self):
+        def body(cmx, src, out):
+            # 40 live 256-byte vectors: too big for the staging slots.
+            vecs = []
+            for i in range(40):
+                v = cmx.vector(np.float32, 64)
+                cmx.read(src, i * 256, v)
+                vecs.append(v)
+            acc = cmx.vector(np.float32, 64, np.zeros(64))
+            for v in reversed(vecs):
+                acc += v
+            cmx.write(out, 0, acc)
+
+        with pytest.raises(CompileError):
+            compile_kernel(body, "k", [("src", False), ("out", False)])
+
+
+class TestOCLEdges:
+    def test_zero_size_slm_kernel_without_slm_param(self):
+        dev = Device()
+        ran = []
+
+        def k():
+            ran.append(True)
+
+        ocl.enqueue(dev, k, 16, 16)
+        assert ran == [True]
+
+    def test_masked_everything_off(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(16, dtype=np.uint32))
+
+        def k():
+            gid = ocl.get_global_id(0)
+            never = gid > 100
+            v = ocl.load(buf, gid, dtype=np.uint32, mask=never)
+            ocl.store(buf, gid, v + 1, mask=never)
+
+        ocl.enqueue(dev, k, 16, 16)
+        assert buf.to_numpy().tolist() == [0] * 16
+
+    def test_shuffle_wraps_indices(self):
+        dev = Device()
+        got = []
+
+        def k():
+            lane = ocl.get_sub_group_local_id()
+            v = ocl.sub_group_shuffle(lane, lane + 16)  # wraps mod 16
+            got.append(v.to_numpy().tolist())
+
+        ocl.enqueue(dev, k, 16, 16)
+        assert got[0] == list(range(16))

@@ -1,0 +1,111 @@
+"""The event-driven simulator vs the analytic timing model."""
+
+import numpy as np
+import pytest
+
+from repro import Device, cm
+from repro.sim.event_sim import simulate
+from repro.sim.machine import GEN11_ICL
+from repro.sim.timing import time_kernel
+from repro.sim.trace import MemKind, ThreadTrace
+from repro.workloads import linear_filter as lf
+from repro.workloads import transpose as tp
+
+
+def _compute_trace(n_instr):
+    tr = ThreadTrace(GEN11_ICL)
+    for _ in range(n_instr):
+        tr.alu(16, cm.float32)
+    return tr
+
+
+class TestSynthetic:
+    def test_pure_compute_matches_analytic(self):
+        traces = [_compute_trace(100) for _ in range(448)]
+        analytic = time_kernel(traces, GEN11_ICL)
+        event = simulate(traces, GEN11_ICL)
+        assert event.cycles == pytest.approx(analytic.compute_cycles,
+                                             rel=0.05)
+
+    def test_single_thread_latency(self):
+        tr = ThreadTrace(GEN11_ICL)
+        ev = tr.memory(MemKind.OWORD_READ, nbytes=64, lines=1)
+        tr.consume(ev)
+        tr.alu(16, cm.float32)
+        event = simulate([tr], GEN11_ICL)
+        assert event.cycles >= GEN11_ICL.dataport_latency
+
+    def test_dataport_contention_serializes(self):
+        def loaded_thread():
+            tr = ThreadTrace(GEN11_ICL)
+            for _ in range(4):
+                tr.memory(MemKind.OWORD_READ, nbytes=512, lines=8,
+                          l3_bytes=512)
+            return tr
+
+        few = simulate([loaded_thread() for _ in range(8)], GEN11_ICL)
+        many = simulate([loaded_thread() for _ in range(256)], GEN11_ICL)
+        assert many.cycles > few.cycles
+
+    def test_barrier_synchronizes(self):
+        fast = ThreadTrace(GEN11_ICL)
+        fast.barrier()
+        slow = ThreadTrace(GEN11_ICL)
+        for _ in range(500):
+            slow.alu(16, cm.float32)
+        slow.barrier()
+        event = simulate([fast, slow], GEN11_ICL)
+        # The fast thread waits for the slow one: total > slow's compute.
+        assert event.cycles >= 500 * 2
+
+    def test_server_busy_accounted(self):
+        tr = ThreadTrace(GEN11_ICL)
+        tr.memory(MemKind.OWORD_READ, nbytes=640, lines=10, l3_bytes=640)
+        event = simulate([tr], GEN11_ICL)
+        assert event.server_busy["l3"] > 0
+        assert event.server_busy["dataport0"] > 0
+
+
+class TestAgainstWorkloads:
+    """The two models must agree on *ordering* (CM faster than OpenCL)."""
+
+    def _traces_of(self, run):
+        # Re-run to recover traces is wasteful; instead rebuild from runs.
+        return None
+
+    def test_linear_filter_ordering(self):
+        img = lf.make_image(64, 24)
+        dev_cm, dev_ocl = Device(), Device()
+        lf.run_cm(dev_cm, img)
+        lf.run_ocl(dev_ocl, img)
+        cm_traces = dev_cm.runs[0].timing
+        # Compare using stored timing (analytic) and event sim on fresh
+        # traces gathered through a private capture.
+        cm_ev = _replay(lambda d: lf.run_cm(d, img))
+        ocl_ev = _replay(lambda d: lf.run_ocl(d, img))
+        assert cm_ev < ocl_ev
+
+    def test_transpose_ordering(self):
+        # Needs enough threads that latency is occupancy-hidden; tiny
+        # transposes are latency-bound and favour neither model.
+        a = tp.make_matrix(512)
+        cm_ev = _replay(lambda d: tp.run_cm(d, a))
+        ocl_ev = _replay(lambda d: tp.run_ocl(d, a))
+        assert cm_ev < ocl_ev
+
+
+def _replay(fn) -> float:
+    """Run a workload capturing traces, then event-simulate them."""
+    captured = []
+
+    class CapturingDevice(Device):
+        def submit(self, traces, name):
+            captured.append(list(traces))
+            return super().submit(traces, name)
+
+    dev = CapturingDevice()
+    fn(dev)
+    total = 0.0
+    for traces in captured:
+        total += simulate(traces, dev.machine).cycles
+    return total

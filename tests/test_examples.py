@@ -1,0 +1,29 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> str:
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+def test_quickstart_runs():
+    stdout = _run("quickstart.py")
+    assert "correct: True" in stdout
+    assert "2x2 transpose" in stdout
+
+
+def test_compile_and_inspect_runs():
+    stdout = _run("compile_and_inspect.py")
+    assert "matches the numpy reference: True" in stdout
+    assert stdout.count("mov (16|M0)") == 9  # the Fig. 4 block

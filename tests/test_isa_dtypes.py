@@ -1,0 +1,96 @@
+"""Gen type system: promotion and conversion semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.dtypes import (
+    ALL_DTYPES, B, D, DF, F, HF, Q, UB, UD, UQ, UW, W,
+    convert, dtype_by_name, dtype_from_numpy, promote,
+)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert dtype_by_name("f") is F
+        assert dtype_by_name("ub") is UB
+        assert dtype_by_name("df") is DF
+
+    def test_by_name_unknown(self):
+        with pytest.raises(ValueError):
+            dtype_by_name("zz")
+
+    def test_from_numpy(self):
+        assert dtype_from_numpy(np.float32) is F
+        assert dtype_from_numpy(np.uint8) is UB
+        assert dtype_from_numpy(np.int64) is Q
+
+    def test_sizes(self):
+        assert [t.size for t in (UB, W, D, Q, F, DF, HF)] == \
+            [1, 2, 4, 8, 4, 8, 2]
+
+    def test_min_max(self):
+        assert UB.min == 0 and UB.max == 255
+        assert W.min == -32768 and W.max == 32767
+        assert F.max > 1e38
+
+
+class TestPromotion:
+    def test_identity(self):
+        for t in ALL_DTYPES:
+            assert promote(t, t) is t
+
+    def test_float_beats_int(self):
+        assert promote(F, D) is F
+        assert promote(UB, F) is F
+        assert promote(Q, DF) is DF
+
+    def test_wider_float_wins(self):
+        assert promote(F, DF) is DF
+        assert promote(HF, F) is F
+
+    def test_small_ints_promote_to_dword(self):
+        assert promote(UB, B) is D
+        assert promote(W, UW) is D
+        assert promote(UB, W) is D
+
+    def test_mixed_sign_same_width_unsigned(self):
+        assert promote(D, UD) is UD
+        assert promote(Q, UQ) is UQ
+
+    def test_wider_int_wins(self):
+        assert promote(D, Q) is Q
+        assert promote(UD, UQ) is UQ
+
+
+class TestConversion:
+    def test_float_to_int_truncates_toward_zero(self):
+        out = convert(np.asarray([1.9, -1.9, 0.5]), D)
+        assert out.tolist() == [1, -1, 0]
+
+    def test_int_narrowing_wraps(self):
+        out = convert(np.asarray([256, 257, -1]), UB)
+        assert out.tolist() == [0, 1, 255]
+
+    def test_saturating_narrowing_clamps(self):
+        out = convert(np.asarray([300, -5, 100]), UB, saturate=True)
+        assert out.tolist() == [255, 0, 100]
+
+    def test_saturating_float_source(self):
+        out = convert(np.asarray([300.7, -5.1, 100.2]), UB, saturate=True)
+        assert out.tolist() == [255, 0, 100]
+
+    def test_to_float(self):
+        out = convert(np.asarray([1, 2, 3], dtype=np.uint8), F)
+        assert out.dtype == np.float32
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_wrap_matches_c_semantics(self, x):
+        out = convert(np.asarray([x]), UW)
+        assert out[0] == x % 65536
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_float_trunc_matches_int_cast(self, x):
+        out = convert(np.asarray([x]), D)
+        assert out[0] == int(x)

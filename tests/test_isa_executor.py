@@ -1,0 +1,168 @@
+"""Functional executor: ALU, predication, and memory messages."""
+
+import numpy as np
+import pytest
+
+from repro.isa.dtypes import D, F, UB, UD, UW
+from repro.isa.executor import ExecutionError, FunctionalExecutor
+from repro.isa.grf import RegOperand
+from repro.isa.instructions import (
+    CondMod, FlagOperand, Immediate, Instruction, MathFn, MessageDesc,
+    MsgKind, Opcode, Predicate,
+)
+from repro.isa.regions import Region
+from repro.memory.surfaces import BufferSurface, Image2DSurface
+
+
+def _packed(n):
+    w = min(n, 8)
+    return Region(w, w, 1)
+
+
+def _load_reg(ex, reg, values, dtype):
+    ex.grf.write_bytes(reg * 32, np.asarray(values, dtype=dtype.np_dtype))
+
+
+class TestALU:
+    def test_add_immediate(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, range(8), D)
+        ex.execute(Instruction(
+            Opcode.ADD, 8, RegOperand(2, 0, D),
+            [RegOperand(1, 0, D, _packed(8)), Immediate(10, D)]))
+        assert ex.grf.dump_reg(2, D)[:8].tolist() == list(range(10, 18))
+
+    def test_mov_converts_ub_to_float(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, [0, 1, 2, 3], UB)
+        ex.execute(Instruction(
+            Opcode.MOV, 4, RegOperand(2, 0, F),
+            [RegOperand(1, 0, UB, _packed(4))]))
+        assert ex.grf.dump_reg(2, F)[:4].tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_mad(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, [1.0] * 4, F)
+        _load_reg(ex, 2, [2.0] * 4, F)
+        _load_reg(ex, 3, [3.0] * 4, F)
+        ex.execute(Instruction(
+            Opcode.MAD, 4, RegOperand(4, 0, F),
+            [RegOperand(1, 0, F, _packed(4)), RegOperand(2, 0, F, _packed(4)),
+             RegOperand(3, 0, F, _packed(4))]))
+        assert ex.grf.dump_reg(4, F)[:4].tolist() == [7.0] * 4
+
+    def test_math_sqrt(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, [4.0, 9.0, 16.0, 25.0], F)
+        ex.execute(Instruction(
+            Opcode.MATH, 4, RegOperand(2, 0, F),
+            [RegOperand(1, 0, F, _packed(4))], math_fn=MathFn.SQRT))
+        assert ex.grf.dump_reg(2, F)[:4].tolist() == [2.0, 3.0, 4.0, 5.0]
+
+    def test_missing_dst_raises(self):
+        ex = FunctionalExecutor()
+        with pytest.raises(ExecutionError):
+            ex.execute(Instruction(Opcode.ADD, 4, None,
+                                   [Immediate(1, D), Immediate(2, D)]))
+
+    def test_saturation(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, [200, 100, 10, 0], UB)
+        ex.execute(Instruction(
+            Opcode.ADD, 4, RegOperand(2, 0, UB),
+            [RegOperand(1, 0, UB, _packed(4)), Immediate(100, D)],
+            sat=True))
+        assert ex.grf.dump_reg(2, UB)[:4].tolist() == [255, 200, 110, 100]
+
+
+class TestCmpSel:
+    def test_cmp_sets_flag(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, [1, 5, 3, 7], D)
+        ex.execute(Instruction(
+            Opcode.CMP, 4, None,
+            [RegOperand(1, 0, D, _packed(4)), Immediate(4, D)],
+            cond_mod=CondMod.GT, flag=FlagOperand(0)))
+        assert ex.flags[0][:4].tolist() == [False, True, False, True]
+
+    def test_predicated_sel(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, [1, 5, 3, 7], D)
+        _load_reg(ex, 2, [10, 20, 30, 40], D)
+        ex.execute(Instruction(
+            Opcode.CMP, 4, None,
+            [RegOperand(1, 0, D, _packed(4)), Immediate(4, D)],
+            cond_mod=CondMod.GT, flag=FlagOperand(0)))
+        ex.execute(Instruction(
+            Opcode.SEL, 4, RegOperand(3, 0, D),
+            [RegOperand(1, 0, D, _packed(4)),
+             RegOperand(2, 0, D, _packed(4))],
+            pred=Predicate(FlagOperand(0))))
+        assert ex.grf.dump_reg(3, D)[:4].tolist() == [10, 5, 30, 7]
+
+    def test_predicated_mov_writes_active_lanes_only(self):
+        ex = FunctionalExecutor()
+        ex.flags[0] = np.asarray([True, False] * 16)
+        _load_reg(ex, 1, [9] * 8, D)
+        _load_reg(ex, 2, [0] * 8, D)
+        ex.execute(Instruction(
+            Opcode.MOV, 8, RegOperand(2, 0, D),
+            [RegOperand(1, 0, D, _packed(8))],
+            pred=Predicate(FlagOperand(0))))
+        assert ex.grf.dump_reg(2, D)[:8].tolist() == [9, 0] * 4
+
+    def test_inverted_predicate(self):
+        ex = FunctionalExecutor()
+        ex.flags[0] = np.asarray([True, False] * 16)
+        _load_reg(ex, 1, [9] * 8, D)
+        ex.execute(Instruction(
+            Opcode.MOV, 8, RegOperand(2, 0, D),
+            [RegOperand(1, 0, D, _packed(8))],
+            pred=Predicate(FlagOperand(0), invert=True)))
+        assert ex.grf.dump_reg(2, D)[:8].tolist() == [0, 9] * 4
+
+
+class TestSends:
+    def test_oword_read_write(self):
+        buf = BufferSurface(np.arange(32, dtype=np.uint32))
+        ex = FunctionalExecutor({0: buf})
+        ex.execute(Instruction(Opcode.SEND, msg=MessageDesc(
+            kind=MsgKind.OWORD_BLOCK_READ, surface=0,
+            addr0=Immediate(16, UD), payload_reg=2, payload_bytes=32)))
+        assert ex.grf.dump_reg(2, UD)[:8].tolist() == list(range(4, 12))
+        ex.execute(Instruction(Opcode.SEND, msg=MessageDesc(
+            kind=MsgKind.OWORD_BLOCK_WRITE, surface=0,
+            addr0=Immediate(0, UD), payload_reg=2, payload_bytes=32)))
+        assert buf.to_numpy()[:8].tolist() == list(range(4, 12))
+
+    def test_media_block_read(self):
+        img = Image2DSurface(np.arange(64, dtype=np.uint8).reshape(8, 8))
+        ex = FunctionalExecutor({1: img})
+        ex.execute(Instruction(Opcode.SEND, msg=MessageDesc(
+            kind=MsgKind.MEDIA_BLOCK_READ, surface=1,
+            block_width=4, block_height=2,
+            addr0=Immediate(2, UD), addr1=Immediate(1, UD),
+            payload_reg=3)))
+        out = ex.grf.read_bytes(3 * 32, 8)
+        assert out.tolist() == [10, 11, 12, 13, 18, 19, 20, 21]
+
+    def test_gather_scatter_element_offsets(self):
+        buf = BufferSurface(np.arange(16, dtype=np.float32))
+        ex = FunctionalExecutor({0: buf})
+        _load_reg(ex, 1, [3, 1, 7, 0], UD)
+        ex.execute(Instruction(Opcode.SEND, exec_size=4, msg=MessageDesc(
+            kind=MsgKind.GATHER, surface=0, addr_reg=1, payload_reg=2,
+            elem_dtype=F)))
+        assert ex.grf.dump_reg(2, F)[:4].tolist() == [3.0, 1.0, 7.0, 0.0]
+        ex.execute(Instruction(Opcode.SEND, exec_size=4, msg=MessageDesc(
+            kind=MsgKind.SCATTER, surface=0, addr_reg=1, payload_reg=2,
+            elem_dtype=F, addr0=Immediate(8, UD))))
+        host = buf.to_numpy()
+        assert host[11] == 3.0 and host[9] == 1.0 and host[8] == 0.0
+
+    def test_unbound_surface_raises(self):
+        ex = FunctionalExecutor()
+        with pytest.raises(ExecutionError):
+            ex.execute(Instruction(Opcode.SEND, msg=MessageDesc(
+                kind=MsgKind.OWORD_BLOCK_READ, surface=9,
+                addr0=Immediate(0, UD), payload_reg=1, payload_bytes=16)))

@@ -1,0 +1,174 @@
+"""Surfaces, SLM banking, atomics, and cache-line tracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.dtypes import F, UD
+from repro.memory.slm import (
+    ATOMIC_OPS_PER_CYCLE, NUM_BANKS, SharedLocalMemory, bank_conflict_cycles,
+)
+from repro.memory.surfaces import BufferSurface, Image2DSurface
+from repro.memory.traffic import (
+    block2d_cache_lines, block_cache_lines, unique_cache_lines,
+)
+
+
+class TestBufferSurface:
+    def test_linear_roundtrip(self):
+        buf = BufferSurface.allocate(64)
+        buf.write_linear(16, np.arange(4, dtype=np.uint32))
+        assert buf.read_linear(16, 16).view(np.uint32).tolist() == [0, 1, 2, 3]
+
+    def test_out_of_bounds(self):
+        buf = BufferSurface.allocate(64)
+        with pytest.raises(IndexError):
+            buf.read_linear(60, 16)
+
+    def test_gather_with_mask(self):
+        buf = BufferSurface(np.arange(16, dtype=np.float32))
+        out = buf.gather(np.asarray([0, 4, 8, 12]), F,
+                         mask=np.asarray([True, False, True, False]))
+        assert out.tolist() == [0.0, 0.0, 2.0, 0.0]
+
+    def test_scatter_duplicate_offsets_last_wins(self):
+        buf = BufferSurface(np.zeros(4, dtype=np.uint32))
+        buf.scatter(np.asarray([0, 0]), np.asarray([1, 2], dtype=np.uint32))
+        assert buf.to_numpy()[0] == 2
+
+    def test_atomic_add_returns_old(self):
+        buf = BufferSurface(np.zeros(4, dtype=np.uint32))
+        old = buf.atomic("add", np.asarray([0, 0, 4]),
+                         np.asarray([5, 7, 3], dtype=np.uint32), UD)
+        assert old.tolist() == [0, 5, 0]
+        assert buf.to_numpy()[:2].tolist() == [12, 3]
+
+    def test_atomic_inc_serializes_same_address(self):
+        buf = BufferSurface(np.zeros(1, dtype=np.uint32))
+        old = buf.atomic("inc", np.zeros(16, dtype=np.int64), None, UD)
+        assert sorted(old.tolist()) == list(range(16))
+        assert buf.to_numpy()[0] == 16
+
+    def test_atomic_ops_semantics(self):
+        buf = BufferSurface(np.asarray([10], dtype=np.uint32))
+        assert buf.atomic("max", [0], np.asarray([7], np.uint32), UD)[0] == 10
+        assert buf.to_numpy()[0] == 10
+        buf.atomic("max", [0], np.asarray([20], np.uint32), UD)
+        assert buf.to_numpy()[0] == 20
+        buf.atomic("xchg", [0], np.asarray([3], np.uint32), UD)
+        assert buf.to_numpy()[0] == 3
+
+    def test_atomic_cmpxchg(self):
+        buf = BufferSurface(np.asarray([5, 5], dtype=np.uint32))
+        old = buf.atomic_cmpxchg(
+            np.asarray([0, 4]), np.asarray([5, 4], np.uint32),
+            np.asarray([9, 9], np.uint32), UD)
+        assert old.tolist() == [5, 5]
+        assert buf.to_numpy().tolist() == [9, 5]
+
+    def test_misaligned_atomic_rejected(self):
+        buf = BufferSurface(np.zeros(4, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            buf.atomic("inc", [2], None, UD)
+
+
+class TestImage2D:
+    def test_block_read_clamps_edges(self):
+        img = Image2DSurface(np.arange(16, dtype=np.uint8).reshape(4, 4))
+        block = img.read_block(-1, -1, 3, 2)
+        assert block[0].tolist() == [0, 0, 1]
+        assert block[1].tolist() == [0, 0, 1]
+        block = img.read_block(3, 3, 2, 2)
+        assert block[0].tolist() == [15, 15]
+
+    def test_block_write_drops_oob(self):
+        img = Image2DSurface(np.zeros((4, 4), dtype=np.uint8))
+        img.write_block(3, 3, 2, 2, np.full((2, 2), 9, dtype=np.uint8))
+        host = img.to_numpy()
+        assert host[3, 3] == 9 and host.sum() == 9
+
+    def test_pixel_access_multibyte(self):
+        data = np.arange(48, dtype=np.uint8).reshape(4, 12)
+        img = Image2DSurface(data, bytes_per_pixel=3)
+        assert img.width == 4 and img.pitch == 12
+        px = img.read_pixels(np.asarray([1]), np.asarray([2]))
+        assert px[0].tolist() == [27, 28, 29]
+
+    def test_write_pixels(self):
+        img = Image2DSurface(np.zeros((2, 6), dtype=np.uint8), 3)
+        img.write_pixels(np.asarray([1]), np.asarray([0]),
+                         np.asarray([[7, 8, 9]], dtype=np.uint8))
+        assert img.to_numpy()[0, 3:6].tolist() == [7, 8, 9]
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            Image2DSurface(np.zeros((2, 5), dtype=np.uint8), 3)
+
+
+class TestLineTracking:
+    def test_first_touch_counts_once(self):
+        buf = BufferSurface.allocate(256)
+        total, new = buf.mark_lines_range(0, 128)
+        assert (total, new) == (2, 2)
+        total, new = buf.mark_lines_range(0, 128)
+        assert (total, new) == (2, 0)
+        buf.reset_line_tracking()
+        assert buf.mark_lines_range(0, 64) == (1, 1)
+
+    def test_scattered_lines(self):
+        buf = BufferSurface.allocate(1024)
+        offs = np.asarray([0, 4, 64, 512])
+        total, new = buf.mark_lines_offsets(offs, 4)
+        assert (total, new) == (3, 3)
+
+    def test_block2d_lines_per_row(self):
+        img = Image2DSurface(np.zeros((8, 256), dtype=np.uint8))
+        total, new = img.mark_lines_block2d(0, 0, 32, 4, 256)
+        assert total == 4 and new == 4
+
+
+class TestSLM:
+    def test_capacity_limit(self):
+        with pytest.raises(ValueError):
+            SharedLocalMemory(128 * 1024)
+
+    def test_conflict_free_consecutive(self):
+        offs = np.arange(16) * 4
+        assert bank_conflict_cycles(offs) == 1
+
+    def test_same_word_broadcast_read(self):
+        offs = np.zeros(16, dtype=np.int64)
+        assert bank_conflict_cycles(offs) == 1
+
+    def test_same_word_atomic_serializes(self):
+        offs = np.zeros(16, dtype=np.int64)
+        cycles = bank_conflict_cycles(offs, same_address_broadcast=False,
+                                      ops_per_cycle=ATOMIC_OPS_PER_CYCLE)
+        assert cycles == 16 / ATOMIC_OPS_PER_CYCLE
+
+    def test_two_way_bank_conflict(self):
+        # Stride of NUM_BANKS words: every lane hits bank 0.
+        offs = np.arange(4) * NUM_BANKS * 4
+        assert bank_conflict_cycles(offs) == 4
+
+    def test_padding_removes_conflicts(self):
+        # 17-word stride spreads 16 lanes over all banks (transpose trick).
+        offs = np.arange(16) * 17 * 4
+        assert bank_conflict_cycles(offs) == 1
+
+
+class TestTrafficHelpers:
+    def test_unique_cache_lines_straddle(self):
+        assert unique_cache_lines(np.asarray([62]), 4) == 2
+
+    def test_block_lines(self):
+        assert block_cache_lines(1) == 1
+        assert block_cache_lines(65) == 2
+
+    def test_block2d_lines(self):
+        assert block2d_cache_lines(32, 8, 1024) == 8
+
+    @given(st.lists(st.integers(0, 4000), min_size=1, max_size=32))
+    def test_unique_lines_bounded(self, offs):
+        n = unique_cache_lines(np.asarray(offs), 4)
+        assert 1 <= n <= 2 * len(offs)

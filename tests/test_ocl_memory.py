@@ -1,0 +1,205 @@
+"""OpenCL memory operations, subgroup extensions, images."""
+
+import numpy as np
+import pytest
+
+from repro import Device, ocl
+from repro.sim.trace import MemKind
+
+
+def run_subgroup(kernel, dev=None, **kw):
+    dev = dev or Device()
+    return dev, ocl.enqueue(dev, kernel, global_size=16, local_size=16, **kw)
+
+
+class TestLoadStore:
+    def test_coalesced_load_one_line(self):
+        dev = Device()
+        buf = dev.buffer(np.arange(16, dtype=np.uint32))
+        lines = []
+
+        def kernel():
+            gid = ocl.get_global_id(0)
+            ocl.load(buf, gid, dtype=np.uint32)
+
+        _, res = run_subgroup(kernel, dev)
+        ev = [e for tr_ev in [res.run.timing] for e in []]  # placeholder
+        assert res.run.timing.dram_bytes == 64  # one 64B line
+
+    def test_strided_load_many_lines(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(16 * 16, dtype=np.uint32))
+
+        def kernel():
+            gid = ocl.get_global_id(0)
+            ocl.load(buf, gid * 16, dtype=np.uint32)
+
+        _, res = run_subgroup(kernel, dev)
+        assert res.run.timing.dram_bytes == 16 * 64  # every lane its own line
+
+    def test_masked_store(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(16, dtype=np.uint32))
+
+        def kernel():
+            gid = ocl.get_global_id(0)
+            ocl.store(buf, gid, gid + 1, mask=gid < 8)
+
+        run_subgroup(kernel, dev)
+        host = buf.to_numpy()
+        assert host[:8].tolist() == list(range(1, 9))
+        assert host[8:].tolist() == [0] * 8
+
+    def test_vload_vstore(self):
+        dev = Device()
+        src = dev.buffer(np.arange(64, dtype=np.uint32))
+        dst = dev.buffer(np.zeros(64, dtype=np.uint32))
+
+        def kernel():
+            gid = ocl.get_global_id(0)
+            comps = ocl.vload(src, 4, gid, dtype=np.uint32)
+            ocl.vstore(dst, 4, gid, [c + 1 for c in comps])
+
+        run_subgroup(kernel, dev)
+        assert dst.to_numpy().tolist() == list(range(1, 65))
+
+    def test_load_uniform(self):
+        dev = Device()
+        buf = dev.buffer(np.asarray([3.5, 4.5], dtype=np.float32))
+        got = []
+
+        def kernel():
+            got.append(ocl.load_uniform(buf, 1, dtype=np.float32))
+
+        run_subgroup(kernel, dev)
+        assert got == [4.5]
+
+
+class TestSubgroupOps:
+    def test_shuffle_dynamic(self):
+        dev = Device()
+        out = []
+
+        def kernel():
+            lane = ocl.get_sub_group_local_id()
+            rev = 15 - lane
+            v = ocl.sub_group_shuffle(lane.astype(np.float32), rev)
+            out.append(v.to_numpy().tolist())
+
+        run_subgroup(kernel, dev)
+        assert out[0] == list(range(15, -1, -1))
+
+    def test_broadcast(self):
+        dev = Device()
+        out = []
+
+        def kernel():
+            lane = ocl.get_sub_group_local_id()
+            out.append(ocl.sub_group_broadcast(lane, 7).to_numpy().tolist())
+
+        run_subgroup(kernel, dev)
+        assert out[0] == [7] * 16
+
+    def test_reduce_add(self):
+        dev = Device()
+        out = []
+
+        def kernel():
+            lane = ocl.get_sub_group_local_id()
+            out.append(int(ocl.sub_group_reduce_add(lane).vals[0]))
+
+        run_subgroup(kernel, dev)
+        assert out[0] == sum(range(16))
+
+    def test_block_read_write(self):
+        dev = Device()
+        src = dev.buffer(np.arange(32, dtype=np.uint32))
+        dst = dev.buffer(np.zeros(32, dtype=np.uint32))
+
+        def kernel():
+            v = ocl.intel_sub_group_block_read(src, 16, dtype=np.uint32)
+            ocl.intel_sub_group_block_write(dst, 0, v)
+
+        run_subgroup(kernel, dev)
+        assert dst.to_numpy()[:16].tolist() == list(range(16, 32))
+
+    def test_block_read_rows(self):
+        dev = Device()
+        src = dev.buffer(np.arange(64, dtype=np.float32))
+        got = []
+
+        def kernel():
+            rows = ocl.intel_sub_group_block_read_rows(
+                src, 0, 3, 16, dtype=np.float32)
+            got.append([r.vals[0] for r in rows])
+
+        run_subgroup(kernel, dev)
+        assert got[0] == [0.0, 16.0, 32.0]
+
+
+class TestImagesAndAtomics:
+    def test_read_imagef_clamps(self):
+        dev = Device()
+        img = dev.image2d(np.arange(12, dtype=np.uint8).reshape(2, 6), 3)
+        got = {}
+
+        def kernel():
+            x = ocl.SimtValue.of(np.full(16, -5), np.int32)
+            y = ocl.SimtValue.of(np.zeros(16), np.int32)
+            r, g, b, a = ocl.read_imagef(img, x, y)
+            got["rgb"] = (r.vals[0], g.vals[0], b.vals[0], a.vals[0])
+
+        run_subgroup(kernel, dev)
+        assert got["rgb"] == (0.0, 1.0, 2.0, 0.0)
+
+    def test_write_imageui(self):
+        dev = Device()
+        img = dev.image2d(np.zeros((2, 6), dtype=np.uint8), 3)
+
+        def kernel():
+            lane = ocl.get_sub_group_local_id()
+            x = lane % 2
+            y = lane * 0
+            chans = (x * 10 + 1, x * 10 + 2, x * 10 + 3)
+            ocl.write_imageui(img, x.astype(np.int32), y.astype(np.int32),
+                              chans, mask=lane < 2)
+
+        run_subgroup(kernel, dev)
+        assert img.to_numpy()[0].tolist() == [1, 2, 3, 11, 12, 13]
+
+    def test_sampler_event_recorded(self):
+        dev = Device()
+        img = dev.image2d(np.zeros((4, 4), dtype=np.uint8), 1)
+
+        def kernel():
+            gid = ocl.get_global_id(0)
+            ocl.read_imagef(img, gid.astype(np.int32) % 4,
+                            gid.astype(np.int32) * 0)
+
+        _, res = run_subgroup(kernel, dev)
+        assert res.run.timing.texels == 16
+
+    def test_global_atomics(self):
+        dev = Device()
+        counters = dev.buffer(np.zeros(2, dtype=np.uint32))
+
+        def kernel():
+            gid = ocl.get_global_id(0)
+            ocl.atomic_inc_global(counters, gid % 2)
+
+        run_subgroup(kernel, dev)
+        assert counters.to_numpy().tolist() == [8, 8]
+
+    def test_slm_atomics(self):
+        dev = Device()
+        out = dev.buffer(np.zeros(1, dtype=np.uint32))
+
+        def kernel(slm):
+            gid = ocl.get_global_id(0)
+            ocl.atomic_inc_slm(slm, gid * 0)
+            yield ocl.barrier()
+            v = ocl.slm_load(slm, gid * 0, dtype=np.uint32)
+            ocl.store(out, gid * 0, v, mask=gid == 0)
+
+        ocl.enqueue(dev, kernel, 16, 16, slm_bytes=16)
+        assert out.to_numpy()[0] == 16

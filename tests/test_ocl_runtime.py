@@ -1,0 +1,133 @@
+"""OpenCL SIMT runtime: NDRange mapping, barriers, work-groups."""
+
+import numpy as np
+import pytest
+
+from repro import Device, ocl
+
+
+class TestNDRange:
+    def test_global_ids_cover_range(self):
+        dev = Device()
+        seen = []
+
+        def kernel():
+            seen.extend(ocl.get_global_id(0).to_numpy().tolist())
+
+        ocl.enqueue(dev, kernel, global_size=64, local_size=32)
+        assert sorted(seen) == list(range(64))
+
+    def test_2d_ids(self):
+        dev = Device()
+        seen = set()
+
+        def kernel():
+            xs = ocl.get_global_id(0).to_numpy()
+            ys = ocl.get_global_id(1).to_numpy()
+            seen.update(zip(xs.tolist(), ys.tolist()))
+
+        ocl.enqueue(dev, kernel, global_size=(32, 4), local_size=(16, 2))
+        assert len(seen) == 128
+        assert (31, 3) in seen
+
+    def test_local_and_group_queries(self):
+        dev = Device()
+        rows = []
+
+        def kernel():
+            rows.append((ocl.get_group_id(0), ocl.get_local_size(0),
+                         ocl.get_num_groups(0), ocl.get_sub_group_size(),
+                         int(ocl.get_local_id(0).vals[0])))
+
+        ocl.enqueue(dev, kernel, global_size=64, local_size=32, simd=16)
+        assert (0, 32, 2, 16, 0) in rows
+        assert (1, 32, 2, 16, 16) in rows
+
+    def test_indivisible_sizes_rejected(self):
+        dev = Device()
+        with pytest.raises(ValueError):
+            ocl.enqueue(dev, lambda: None, global_size=60, local_size=32)
+        with pytest.raises(ValueError):
+            ocl.enqueue(dev, lambda: None, global_size=64, local_size=24,
+                        simd=16)
+
+    def test_simd8_dispatch(self):
+        dev = Device()
+        widths = []
+
+        def kernel():
+            widths.append(ocl.get_global_id(0).width)
+
+        ocl.enqueue(dev, kernel, global_size=16, local_size=8, simd=8)
+        assert widths == [8, 8]
+
+
+class TestBarriers:
+    def test_barrier_orders_slm_phases(self):
+        dev = Device()
+        data = dev.buffer(np.arange(32, dtype=np.uint32))
+        out = dev.buffer(np.zeros(32, dtype=np.uint32))
+
+        def kernel(src, dst, slm):
+            gid = ocl.get_global_id(0)
+            lid = ocl.get_local_id(0)
+            v = ocl.load(src, gid, dtype=np.uint32)
+            ocl.slm_store(slm, lid, v)
+            yield ocl.barrier()
+            n = ocl.get_local_size(0)
+            r = ocl.slm_load(slm, (n - 1) - lid, dtype=np.uint32)
+            ocl.store(dst, gid, r)
+
+        ocl.enqueue(dev, kernel, 32, 32, args=(data, out), slm_bytes=128)
+        assert out.to_numpy().tolist() == list(range(31, -1, -1))
+
+    def test_barrier_divergence_detected(self):
+        dev = Device()
+
+        def kernel(slm):
+            if ocl.get_group_id(0) == 0 and \
+                    int(ocl.get_local_id(0).vals[0]) == 0:
+                yield ocl.barrier()
+
+        with pytest.raises(RuntimeError, match="divergence"):
+            ocl.enqueue(dev, kernel, 32, 32, slm_bytes=64)
+
+    def test_non_barrier_yield_rejected(self):
+        dev = Device()
+
+        def kernel():
+            yield 42
+
+        with pytest.raises(RuntimeError, match="barrier"):
+            ocl.enqueue(dev, kernel, 16, 16)
+
+    def test_barriers_counted_in_timing(self):
+        dev = Device()
+
+        def kernel(slm):
+            yield ocl.barrier()
+            yield ocl.barrier()
+
+        res = ocl.enqueue(dev, kernel, 32, 32, slm_bytes=64)
+        assert res.run.timing.barriers == 2 * 2  # 2 subgroups x 2 barriers
+
+
+class TestSLMScoping:
+    def test_slm_is_per_workgroup(self):
+        dev = Device()
+        out = dev.buffer(np.zeros(4, dtype=np.uint32))
+
+        def kernel(dst, slm):
+            lid = ocl.get_local_id(0)
+            wg = ocl.get_group_id(0)
+            first = lid == 0
+            ocl.slm_store(slm, lid,
+                          ocl.SimtValue.splat(wg + 1, lid.width, np.uint32),
+                          mask=first)
+            yield ocl.barrier()
+            v = ocl.slm_load(slm, lid * 0, dtype=np.uint32)
+            ocl.store(dst, ocl.SimtValue.splat(wg, lid.width, np.uint32),
+                      v, mask=first)
+
+        ocl.enqueue(dev, kernel, 64, 16, args=(out,), slm_bytes=64)
+        assert out.to_numpy().tolist() == [1, 2, 3, 4]

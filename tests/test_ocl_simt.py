@@ -1,0 +1,121 @@
+"""SimtValue semantics: the implicitly vectorized work-item values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Device, ocl
+from repro.isa.dtypes import F, UD, UW
+from repro.ocl.simt import SimtValue, select, where
+
+
+class TestConstruction:
+    def test_of_and_splat(self):
+        v = SimtValue.of(np.arange(4), np.uint32)
+        assert v.width == 4 and v.dtype is UD
+        s = SimtValue.splat(2.5, 8)
+        assert s.to_numpy().tolist() == [2.5] * 8
+        assert s.dtype is F
+
+    def test_astype(self):
+        v = SimtValue.of([1.9, -1.9], np.float32)
+        out = v.astype(np.int32)
+        assert out.to_numpy().tolist() == [1, -1]
+
+
+class TestArithmetic:
+    def test_elementwise(self):
+        a = SimtValue.of([1, 2, 3], np.int32)
+        b = SimtValue.of([10, 20, 30], np.int32)
+        assert (a + b).to_numpy().tolist() == [11, 22, 33]
+        assert (b - a).to_numpy().tolist() == [9, 18, 27]
+        assert (a * 2).to_numpy().tolist() == [2, 4, 6]
+        assert (1 + a).to_numpy().tolist() == [2, 3, 4]
+
+    def test_c_division(self):
+        a = SimtValue.of([7, -7], np.int32)
+        assert (a / 2).to_numpy().tolist() == [3, -3]
+
+    def test_width_mismatch(self):
+        a = SimtValue.of([1, 2], np.int32)
+        b = SimtValue.of([1, 2, 3], np.int32)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_comparison_masks(self):
+        a = SimtValue.of([1, 5, 3], np.int32)
+        m = a > 2
+        assert m.dtype is UW
+        assert m.to_numpy().tolist() == [0, 1, 1]
+        assert m.as_mask().tolist() == [False, True, True]
+
+    def test_shift_and_bitwise(self):
+        a = SimtValue.of([1, 2, 4], np.uint32)
+        assert (a << 1).to_numpy().tolist() == [2, 4, 8]
+        assert (a & 6).to_numpy().tolist() == [0, 2, 4]
+        assert (a | 1).to_numpy().tolist() == [1, 3, 5]
+
+
+class TestSelectWhere:
+    def test_where(self):
+        cond = SimtValue.of([1, 0, 1], np.uint16)
+        out = where(cond, 10, 20)
+        assert out.to_numpy().tolist() == [10, 20, 10]
+
+    def test_select_opencl_argument_order(self):
+        cond = SimtValue.of([1, 0], np.uint16)
+        out = select(SimtValue.of([7, 7], np.int32),
+                     SimtValue.of([9, 9], np.int32), cond)
+        # select(b, a, c) == c ? a : b
+        assert out.to_numpy().tolist() == [9, 7]
+
+    def test_where_requires_mask(self):
+        with pytest.raises(TypeError):
+            where(1, 2, 3)
+
+
+class TestBuiltins:
+    def test_math_builtins(self):
+        dev = Device()
+        got = {}
+
+        def kernel():
+            v = ocl.SimtValue.of(np.full(16, 4.0), np.float32)
+            got["sqrt"] = ocl.native_sqrt(v).vals[0]
+            got["rsqrt"] = ocl.native_rsqrt(v).vals[0]
+            got["recip"] = ocl.native_recip(v).vals[0]
+            got["mad"] = ocl.mad(v, 2.0, 1.0).vals[0]
+            got["min"] = ocl.fmin_(v, 3.0).vals[0]
+
+        ocl.enqueue(dev, kernel, 16, 16)
+        assert got["sqrt"] == 2.0
+        assert got["rsqrt"] == 0.5
+        assert got["recip"] == 0.25
+        assert got["mad"] == 9.0
+        assert got["min"] == 3.0
+
+    def test_uniform_reductions(self):
+        dev = Device()
+        got = {}
+
+        def kernel():
+            lane = ocl.get_sub_group_local_id()
+            got["max"] = ocl.uniform_max(lane)
+            got["min"] = ocl.uniform_min(lane)
+            got["any"] = ocl.uniform_any(lane > 100)
+
+        ocl.enqueue(dev, kernel, 16, 16)
+        assert got == {"max": 15, "min": 0, "any": False}
+
+    def test_builtins_require_kernel_context(self):
+        with pytest.raises(RuntimeError):
+            ocl.get_global_id(0)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=16),
+       st.integers(1, 64))
+def test_simt_arith_matches_numpy(values, scalar):
+    a = SimtValue.of(values, np.int64)
+    expect = (np.asarray(values, dtype=np.int64) * scalar + 7)
+    out = a * scalar + 7
+    assert out.to_numpy().tolist() == expect.tolist()

@@ -1,0 +1,169 @@
+"""Property-based tests: differential checks on core invariants.
+
+- the eager CM machine vs numpy oracles on randomized region patterns,
+- the compiled path vs the eager path on randomized straight-line
+  kernels (the compiler's most important invariant),
+- workload-level invariants (sorting, scan) on adversarial inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import cm
+from repro.compiler import compile_kernel
+from repro.memory.surfaces import BufferSurface
+from repro.workloads import bitonic, prefix_sum
+from repro.workloads.common import run_and_time
+
+
+# -- region algebra ------------------------------------------------------------
+
+
+@given(st.integers(1, 6), st.integers(1, 4), st.integers(0, 10),
+       st.data())
+def test_select_write_read_roundtrip(size, stride, offset, data):
+    """Writing through a select then reading it back is the identity."""
+    n = 64
+    if offset + (size - 1) * stride >= n:
+        return
+    v = cm.vector(cm.int32, n, np.zeros(n))
+    payload = data.draw(st.lists(st.integers(-100, 100),
+                                 min_size=size, max_size=size))
+    v.select(size, stride, offset).assign(payload)
+    assert v.select(size, stride, offset).to_numpy().tolist() == payload
+
+
+@given(st.integers(2, 8), st.integers(2, 8))
+def test_format_roundtrip(rows, cols):
+    """format() reinterprets without changing bytes."""
+    m = cm.matrix(cm.uchar, rows, cols,
+                  np.arange(rows * cols) % 256)
+    flat = m.format(cm.uchar)
+    assert flat.to_numpy().reshape(-1).tolist() == \
+        m.to_numpy().reshape(-1).tolist()
+
+
+@given(st.integers(1, 4), st.integers(0, 3), st.integers(1, 4),
+       st.integers(0, 3), st.integers(0, 8))
+def test_replicate_matches_index_formula(rep, vstride, width, hstride,
+                                         offset):
+    """replicate<K,VS,W,HS>(i) equals its documented gather formula."""
+    n = 64
+    top = offset + (rep - 1) * vstride + (width - 1) * hstride
+    if top >= n:
+        return
+    v = cm.vector(cm.int32, n, np.arange(n))
+    out = v.replicate(rep, vstride, width, hstride, offset)
+    expect = [offset + b * vstride + w * hstride
+              for b in range(rep) for w in range(width)]
+    assert out.to_numpy().tolist() == expect
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=16))
+def test_iselect_matches_fancy_indexing(indices):
+    v = cm.vector(cm.float32, 32, np.arange(32))
+    idx = cm.vector(cm.ushort, len(indices), indices)
+    assert v.iselect(idx).to_numpy().tolist() == \
+        [float(i) for i in indices]
+
+
+@given(st.lists(st.booleans(), min_size=4, max_size=4),
+       st.lists(st.integers(-50, 50), min_size=4, max_size=4),
+       st.lists(st.integers(-50, 50), min_size=4, max_size=4))
+def test_merge_is_elementwise_select(mask, xs, ys):
+    v = cm.vector(cm.int32, 4)
+    v.merge(cm.vector(cm.int32, 4, xs), cm.vector(cm.int32, 4, ys),
+            [int(b) for b in mask])
+    expect = [x if b else y for b, x, y in zip(mask, xs, ys)]
+    assert v.to_numpy().tolist() == expect
+
+
+# -- compiled vs eager differential --------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 8), st.integers(1, 3), st.integers(0, 15),
+       st.integers(-100, 100))
+def test_compiled_select_add_matches_eager(size, stride, offset, scalar):
+    """Random strided read-modify-write: compiled == eager == numpy."""
+    n = 64
+    if offset + (size - 1) * stride >= n:
+        return
+
+    def body(cmx, buf):
+        v = cmx.vector(np.int32, n)
+        cmx.read(buf, 0, v)
+        ref = v.select(size, stride, offset)
+        ref += scalar
+        cmx.write(buf, 0, v)
+
+    k = compile_kernel(body, "prop", [("buf", False)])
+    data = np.arange(n, dtype=np.int32)
+    buf = BufferSurface(data.copy())
+    k.run([buf])
+    expect = data.copy()
+    expect[offset:offset + size * stride:stride][:size] += scalar
+    assert buf.to_numpy().tolist() == expect.tolist()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["add", "mul", "min", "max"]),
+                min_size=1, max_size=5),
+       st.lists(st.integers(-7, 7), min_size=5, max_size=5))
+def test_compiled_op_chain_matches_numpy(ops, consts):
+    """Random chains of elementwise ops compile and run correctly."""
+    n = 32
+    np_fn = {"add": np.add, "mul": np.multiply,
+             "min": np.minimum, "max": np.maximum}
+
+    def body(cmx, buf):
+        v = cmx.vector(np.int32, n)
+        cmx.read(buf, 0, v)
+        out = cmx.vector(np.int32, n, np.zeros(n))
+        out.assign(v)
+        for op, c in zip(ops, consts):
+            if op == "add":
+                out += int(c)
+            elif op == "mul":
+                out *= int(c)
+            else:
+                nxt = cmx.vector(np.int32, n, np.full(n, c))
+                nxt.merge(out, out < c if op == "min" else out > c)
+                out = nxt
+        cmx.write(buf, 0, out)
+
+    data = np.arange(n, dtype=np.int32) - 16
+    k = compile_kernel(body, "chain", [("buf", False)])
+    buf = BufferSurface(data.copy())
+    k.run([buf])
+
+    expect = data.astype(np.int64)
+    for op, c in zip(ops, consts):
+        if op == "add":
+            expect = expect + c
+        elif op == "mul":
+            expect = expect * c
+        else:
+            expect = np_fn[op](expect, c)
+    assert buf.to_numpy().tolist() == \
+        expect.astype(np.int32).tolist()
+
+
+# -- workload invariants -------------------------------------------------------
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=512, max_size=512))
+def test_bitonic_sorts_arbitrary_inputs(values):
+    keys = np.asarray(values, dtype=np.uint32)
+    run = run_and_time("cm", lambda d: bitonic.run_cm(d, keys))
+    assert np.array_equal(run.output, np.sort(keys))
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=512, max_size=512))
+def test_prefix_scan_is_cumsum(values):
+    v = np.asarray(values, dtype=np.uint32)
+    run = run_and_time("cm", lambda d: prefix_sum.run_cm(d, v))
+    assert np.array_equal(run.output, np.cumsum(v).astype(np.uint32))

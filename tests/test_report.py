@@ -1,0 +1,20 @@
+"""The Figure 5 report renderer."""
+
+from repro.report import Fig5Row, render_figure5
+
+
+def test_render_bars_scale():
+    rows = [Fig5Row("fast", 10.0, 30.0, "3.0"),
+            Fig5Row("slow", 10.0, 15.0, "1.5")]
+    text = render_figure5(rows, width=20)
+    assert "fast" in text and "slow" in text
+    fast_bar = next(l for l in text.splitlines() if l.startswith("fast"))
+    slow_bar = next(l for l in text.splitlines() if l.startswith("slow"))
+    assert fast_bar.count("#") == 20
+    assert slow_bar.count("#") == 10
+    assert "3.00x" in fast_bar and "1.50x" in slow_bar
+
+
+def test_speedup_property():
+    row = Fig5Row("w", 2.0, 5.0, "x")
+    assert row.speedup == 2.5

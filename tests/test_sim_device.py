@@ -1,0 +1,132 @@
+"""Device runtime: enqueue accounting, reports, machine variants."""
+
+import numpy as np
+import pytest
+
+from repro import Device, GEN9_SKL, GEN11_ICL, cm, ocl
+from repro.workloads import linear_filter as lf
+from repro.workloads.common import run_and_time
+
+
+class TestQueueAccounting:
+    def test_launch_overhead_pipelines(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(64, dtype=np.float32))
+
+        @cm.cm_kernel
+        def tiny():
+            v = cm.vector(cm.float32, 16, 1.0)
+            cm.write(buf, 0, v)
+
+        dev.run_cm(tiny, grid=(1,))
+        one = dev.total_time_us
+        dev.run_cm(tiny, grid=(1,))
+        two = dev.total_time_us
+        kernel_us = dev.runs[0].kernel_time_us
+        # The second enqueue pays the pipelined gap, not the full overhead.
+        assert two - one == pytest.approx(
+            kernel_us + dev.machine.pipelined_launch_us, rel=0.01)
+
+    def test_reset_clears_runs(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(64, dtype=np.float32))
+
+        @cm.cm_kernel
+        def tiny():
+            v = cm.vector(cm.float32, 16, 1.0)
+            cm.write(buf, 0, v)
+
+        dev.run_cm(tiny, grid=(2,))
+        assert dev.launches == 1
+        dev.reset()
+        assert dev.launches == 0 and dev.total_time_us == 0.0
+
+    def test_report_mentions_bound(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(1024, dtype=np.float32))
+
+        @cm.cm_kernel
+        def k():
+            t = cm.thread_x()
+            v = cm.vector(cm.float32, 64, 2.0)
+            cm.write(buf, t * 256, v)
+
+        dev.run_cm(k, grid=(4,), name="writer")
+        text = dev.report()
+        assert "writer" in text and "bound by" in text
+        assert "Gen11" in text
+
+    def test_line_tracking_reset_between_enqueues(self):
+        dev = Device()
+        buf = dev.buffer(np.zeros(4096, dtype=np.uint8))
+
+        @cm.cm_kernel
+        def reader():
+            v = cm.vector(cm.uchar, 256)
+            cm.read(buf, 0, v)
+
+        r1 = dev.run_cm(reader, grid=(1,))
+        r2 = dev.run_cm(reader, grid=(1,))
+        # Both enqueues are cold: identical compulsory traffic.
+        assert r1.timing.dram_bytes == r2.timing.dram_bytes > 0
+
+
+class TestMachineVariants:
+    def test_gen9_slower_than_gen11(self):
+        img = lf.make_image(256, 96)
+        fast = run_and_time("icl", lambda d: lf.run_cm(d, img),
+                            machine=GEN11_ICL)
+        slow = run_and_time("skl", lambda d: lf.run_cm(d, img),
+                            machine=GEN9_SKL)
+        assert np.array_equal(fast.output, slow.output)
+        assert slow.kernel_time_us > fast.kernel_time_us
+
+    def test_cm_wins_on_both_machines(self):
+        img = lf.make_image(256, 96)
+        for machine in (GEN9_SKL, GEN11_ICL):
+            c = run_and_time("c", lambda d: lf.run_cm(d, img),
+                             machine=machine)
+            o = run_and_time("o", lambda d: lf.run_ocl(d, img),
+                             machine=machine)
+            assert o.total_time_us > c.total_time_us
+
+
+class TestMixedQueues:
+    def test_cm_and_ocl_share_a_device(self):
+        dev = Device()
+        src = dev.buffer(np.arange(64, dtype=np.uint32))
+        mid = dev.buffer(np.zeros(64, dtype=np.uint32))
+        dst = dev.buffer(np.zeros(64, dtype=np.uint32))
+
+        @cm.cm_kernel
+        def stage1():
+            v = cm.vector(cm.uint, 64)
+            cm.read(src, 0, v)
+            out = cm.vector(cm.uint, 64)
+            out.assign(v + 1)
+            cm.write(mid, 0, out)
+
+        def stage2():
+            gid = ocl.get_global_id(0)
+            v = ocl.load(mid, gid, dtype=np.uint32)
+            ocl.store(dst, gid, v * 2)
+
+        dev.run_cm(stage1, grid=(1,))
+        ocl.enqueue(dev, stage2, global_size=64, local_size=32)
+        assert dev.launches == 2
+        assert dst.to_numpy().tolist() == [(i + 1) * 2 for i in range(64)]
+
+
+class TestGen12:
+    def test_gen12_fastest(self):
+        from repro import GEN12_TGL
+
+        img = lf.make_image(256, 96)
+        times = {}
+        for machine in (GEN9_SKL, GEN11_ICL, GEN12_TGL):
+            run = run_and_time("cm", lambda d: lf.run_cm(d, img),
+                               machine=machine)
+            times[machine.name] = run.kernel_time_us
+        ordered = sorted(times.items(), key=lambda kv: kv[1])
+        assert "Gen12" in ordered[0][0]
+        assert "Gen9" in ordered[-1][0]

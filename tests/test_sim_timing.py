@@ -1,0 +1,171 @@
+"""The analytic timing model: bounds, latency hiding, contention."""
+
+import numpy as np
+import pytest
+
+from repro.isa.dtypes import DF, F, UB, UW
+from repro.sim.machine import GEN11_ICL, GEN9_SKL, MachineConfig
+from repro.sim.timing import time_kernel
+from repro.sim.trace import MemKind, ThreadTrace
+
+
+def trace(machine=GEN11_ICL):
+    return ThreadTrace(machine)
+
+
+class TestMachine:
+    def test_derived_quantities(self):
+        m = GEN11_ICL
+        assert m.num_subslices == 8
+        assert m.num_threads == 448
+        assert m.native_simd(4) == 16
+        assert m.native_simd(8) == 8
+        assert m.native_simd(1) == 32
+
+    def test_alu_rates(self):
+        m = GEN11_ICL
+        assert m.alu_lanes_per_cycle(F) == 8.0
+        assert m.alu_lanes_per_cycle(DF) == 2.0
+        assert m.alu_lanes_per_cycle(UW) == 16.0
+        assert m.alu_lanes_per_cycle(F, is_math=True) == 2.0
+
+    def test_gen9_smaller(self):
+        assert GEN9_SKL.num_eus < GEN11_ICL.num_eus
+
+
+class TestThreadTrace:
+    def test_alu_issue_cost(self):
+        tr = trace()
+        tr.alu(16, F)
+        assert tr.inst_count == 1
+        assert tr.issue_cycles == 2.0  # 16 lanes / 8 per cycle
+
+    def test_wide_op_splits(self):
+        tr = trace()
+        tr.alu(144, F)  # the 6x24 select: 9 SIMD16 instructions
+        assert tr.inst_count == 9
+        assert tr.issue_cycles == 18.0
+
+    def test_math_slower(self):
+        tr = trace()
+        tr.alu(16, F, is_math=True)
+        assert tr.issue_cycles == 8.0
+
+    def test_latency_hidden_by_distance(self):
+        m = GEN11_ICL
+        tr = trace()
+        ev = tr.memory(MemKind.OWORD_READ, nbytes=64, lines=1)
+        for _ in range(200):  # plenty of independent work
+            tr.alu(16, F)
+        tr.consume(ev)
+        assert tr.exec_cycles() == pytest.approx(tr.issue_cycles)
+
+    def test_latency_exposed_when_consumed_immediately(self):
+        m = GEN11_ICL
+        tr = trace()
+        ev = tr.memory(MemKind.OWORD_READ, nbytes=64, lines=1)
+        tr.consume(ev)
+        tr.alu(16, F)
+        assert tr.exec_cycles() > m.dataport_latency - 5
+
+    def test_stores_never_stall(self):
+        tr = trace()
+        tr.memory(MemKind.OWORD_WRITE, nbytes=64, lines=1, is_read=False)
+        assert tr.exec_cycles() == tr.issue_cycles
+
+    def test_barrier_cost(self):
+        tr = trace()
+        tr.barrier()
+        assert tr.exec_cycles() == GEN11_ICL.barrier_cycles
+
+
+class TestKernelBounds:
+    def test_compute_bound(self):
+        traces = []
+        for _ in range(448):
+            tr = trace()
+            for _ in range(100):
+                tr.alu(16, F)
+            traces.append(tr)
+        t = time_kernel(traces, GEN11_ICL)
+        assert t.bound_by == "compute"
+        assert t.compute_cycles == pytest.approx(448 * 200 / 64)
+
+    def test_dram_bound_beyond_llc(self):
+        m = GEN11_ICL
+        traces = []
+        lines_needed = int(2 * m.llc_capacity_bytes / 64)
+        tr = trace()
+        tr.memory(MemKind.OWORD_READ, nbytes=lines_needed * 64,
+                  lines=lines_needed, l3_bytes=0)
+        traces.append(tr)
+        t = time_kernel(traces, m)
+        assert t.dram_cycles > 0
+        # Half the lines were absorbed by the LLC.
+        expect = m.llc_capacity_bytes / m.dram_bytes_per_cycle
+        assert t.dram_cycles == pytest.approx(expect, rel=0.01)
+
+    def test_llc_absorbs_small_working_sets(self):
+        tr = trace()
+        tr.memory(MemKind.OWORD_READ, nbytes=4096, lines=64)
+        t = time_kernel([tr], GEN11_ICL)
+        assert t.dram_cycles == 0.0
+
+    def test_slm_bound(self):
+        traces = []
+        for _ in range(64):
+            tr = trace()
+            tr.memory(MemKind.SLM_ATOMIC, nbytes=64, slm_cycles=1000)
+            traces.append(tr)
+        t = time_kernel(traces, GEN11_ICL)
+        assert t.bound_by == "slm"
+        assert t.slm_cycles == 64 * 1000 / 8
+
+    def test_hot_atomic_serial_chain(self):
+        m = GEN11_ICL
+        traces = []
+        for _ in range(8):
+            tr = trace()
+            tr.memory(MemKind.ATOMIC, nbytes=64, lines=1)
+            tr.atomic_global([0] * 1000, surface_id=1)
+            traces.append(tr)
+        t = time_kernel(traces, m)
+        assert t.atomic_cycles == 8000 * m.atomic_cycles_per_op
+
+    def test_sampler_bound(self):
+        tr = trace()
+        for _ in range(100):
+            tr.memory(MemKind.SAMPLER, nbytes=48, lines=1, texels=16)
+        t = time_kernel([tr] * 64, GEN11_ICL)
+        assert t.sampler_cycles == 64 * 1600 / (8 * 4)
+
+    def test_scatter_messages_cost_more_than_block(self):
+        m = GEN11_ICL
+        tr_block = trace()
+        tr_block.memory(MemKind.OWORD_READ, nbytes=64, lines=1, msgs=1)
+        tr_scatter = trace()
+        tr_scatter.memory(MemKind.GATHER, nbytes=64, lines=1, msgs=1)
+        tb = time_kernel([tr_block], m)
+        ts = time_kernel([tr_scatter], m)
+        assert ts.dataport_cycles > tb.dataport_cycles
+
+    def test_latency_bound_few_threads(self):
+        m = GEN11_ICL
+        tr = trace()
+        ev = tr.memory(MemKind.SAMPLER, nbytes=4, lines=1, texels=1)
+        tr.consume(ev)
+        t = time_kernel([tr], m)
+        assert t.bound_by == "latency"
+        assert t.latency_cycles >= m.sampler_latency
+
+    def test_occupancy_divides_latency(self):
+        m = GEN11_ICL
+        def mk():
+            tr = trace()
+            ev = tr.memory(MemKind.OWORD_READ, nbytes=64, lines=1)
+            tr.consume(ev)
+            return tr
+        one = time_kernel([mk()], m)
+        many = time_kernel([mk() for _ in range(448 * 4)], m)
+        per_thread = one.latency_cycles
+        assert many.latency_cycles == pytest.approx(per_thread * 4, rel=0.01)

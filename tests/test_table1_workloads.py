@@ -1,0 +1,72 @@
+"""Table I workloads: conv1x1, conv3x3, stencil2d, systolic GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import conv, stencil, systolic
+from repro.workloads.common import run_and_time, speedup
+
+
+class TestStencil2D:
+    def test_both_match_reference(self):
+        g = stencil.make_grid(64, 32)
+        ref = stencil.reference(g)
+        c = run_and_time("c", lambda d: stencil.run_cm(d, g))
+        o = run_and_time("o", lambda d: stencil.run_ocl(d, g))
+        assert np.allclose(c.output, ref, atol=1e-5)
+        assert np.allclose(o.output, ref, atol=1e-5)
+
+    def test_border_untouched(self):
+        g = stencil.make_grid(32, 16)
+        c = run_and_time("c", lambda d: stencil.run_cm(d, g))
+        assert np.array_equal(c.output[0], g[0])
+        assert np.array_equal(c.output[:, 0], g[:, 0])
+
+    def test_cm_wins_at_scale(self):
+        g = stencil.make_grid(256, 128)
+        c = run_and_time("c", lambda d: stencil.run_cm(d, g))
+        o = run_and_time("o", lambda d: stencil.run_ocl(d, g))
+        assert speedup(o, c) > 1.0
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            stencil.make_grid(30, 16)
+
+
+class TestConv3x3:
+    def test_both_match_reference(self):
+        img, w = conv.make_conv3x3_inputs(64, 32)
+        ref = conv.conv3x3_reference(img, w)
+        c = run_and_time("c", lambda d: conv.run_cm_conv3x3(d, img, w))
+        o = run_and_time("o", lambda d: conv.run_ocl_conv3x3(d, img, w))
+        assert np.allclose(c.output, ref, atol=1e-4)
+        assert np.allclose(o.output, ref, atol=1e-4)
+
+    def test_identity_weights(self):
+        img, _ = conv.make_conv3x3_inputs(32, 16)
+        w = np.zeros((2, 3, 3), dtype=np.float32)
+        w[0, 1, 1] = 1.0
+        w[1, 0, 0] = 1.0
+        c = run_and_time("c", lambda d: conv.run_cm_conv3x3(d, img, w))
+        assert np.allclose(c.output[0], img[1:-1, 1:-1], atol=1e-6)
+        assert np.allclose(c.output[1], img[:-2, :-2], atol=1e-6)
+
+
+class TestConv1x1:
+    def test_matches_gemm_reference(self):
+        acts, w = conv.make_conv1x1_inputs(hw=128, cin=32, cout=32)
+        ref = conv.conv1x1_reference(acts, w)
+        c = run_and_time("c", lambda d: conv.run_cm_conv1x1(d, acts, w))
+        o = run_and_time("o", lambda d: conv.run_ocl_conv1x1(d, acts, w))
+        assert np.allclose(c.output, ref, rtol=1e-2, atol=1e-2)
+        assert np.allclose(o.output, ref, rtol=1e-2, atol=1e-2)
+
+
+class TestSystolicGEMM:
+    def test_matches_reference(self):
+        a, b, c = systolic.make_inputs(64, 32, 32)
+        ref = systolic.reference(a, b, c)
+        out_c = run_and_time("c", lambda d: systolic.run_cm(d, a, b, c))
+        out_o = run_and_time("o", lambda d: systolic.run_ocl(d, a, b, c))
+        assert np.allclose(out_c.output, ref, rtol=1e-3, atol=1e-3)
+        assert np.allclose(out_o.output, ref, rtol=1e-3, atol=1e-3)

@@ -1,0 +1,210 @@
+"""Workload correctness: CM and OpenCL vs numpy references (small sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    bitonic, gemm, histogram, kmeans, linear_filter, prefix_sum, spmv,
+    transpose,
+)
+from repro.workloads.common import run_and_time, speedup
+
+
+class TestLinearFilter:
+    @pytest.fixture(scope="class")
+    def img(self):
+        return linear_filter.make_image(32, 12)
+
+    def test_cm_matches_reference(self, img):
+        run = run_and_time("cm", lambda d: linear_filter.run_cm(d, img))
+        assert np.array_equal(run.output, linear_filter.reference(img))
+
+    def test_ocl_matches_reference(self, img):
+        run = run_and_time("ocl", lambda d: linear_filter.run_ocl(d, img))
+        assert np.array_equal(run.output, linear_filter.reference(img))
+
+    def test_ocl_optimized_matches_reference(self, img):
+        run = run_and_time(
+            "o2", lambda d: linear_filter.run_ocl_optimized(d, img))
+        assert np.array_equal(run.output, linear_filter.reference(img))
+
+    def test_dims_validated(self):
+        with pytest.raises(ValueError):
+            linear_filter.make_image(33, 12)
+
+    def test_cm_wins(self, img):
+        c = run_and_time("cm", lambda d: linear_filter.run_cm(d, img))
+        o = run_and_time("o", lambda d: linear_filter.run_ocl(d, img))
+        assert speedup(o, c) > 1.0
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("log2n", [9, 10, 11])
+    def test_cm_sorts(self, log2n):
+        keys = bitonic.make_input(log2n)
+        run = run_and_time("cm", lambda d: bitonic.run_cm(d, keys))
+        assert np.array_equal(run.output, np.sort(keys))
+
+    @pytest.mark.parametrize("log2n", [9, 10])
+    def test_ocl_sorts(self, log2n):
+        keys = bitonic.make_input(log2n)
+        run = run_and_time("ocl", lambda d: bitonic.run_ocl(d, keys))
+        assert np.array_equal(run.output, np.sort(keys))
+
+    def test_cm_sorts_adversarial_inputs(self):
+        for keys in (np.zeros(512, np.uint32),
+                     np.arange(512, dtype=np.uint32),
+                     np.arange(512, dtype=np.uint32)[::-1].copy()):
+            run = run_and_time("cm", lambda d: bitonic.run_cm(d, keys))
+            assert np.array_equal(run.output, np.sort(keys))
+
+    def test_cm_fewer_launches(self):
+        keys = bitonic.make_input(10)
+        c = run_and_time("cm", lambda d: bitonic.run_cm(d, keys))
+        o = run_and_time("ocl", lambda d: bitonic.run_ocl(d, keys))
+        assert c.launches < o.launches
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            run_and_time("cm", lambda d: bitonic.run_cm(
+                d, np.zeros(513, np.uint32)))
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("maker", [histogram.make_random,
+                                       histogram.make_natural,
+                                       histogram.make_homogeneous])
+    def test_both_match_reference(self, maker):
+        px = maker(1 << 14)
+        ref = histogram.reference(px)
+        c = run_and_time("cm", lambda d: histogram.run_cm(
+            d, px, pixels_per_thread=1024))
+        o = run_and_time("o", lambda d: histogram.run_ocl(
+            d, px, pixels_per_item=16, wg_size=256))
+        assert np.array_equal(c.output, ref)
+        assert np.array_equal(o.output, ref)
+
+    def test_ocl_input_sensitive_cm_not(self):
+        n = 1 << 18
+        rand, homog = histogram.make_random(n), histogram.make_homogeneous(n)
+        cm_r = run_and_time("c", lambda d: histogram.run_cm(d, rand))
+        cm_h = run_and_time("c", lambda d: histogram.run_cm(d, homog))
+        ocl_r = run_and_time("o", lambda d: histogram.run_ocl(d, rand))
+        ocl_h = run_and_time("o", lambda d: histogram.run_ocl(d, homog))
+        assert cm_h.total_time_us == pytest.approx(cm_r.total_time_us,
+                                                   rel=0.02)
+        assert ocl_h.total_time_us > 1.2 * ocl_r.total_time_us
+
+
+class TestKmeans:
+    def test_both_match_reference(self):
+        pts, _ = kmeans.make_points(1 << 12, k=8)
+        rng = np.random.default_rng(0)
+        c0 = pts[rng.choice(len(pts), 8, replace=False)].copy()
+        ref = kmeans.reference(pts, c0, 2)
+        c = run_and_time("c", lambda d: kmeans.run_cm(
+            d, pts, c0, 2, pts_per_thread=512))
+        o = run_and_time("o", lambda d: kmeans.run_ocl(
+            d, pts, c0, 2, pts_per_item=32, wg_size=128))
+        assert np.allclose(c.output, ref, atol=0.1)
+        assert np.allclose(o.output, ref, atol=0.1)
+
+
+class TestSpMV:
+    @pytest.mark.parametrize("maker", [
+        lambda: spmv.make_protein(nrows=256),
+        lambda: spmv.make_nd24k(nrows=512),
+        lambda: spmv.make_webbase(nrows=1024),
+    ])
+    def test_both_match_reference(self, maker):
+        m = maker()
+        x = np.random.default_rng(2).standard_normal(m.ncols) \
+            .astype(np.float32)
+        ref = spmv.reference(m, x)
+        c = run_and_time("c", lambda d: spmv.run_cm(d, m, x))
+        o = run_and_time("o", lambda d: spmv.run_ocl(d, m, x))
+        assert np.allclose(c.output, ref, rtol=1e-3, atol=1e-3)
+        assert np.allclose(o.output, ref, rtol=1e-3, atol=1e-3)
+
+    def test_empty_matrix(self):
+        m = spmv.CSRMatrix(64, 64,
+                           np.zeros(65, dtype=np.uint32),
+                           np.zeros(0, dtype=np.uint32),
+                           np.zeros(0, dtype=np.float32))
+        x = np.ones(64, dtype=np.float32)
+        c = run_and_time("c", lambda d: spmv.run_cm(d, m, x, 8))
+        assert np.array_equal(c.output, np.zeros(64, dtype=np.float32))
+
+    def test_simd_width_selection(self):
+        assert spmv._simd_width_for(1) == 4
+        assert spmv._simd_width_for(4) == 4
+        assert spmv._simd_width_for(5) == 8
+        assert spmv._simd_width_for(9) == 16
+        assert spmv._simd_width_for(300) == 16
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("n", [16, 48, 64])
+    def test_both_match_reference(self, n):
+        a = transpose.make_matrix(n)
+        c = run_and_time("c", lambda d: transpose.run_cm(d, a))
+        o = run_and_time("o", lambda d: transpose.run_ocl(d, a))
+        assert np.array_equal(c.output, a.T)
+        assert np.array_equal(o.output, a.T)
+
+    def test_non_tile_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            run_and_time("c", lambda d: transpose.run_cm(
+                d, np.zeros((17, 17), dtype=np.float32)))
+
+
+class TestGEMM:
+    def test_sgemm_matches_reference(self):
+        a, b, c = gemm.make_inputs(64, 32, 32)
+        ref = gemm.reference(a, b, c, alpha=2.0, beta=0.5)
+        out_c = run_and_time("c", lambda d: gemm.run_cm_sgemm(
+            d, a, b, c, alpha=2.0, beta=0.5))
+        out_o = run_and_time("o", lambda d: gemm.run_ocl_sgemm(
+            d, a, b, c, alpha=2.0, beta=0.5))
+        assert np.allclose(out_c.output, ref, rtol=1e-3, atol=1e-3)
+        assert np.allclose(out_o.output, ref, rtol=1e-3, atol=1e-3)
+
+    def test_dgemm_matches_reference(self):
+        a, b, c = gemm.make_inputs(32, 32, 32, dtype=np.float64)
+        ref = gemm.reference(a, b, c)
+        out_c = run_and_time("c", lambda d: gemm.run_cm_dgemm(d, a, b, c))
+        out_o = run_and_time("o", lambda d: gemm.run_ocl_dgemm(d, a, b, c))
+        assert np.allclose(out_c.output, ref, rtol=1e-10)
+        assert np.allclose(out_o.output, ref, rtol=1e-10)
+
+    def test_bad_dims_rejected(self):
+        a, b, c = gemm.make_inputs(30, 32, 32)
+        with pytest.raises(ValueError):
+            run_and_time("c", lambda d: gemm.run_cm_sgemm(d, a, b, c))
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("n", [512, 2048, 8192])
+    def test_both_match_reference(self, n):
+        v = prefix_sum.make_input(n)
+        ref = prefix_sum.reference(v)
+        c = run_and_time("c", lambda d: prefix_sum.run_cm(d, v))
+        o = run_and_time("o", lambda d: prefix_sum.run_ocl(d, v))
+        assert np.array_equal(c.output, ref)
+        assert np.array_equal(o.output, ref)
+
+    def test_wraparound_is_modular(self):
+        v = np.full(512, 0xF000_0000, dtype=np.uint32)
+        c = run_and_time("c", lambda d: prefix_sum.run_cm(d, v))
+        assert np.array_equal(c.output, prefix_sum.reference(v))
+
+    def test_cm_avoids_slm_and_barriers(self):
+        v = prefix_sum.make_input(2048)
+        c = run_and_time("c", lambda d: prefix_sum.run_cm(d, v))
+        o = run_and_time("o", lambda d: prefix_sum.run_ocl(d, v))
+        cm_stats = [r.timing for r in c.device.runs]
+        ocl_stats = [r.timing for r in o.device.runs]
+        assert sum(t.barriers for t in cm_stats) == 0
+        assert sum(t.barriers for t in ocl_stats) > 0
+        assert sum(t.slm_bytes for t in cm_stats) == 0
+        assert sum(t.slm_bytes for t in ocl_stats) > 0
