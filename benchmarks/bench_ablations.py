@@ -5,7 +5,6 @@ confirming the mechanism the paper credits.
 """
 
 import numpy as np
-import pytest
 
 from repro.workloads import gemm, histogram as hg, prefix_sum as ps, spmv
 from repro.workloads.common import run_and_time

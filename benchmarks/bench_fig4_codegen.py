@@ -6,7 +6,6 @@ generated Gen assembly has the paper's shape, printing the mov block.
 """
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_kernel
 

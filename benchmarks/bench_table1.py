@@ -10,7 +10,6 @@ our paired implementations).
 import inspect
 
 import numpy as np
-import pytest
 
 from repro.workloads import conv, gemm, stencil, systolic
 

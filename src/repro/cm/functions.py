@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cm.dtypes import as_cm_dtype, common_type, convert_values, scalar_dtype
+from repro.cm.dtypes import as_cm_dtype, common_type, convert_values
 from repro.cm.vector import Vector, _CMBase, _is_scalar
 from repro.isa.dtypes import DType, F
 from repro.sim import context as ctx

@@ -20,7 +20,7 @@ Cost accounting follows the What-You-Write-Is-What-You-Get contract:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -23,8 +23,15 @@ Use :func:`compile_kernel` to run the whole pipeline and
 :meth:`CompiledKernel.run` to execute the result.
 """
 
+from repro.compiler.cache import (
+    GLOBAL_KERNEL_CACHE, CacheStats, KernelCache, compile_kernel_cached,
+)
 from repro.compiler.driver import CompiledKernel, compile_kernel
 from repro.compiler.frontend import trace_kernel
 from repro.compiler.ir import Function
 
-__all__ = ["compile_kernel", "CompiledKernel", "trace_kernel", "Function"]
+__all__ = [
+    "compile_kernel", "CompiledKernel", "trace_kernel", "Function",
+    "KernelCache", "CacheStats", "compile_kernel_cached",
+    "GLOBAL_KERNEL_CACHE",
+]

@@ -1,0 +1,141 @@
+"""Compiled-kernel cache: memoize :func:`repro.compiler.compile_kernel`.
+
+``compile_kernel`` re-runs the full frontend -> passes -> vISA ->
+finalizer pipeline on every call, which makes repeated launches of the
+same kernel pay the whole compile each time (the production runtimes the
+paper targets cache JIT results keyed on source + signature).  This
+module provides that cache:
+
+- **Key**: the kernel body callable (identity), the kernel name, the
+  surface signature ``(name, is_image)`` tuple, the scalar-parameter
+  names, and the ``optimize`` flag.  The cache holds a strong reference
+  to the body, so identity keys stay valid for the cache's lifetime.
+- **Invalidation**: keys never observe *closure mutation* — if a body
+  closes over state and that state changes, call :meth:`KernelCache.
+  invalidate` (by kernel name) or :meth:`KernelCache.clear` explicitly.
+  Factory functions that rebuild the body callable per configuration get
+  a fresh key automatically (each new function object misses once).
+- **Bounded**: an optional ``maxsize`` turns the cache into an LRU.
+
+Hit/miss/eviction/invalidation counters are kept per cache and surfaced
+through :meth:`repro.sim.device.Device.report`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.compiler.driver import CompiledKernel, compile_kernel
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`KernelCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def cache_key(body: Callable, name: str,
+              surfaces: Sequence[Tuple[str, bool]],
+              scalar_params: Sequence[str] = (),
+              optimize: bool = True) -> tuple:
+    """The memoization key for one ``compile_kernel`` call."""
+    return (body, name,
+            tuple((str(nm), bool(img)) for nm, img in surfaces),
+            tuple(str(p) for p in scalar_params),
+            bool(optimize))
+
+
+class KernelCache:
+    """An LRU cache of :class:`CompiledKernel` results."""
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be a positive int or None")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, body: Callable, name: str,
+               surfaces: Sequence[Tuple[str, bool]],
+               scalar_params: Sequence[str] = (),
+               optimize: bool = True) -> Tuple[CompiledKernel, bool]:
+        """Return ``(kernel, was_hit)``, compiling on miss."""
+        key = cache_key(body, name, surfaces, scalar_params, optimize)
+        kernel = self._entries.get(key)
+        if kernel is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return kernel, True
+        self.stats.misses += 1
+        kernel = compile_kernel(body, name, surfaces,
+                                scalar_params=scalar_params,
+                                optimize=optimize)
+        self._entries[key] = kernel
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return kernel, False
+
+    def get_or_compile(self, body: Callable, name: str,
+                       surfaces: Sequence[Tuple[str, bool]],
+                       scalar_params: Sequence[str] = (),
+                       optimize: bool = True) -> CompiledKernel:
+        kernel, _hit = self.lookup(body, name, surfaces,
+                                   scalar_params, optimize)
+        return kernel
+
+    def invalidate(self, name: Optional[str] = None,
+                   body: Optional[Callable] = None) -> int:
+        """Drop entries matching ``name`` and/or ``body``; returns count.
+
+        With no arguments this is :meth:`clear` (everything goes).
+        """
+        if name is None and body is None:
+            return self.clear()
+        doomed = [k for k in self._entries
+                  if (name is None or k[1] == name)
+                  and (body is None or k[0] is body)]
+        for k in doomed:
+            del self._entries[k]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        n = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += n
+        return n
+
+
+#: Process-wide default cache used by :func:`compile_kernel_cached` and
+#: (unless overridden) by :class:`repro.sim.device.Device`.
+GLOBAL_KERNEL_CACHE = KernelCache()
+
+
+def compile_kernel_cached(body: Callable, name: str,
+                          surfaces: Sequence[Tuple[str, bool]],
+                          scalar_params: Sequence[str] = (),
+                          optimize: bool = True,
+                          cache: Optional[KernelCache] = None) -> CompiledKernel:
+    """Drop-in replacement for :func:`compile_kernel` with memoization."""
+    cache = cache if cache is not None else GLOBAL_KERNEL_CACHE
+    return cache.get_or_compile(body, name, surfaces,
+                                scalar_params=scalar_params,
+                                optimize=optimize)

@@ -16,7 +16,6 @@ from repro.compiler.passes import analyze_bales, run_default_pipeline
 from repro.compiler.scheduler import schedule_sends
 from repro.compiler.visa import VProgram, emit_visa
 from repro.isa.executor import FunctionalExecutor
-from repro.isa.grf import GRF_SIZE_BYTES
 from repro.isa.instructions import Instruction, format_program
 from repro.memory.surfaces import BufferSurface, Surface
 

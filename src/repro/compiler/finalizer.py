@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.compiler.visa import (
     CompileError, VImm, VInstr, VOperand, VProgram, VReg, VVectorImm,
@@ -22,8 +21,13 @@ from repro.compiler.visa import (
 from repro.isa.dtypes import DType, UD
 from repro.isa.grf import GRF_SIZE_BYTES, NUM_GRF, RegOperand
 from repro.isa.instructions import (
-    CondMod, FlagOperand, Immediate, Instruction, MessageDesc, MsgKind,
-    Opcode, Predicate,
+    FlagOperand,
+    Immediate,
+    Instruction,
+    MessageDesc,
+    MsgKind,
+    Opcode,
+    Predicate,
 )
 from repro.isa.regions import Region
 

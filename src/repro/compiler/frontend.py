@@ -13,7 +13,7 @@ lower to scalar IR, so one compiled binary serves every thread.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,7 +27,7 @@ _BIN_OPS = {
     "add": np.add, "sub": np.subtract, "mul": np.multiply,
     "min": np.minimum, "max": np.maximum,
     "and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor,
-    "shl": np.left_shift, "shr": np.right_shift,
+    "shl": np.left_shift, "shr": np.right_shift, "asr": np.right_shift,
 }
 
 
@@ -76,6 +76,8 @@ class TraceScalar:
         else:
             raise TraceError(f"cannot mix {type(other).__name__} into "
                              "scalar address arithmetic")
+        if op == "shr":
+            op = "asr"  # scalars compute in :d — C >> on signed is arithmetic
         a, b = (rhs, self.value) if reverse else (self.value, rhs)
         out = tr.emit(op, VecType(D, 1), [a, b])
         return TraceScalar(out)
@@ -181,6 +183,8 @@ class _Arith:
         else:
             raise TraceError(f"cannot trace operand {type(other).__name__}")
         exec_dt = common_type(self.dtype, b_dt)
+        if op == "shr" and exec_dt.is_signed and not exec_dt.is_float:
+            op = "asr"  # C semantics: >> on a signed type is arithmetic
         ops = [b, a] if reverse else [a, b]
         out = tr.emit(op, VecType(exec_dt, self.n), ops)
         return TraceTemp(out, exec_dt, self.shape)

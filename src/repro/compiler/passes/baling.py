@@ -17,14 +17,14 @@ front end produces single-use temporaries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
-from repro.compiler.ir import Function, Instr, Region, Value
+from repro.compiler.ir import Function, Instr, Value
 
 #: Root operations that accept source regions / destination regions.
 ROOT_OPS = {
     "add", "sub", "mul", "mad", "min", "max", "and", "or", "xor",
-    "shl", "shr", "mov", "sel",
+    "shl", "shr", "asr", "mov", "sel",
 } | {f"cmp.{c}" for c in ("lt", "le", "gt", "ge", "eq", "ne")}
 
 

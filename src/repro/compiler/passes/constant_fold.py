@@ -17,8 +17,12 @@ _FOLDABLE = {
     "add": np.add, "sub": np.subtract, "mul": np.multiply,
     "min": np.minimum, "max": np.maximum,
     "and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor,
-    "shl": np.left_shift, "shr": np.right_shift,
+    "shl": np.left_shift, "shr": np.right_shift, "asr": np.right_shift,
 }
+
+#: Shift ops fold in the *result* type: ``shr`` results are unsigned (so
+#: numpy's right_shift is logical) and ``asr`` results signed (arithmetic).
+_SHIFT_OPS = frozenset({"shl", "shr", "asr"})
 
 
 def _operand_constant(fn: Function, op) -> np.ndarray | None:
@@ -50,6 +54,8 @@ def constant_fold(fn: Function) -> int:
             a = _operand_constant(fn, instr.operands[0])
             b = _operand_constant(fn, instr.operands[1])
             if a is not None and b is not None:
+                if instr.op in _SHIFT_OPS:
+                    a = convert_values(a, instr.result.vtype.dtype)
                 with np.errstate(over="ignore"):
                     _fold_to_constant(fn, instr, _FOLDABLE[instr.op](a, b))
                 folded += 1

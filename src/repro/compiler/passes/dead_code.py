@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compiler.ir import Function, Instr, Value
+from repro.compiler.ir import Function, Value
 
 SIDE_EFFECTS = {"media.write", "oword.write", "scatter"}
 

@@ -14,9 +14,8 @@ vector decomposes in two rounds of :func:`vector_decompose`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.compiler.ir import Function, Instr, Region, Value, VecType
 

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.compiler.ir import Function, Instr, Region, Value
+from repro.compiler.ir import Function, Region, Value
 
 
 def region_from_indices(indices: np.ndarray,

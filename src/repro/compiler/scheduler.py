@@ -20,7 +20,7 @@ vreg granularity:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.compiler.visa import VInstr, VOperand, VProgram
 from repro.isa.instructions import Opcode

@@ -19,7 +19,7 @@ select into nine SIMD16 movs whose regions hop across matrix rows
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -33,7 +33,8 @@ _OPCODE_MAP = {
     "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
     "mad": Opcode.MAD, "min": Opcode.MIN, "max": Opcode.MAX,
     "and": Opcode.AND, "or": Opcode.OR, "xor": Opcode.XOR,
-    "shl": Opcode.SHL, "shr": Opcode.SHR, "mov": Opcode.MOV,
+    "shl": Opcode.SHL, "shr": Opcode.SHR, "asr": Opcode.ASR,
+    "mov": Opcode.MOV,
 }
 
 

@@ -85,6 +85,24 @@ def dtype_from_numpy(np_dtype) -> DType:
         raise ValueError(f"no Gen dtype for numpy dtype {key}") from None
 
 
+_UNSIGNED = {1: UB, 2: UW, 4: UD, 8: UQ}
+_SIGNED = {1: B, 2: W, 4: D, 8: Q}
+
+
+def unsigned(t: DType) -> DType:
+    """The unsigned integer type of the same width (identity if unsigned)."""
+    if t.is_float:
+        raise ValueError(f"no unsigned counterpart for float type {t!r}")
+    return _UNSIGNED[t.size]
+
+
+def signed(t: DType) -> DType:
+    """The signed integer type of the same width (identity if signed)."""
+    if t.is_float:
+        raise ValueError(f"no signed counterpart for float type {t!r}")
+    return _SIGNED[t.size]
+
+
 def promote(a: DType, b: DType) -> DType:
     """C-style usual arithmetic conversion between two Gen types.
 

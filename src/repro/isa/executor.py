@@ -17,7 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.isa.dtypes import DType, UD, convert, promote
+from repro.isa.dtypes import DType, UD, convert, promote, signed, unsigned
 from repro.isa.grf import GRFFile, RegOperand, GRF_SIZE_BYTES
 from repro.isa.instructions import (
     CondMod, Immediate, Instruction, MathFn, MsgKind, Opcode,
@@ -30,7 +30,15 @@ class ExecutionError(RuntimeError):
 
 
 class FunctionalExecutor:
-    """Execute a straight-line Gen program for a single hardware thread."""
+    """Execute a straight-line Gen program for a single hardware thread.
+
+    The executor may be *pooled*: :meth:`reset` zeroes architectural state
+    so the same instance can run another thread of the same (or another)
+    program.  Because a compiled program is identical for every thread,
+    region byte-index plans and immediate operand arrays are memoized
+    across :meth:`reset` calls — this is what makes the batched dispatch
+    path in :mod:`repro.sim.device` fast.
+    """
 
     def __init__(self, surfaces: Mapping[int, object] | None = None,
                  num_regs: int = 128) -> None:
@@ -38,19 +46,86 @@ class FunctionalExecutor:
         self.flags: dict[int, np.ndarray] = {}
         self.surfaces = dict(surfaces or {})
         self.instructions_executed = 0
+        #: (operand, exec_size) -> byte-index array; survives reset().
+        self._region_plans: dict = {}
+        #: (Immediate, exec_size) -> read-only broadcast array.
+        self._imm_cache: dict = {}
+        #: id(inst) -> fully-resolved ALU plan; survives reset().  Keyed
+        #: by identity (with the instruction held in the plan to guard
+        #: against id reuse) so the hot loop never hashes operands.
+        self._inst_plans: dict = {}
+
+    def reset(self) -> None:
+        """Zero architectural state (GRF, flags) for the next thread.
+
+        Operand plans are kept: they depend only on the program text,
+        not on thread state.
+        """
+        self.grf.bytes.fill(0)
+        self.flags.clear()
+        self.instructions_executed = 0
+
+    def rebind(self, surfaces: Mapping[int, object]) -> None:
+        """Swap the binding table (e.g. for the next launch)."""
+        self.surfaces = dict(surfaces)
 
     # -- operand access ----------------------------------------------------
 
+    def _src_plan(self, operand: RegOperand, n: int) -> np.ndarray:
+        key = (operand, n)
+        idx = self._region_plans.get(key)
+        if idx is None:
+            offs = self.grf._element_byte_offsets(
+                operand.byte_offset, operand.dtype, operand.region, n)
+            idx = offs[:, None] + np.arange(operand.dtype.size)
+            self._region_plans[key] = idx
+        return idx
+
+    def _dst_plan(self, operand: RegOperand, n: int) -> np.ndarray:
+        key = (operand, n, "dst")
+        idx = self._region_plans.get(key)
+        if idx is None:
+            region = Region(n * operand.dst_stride, n, operand.dst_stride)
+            offs = self.grf._element_byte_offsets(
+                operand.byte_offset, operand.dtype, region, n)
+            idx = offs[:, None] + np.arange(operand.dtype.size)
+            self._region_plans[key] = idx
+        return idx
+
     def _fetch(self, src, exec_size: int) -> np.ndarray:
         if isinstance(src, Immediate):
-            return np.full(exec_size, src.value, dtype=src.dtype.np_dtype)
+            key = (src, exec_size)
+            arr = self._imm_cache.get(key)
+            if arr is None:
+                arr = np.full(exec_size, src.value, dtype=src.dtype.np_dtype)
+                arr.flags.writeable = False
+                self._imm_cache[key] = arr
+            return arr
         if isinstance(src, RegOperand):
-            return self.grf.read_region(src, exec_size)
+            idx = self._src_plan(src, exec_size)
+            return self.grf.bytes[idx].view(src.dtype.np_dtype).ravel()
         values = getattr(src, "values", None)
         if values is not None:  # packed vector immediate
             arr = np.asarray(values, dtype=src.dtype.np_dtype)
             return np.resize(arr, exec_size)
         raise ExecutionError(f"bad source operand {src!r}")
+
+    def _write_dst(self, operand: RegOperand, values: np.ndarray,
+                   mask: np.ndarray | None = None,
+                   idx: np.ndarray | None = None) -> None:
+        """Planned equivalent of ``grf.write_region`` (same semantics)."""
+        if values.dtype != operand.dtype.np_dtype or \
+                not values.flags["C_CONTIGUOUS"]:
+            values = np.ascontiguousarray(values, dtype=operand.dtype.np_dtype)
+        n = values.size
+        if idx is None:
+            idx = self._dst_plan(operand, n)
+        raw = values.view(np.uint8).reshape(n, operand.dtype.size)
+        if mask is None:
+            self.grf.bytes[idx] = raw
+        else:
+            keep = np.asarray(mask, dtype=bool)
+            self.grf.bytes[idx[keep]] = raw[keep]
 
     def _src_dtype(self, src) -> DType:
         return src.dtype
@@ -88,13 +163,46 @@ class FunctionalExecutor:
 
     # -- ALU ------------------------------------------------------------------
 
-    def _execute_alu(self, inst: Instruction) -> None:
+    def _alu_plan(self, inst: Instruction) -> tuple:
+        """Resolve everything about an ALU instruction that does not
+        depend on thread state: source index plans / broadcast arrays and
+        the promoted execution type.  A compiled program runs the same
+        ``Instruction`` objects for every thread, so plans are keyed by
+        instruction identity and built exactly once per program."""
+        plan = self._inst_plans.get(id(inst))
+        if plan is not None and plan[0] is inst:
+            return plan
         n = inst.exec_size
+        fetchers = []
+        for s in inst.srcs:
+            if isinstance(s, RegOperand):
+                fetchers.append((self._src_plan(s, n), s.dtype.np_dtype))
+            else:
+                arr = np.asarray(self._fetch(s, n))
+                arr.flags.writeable = False
+                fetchers.append((None, arr))
+        exec_dtype = None
+        if inst.opcode is not Opcode.MOV and inst.opcode is not Opcode.SEL:
+            exec_dtype = self._src_dtype(inst.srcs[0])
+            for s in inst.srcs[1:]:
+                exec_dtype = promote(exec_dtype, self._src_dtype(s))
+            if not inst.dst.dtype.is_float and exec_dtype.is_float and \
+                    inst.opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+                raise ExecutionError("bitwise ops on float operands")
+        dst_idx = self._dst_plan(inst.dst, n) if inst.dst is not None else None
+        plan = (inst, fetchers, exec_dtype, dst_idx)
+        self._inst_plans[id(inst)] = plan
+        return plan
+
+    def _execute_alu(self, inst: Instruction) -> None:
         dst = inst.dst
         if dst is None:
             raise ExecutionError(f"ALU instruction without destination: {inst}")
-        srcs = [self._fetch(s, n) for s in inst.srcs]
-        src_dtypes = [self._src_dtype(s) for s in inst.srcs]
+        _, fetchers, exec_dtype, dst_idx = self._alu_plan(inst)
+        grf_bytes = self.grf.bytes
+        srcs = [payload if idx is None else
+                grf_bytes[idx].view(payload).ravel()
+                for idx, payload in fetchers]
 
         if inst.opcode is Opcode.MOV:
             result = srcs[0]
@@ -106,17 +214,13 @@ class FunctionalExecutor:
             # sel writes all lanes; the predicate only chooses the source.
             inst = _without_pred(inst)
         else:
-            exec_dtype = src_dtypes[0]
-            for t in src_dtypes[1:]:
-                exec_dtype = promote(exec_dtype, t)
-            if not dst.dtype.is_float and exec_dtype.is_float and \
-                    inst.opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
-                raise ExecutionError("bitwise ops on float operands")
-            ops = [convert(s, exec_dtype) for s in srcs]
+            ops = [s if s.dtype == exec_dtype.np_dtype else
+                   convert(s, exec_dtype) for s in srcs]
             result = _alu_compute(inst, exec_dtype, ops)
 
-        result = convert(result, dst.dtype, saturate=inst.sat)
-        self.grf.write_region(dst, result, mask=self._pred_mask(inst))
+        if inst.sat or result.dtype != dst.dtype.np_dtype:
+            result = convert(result, dst.dtype, saturate=inst.sat)
+        self._write_dst(dst, result, mask=self._pred_mask(inst), idx=dst_idx)
 
     def _execute_cmp(self, inst: Instruction) -> None:
         n = inst.exec_size
@@ -186,7 +290,7 @@ class FunctionalExecutor:
         n = inst.exec_size
         addr_op = RegOperand(msg.addr_reg, 0, UD,
                              region=_contiguous_region(n))
-        offsets = self.grf.read_region(addr_op, n).astype(np.int64)
+        offsets = self._fetch(addr_op, n).astype(np.int64)
         global_off = self._scalar(msg.addr0) if msg.addr0 is not None else 0
         elem = msg.elem_dtype
         # Scattered messages take element-granular offsets (CM semantics).
@@ -206,8 +310,11 @@ class FunctionalExecutor:
                 raw = self.grf.read_bytes(base, n * elem.size).view(elem.np_dtype)
             old = surf.atomic(msg.atomic_op, offsets, raw, elem, mask=mask)
             if inst.dst is not None:
-                self.grf.write_bytes(inst.dst.byte_offset,
-                                     np.ascontiguousarray(old))
+                # The return payload lands only in the *active* lanes of the
+                # destination region; lanes the predicate disabled keep their
+                # previous contents (hardware leaves them untouched).
+                self._write_dst(inst.dst, np.ascontiguousarray(old),
+                                mask=mask)
 
 
 def _without_pred(inst: Instruction) -> Instruction:
@@ -238,8 +345,22 @@ def _alu_compute(inst: Instruction, exec_dtype: DType,
     if op is Opcode.SHL:
         return ops[0] << ops[1]
     if op is Opcode.SHR:
+        # Logical shift right: signed operands are reinterpreted as
+        # unsigned so negative values shift in zero bits.
+        if exec_dtype.is_float:
+            raise ExecutionError("shr on float operands")
+        if exec_dtype.is_signed:
+            ut = unsigned(exec_dtype).np_dtype
+            return ops[0].view(ut) >> ops[1].view(ut)
         return ops[0] >> ops[1]
     if op is Opcode.ASR:
+        # Arithmetic shift right: unsigned operands are reinterpreted as
+        # signed so the sign bit replicates.
+        if exec_dtype.is_float:
+            raise ExecutionError("asr on float operands")
+        if not exec_dtype.is_signed:
+            st = signed(exec_dtype).np_dtype
+            return ops[0].view(st) >> ops[1].view(st)
         return ops[0] >> ops[1]
     if op is Opcode.MIN:
         return np.minimum(ops[0], ops[1])

@@ -15,7 +15,7 @@ from repro.memory.surfaces import (
     apply_atomic,
 )
 from repro.memory.slm import SharedLocalMemory, bank_conflict_cycles
-from repro.memory.traffic import unique_cache_lines
+from repro.memory.traffic import spanned_lines, unique_cache_lines
 
 __all__ = [
     "Surface",
@@ -25,5 +25,6 @@ __all__ = [
     "apply_atomic",
     "SharedLocalMemory",
     "bank_conflict_cycles",
+    "spanned_lines",
     "unique_cache_lines",
 ]

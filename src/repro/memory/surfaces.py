@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.isa.dtypes import DType
+from repro.memory.traffic import spanned_lines
 
 
 class SurfaceIndex(int):
@@ -134,9 +135,7 @@ class Surface:
             offs = offs[np.asarray(mask, dtype=bool)]
         if offs.size == 0:
             return 0, 0
-        first = offs // LINE
-        last = (offs + access_bytes - 1) // LINE
-        lines = np.unique(np.concatenate([first, last]))
+        lines = np.unique(spanned_lines(offs, access_bytes, LINE))
         total = len(lines)
         touched = self._touched_lines
         new = 0

@@ -18,6 +18,26 @@ import numpy as np
 CACHE_LINE_BYTES = 64
 
 
+def spanned_lines(byte_offsets: np.ndarray, access_bytes: int,
+                  line_bytes: int = CACHE_LINE_BYTES) -> np.ndarray:
+    """Every cache line index spanned by per-lane accesses (with repeats).
+
+    An access of ``access_bytes`` starting at offset ``o`` touches all
+    lines from ``o // line_bytes`` through ``(o + access_bytes - 1) //
+    line_bytes`` inclusive — not just the first and last.
+    """
+    offs = np.asarray(byte_offsets, dtype=np.int64)
+    first = offs // line_bytes
+    last = (offs + access_bytes - 1) // line_bytes
+    span = last - first
+    max_span = int(span.max()) if span.size else 0
+    if max_span == 0:
+        return first
+    steps = np.arange(max_span + 1)
+    grid = first[:, None] + steps
+    return grid[steps <= span[:, None]]
+
+
 def unique_cache_lines(byte_offsets: np.ndarray, access_bytes: int = 4,
                        mask: Optional[np.ndarray] = None,
                        line_bytes: int = CACHE_LINE_BYTES) -> int:
@@ -27,12 +47,7 @@ def unique_cache_lines(byte_offsets: np.ndarray, access_bytes: int = 4,
         offs = offs[np.asarray(mask, dtype=bool)]
     if offs.size == 0:
         return 0
-    first = offs // line_bytes
-    last = (offs + access_bytes - 1) // line_bytes
-    if np.array_equal(first, last):
-        return len(np.unique(first))
-    lines = np.concatenate([first, last])
-    return len(np.unique(lines))
+    return len(np.unique(spanned_lines(offs, access_bytes, line_bytes)))
 
 
 def block_cache_lines(nbytes: int, line_bytes: int = CACHE_LINE_BYTES) -> int:

@@ -16,11 +16,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.cm.dtypes import as_cm_dtype
-from repro.isa.dtypes import DType, F, UB, UD
+from repro.isa.dtypes import F, UB, UD
 from repro.memory.slm import (
     ATOMIC_OPS_PER_CYCLE, SharedLocalMemory, bank_conflict_cycles,
 )
-from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
+from repro.memory.surfaces import Image2DSurface, Surface
 from repro.ocl.simt import SimtValue
 from repro.sim import context as ctx
 from repro.sim.trace import MemKind

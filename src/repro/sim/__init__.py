@@ -9,16 +9,17 @@ cost-model equations and the substitution rationale.
 
 from repro.sim.machine import MachineConfig, GEN11_ICL, GEN9_SKL, GEN12_TGL
 from repro.sim.trace import ThreadTrace, MemKind
-from repro.sim.timing import KernelTiming, time_kernel
-from repro.sim.device import Device, KernelRun
+from repro.sim.timing import KernelTiming, TimingAccumulator, time_kernel
+from repro.sim.batch import TracingExecutor
+from repro.sim.device import Device, DeviceProfile, KernelRun
 from repro.sim.event_sim import EventTiming, simulate as event_simulate
 from repro.sim import context
 
 __all__ = [
     "MachineConfig", "GEN11_ICL", "GEN9_SKL", "GEN12_TGL",
     "ThreadTrace", "MemKind",
-    "KernelTiming", "time_kernel",
+    "KernelTiming", "TimingAccumulator", "time_kernel",
     "EventTiming", "event_simulate",
-    "Device", "KernelRun",
+    "Device", "DeviceProfile", "KernelRun", "TracingExecutor",
     "context",
 ]

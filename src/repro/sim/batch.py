@@ -1,0 +1,229 @@
+"""Timing-aware execution of compiled kernels (the batched dispatch path).
+
+The plain :class:`~repro.isa.executor.FunctionalExecutor` computes
+architectural state only; the eager path gets its timing from the CM
+intrinsics recording trace events as they run.  :class:`TracingExecutor`
+closes the gap for *compiled* programs: it subclasses the functional
+executor and records the same :class:`~repro.sim.trace.ThreadTrace`
+events the eager intrinsics would — ALU issue, memory messages with
+cache-line footprints, load-use dependency distances, atomics, barriers
+— so a compiled launch can be timed with the same analytic model.
+
+Message accounting deliberately mirrors :mod:`repro.cm.intrinsics`
+(media blocks split into 32Bx8 messages, oword blocks into 128B
+messages, scattered messages into 16-lane messages, extra messages
+charged as two scalar ops each).  The constants are duplicated here
+rather than imported: ``repro.cm`` pulls in :mod:`repro.sim.context`, so
+importing it from inside :mod:`repro.sim` would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.isa.dtypes import DType, UD, promote
+from repro.isa.executor import FunctionalExecutor, _contiguous_region
+from repro.isa.grf import GRF_SIZE_BYTES, RegOperand
+from repro.isa.instructions import Instruction, MsgKind, Opcode
+from repro.sim.trace import MemKind, ThreadTrace
+
+#: Message-split geometry; keep in sync with repro.cm.intrinsics.
+_MEDIA_MSG_WIDTH = 32    # bytes per media-block message row
+_MEDIA_MSG_HEIGHT = 8    # rows per media-block message
+_OWORD_MSG_BYTES = 128   # bytes per oword-block message
+_SCATTER_LANES = 16      # lanes per scattered message
+
+
+class TracingExecutor(FunctionalExecutor):
+    """A :class:`FunctionalExecutor` that also records a thread trace.
+
+    Pooled use: call :meth:`begin_thread` with a fresh trace before each
+    thread (after :meth:`reset`); the operand-plan caches inherited from
+    the base class survive across threads, as do the per-operand register
+    footprints used for load-use dependency tracking.
+    """
+
+    def __init__(self, surfaces: Mapping[int, object] | None = None,
+                 num_regs: int = 128) -> None:
+        super().__init__(surfaces, num_regs)
+        self.trace: Optional[ThreadTrace] = None
+        #: GRF register index -> MemEvent still awaiting its first use.
+        self._pending_loads: dict = {}
+        #: (operand, exec_size) -> tuple of GRF registers the source reads.
+        self._operand_regs: dict = {}
+        #: id(inst) -> (inst, merged source-register tuple).
+        self._inst_src_regs: dict = {}
+        #: id(inst) -> (inst, n_inst, issue_cycles).  Valid because every
+        #: trace attached to one executor shares the same machine model.
+        self._alu_costs: dict = {}
+
+    def begin_thread(self, trace: ThreadTrace) -> None:
+        """Attach the trace for the next thread and clear dependency state."""
+        self.trace = trace
+        self._pending_loads.clear()
+
+    # -- load-use dependency tracking -------------------------------------
+
+    def _src_regs(self, operand: RegOperand, n: int) -> tuple:
+        key = (operand, n)
+        regs = self._operand_regs.get(key)
+        if regs is None:
+            idx = self._src_plan(operand, n)
+            regs = tuple(np.unique(idx // GRF_SIZE_BYTES).tolist())
+            self._operand_regs[key] = regs
+        return regs
+
+    def _consume_regs(self, regs) -> None:
+        pending = self._pending_loads
+        if not pending:
+            return
+        for reg in regs:
+            ev = pending.get(reg)
+            if ev is not None:
+                self.trace.consume(ev)
+                # One consume retires the whole message's payload.
+                for r in [r for r, e in pending.items() if e is ev]:
+                    del pending[r]
+
+    def _note_src_consumption(self, inst: Instruction) -> None:
+        if not self._pending_loads:
+            return
+        cached = self._inst_src_regs.get(id(inst))
+        if cached is None or cached[0] is not inst:
+            merged: list = []
+            for s in inst.srcs:
+                if isinstance(s, RegOperand):
+                    merged.extend(self._src_regs(s, inst.exec_size))
+            cached = (inst, tuple(dict.fromkeys(merged)))
+            self._inst_src_regs[id(inst)] = cached
+        self._consume_regs(cached[1])
+
+    def _register_load(self, first_reg: int, nbytes: int, ev) -> None:
+        for reg in range(first_reg, first_reg + -(-nbytes // GRF_SIZE_BYTES)):
+            self._pending_loads[reg] = ev
+
+    # -- instruction dispatch ---------------------------------------------
+
+    def execute(self, inst: Instruction) -> None:
+        op = inst.opcode
+        if op is Opcode.BARRIER:
+            self.instructions_executed += 1
+            self.trace.barrier()
+            return
+        if op is Opcode.NOP:
+            super().execute(inst)
+            return
+        if op is Opcode.SEND:
+            super().execute(inst)
+            self._account_send(inst)
+            return
+        self._note_src_consumption(inst)
+        super().execute(inst)
+        self._account_alu(inst)
+
+    def _account_alu(self, inst: Instruction) -> None:
+        cost = self._alu_costs.get(id(inst))
+        if cost is None or cost[0] is not inst:
+            exec_dtype: Optional[DType] = None
+            for s in inst.srcs:
+                t = getattr(s, "dtype", None)
+                if t is not None:
+                    exec_dtype = t if exec_dtype is None else \
+                        promote(exec_dtype, t)
+            if exec_dtype is None and inst.dst is not None:
+                exec_dtype = inst.dst.dtype
+            # Same math as ThreadTrace.alu for a legalized instruction
+            # (inst_factor folds to 1), precomputed so per-thread replay
+            # is two additions.
+            m = self.trace.machine
+            n = inst.exec_size
+            n_inst = -(-n // m.native_simd(exec_dtype.size))
+            lanes = m.alu_lanes_per_cycle(exec_dtype,
+                                          inst.opcode is Opcode.MATH)
+            cycles = max(n_inst * m.issue_cycles_per_inst, n / lanes)
+            cost = (inst, n_inst, cycles)
+            self._alu_costs[id(inst)] = cost
+        trace = self.trace
+        trace.inst_count += cost[1]
+        trace.issue_cycles += cost[2]
+
+    # -- memory accounting --------------------------------------------------
+
+    def _account_send(self, inst: Instruction) -> None:
+        msg = inst.msg
+        surf = self._surface(msg.surface)
+        trace = self.trace
+        kind = msg.kind
+
+        if kind in (MsgKind.MEDIA_BLOCK_READ, MsgKind.MEDIA_BLOCK_WRITE):
+            x = self._scalar(msg.addr0)
+            y = self._scalar(msg.addr1)
+            w, h = msg.block_width, msg.block_height
+            nbytes = w * h
+            lines, new = surf.mark_lines_block2d(x, y, w, h, surf.pitch)
+            messages = -(-w // _MEDIA_MSG_WIDTH) * -(-h // _MEDIA_MSG_HEIGHT)
+            self._extra_messages(messages)
+            is_read = kind is MsgKind.MEDIA_BLOCK_READ
+            ev = trace.memory(
+                MemKind.BLOCK2D_READ if is_read else MemKind.BLOCK2D_WRITE,
+                nbytes=nbytes, lines=lines, dram_lines=new, l3_bytes=nbytes,
+                msgs=messages, is_read=is_read)
+            if is_read:
+                self._register_load(msg.payload_reg, nbytes, ev)
+        elif kind in (MsgKind.OWORD_BLOCK_READ, MsgKind.OWORD_BLOCK_WRITE):
+            offset = self._scalar(msg.addr0)
+            nbytes = msg.payload_bytes
+            lines, new = surf.mark_lines_range(offset, nbytes)
+            messages = -(-nbytes // _OWORD_MSG_BYTES)
+            self._extra_messages(messages)
+            is_read = kind is MsgKind.OWORD_BLOCK_READ
+            ev = trace.memory(
+                MemKind.OWORD_READ if is_read else MemKind.OWORD_WRITE,
+                nbytes=nbytes, lines=lines, dram_lines=new, l3_bytes=nbytes,
+                msgs=messages, is_read=is_read)
+            if is_read:
+                self._register_load(msg.payload_reg, nbytes, ev)
+        else:  # GATHER / SCATTER / ATOMIC
+            n = inst.exec_size
+            elem = msg.elem_dtype
+            byte_offs = self._scattered_offsets(inst)
+            mask = self._pred_mask(inst)
+            lines, new = surf.mark_lines_offsets(byte_offs, elem.size,
+                                                 mask=mask)
+            messages = -(-n // _SCATTER_LANES)
+            nbytes = n * elem.size
+            if kind is MsgKind.GATHER:
+                self._extra_messages(messages)
+                ev = trace.memory(MemKind.GATHER, nbytes=nbytes, lines=lines,
+                                  dram_lines=new, msgs=messages)
+                self._register_load(msg.payload_reg, nbytes, ev)
+            elif kind is MsgKind.SCATTER:
+                self._extra_messages(messages)
+                trace.memory(MemKind.SCATTER, nbytes=nbytes, lines=lines,
+                             dram_lines=new, msgs=messages, is_read=False)
+            else:  # ATOMIC
+                ev = trace.memory(MemKind.ATOMIC, nbytes=nbytes, lines=lines,
+                                  dram_lines=new, msgs=messages)
+                active = byte_offs if mask is None else \
+                    byte_offs[np.asarray(mask, dtype=bool)]
+                trace.atomic_global(active // 4, surface_id=id(surf))
+                if inst.dst is not None:
+                    self._register_load(
+                        inst.dst.byte_offset // GRF_SIZE_BYTES, nbytes, ev)
+
+    def _scattered_offsets(self, inst: Instruction) -> np.ndarray:
+        """Recompute the per-lane byte offsets (same math as the base)."""
+        msg = inst.msg
+        n = inst.exec_size
+        addr_op = RegOperand(msg.addr_reg, 0, UD,
+                             region=_contiguous_region(n))
+        offsets = self._fetch(addr_op, n).astype(np.int64)
+        global_off = self._scalar(msg.addr0) if msg.addr0 is not None else 0
+        return (offsets + global_off) * msg.elem_dtype.size
+
+    def _extra_messages(self, count: int) -> None:
+        """Charge the front end for messages beyond the first."""
+        if count > 1:
+            self.trace.scalar_op(2 * (count - 1))

@@ -31,6 +31,22 @@ class ThreadContext:
         self.local_id = local_id
         self._mask_stack: list[np.ndarray] = []
 
+    def reuse(self, trace: ThreadTrace,
+              thread_id: Tuple[int, ...] = (0,),
+              group_id: Tuple[int, ...] = (0,),
+              local_id: Tuple[int, ...] = (0,)) -> "ThreadContext":
+        """Re-point this context at a fresh thread (pooled dispatch).
+
+        ``Device.run_cm`` reuses one context object across every thread
+        of a launch instead of allocating one per thread.
+        """
+        self.trace = trace
+        self.thread_id = thread_id
+        self.group_id = group_id
+        self.local_id = local_id
+        self._mask_stack.clear()
+        return self
+
     # -- SIMD control-flow mask stack ------------------------------------
 
     def push_mask(self, mask: np.ndarray) -> None:

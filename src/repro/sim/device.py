@@ -2,25 +2,40 @@
 
 Host code creates a :class:`Device`, wraps numpy arrays in surfaces, and
 enqueues kernels.  Each enqueue runs every hardware thread functionally,
-collects the per-thread traces, and records a :class:`KernelRun` with the
-timing breakdown.  Total time accumulates launch overhead per enqueue —
-this is the effect that penalizes the OpenCL bitonic sort's hundreds of
-kernel launches in Figure 5.
+folds the per-thread traces into a timing breakdown as the threads
+retire, and records a :class:`KernelRun`.  Total time accumulates launch
+overhead per enqueue — this is the effect that penalizes the OpenCL
+bitonic sort's hundreds of kernel launches in Figure 5.
+
+Two dispatch paths exist:
+
+- :meth:`Device.run_cm` runs an *eager* CM kernel (a Python callable
+  using :mod:`repro.cm`) one hardware thread at a time, streaming each
+  retired trace into a :class:`~repro.sim.timing.TimingAccumulator` so
+  memory stays O(1) in the grid size.
+- :meth:`Device.run_compiled` runs a
+  :class:`~repro.compiler.driver.CompiledKernel` over a grid using one
+  pooled :class:`~repro.sim.batch.TracingExecutor` whose operand plans
+  are shared by every thread (a compiled program is identical across
+  threads).  Combined with :meth:`Device.compile`'s kernel cache this is
+  the fast path for repeated launches.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.memory.surfaces import BufferSurface, Image2DSurface
+from repro.isa.executor import FunctionalExecutor
+from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
 from repro.sim import context as ctx_mod
+from repro.sim.batch import TracingExecutor
 from repro.sim.context import ThreadContext
 from repro.sim.machine import GEN11_ICL, MachineConfig
-from repro.sim.timing import KernelTiming, time_kernel
+from repro.sim.timing import KernelTiming, TimingAccumulator, time_kernel
 from repro.sim.trace import ThreadTrace
 
 
@@ -41,6 +56,17 @@ class KernelRun:
         return self.timing.time_us + self.launch_overhead_us
 
 
+@dataclass
+class DeviceProfile:
+    """Counters describing how the device dispatched work."""
+
+    threads_run: int = 0
+    chunks_dispatched: int = 0
+    peak_live_traces: int = 0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+
+
 class Device:
     """A simulated Gen GPU plus its in-order execution queue."""
 
@@ -48,6 +74,10 @@ class Device:
         self.machine = machine
         self.runs: list[KernelRun] = []
         self.surfaces: list = []
+        self.profile = DeviceProfile()
+        #: lazily-created KernelCache (avoids importing the compiler
+        #: package unless the device actually compiles something).
+        self.kernel_cache = None
 
     # -- memory management -------------------------------------------------
 
@@ -70,33 +100,159 @@ class Device:
         for surf in self.surfaces:
             surf.reset_line_tracking()
 
+    # -- compilation --------------------------------------------------------
+
+    def compile(self, body: Callable, name: str,
+                surfaces: Sequence[Tuple[str, bool]],
+                scalar_params: Sequence[str] = (),
+                optimize: bool = True):
+        """Compile ``body`` through the device's kernel cache.
+
+        Repeated compiles of the same (body, signature) return the cached
+        :class:`CompiledKernel`; hits and misses are tallied both in the
+        cache's own stats and in :attr:`profile`.
+        """
+        if self.kernel_cache is None:
+            from repro.compiler.cache import KernelCache
+            self.kernel_cache = KernelCache()
+        kernel, hit = self.kernel_cache.lookup(
+            body, name, surfaces, scalar_params=scalar_params,
+            optimize=optimize)
+        if hit:
+            self.profile.compile_cache_hits += 1
+        else:
+            self.profile.compile_cache_misses += 1
+        return kernel
+
     # -- kernel execution ---------------------------------------------------
+
+    def _grid_ids(self, grid: Sequence[int]):
+        dims = [range(g) for g in grid]
+        for tid in itertools.product(*reversed(dims)):
+            yield tuple(reversed(tid))
 
     def run_cm(self, kernel: Callable, grid: Sequence[int],
                args: Tuple = (), name: Optional[str] = None) -> KernelRun:
         """Launch a CM kernel over a 1D/2D/3D grid of hardware threads.
 
         The kernel body reads its coordinates via ``repro.cm.thread_x()``
-        etc.; one invocation = one hardware thread (the CM model).
+        etc.; one invocation = one hardware thread (the CM model).  Each
+        thread's trace is folded into the timing totals as it retires, so
+        only one trace is live at a time regardless of grid size.
         """
         self.begin_enqueue()
-        dims = [range(g) for g in grid]
-        traces = []
-        for tid in itertools.product(*reversed(dims)):
-            thread_id = tuple(reversed(tid))
+        acc = TimingAccumulator(self.machine)
+        thread_ctx: Optional[ThreadContext] = None
+        for thread_id in self._grid_ids(grid):
             trace = ThreadTrace(self.machine)
-            thread_ctx = ThreadContext(trace, thread_id=thread_id)
+            if thread_ctx is None:
+                thread_ctx = ThreadContext(trace, thread_id=thread_id)
+            else:
+                thread_ctx.reuse(trace, thread_id=thread_id)
             ctx_mod.activate(thread_ctx)
             try:
                 kernel(*args)
             finally:
                 ctx_mod.deactivate()
-            traces.append(trace)
-        return self.submit(traces, name or getattr(kernel, "__name__", "cm"))
+            acc.add(trace)
+            self.profile.threads_run += 1
+        self.profile.peak_live_traces = max(self.profile.peak_live_traces, 1)
+        return self._record(acc.finalize(),
+                            name or getattr(kernel, "__name__", "cm"))
+
+    def run_compiled(self, kernel, grid: Sequence[int],
+                     surfaces: Sequence[Surface],
+                     scalars: Union[Dict[str, int],
+                                    Callable[[Tuple[int, ...]],
+                                             Dict[str, int]], None] = None,
+                     name: Optional[str] = None,
+                     chunk_threads: int = 64,
+                     collect_timing: bool = True) -> Optional[KernelRun]:
+        """Launch a :class:`CompiledKernel` over a grid of hardware threads.
+
+        ``surfaces`` bind positionally to the kernel's surface params.
+        ``scalars`` supplies the symbolic integer parameters: either one
+        dict shared by every thread, or a callable mapping a thread id
+        tuple to that thread's dict (how per-thread coordinates are fed).
+
+        One :class:`TracingExecutor` is pooled across the whole grid —
+        its GRF is zeroed between threads while the memoized operand
+        plans (identical for every thread of a fixed program) are kept.
+        The grid is dispatched in chunks of ``chunk_threads``; a chunk's
+        traces retire into the accumulator together, bounding live-trace
+        memory at the chunk size.
+
+        With ``collect_timing=False`` the launch is functional only (no
+        traces, no :class:`KernelRun`) and returns ``None``.
+        """
+        from repro.compiler.finalizer import SCRATCH_BTI
+
+        self.begin_enqueue()
+        table = {i: s for i, s in enumerate(surfaces)}
+        scratch = None
+        if kernel.allocation.scratch_bytes:
+            scratch = BufferSurface.allocate(kernel.allocation.scratch_bytes)
+            table[SCRATCH_BTI] = scratch
+
+        # Pre-resolve scalar parameter GRF bases once for the whole grid.
+        scalar_bases = []
+        for pname, vreg in kernel.visa.params.items():
+            base = kernel.allocation.grf_offset.get(vreg.id)
+            if base is not None:  # params optimized away have no slot
+                scalar_bases.append((pname, base))
+
+        per_thread = callable(scalars)
+        fixed = {} if scalars is None or per_thread else dict(scalars)
+
+        # Functional-only launches skip the tracing subclass entirely.
+        ex = TracingExecutor(table) if collect_timing else \
+            FunctionalExecutor(table)
+        acc = TimingAccumulator(self.machine) if collect_timing else None
+        live: list[ThreadTrace] = []
+        n_threads = 0
+        for thread_id in self._grid_ids(grid):
+            ex.reset()
+            if scratch is not None:
+                scratch.bytes.fill(0)
+            if collect_timing:
+                trace = ThreadTrace(self.machine)
+                ex.begin_thread(trace)
+            values = scalars(thread_id) if per_thread else fixed
+            for pname, base in scalar_bases:
+                value = values.get(pname)
+                if value is not None:
+                    ex.grf.write_bytes(
+                        base, np.asarray([value], dtype=np.int32))
+            ex.run(kernel.program)
+            n_threads += 1
+            if collect_timing:
+                trace.note_grf(kernel.allocation.max_grf_bytes)
+                live.append(trace)
+                if len(live) >= chunk_threads:
+                    self._retire_chunk(acc, live)
+            elif n_threads % max(chunk_threads, 1) == 0:
+                self.profile.chunks_dispatched += 1
+        if live:
+            self._retire_chunk(acc, live)
+        self.profile.threads_run += n_threads
+
+        if not collect_timing:
+            return None
+        return self._record(acc.finalize(), name or kernel.name)
+
+    def _retire_chunk(self, acc: TimingAccumulator,
+                      live: list) -> None:
+        self.profile.peak_live_traces = max(self.profile.peak_live_traces,
+                                            len(live))
+        self.profile.chunks_dispatched += 1
+        acc.extend(live)
+        live.clear()
 
     def submit(self, traces: Sequence[ThreadTrace], name: str) -> KernelRun:
         """Record a completed enqueue built from externally-run traces."""
-        timing = time_kernel(traces, self.machine)
+        return self._record(time_kernel(traces, self.machine), name)
+
+    def _record(self, timing: KernelTiming, name: str) -> KernelRun:
         run = KernelRun(name=name, timing=timing,
                         launch_overhead_us=self.machine.launch_overhead_us)
         self.runs.append(run)
@@ -131,6 +287,7 @@ class Device:
 
     def reset(self) -> None:
         self.runs.clear()
+        self.profile = DeviceProfile()
 
     def report(self) -> str:
         """Human-readable per-run breakdown (for examples and debugging)."""
@@ -144,4 +301,15 @@ class Device:
                 f"{tm.dram_bytes} dram bytes)")
         lines.append(f"  total: {self.total_time_us:.1f} us over "
                      f"{self.launches} launches")
+        p = self.profile
+        if p.threads_run:
+            lines.append(
+                f"  dispatch: {p.threads_run} threads, "
+                f"{p.chunks_dispatched} chunks, "
+                f"peak {p.peak_live_traces} live traces")
+        if self.kernel_cache is not None:
+            st = self.kernel_cache.stats
+            lines.append(
+                f"  kernel cache: {st.hits} hits, {st.misses} misses, "
+                f"{st.evictions} evictions, {len(self.kernel_cache)} entries")
         return "\n".join(lines)

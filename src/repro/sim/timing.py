@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.sim.machine import MachineConfig
 from repro.sim.trace import GLOBAL_KINDS, MemKind, SLM_KINDS, ThreadTrace
@@ -92,95 +92,145 @@ class KernelTiming:
         return self.machine.cycles_to_us(self.cycles)
 
 
-def time_kernel(traces: Sequence[ThreadTrace],
-                machine: MachineConfig) -> KernelTiming:
-    """Fold per-thread traces into a kernel timing."""
-    t = KernelTiming(machine=machine, num_threads=len(traces))
-    total_issue = 0.0
-    total_thread_time = 0.0
-    max_thread_time = 0.0
-    dram_lines = 0
-    l3_bytes = 0
-    dataport_bytes = 0
-    block_msgs = 0
-    scatter_msgs = 0
-    texels = 0
-    slm_bank_cycles = 0
-    atomic_addrs: Counter = Counter()
+class TimingAccumulator:
+    """Streaming fold of :class:`ThreadTrace` objects into kernel totals.
 
-    for tr in traces:
-        total_issue += tr.issue_cycles
+    ``Device.run_cm`` retires one thread at a time; feeding each trace to
+    :meth:`add` as it retires keeps memory O(1) in the grid size instead
+    of holding every trace until the launch completes.  The accumulation
+    order and arithmetic match :func:`time_kernel` exactly, so finalizing
+    an accumulator over traces ``t0..tn`` is *bit-identical* to
+    ``time_kernel([t0..tn], machine)`` — ``time_kernel`` is in fact
+    implemented on top of this class.
+    """
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.num_threads = 0
+        self.total_instructions = 0
+        self.barriers = 0
+        self.messages = 0
+        self.max_grf_bytes = 0
+        self.dram_bytes = 0
+        self.global_read_bytes = 0
+        self.global_write_bytes = 0
+        self.slm_bytes = 0
+        self._total_issue = 0.0
+        self._total_thread_time = 0.0
+        self._max_thread_time = 0.0
+        self._dram_lines = 0
+        self._l3_bytes = 0
+        self._dataport_bytes = 0
+        self._block_msgs = 0
+        self._scatter_msgs = 0
+        self._texels = 0
+        self._slm_bank_cycles = 0
+        self._atomic_addrs: Counter = Counter()
+
+    def add(self, tr: ThreadTrace) -> None:
+        """Fold one retired thread's trace into the running totals."""
+        self.num_threads += 1
+        self._total_issue += tr.issue_cycles
         thread_time = tr.exec_cycles()
-        total_thread_time += thread_time
-        max_thread_time = max(max_thread_time, thread_time)
-        t.total_instructions += tr.inst_count
-        t.barriers += tr.barriers
-        t.messages += len(tr.events)
-        t.max_grf_bytes = max(t.max_grf_bytes, tr.grf_high_water)
-        atomic_addrs.update(tr.atomic_addrs)
+        self._total_thread_time += thread_time
+        self._max_thread_time = max(self._max_thread_time, thread_time)
+        self.total_instructions += tr.inst_count
+        self.barriers += tr.barriers
+        self.messages += len(tr.events)
+        self.max_grf_bytes = max(self.max_grf_bytes, tr.grf_high_water)
+        self._atomic_addrs.update(tr.atomic_addrs)
         for ev in tr.events:
             if ev.kind in GLOBAL_KINDS:
-                dram_lines += ev.dram_lines
-                l3_bytes += ev.l3_bytes
-                t.dram_bytes += ev.dram_lines * LINE_BYTES
+                self._dram_lines += ev.dram_lines
+                self._l3_bytes += ev.l3_bytes
+                self.dram_bytes += ev.dram_lines * LINE_BYTES
                 if ev.is_read:
-                    t.global_read_bytes += ev.nbytes
+                    self.global_read_bytes += ev.nbytes
                 else:
-                    t.global_write_bytes += ev.nbytes
+                    self.global_write_bytes += ev.nbytes
                 if ev.kind is MemKind.SAMPLER:
-                    texels += ev.texels
+                    self._texels += ev.texels
                 elif ev.kind in SCATTER_CLASS:
-                    dataport_bytes += ev.nbytes
-                    scatter_msgs += ev.msgs
+                    self._dataport_bytes += ev.nbytes
+                    self._scatter_msgs += ev.msgs
                 else:
-                    dataport_bytes += ev.nbytes
-                    block_msgs += ev.msgs
+                    self._dataport_bytes += ev.nbytes
+                    self._block_msgs += ev.msgs
             elif ev.kind in SLM_KINDS:
-                slm_bank_cycles += ev.slm_cycles
-                t.slm_bytes += ev.nbytes
+                self._slm_bank_cycles += ev.slm_cycles
+                self.slm_bytes += ev.nbytes
 
-    m = machine
-    t.compute_cycles = total_issue / m.num_eus
-    # Working sets that fit the shared LLC do not pay DRAM on first touch.
-    dram_bytes = max(0.0, dram_lines * LINE_BYTES - m.llc_capacity_bytes)
-    t.dram_cycles = dram_bytes / m.dram_bytes_per_cycle
-    t.l3_cycles = l3_bytes / m.l3_bytes_per_cycle
-    t.dataport_cycles = (
-        dataport_bytes / m.dataport_bytes_per_cycle
-        + block_msgs * m.dataport_block_msg_cycles
-        + scatter_msgs * m.dataport_scatter_msg_cycles) / m.num_subslices
-    t.sampler_cycles = texels / (
-        m.num_subslices * m.sampler_texels_per_cycle)
-    t.slm_cycles = slm_bank_cycles / m.num_subslices
-    t.texels = texels
+    def extend(self, traces: Iterable[ThreadTrace]) -> None:
+        for tr in traces:
+            self.add(tr)
 
-    if atomic_addrs:
-        hottest = max(atomic_addrs.values())
-        total_ops = sum(atomic_addrs.values())
-        t.atomic_cycles = max(
-            hottest * m.atomic_cycles_per_op,
-            total_ops / (m.atomic_ops_per_cycle * m.num_subslices))
+    def finalize(self) -> KernelTiming:
+        """Compute the timing for everything folded so far.
 
-    # Latency bound: threads beyond the machine's capacity run in waves.
-    capacity = m.num_threads
-    t.latency_cycles = max(total_thread_time / capacity, max_thread_time)
+        Pure with respect to the accumulator state: it may be called
+        repeatedly (and more traces added in between).
+        """
+        m = self.machine
+        t = KernelTiming(
+            machine=m, num_threads=self.num_threads,
+            total_instructions=self.total_instructions,
+            barriers=self.barriers, messages=self.messages,
+            max_grf_bytes=self.max_grf_bytes, dram_bytes=self.dram_bytes,
+            global_read_bytes=self.global_read_bytes,
+            global_write_bytes=self.global_write_bytes,
+            slm_bytes=self.slm_bytes)
+        t.compute_cycles = self._total_issue / m.num_eus
+        # Working sets that fit the shared LLC pay no DRAM on first touch.
+        dram_bytes = max(0.0, self._dram_lines * LINE_BYTES
+                         - m.llc_capacity_bytes)
+        t.dram_cycles = dram_bytes / m.dram_bytes_per_cycle
+        t.l3_cycles = self._l3_bytes / m.l3_bytes_per_cycle
+        t.dataport_cycles = (
+            self._dataport_bytes / m.dataport_bytes_per_cycle
+            + self._block_msgs * m.dataport_block_msg_cycles
+            + self._scatter_msgs * m.dataport_scatter_msg_cycles) \
+            / m.num_subslices
+        t.sampler_cycles = self._texels / (
+            m.num_subslices * m.sampler_texels_per_cycle)
+        t.slm_cycles = self._slm_bank_cycles / m.num_subslices
+        t.texels = self._texels
 
-    t.bounds = {
-        "compute": t.compute_cycles,
-        "dram": t.dram_cycles,
-        "l3": t.l3_cycles,
-        "dataport": t.dataport_cycles,
-        "sampler": t.sampler_cycles,
-        "slm": t.slm_cycles,
-        "atomic": t.atomic_cycles,
-        "latency": t.latency_cycles,
-    }
-    return t
+        if self._atomic_addrs:
+            hottest = max(self._atomic_addrs.values())
+            total_ops = sum(self._atomic_addrs.values())
+            t.atomic_cycles = max(
+                hottest * m.atomic_cycles_per_op,
+                total_ops / (m.atomic_ops_per_cycle * m.num_subslices))
+
+        # Latency bound: threads beyond capacity run in waves.
+        capacity = m.num_threads
+        t.latency_cycles = max(self._total_thread_time / capacity,
+                               self._max_thread_time)
+
+        t.bounds = {
+            "compute": t.compute_cycles,
+            "dram": t.dram_cycles,
+            "l3": t.l3_cycles,
+            "dataport": t.dataport_cycles,
+            "sampler": t.sampler_cycles,
+            "slm": t.slm_cycles,
+            "atomic": t.atomic_cycles,
+            "latency": t.latency_cycles,
+        }
+        return t
+
+
+def time_kernel(traces: Sequence[ThreadTrace],
+                machine: MachineConfig) -> KernelTiming:
+    """Fold per-thread traces into a kernel timing (streaming fold)."""
+    acc = TimingAccumulator(machine)
+    acc.extend(traces)
+    return acc.finalize()
 
 
 def merge_timings(timings: Iterable[KernelTiming],
                   machine: MachineConfig,
-                  launches: int = None) -> dict:
+                  launches: Optional[int] = None) -> dict:
     """Summarize a sequence of kernel enqueues into totals for reporting."""
     timings = list(timings)
     n = launches if launches is not None else len(timings)

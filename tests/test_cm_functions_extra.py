@@ -1,6 +1,5 @@
 """Extended CM stdlib functions: dp4, frc, avg, mask packing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

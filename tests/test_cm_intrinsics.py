@@ -5,7 +5,6 @@ import pytest
 
 from repro import Device, cm
 from repro.memory.slm import SharedLocalMemory
-from repro.sim.trace import MemKind
 
 
 def run_thread(fn, device=None, grid=(1,), args=()):

@@ -8,7 +8,6 @@ real register pressure, real regions, real memory messages.
 """
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_kernel
 from repro.memory.surfaces import BufferSurface, Image2DSurface

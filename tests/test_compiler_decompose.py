@@ -1,12 +1,10 @@
 """Vector decomposition (Section V): half-separable vectors split."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_kernel
 from repro.compiler.frontend import trace_kernel
 from repro.compiler.passes import vector_decompose
-from repro.compiler.passes.dead_code import dead_code_eliminate
 from repro.memory.surfaces import BufferSurface
 
 

@@ -8,8 +8,8 @@ from repro.compiler.frontend import TraceError, trace_kernel
 from repro.compiler.ir import Function, Instr, Region, Value, VecType, \
     make_constant
 from repro.compiler.passes import analyze_bales
-from repro.compiler.visa import CompileError, emit_visa
-from repro.isa.dtypes import D, F, UB
+from repro.compiler.visa import emit_visa
+from repro.isa.dtypes import D
 from repro.memory.surfaces import BufferSurface
 
 

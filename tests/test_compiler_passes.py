@@ -1,10 +1,8 @@
 """Compiler middle end: constant folding, region collapsing, DCE, baling."""
 
 import numpy as np
-import pytest
 
 from repro.compiler.frontend import trace_kernel
-from repro.compiler.ir import Region
 from repro.compiler.passes import (
     analyze_bales, constant_fold, dead_code_eliminate, region_collapse,
 )

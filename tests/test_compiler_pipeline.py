@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.compiler import compile_kernel
-from repro.compiler.visa import CompileError
 from repro.memory.surfaces import BufferSurface, Image2DSurface
 from repro.workloads import linear_filter as lf
 

@@ -1,7 +1,6 @@
 """The finalizer's send scheduler: loads hoist, semantics survive."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_kernel
 from repro.compiler.frontend import trace_kernel

@@ -8,13 +8,12 @@ from repro.cm.vector import CMTypeError
 from repro.compiler import compile_kernel
 from repro.compiler.visa import CompileError
 from repro.isa.dtypes import D, F
-from repro.isa.executor import ExecutionError, FunctionalExecutor
+from repro.isa.executor import FunctionalExecutor
 from repro.isa.grf import RegOperand
 from repro.isa.instructions import (
     Immediate, Instruction, MathFn, Opcode,
 )
 from repro.isa.regions import Region
-from repro.memory.surfaces import BufferSurface
 
 
 class TestExecutorEdges:

@@ -1,6 +1,5 @@
 """The event-driven simulator vs the analytic timing model."""
 
-import numpy as np
 import pytest
 
 from repro import Device, cm

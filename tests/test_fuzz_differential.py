@@ -9,10 +9,9 @@ chunk wrote).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import Device, cm
+from repro import cm
 from repro.compiler import compile_kernel
 from repro.memory.surfaces import BufferSurface
 

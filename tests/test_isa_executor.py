@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.isa.dtypes import D, F, UB, UD, UW
+from repro.isa.dtypes import D, F, UB, UD
 from repro.isa.executor import ExecutionError, FunctionalExecutor
 from repro.isa.grf import RegOperand
 from repro.isa.instructions import (

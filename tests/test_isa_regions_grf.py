@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.isa.dtypes import D, F, UB, UW
-from repro.isa.grf import GRF_SIZE_BYTES, GRFFile, RegOperand
+from repro.isa.grf import GRFFile, RegOperand
 from repro.isa.regions import (
     Region, RegionDesc, region_element_offsets, region_for_strided,
 )

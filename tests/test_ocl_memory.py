@@ -1,10 +1,8 @@
 """OpenCL memory operations, subgroup extensions, images."""
 
 import numpy as np
-import pytest
 
 from repro import Device, ocl
-from repro.sim.trace import MemKind
 
 
 def run_subgroup(kernel, dev=None, **kw):

@@ -1,10 +1,9 @@
 """The analytic timing model: bounds, latency hiding, contention."""
 
-import numpy as np
 import pytest
 
-from repro.isa.dtypes import DF, F, UB, UW
-from repro.sim.machine import GEN11_ICL, GEN9_SKL, MachineConfig
+from repro.isa.dtypes import DF, F, UW
+from repro.sim.machine import GEN11_ICL, GEN9_SKL
 from repro.sim.timing import time_kernel
 from repro.sim.trace import MemKind, ThreadTrace
 
