@@ -1,0 +1,166 @@
+"""Observability must be free when disabled: host-overhead benchmark.
+
+The instrumentation layer (``repro.obs``) threads span hooks, metric
+counters, and breakdown accumulation through the batch-execution engine
+added in the previous PR.  Its contract is *zero-cost-when-disabled*:
+with the default no-op sink, ``trace_span`` returns a shared null
+context manager and no breakdowns are folded, so the PR 1 dispatch
+speedup must survive.
+
+This benchmark freezes a copy of the PR 1 ``run_compiled`` inner loop —
+pooled ``TracingExecutor``, streaming ``TimingAccumulator``, no
+instrumentation at all — and times it against today's instrumented
+``Device.run_compiled`` with observability disabled, on the same
+128-thread SGEMM grid ``bench_batch_engine`` uses.  The instrumented
+path must be within ``MAX_OVERHEAD`` of the frozen baseline.
+"""
+
+import itertools
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_batch_engine import (  # noqa: E402
+    _SIG, _bind, _gemm_body, BM, BN, K, M, N,
+)
+
+from repro.sim import Device  # noqa: E402
+from repro.sim.batch import TracingExecutor  # noqa: E402
+from repro.sim.machine import GEN11_ICL  # noqa: E402
+from repro.sim.timing import TimingAccumulator  # noqa: E402
+from repro.sim.trace import ThreadTrace  # noqa: E402
+from repro.workloads import gemm  # noqa: E402
+
+#: Instrumented dispatch may cost at most this fraction over the frozen
+#: PR 1 loop (the acceptance criterion is < 10%).
+MAX_OVERHEAD = 0.10
+LAUNCHES = 3
+TRIALS = 3
+
+
+def _grid_ids(grid):
+    dims = [range(g) for g in grid]
+    for tid in itertools.product(*reversed(dims)):
+        yield tuple(reversed(tid))
+
+
+def _frozen_pr1_dispatch(kern, grid, surfaces, scalars, machine,
+                         chunk_threads=64):
+    """The PR 1 ``run_compiled`` hot loop, before instrumentation landed.
+
+    Identical executor pooling, scalar pre-resolution, line-tracking
+    reset, and chunked retire — but no spans, no profile counters, no
+    breakdowns.
+    """
+    for surf in surfaces:
+        surf.reset_line_tracking()
+    table = {i: s for i, s in enumerate(surfaces)}
+    scalar_bases = []
+    for pname, vreg in kern.visa.params.items():
+        base = kern.allocation.grf_offset.get(vreg.id)
+        if base is not None:
+            scalar_bases.append((pname, base))
+    ex = TracingExecutor(table)
+    acc = TimingAccumulator(machine)
+    live = []
+    for thread_id in _grid_ids(grid):
+        ex.reset()
+        trace = ThreadTrace(machine)
+        ex.begin_thread(trace)
+        values = scalars(thread_id)
+        for pname, base in scalar_bases:
+            value = values.get(pname)
+            if value is not None:
+                ex.grf.write_bytes(base, np.asarray([value], dtype=np.int32))
+        ex.run(kern.program)
+        trace.note_grf(kern.allocation.max_grf_bytes)
+        live.append(trace)
+        if len(live) >= chunk_threads:
+            acc.extend(live)
+            live.clear()
+    if live:
+        acc.extend(live)
+        live.clear()
+    return acc.finalize()
+
+
+def _measure():
+    a, b, c = gemm.make_inputs(M, N, K, seed=3)
+    grid = (N // BN, M // BM)
+    scalars = lambda tid: {"tx": tid[0], "ty": tid[1]}  # noqa: E731
+
+    dev = Device()
+    kern = dev.compile(_gemm_body, "gemm_batch", _SIG, ["tx", "ty"])
+    assert not dev.obs.enabled, "benchmark requires disabled observability"
+
+    def run_base():
+        abuf, bbuf, cbuf = _bind(dev, a, b, c)
+        t0 = time.perf_counter()
+        for _ in range(LAUNCHES):
+            timing = _frozen_pr1_dispatch(
+                kern, grid, [abuf, bbuf, cbuf], scalars, GEN11_ICL)
+        return time.perf_counter() - t0, timing
+
+    def run_inst():
+        abuf, bbuf, cbuf = _bind(dev, a, b, c)
+        t0 = time.perf_counter()
+        for _ in range(LAUNCHES):
+            run = dev.run_compiled(kern, grid, [abuf, bbuf, cbuf],
+                                   scalars=scalars)
+        return time.perf_counter() - t0, run.timing
+
+    # One untimed warm-up of each path, then best-of-TRIALS with the
+    # measurement order alternated per trial — host turbo/allocator
+    # drift would otherwise bias whichever path always ran first.
+    run_base()
+    run_inst()
+    base_t = inst_t = float("inf")
+    base_time = inst_time = None
+    for trial in range(TRIALS):
+        order = (run_base, run_inst) if trial % 2 == 0 else \
+            (run_inst, run_base)
+        for fn in order:
+            t, timing = fn()
+            if fn is run_base:
+                base_t, base_time = min(base_t, t), timing
+            else:
+                inst_t, inst_time = min(inst_t, t), timing
+
+    # Both paths must model the identical kernel time.
+    assert abs(base_time.time_us - inst_time.time_us) < 1e-9
+    return base_t, inst_t
+
+
+def test_disabled_observability_overhead(benchmark, capsys):
+    results = {}
+
+    def once():
+        results["base"], results["inst"] = _measure()
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    base_t, inst_t = results["base"], results["inst"]
+    overhead = inst_t / base_t - 1.0
+    benchmark.extra_info.update({
+        "workload": f"sgemm {M}x{N}x{K} grid, {LAUNCHES} launches",
+        "frozen_pr1_ms": round(base_t * 1e3, 1),
+        "instrumented_ms": round(inst_t * 1e3, 1),
+        "overhead_pct": round(overhead * 100, 1),
+    })
+    with capsys.disabled():
+        print(f"\n  [obs overhead] frozen={base_t * 1e3:7.1f}ms "
+              f"instrumented={inst_t * 1e3:7.1f}ms "
+              f"overhead={overhead * 100:+5.1f}%")
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled observability costs {overhead:.1%} over the frozen "
+        f"PR 1 dispatch loop (allowed {MAX_OVERHEAD:.0%})")
+
+
+if __name__ == "__main__":
+    base_t, inst_t = _measure()
+    print(f"frozen PR1:    {base_t * 1e3:8.1f} ms")
+    print(f"instrumented:  {inst_t * 1e3:8.1f} ms")
+    print(f"overhead:      {(inst_t / base_t - 1) * 100:+.1f}%")

@@ -109,7 +109,8 @@ def _media_block_read(surface: Image2DSurface, x: int, y: int,
     messages = -(-width_bytes // _MEDIA_MSG_WIDTH) * -(-height // _MEDIA_MSG_HEIGHT)
     _extra_messages(messages)
     ev = ctx.emit_memory(MemKind.BLOCK2D_READ, nbytes=nbytes, lines=lines,
-                         dram_lines=new, l3_bytes=nbytes, msgs=messages)
+                         dram_lines=new, l3_bytes=nbytes, msgs=messages,
+                         surface=surface.obs_label)
     m._owner._dep = ev
 
 
@@ -126,7 +127,7 @@ def _media_block_write(surface: Image2DSurface, x: int, y: int,
     _extra_messages(messages)
     ctx.emit_memory(MemKind.BLOCK2D_WRITE, nbytes=nbytes, lines=lines,
                     dram_lines=new, l3_bytes=nbytes, msgs=messages,
-                    is_read=False)
+                    is_read=False, surface=surface.obs_label)
 
 
 def _oword_block_read(surface: Surface, offset: int,
@@ -145,7 +146,7 @@ def _oword_block_read(surface: Surface, offset: int,
     lines, new = surface.mark_lines_range(offset, nbytes)
     ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes,
                          lines=lines, dram_lines=new, l3_bytes=nbytes,
-                         msgs=messages)
+                         msgs=messages, surface=surface.obs_label)
     v._owner._dep = ev
 
 
@@ -161,7 +162,8 @@ def _oword_block_write(surface: Surface, offset: int,
     lines, new = surface.mark_lines_range(offset, nbytes)
     ctx.emit_memory(MemKind.OWORD_WRITE, nbytes=nbytes,
                     lines=lines, dram_lines=new, l3_bytes=nbytes,
-                    msgs=messages, is_read=False)
+                    msgs=messages, is_read=False,
+                    surface=surface.obs_label)
 
 
 # -- scattered access ---------------------------------------------------------
@@ -191,7 +193,8 @@ def read_scattered(surface: Surface, global_offset: int, element_offsets,
     messages = -(-n // _SCATTER_LANES)
     _extra_messages(messages)
     ev = ctx.emit_memory(MemKind.GATHER, nbytes=n * ret.dtype.size,
-                         lines=lines, dram_lines=new, msgs=messages)
+                         lines=lines, dram_lines=new, msgs=messages,
+                         surface=surface.obs_label)
     ret._owner._dep = ev
 
 
@@ -210,7 +213,7 @@ def write_scattered(surface: Surface, global_offset: int, element_offsets,
     _extra_messages(messages)
     ctx.emit_memory(MemKind.SCATTER, nbytes=n * values.dtype.size,
                     lines=lines, dram_lines=new, msgs=messages,
-                    is_read=False)
+                    is_read=False, surface=surface.obs_label)
 
 
 def atomic(op: str, surface: Surface, element_offsets,
@@ -229,7 +232,8 @@ def atomic(op: str, surface: Surface, element_offsets,
     lines, new = surface.mark_lines_offsets(byte_offs, dt.size, mask=mask)
     messages = -(-n // _SCATTER_LANES)
     ev = ctx.emit_memory(MemKind.ATOMIC, nbytes=n * dt.size, lines=lines,
-                         dram_lines=new, msgs=messages)
+                         dram_lines=new, msgs=messages,
+                         surface=surface.obs_label)
     thread = ctx.current()
     if thread is not None:
         active = byte_offs if mask is None else byte_offs[np.asarray(mask, bool)]

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.compiler.driver import CompiledKernel, compile_kernel
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -62,12 +63,27 @@ def cache_key(body: Callable, name: str,
 class KernelCache:
     """An LRU cache of :class:`CompiledKernel` results."""
 
-    def __init__(self, maxsize: Optional[int] = None) -> None:
+    def __init__(self, maxsize: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be a positive int or None")
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._entries: OrderedDict = OrderedDict()
+        # Optional mirror into a metrics registry (Device passes the
+        # observability registry when enabled); None keeps lookups free
+        # of any registry overhead.
+        self._m_hits = self._m_misses = None
+        self._m_evictions = self._m_invalidations = None
+        if registry is not None:
+            self._m_hits = registry.counter(
+                "kernel_cache_hits", "compiled-kernel cache hits")
+            self._m_misses = registry.counter(
+                "kernel_cache_misses", "compiled-kernel cache misses")
+            self._m_evictions = registry.counter(
+                "kernel_cache_evictions", "LRU evictions")
+            self._m_invalidations = registry.counter(
+                "kernel_cache_invalidations", "explicit invalidations")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -81,9 +97,13 @@ class KernelCache:
         kernel = self._entries.get(key)
         if kernel is not None:
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             self._entries.move_to_end(key)
             return kernel, True
         self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         kernel = compile_kernel(body, name, surfaces,
                                 scalar_params=scalar_params,
                                 optimize=optimize)
@@ -91,6 +111,8 @@ class KernelCache:
         if self.maxsize is not None and len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
         return kernel, False
 
     def get_or_compile(self, body: Callable, name: str,
@@ -115,12 +137,16 @@ class KernelCache:
         for k in doomed:
             del self._entries[k]
         self.stats.invalidations += len(doomed)
+        if self._m_invalidations is not None:
+            self._m_invalidations.inc(len(doomed))
         return len(doomed)
 
     def clear(self) -> int:
         n = len(self._entries)
         self._entries.clear()
         self.stats.invalidations += n
+        if self._m_invalidations is not None:
+            self._m_invalidations.inc(n)
         return n
 
 

@@ -18,6 +18,7 @@ from repro.compiler.visa import VProgram, emit_visa
 from repro.isa.executor import FunctionalExecutor
 from repro.isa.instructions import Instruction, format_program
 from repro.memory.surfaces import BufferSurface, Surface
+from repro.obs.tracing import trace_span
 
 
 @dataclass
@@ -70,15 +71,26 @@ def compile_kernel(body: Callable, name: str,
 
     ``body(cmx, *surface_params, *scalars)`` is traced with the
     trace-mode CM API (see :mod:`repro.compiler.frontend`).
+
+    When tracing is enabled (:mod:`repro.obs`), the whole compile runs
+    under a ``compile`` span with one ``pass:*`` child per stage, so a
+    Chrome-trace export shows the per-pass time breakdown.
     """
-    fn = trace_kernel(body, name, surfaces, scalar_params)
-    if optimize:
-        run_default_pipeline(fn)
-    bales = analyze_bales(fn)
-    visa = emit_visa(fn, bales)
-    if optimize:
-        schedule_sends(visa)
-    program, alloc = finalize(visa)
+    with trace_span("compile", kernel=name) as span:
+        with trace_span("pass:frontend", kernel=name):
+            fn = trace_kernel(body, name, surfaces, scalar_params)
+        if optimize:
+            run_default_pipeline(fn, kernel=name)
+        with trace_span("pass:baling", kernel=name):
+            bales = analyze_bales(fn)
+        with trace_span("pass:emit_visa", kernel=name):
+            visa = emit_visa(fn, bales)
+        if optimize:
+            with trace_span("pass:schedule_sends", kernel=name):
+                schedule_sends(visa)
+        with trace_span("pass:finalize", kernel=name):
+            program, alloc = finalize(visa)
+        span.set(instructions=len(program))
     return CompiledKernel(
         name=name, ir=fn, visa=visa, program=program, allocation=alloc,
         surfaces=[nm for nm, _img in surfaces])

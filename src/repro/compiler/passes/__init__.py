@@ -5,15 +5,22 @@ from repro.compiler.passes.region_collapse import region_collapse
 from repro.compiler.passes.dead_code import dead_code_eliminate
 from repro.compiler.passes.decompose import vector_decompose
 from repro.compiler.passes.baling import BaleInfo, analyze_bales
+from repro.obs.tracing import trace_span
 
 DEFAULT_PIPELINE = (constant_fold, region_collapse, dead_code_eliminate,
                     vector_decompose)
 
 
-def run_default_pipeline(fn):
-    """Run the standard middle-end optimization pipeline in place."""
+def run_default_pipeline(fn, kernel=None):
+    """Run the standard middle-end optimization pipeline in place.
+
+    Each pass runs under its own ``pass:<name>`` trace span so the
+    observability layer can break compile time down per pass.
+    """
+    kname = kernel if kernel is not None else getattr(fn, "name", None)
     for pass_fn in DEFAULT_PIPELINE:
-        pass_fn(fn)
+        with trace_span("pass:" + pass_fn.__name__, kernel=kname):
+            pass_fn(fn)
     return fn
 
 

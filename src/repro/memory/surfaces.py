@@ -95,6 +95,10 @@ class Surface:
         self._host = arr
         self.bytes = arr.view(np.uint8).ravel()
         self._touched_lines: set[int] = set()
+        #: observability label; the device renames this to ``buf<i>`` /
+        #: ``img<i>`` at bind time so breakdowns group traffic per surface.
+        self.obs_label = (type(self).__name__.replace("Surface", "").lower()
+                          or "surface")
 
     @property
     def size_bytes(self) -> int:

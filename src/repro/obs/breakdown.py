@@ -1,0 +1,187 @@
+"""Per-kernel time-breakdown profiler.
+
+The analytic model (:mod:`repro.sim.timing`) reports kernel time as the
+*max* of independent resource bounds; good for totals, useless for
+attribution.  This module folds the same per-thread trace events into
+additive *buckets* — ALU issue, load/store per surface, SLM bank
+serialization, atomic serialization, barrier wait — and distributes the
+kernel's modeled time across them proportionally to each bucket's cycle
+weight.  The buckets therefore sum to ``KernelTiming.time_us`` exactly,
+which is what lets ``python -m repro.report.profile`` print a breakdown
+table whose rows add up to the Figure 5 numbers (launch overhead is
+reported as a separate line on top, matching the queue model).
+
+Each bucket maps onto a cost-model term documented in
+``docs/cost_model.md``; see ``docs/observability.md`` for the taxonomy.
+
+The module is deliberately dependency-free (events and machine configs
+are duck-typed) so ``repro.sim`` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+#: Bucket names that are not derived from a surface label.
+ALU = "alu"
+BARRIER = "barrier"
+SLM = "slm"
+ATOMIC = "atomic"
+OTHER = "other"
+
+#: Cache line size (mirrors repro.sim.timing.LINE_BYTES).
+_LINE_BYTES = 64
+
+
+@dataclass
+class TimeBreakdown:
+    """Where one kernel's modeled time went, in additive microseconds."""
+
+    kernel: str
+    time_us: float
+    launch_overhead_us: float
+    num_threads: int
+    bound_by: str
+    #: bucket -> microseconds; sums to ``time_us``.
+    buckets: Dict[str, float] = field(default_factory=dict)
+    #: bucket -> unnormalized cycle weight (for debugging the attribution).
+    raw_cycles: Dict[str, float] = field(default_factory=dict)
+    launches: int = 1
+
+    @property
+    def total_us(self) -> float:
+        return self.time_us + self.launch_overhead_us
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "time_us": self.time_us,
+            "launch_overhead_us": self.launch_overhead_us,
+            "total_us": self.total_us,
+            "num_threads": self.num_threads,
+            "launches": self.launches,
+            "bound_by": self.bound_by,
+            "buckets_us": dict(self.buckets),
+            "raw_cycles": dict(self.raw_cycles),
+        }
+
+    def render(self, width: int = 28) -> str:
+        """ASCII table: one row per bucket, largest first."""
+        lines = [f"{self.kernel}: {self.time_us:10.1f} us kernel "
+                 f"+ {self.launch_overhead_us:.1f} us launch "
+                 f"({self.num_threads} threads, {self.launches} launches, "
+                 f"bound by {self.bound_by})"]
+        total = self.time_us or 1.0
+        for bucket, us in sorted(self.buckets.items(),
+                                 key=lambda kv: -kv[1]):
+            frac = us / total
+            bar = "#" * max(1, int(frac * width)) if us > 0 else ""
+            lines.append(f"  {bucket:<18s} {us:10.1f} us {frac:6.1%} {bar}")
+        lines.append(f"  {'(bucket sum)':<18s} "
+                     f"{sum(self.buckets.values()):10.1f} us")
+        return "\n".join(lines)
+
+
+def merge_breakdowns(breakdowns: Iterable["TimeBreakdown"],
+                     kernel: Optional[str] = None) -> TimeBreakdown:
+    """Aggregate several launches of the same kernel into one breakdown."""
+    items = [b for b in breakdowns if b is not None]
+    if not items:
+        raise ValueError("no breakdowns to merge")
+    buckets: Dict[str, float] = defaultdict(float)
+    raw: Dict[str, float] = defaultdict(float)
+    for b in items:
+        for k, v in b.buckets.items():
+            buckets[k] += v
+        for k, v in b.raw_cycles.items():
+            raw[k] += v
+    # The dominant bound of the longest launch describes the aggregate.
+    longest = max(items, key=lambda b: b.time_us)
+    return TimeBreakdown(
+        kernel=kernel or items[0].kernel,
+        time_us=sum(b.time_us for b in items),
+        launch_overhead_us=sum(b.launch_overhead_us for b in items),
+        num_threads=sum(b.num_threads for b in items),
+        bound_by=longest.bound_by,
+        buckets=dict(buckets),
+        raw_cycles=dict(raw),
+        launches=sum(b.launches for b in items))
+
+
+class BreakdownAccumulator:
+    """Streaming fold of thread traces into attribution weights.
+
+    Mirrors :class:`repro.sim.timing.TimingAccumulator`'s streaming
+    contract — feed each trace as its thread retires, finalize once the
+    enqueue's :class:`KernelTiming` is known.  The weights model what
+    each event *costs* on its resource (bytes over the port it uses,
+    serialization cycles, exposed load latency at the consumer), so the
+    normalized buckets show which machine effect dominates even when the
+    binding bound is something global like DRAM bandwidth.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.raw: Dict[str, float] = defaultdict(float)
+        self.num_threads = 0
+
+    def add(self, trace) -> None:
+        m = self.machine
+        raw = self.raw
+        self.num_threads += 1
+        if trace.issue_cycles:
+            raw[ALU] += trace.issue_cycles
+        if trace.barriers:
+            raw[BARRIER] += trace.barriers * m.barrier_cycles
+        for ev in trace.events:
+            kname = ev.kind.name
+            if kname.startswith("SLM"):
+                bucket = ATOMIC if kname == "SLM_ATOMIC" else SLM
+                raw[bucket] += max(ev.slm_cycles, 1)
+            elif kname == "ATOMIC":
+                bucket = ATOMIC
+                raw[bucket] += (ev.msgs * m.atomic_cycles_per_op
+                                + self._transfer_cycles(ev))
+            else:
+                op = "load" if ev.is_read else "store"
+                label = ev.surface if ev.surface is not None else "mem"
+                bucket = f"{op}:{label}"
+                cost = self._transfer_cycles(ev)
+                if kname == "SAMPLER":
+                    cost += ev.texels / m.sampler_texels_per_cycle
+                raw[bucket] += cost
+            # Exposed load-use latency stalls the thread; attribute it to
+            # the event's bucket (same rule as ThreadTrace.exec_cycles).
+            if ev.is_read and ev.consumed_at is not None:
+                covered = ev.consumed_at - ev.issue_at
+                raw[bucket] += max(0.0, ev.latency(m) - covered)
+
+    def extend(self, traces: Iterable) -> None:
+        for tr in traces:
+            self.add(tr)
+
+    def _transfer_cycles(self, ev) -> float:
+        m = self.machine
+        return (ev.l3_bytes / m.l3_bytes_per_cycle
+                + ev.nbytes / m.dataport_bytes_per_cycle
+                + ev.dram_lines * _LINE_BYTES / m.dram_bytes_per_cycle)
+
+    def finalize(self, kernel: str, timing,
+                 launch_overhead_us: float = 0.0) -> TimeBreakdown:
+        """Distribute ``timing.time_us`` across the accumulated buckets."""
+        time_us = timing.time_us
+        weight = sum(self.raw.values())
+        if weight > 0:
+            scale = time_us / weight
+            buckets = {k: v * scale for k, v in self.raw.items()}
+        elif time_us > 0:
+            buckets = {OTHER: time_us}
+        else:
+            buckets = {}
+        return TimeBreakdown(
+            kernel=kernel, time_us=time_us,
+            launch_overhead_us=launch_overhead_us,
+            num_threads=self.num_threads, bound_by=timing.bound_by,
+            buckets=buckets, raw_cycles=dict(self.raw))

@@ -1,0 +1,198 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+A :class:`MetricsRegistry` holds *families* keyed by metric name; each
+family yields one *child* instrument per distinct label set (``kernel=``,
+``pass_name=``, ``cache=`` ...), following the Prometheus data model the
+production runtimes the paper targets would scrape.  Instruments are
+plain Python objects with O(1) updates — cheap enough to sit on the
+device dispatch path — and the registry renders to a flat dict for JSON
+reports or ``Device.report()``.
+
+This module has no dependencies on the simulator so it can be imported
+from any layer (``repro.sim``, ``repro.compiler``, ``repro.memory``)
+without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Default histogram bucket upper bounds (microseconds scale works for
+#: both host-side pass timings and simulated kernel times).
+DEFAULT_BUCKETS = (10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0,
+                   50000.0, 100000.0, float("inf"))
+
+LabelSet = Tuple[Tuple[str, object], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (or track a high-water mark)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A bucketed distribution (cumulative ``le`` buckets, plus sum/count)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelSet = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets = tuple(bounds)
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> float:
+        """For uniform snapshots a histogram reports its sum."""
+        return self.sum
+
+
+class _Family:
+    """All children of one metric name (one per label set)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: type, help: str = "",
+                 buckets: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.children: Dict[LabelSet, object] = {}
+
+    def labels(self, label_dict: Dict[str, object]):
+        key = _label_key(label_dict)
+        child = self.children.get(key)
+        if child is None:
+            if self.kind is Histogram:
+                child = Histogram(self.name, key,
+                                  self.buckets or DEFAULT_BUCKETS)
+            else:
+                child = self.kind(self.name, key)
+            self.children[key] = child
+        return child
+
+
+class MetricsRegistry:
+    """Registry of metric families; the single source of counters."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: type, help: str = "",
+                buckets: Optional[Iterable[float]] = None) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help, buckets)
+            self._families[name] = fam
+        elif fam.kind is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{fam.kind.__name__}, not {kind.__name__}")
+        return fam
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._family(name, Counter, help).labels(labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._family(name, Gauge, help).labels(labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels) -> Histogram:
+        return self._family(name, Histogram, help, buckets).labels(labels)
+
+    # -- introspection ----------------------------------------------------
+
+    def get(self, name: str, **labels):
+        """The child for (name, labels), or None if never touched."""
+        fam = self._families.get(name)
+        if fam is None:
+            return None
+        return fam.children.get(_label_key(labels))
+
+    def families(self) -> Iterable[str]:
+        return self._families.keys()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``name{labels} -> value`` view of every instrument."""
+        out: Dict[str, float] = {}
+        for fam in self._families.values():
+            for key, child in fam.children.items():
+                out[fam.name + format_labels(key)] = child.value
+        return out
+
+    def as_dict(self) -> Dict[str, list]:
+        """Structured dump: one entry per family with per-child samples."""
+        out: Dict[str, list] = {}
+        for fam in self._families.values():
+            samples = []
+            for key, child in fam.children.items():
+                sample = {"labels": dict(key), "value": child.value}
+                if isinstance(child, Histogram):
+                    sample["count"] = child.count
+                    sample["mean"] = child.mean
+                samples.append(sample)
+            out[fam.name] = samples
+        return out

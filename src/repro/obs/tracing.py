@@ -1,0 +1,188 @@
+"""Structured span tracing with Chrome-trace and JSONL sinks.
+
+``trace_span("compile", kernel="sgemm")`` wraps a region of host work in
+a timed span.  Spans nest naturally (the compiler driver opens a
+``compile`` span, each pass opens a ``pass:*`` span inside it) and are
+emitted to the installed sink as Chrome trace-event "complete" (``ph:
+"X"``) events, loadable in ``chrome://tracing`` / Perfetto.
+
+The disabled path is a single global load plus one attribute check that
+returns a shared no-op context manager — no allocation, no timestamps —
+so instrumentation left in hot code costs nothing when tracing is off
+(see ``benchmarks/bench_obs_overhead.py``).
+
+This module depends only on the standard library so every layer of the
+stack (sim, compiler, memory) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Optional, Union
+
+
+class NullSink:
+    """Swallows everything; the zero-cost default."""
+
+    enabled = False
+    __slots__ = ()
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - never called
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+class ChromeTraceSink:
+    """Collects trace events in memory for a ``chrome://tracing`` export."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def to_trace(self) -> dict:
+        """The trace-event JSON document (events sorted by start time)."""
+        events = sorted(self.events, key=lambda e: (e["ts"], -e.get("dur", 0)))
+        meta = {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                "args": {"name": "repro"}}
+        return {"traceEvents": [meta] + events, "displayTimeUnit": "ms"}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_trace())
+
+    def export(self, path_or_file: Union[str, IO]) -> None:
+        if hasattr(path_or_file, "write"):
+            json.dump(self.to_trace(), path_or_file)
+        else:
+            with open(path_or_file, "w") as fh:
+                json.dump(self.to_trace(), fh)
+
+
+class JsonlSink:
+    """Streams one JSON object per span to a file (append mode)."""
+
+    enabled = True
+
+    def __init__(self, path_or_file: Union[str, IO]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "a")
+            self._owns = True
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(event) + "\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class TeeSink:
+    """Fans one event stream out to several sinks."""
+
+    enabled = True
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class _Span:
+    """A live span; records wall time on exit and emits one event."""
+
+    __slots__ = ("tracer", "name", "attrs", "t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self.t0 = self.tracer.now_us()
+        return self
+
+    def set(self, **attrs) -> None:
+        """Attach extra attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = self.tracer.now_us()
+        event = {"name": self.name, "ph": "X", "cat": "repro",
+                 "ts": self.t0, "dur": t1 - self.t0, "pid": 0, "tid": 0}
+        if self.attrs:
+            event["args"] = self.attrs
+        self.tracer.sink.emit(event)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits spans to a sink with a monotonic microsecond clock."""
+
+    def __init__(self, sink=NULL_SINK) -> None:
+        self.sink = sink
+        self._epoch = time.perf_counter()
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    def now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def span(self, name: str, attrs: Optional[dict] = None) -> _Span:
+        return _Span(self, name, attrs or {})
+
+
+#: The process-wide tracer; swapped by ``repro.obs.install``.
+_TRACER = Tracer(NULL_SINK)
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def trace_span(name: str, **attrs):
+    """Open a span on the global tracer (no-op when tracing is disabled)."""
+    tracer = _TRACER
+    if not tracer.sink.enabled:
+        return NULL_SPAN
+    return _Span(tracer, name, attrs)

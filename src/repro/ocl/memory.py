@@ -49,7 +49,8 @@ def load(buffer: Surface, index: SimtValue, dtype=UD, mask=None) -> SimtValue:
     data = buffer.gather(offs, dt, mask=m)
     lines, new = buffer.mark_lines_offsets(offs, dt.size, mask=m)
     ev = ctx.emit_memory(MemKind.GATHER, nbytes=index.width * dt.size,
-                         lines=lines, dram_lines=new)
+                         lines=lines, dram_lines=new,
+                         surface=buffer.obs_label)
     out = SimtValue(data, dt)
     out._dep = ev
     return out
@@ -63,7 +64,8 @@ def store(buffer: Surface, index: SimtValue, value: SimtValue,
     buffer.scatter(offs, value.vals, mask=m)
     lines, new = buffer.mark_lines_offsets(offs, value.dtype.size, mask=m)
     ctx.emit_memory(MemKind.SCATTER, nbytes=value.width * value.dtype.size,
-                    lines=lines, dram_lines=new, is_read=False)
+                    lines=lines, dram_lines=new, is_read=False,
+                    surface=buffer.obs_label)
 
 
 def vload(buffer: Surface, width: int, index: SimtValue, dtype=UD,
@@ -81,7 +83,8 @@ def vload(buffer: Surface, width: int, index: SimtValue, dtype=UD,
              for c in range(width)]
     n = index.width * width
     ev = ctx.emit_memory(MemKind.GATHER, nbytes=n * dt.size,
-                         lines=lines, dram_lines=new)
+                         lines=lines, dram_lines=new,
+                         surface=buffer.obs_label)
     out = []
     for c in range(width):
         v = SimtValue(comps[c], dt)
@@ -104,7 +107,8 @@ def vstore(buffer: Surface, width: int, index: SimtValue, values: list,
                        v.vals.astype(dt.np_dtype, copy=False), mask=m)
     n = index.width * width
     ctx.emit_memory(MemKind.SCATTER, nbytes=n * dt.size,
-                    lines=lines, dram_lines=new, is_read=False)
+                    lines=lines, dram_lines=new, is_read=False,
+                    surface=buffer.obs_label)
 
 
 def load_uniform(buffer: Surface, index: int, dtype=UD):
@@ -113,7 +117,7 @@ def load_uniform(buffer: Surface, index: int, dtype=UD):
     data = buffer.gather(np.asarray([index * dt.size]), dt)
     lines, new = buffer.mark_lines_range(index * dt.size, dt.size)
     ev = ctx.emit_memory(MemKind.GATHER, nbytes=dt.size, lines=lines,
-                         dram_lines=new)
+                         dram_lines=new, surface=buffer.obs_label)
     ctx.consume(ev)
     v = data[0]
     return float(v) if dt.is_float else int(v)
@@ -183,7 +187,8 @@ def _global_atomic(buffer: Surface, op: str, index: SimtValue,
     old = buffer.atomic(op, offs, vals, dt, mask=m)
     lines, new = buffer.mark_lines_offsets(offs, dt.size, mask=m)
     ev = ctx.emit_memory(MemKind.ATOMIC, nbytes=index.width * dt.size,
-                         lines=lines, dram_lines=new)
+                         lines=lines, dram_lines=new,
+                         surface=buffer.obs_label)
     thread = ctx.current()
     if thread is not None:
         active = offs if m is None else offs[m]
@@ -235,7 +240,8 @@ def read_imagef(image: Image2DSurface, x: SimtValue, y: SimtValue,
         nbytes=x.width * image.bytes_per_pixel,
         lines=lines, dram_lines=new,
         l3_bytes=x.width * image.bytes_per_pixel,
-        texels=x.width if m is None else int(np.count_nonzero(m)))
+        texels=x.width if m is None else int(np.count_nonzero(m)),
+        surface=image.obs_label)
     channels = []
     for c in range(4):
         if c < image.bytes_per_pixel:
@@ -264,7 +270,8 @@ def write_imageui(image: Image2DSurface, x: SimtValue, y: SimtValue,
     offs = ys * image.pitch + xs * image.bytes_per_pixel
     lines, new = image.mark_lines_offsets(offs, image.bytes_per_pixel)
     ctx.emit_memory(MemKind.IMAGE_WRITE, nbytes=n * image.bytes_per_pixel,
-                    lines=lines, dram_lines=new, is_read=False)
+                    lines=lines, dram_lines=new, is_read=False,
+                    surface=image.obs_label)
 
 
 # -- cl_intel_subgroups ---------------------------------------------------------
@@ -323,7 +330,8 @@ def intel_sub_group_block_read(buffer: Surface, elem_offset: int,
     data = buffer.read_linear(elem_offset * dt.size, nbytes).view(dt.np_dtype)
     lines, new = buffer.mark_lines_range(elem_offset * dt.size, nbytes)
     ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes,
-                         lines=lines, dram_lines=new, l3_bytes=nbytes)
+                         lines=lines, dram_lines=new, l3_bytes=nbytes,
+                         surface=buffer.obs_label)
     out = SimtValue(data.copy(), dt)
     out._dep = ev
     return out
@@ -355,7 +363,8 @@ def intel_sub_group_block_read_rows(buffer: Surface, elem_offset: int,
     # multi-message block transfers).
     ctx.emit_scalar(2 * (rows - 1)) if rows > 1 else None
     ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes, lines=lines,
-                         dram_lines=new, l3_bytes=nbytes, msgs=rows)
+                         dram_lines=new, l3_bytes=nbytes, msgs=rows,
+                         surface=buffer.obs_label)
     for v in out:
         v._dep = ev
     return out
@@ -369,7 +378,7 @@ def intel_sub_group_block_write(buffer: Surface, elem_offset: int,
     lines, new = buffer.mark_lines_range(elem_offset * value.dtype.size, nbytes)
     ctx.emit_memory(MemKind.OWORD_WRITE, nbytes=nbytes,
                     lines=lines, dram_lines=new, l3_bytes=nbytes,
-                    is_read=False)
+                    is_read=False, surface=buffer.obs_label)
 
 
 def _subgroup_width() -> int:
@@ -423,7 +432,7 @@ def intel_media_block_read(image: Image2DSurface, x: int, y: int,
     ev = ctx.emit_memory(
         MemKind.BLOCK2D_READ, nbytes=width_bytes * height,
         lines=lines, dram_lines=new, l3_bytes=width_bytes * height,
-        msgs=messages)
+        msgs=messages, surface=image.obs_label)
     mb = MediaBlock(block, _subgroup_width())
     mb._dep = ev
     return mb
@@ -441,4 +450,4 @@ def intel_media_block_write(image: Image2DSurface, x: int, y: int,
     ctx.emit_memory(
         MemKind.BLOCK2D_WRITE, nbytes=width_bytes * height,
         lines=lines, dram_lines=new, l3_bytes=width_bytes * height,
-        msgs=messages, is_read=False)
+        msgs=messages, is_read=False, surface=image.obs_label)

@@ -1,5 +1,10 @@
 """Report generators for the paper's tables and figures."""
 
-from repro.report.figure5 import Fig5Row, collect_figure5, render_figure5
+from repro.report.figure5 import (
+    Fig5Row, WorkloadSpec, collect_figure5, render_figure5, workload_specs,
+)
 
-__all__ = ["Fig5Row", "collect_figure5", "render_figure5"]
+__all__ = [
+    "Fig5Row", "WorkloadSpec", "collect_figure5", "render_figure5",
+    "workload_specs",
+]

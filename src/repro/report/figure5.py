@@ -33,62 +33,91 @@ class Fig5Row:
         return self.ocl_us / self.cm_us
 
 
-def _pair(name: str, cm_fn: Callable, ocl_fn: Callable,
-          paper: str) -> Fig5Row:
-    cm_run = run_and_time("cm", cm_fn)
-    ocl_run = run_and_time("ocl", ocl_fn)
-    return Fig5Row(name, cm_run.total_time_us, ocl_run.total_time_us, paper)
+@dataclass
+class WorkloadSpec:
+    """One Figure 5 workload pair: CM and OpenCL closures over a Device.
+
+    The closures carry their (already generated) inputs, so a spec can
+    be run against any device — ``collect_figure5`` uses both sides for
+    speedups, ``repro.report.profile`` runs one side for a breakdown.
+    """
+
+    key: str          # CLI handle, e.g. "gemm"
+    name: str         # display name, e.g. "SGEMM"
+    paper: str        # the paper's published speedup band
+    cm: Callable      # device -> output
+    ocl: Callable     # device -> output
+
+
+def workload_specs(quick: bool = True) -> List[WorkloadSpec]:
+    """Build every Figure 5 workload pair at quick or full size."""
+    rng = np.random.default_rng(1)
+    specs: List[WorkloadSpec] = []
+
+    img = linear_filter.make_image(256 if quick else 512,
+                                   192 if quick else 384)
+    specs.append(WorkloadSpec(
+        "linear", "linear filter", ">2.0",
+        lambda d: linear_filter.run_cm(d, img),
+        lambda d: linear_filter.run_ocl_optimized(d, img)))
+
+    keys = bitonic.make_input(12 if quick else 15)
+    specs.append(WorkloadSpec(
+        "bitonic", "bitonic sort", "1.6-2.3",
+        lambda d: bitonic.run_cm(d, keys),
+        lambda d: bitonic.run_ocl(d, keys)))
+
+    px = histogram.make_homogeneous(1 << (18 if quick else 20))
+    specs.append(WorkloadSpec(
+        "histogram", "histogram (flat img)", "up to 2.7",
+        lambda d: histogram.run_cm(d, px),
+        lambda d: histogram.run_ocl(d, px)))
+
+    pts, _ = kmeans.make_points(1 << (14 if quick else 15), k=16)
+    c0 = pts[rng.choice(len(pts), 16, replace=False)].copy()
+    specs.append(WorkloadSpec(
+        "kmeans", "k-means", "1.3-1.5",
+        lambda d: kmeans.run_cm(d, pts, c0, 2),
+        lambda d: kmeans.run_ocl(d, pts, c0, 2)))
+
+    m = spmv.make_webbase()
+    x = rng.standard_normal(m.ncols).astype(np.float32)
+    specs.append(WorkloadSpec(
+        "spmv", "SpMV (webbase)", "2.6",
+        lambda d: spmv.run_cm(d, m, x),
+        lambda d: spmv.run_ocl(d, m, x)))
+
+    a = transpose.make_matrix(256 if quick else 1024)
+    specs.append(WorkloadSpec(
+        "transpose", "transpose", "up to 2.2",
+        lambda d: transpose.run_cm(d, a),
+        lambda d: transpose.run_ocl(d, a)))
+
+    # GEMM needs enough C blocks to fill the machine even in quick mode.
+    ga, gb, gc = gemm.make_inputs(256, 256, 128 if quick else 256)
+    specs.append(WorkloadSpec(
+        "gemm", "SGEMM", "~1.10",
+        lambda d: gemm.run_cm_sgemm(d, ga, gb, gc),
+        lambda d: gemm.run_ocl_sgemm(d, ga, gb, gc)))
+
+    v = prefix_sum.make_input(1 << (14 if quick else 16))
+    specs.append(WorkloadSpec(
+        "prefix", "prefix sum", "1.6",
+        lambda d: prefix_sum.run_cm(d, v),
+        lambda d: prefix_sum.run_ocl(d, v)))
+    return specs
+
+
+def _pair(spec: WorkloadSpec) -> Fig5Row:
+    cm_run = run_and_time("cm", spec.cm)
+    ocl_run = run_and_time("ocl", spec.ocl)
+    return Fig5Row(spec.name, cm_run.total_time_us, ocl_run.total_time_us,
+                   spec.paper)
 
 
 def collect_figure5(quick: bool = True) -> List[Fig5Row]:
     """Run every Figure 5 workload pair and return speedup rows."""
-    rng = np.random.default_rng(1)
-    rows: List[Fig5Row] = []
-
-    img = linear_filter.make_image(256 if quick else 512,
-                                   192 if quick else 384)
-    rows.append(_pair(
-        "linear filter", lambda d: linear_filter.run_cm(d, img),
-        lambda d: linear_filter.run_ocl_optimized(d, img), ">2.0"))
-
-    keys = bitonic.make_input(12 if quick else 15)
-    rows.append(_pair(
-        "bitonic sort", lambda d: bitonic.run_cm(d, keys),
-        lambda d: bitonic.run_ocl(d, keys), "1.6-2.3"))
-
-    px = histogram.make_homogeneous(1 << (18 if quick else 20))
-    rows.append(_pair(
-        "histogram (flat img)", lambda d: histogram.run_cm(d, px),
-        lambda d: histogram.run_ocl(d, px), "up to 2.7"))
-
-    pts, _ = kmeans.make_points(1 << (14 if quick else 15), k=16)
-    c0 = pts[rng.choice(len(pts), 16, replace=False)].copy()
-    rows.append(_pair(
-        "k-means", lambda d: kmeans.run_cm(d, pts, c0, 2),
-        lambda d: kmeans.run_ocl(d, pts, c0, 2), "1.3-1.5"))
-
-    m = spmv.make_webbase()
-    x = rng.standard_normal(m.ncols).astype(np.float32)
-    rows.append(_pair(
-        "SpMV (webbase)", lambda d: spmv.run_cm(d, m, x),
-        lambda d: spmv.run_ocl(d, m, x), "2.6"))
-
-    a = transpose.make_matrix(256 if quick else 1024)
-    rows.append(_pair(
-        "transpose", lambda d: transpose.run_cm(d, a),
-        lambda d: transpose.run_ocl(d, a), "up to 2.2"))
-
-    # GEMM needs enough C blocks to fill the machine even in quick mode.
-    ga, gb, gc = gemm.make_inputs(256, 256, 128 if quick else 256)
-    rows.append(_pair(
-        "SGEMM", lambda d: gemm.run_cm_sgemm(d, ga, gb, gc),
-        lambda d: gemm.run_ocl_sgemm(d, ga, gb, gc), "~1.10"))
-
-    v = prefix_sum.make_input(1 << (14 if quick else 16))
-    rows.append(_pair(
-        "prefix sum", lambda d: prefix_sum.run_cm(d, v),
-        lambda d: prefix_sum.run_ocl(d, v), "1.6"))
-    return rows
+    return [_pair(spec) for spec in workload_specs(quick)]
 
 
 def render_figure5(rows: List[Fig5Row], width: int = 40) -> str:

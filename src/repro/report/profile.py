@@ -1,0 +1,159 @@
+"""Per-kernel time-breakdown profiler CLI.
+
+``python -m repro.report.profile <workload>`` runs one Figure 5 workload
+with observability enabled and prints where the modeled time went, kernel
+by kernel: ALU issue, loads/stores per surface, SLM serialization,
+atomics, barrier wait — buckets that sum to the kernel's modeled time
+(launch overhead on top), see :mod:`repro.obs.breakdown`.
+
+Options:
+
+- ``--side {cm,ocl}``: which half of the workload pair to profile
+  (default ``cm``).
+- ``--quick`` / ``--full``: reduced or paper-size inputs.
+- ``--json``: print a machine-readable document *instead of* the table
+  (stdout stays clean for redirection; CI archives it as an artifact).
+- ``--trace FILE``: export the structured span trace (compile passes,
+  dispatches, chunks) as Chrome trace-event JSON for ``chrome://tracing``.
+- ``--jsonl FILE``: additionally stream every span to a JSONL event log.
+
+For ``gemm`` the profiler also runs the compiled-path SGEMM
+(:func:`repro.workloads.gemm.run_cm_sgemm_compiled`), so the exported
+trace contains real ``compile`` / ``pass:*`` spans next to the
+``dispatch`` spans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs import (
+    ChromeTraceSink, JsonlSink, TeeSink, merge_breakdowns, observed,
+)
+from repro.obs.breakdown import TimeBreakdown
+from repro.report.figure5 import workload_specs
+from repro.sim.device import Device
+from repro.workloads import gemm
+from repro.workloads.common import run_and_time
+
+
+def _merged_breakdowns(devices: List[Device]) -> List[TimeBreakdown]:
+    """Group every run on ``devices`` by kernel name and merge."""
+    groups: dict = {}
+    for dev in devices:
+        for r in dev.runs:
+            if r.breakdown is not None:
+                groups.setdefault(r.name, []).append(r.breakdown)
+    return [merge_breakdowns(bs, kernel=name)
+            for name, bs in groups.items()]
+
+
+def profile_workload(key: str, quick: bool = True, side: str = "cm",
+                     trace_path: Optional[str] = None,
+                     jsonl_path: Optional[str] = None) -> dict:
+    """Run one workload under observability; return the report document."""
+    specs = {s.key: s for s in workload_specs(quick)}
+    if key not in specs:
+        raise KeyError(f"unknown workload {key!r}; "
+                       f"choose from {sorted(specs)}")
+    spec = specs[key]
+    chrome = ChromeTraceSink()
+    jsonl = JsonlSink(jsonl_path) if jsonl_path else None
+    sink = TeeSink(chrome, jsonl) if jsonl else chrome
+    with observed(sink=sink) as obs:
+        fn = spec.cm if side == "cm" else spec.ocl
+        run = run_and_time(spec.name, fn, obs=obs)
+        devices = [run.device]
+        if key == "gemm" and side == "cm":
+            # Exercise the full compile pipeline so the trace contains
+            # compile-pass spans (the eager path interprets, no compile).
+            ga, gb, gc = gemm.make_inputs(128, 128, 8, seed=3)
+            jit_dev = Device(run.device.machine, obs=obs)
+            out = gemm.run_cm_sgemm_compiled(jit_dev, ga, gb, gc)
+            ref = gemm.reference(ga, gb, gc, 1.0, 1.0)
+            if not np.allclose(out, ref, atol=1e-3):
+                raise AssertionError("compiled SGEMM mismatch vs reference")
+            devices.append(jit_dev)
+        metrics = obs.registry.snapshot()
+        span_events = list(chrome.events)
+    if trace_path:
+        chrome.export(trace_path)
+    if jsonl is not None:
+        jsonl.close()
+
+    breakdowns = _merged_breakdowns(devices)
+    breakdowns.sort(key=lambda b: -b.time_us)
+    doc = {
+        "workload": key,
+        "name": spec.name,
+        "side": side,
+        "quick": quick,
+        "total_time_us": run.total_time_us,
+        "kernel_time_us": run.kernel_time_us,
+        "launches": run.launches,
+        "kernels": [b.to_dict() for b in breakdowns],
+        "metrics": metrics,
+        "span_events": len(span_events),
+    }
+    doc["_breakdowns"] = breakdowns  # for the ASCII renderer; not serialized
+    return doc
+
+
+def render_report(doc: dict) -> str:
+    lines = [f"{doc['name']} ({doc['side']}, "
+             f"{'quick' if doc['quick'] else 'full'}): "
+             f"{doc['total_time_us']:.1f} us total, "
+             f"{doc['kernel_time_us']:.1f} us in kernels, "
+             f"{doc['launches']} launches", ""]
+    for b in doc["_breakdowns"]:
+        lines.append(b.render())
+        lines.append("")
+    lines.append(f"{doc['span_events']} trace spans recorded")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report.profile",
+        description="Per-kernel time-breakdown profiler for the Figure 5 "
+                    "workloads.")
+    parser.add_argument("workload",
+                        help="workload key: linear, bitonic, histogram, "
+                             "kmeans, spmv, transpose, gemm, prefix")
+    parser.add_argument("--side", choices=("cm", "ocl"), default="cm")
+    size = parser.add_mutually_exclusive_group()
+    size.add_argument("--quick", action="store_true", default=True,
+                      help="reduced input sizes (default)")
+    size.add_argument("--full", dest="quick", action="store_false",
+                      help="paper-size inputs")
+    parser.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of the "
+                             "ASCII table")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="export Chrome trace-event JSON to FILE")
+    parser.add_argument("--jsonl", metavar="FILE",
+                        help="stream span events to FILE as JSON lines")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = profile_workload(args.workload, quick=args.quick,
+                               side=args.side, trace_path=args.trace,
+                               jsonl_path=args.jsonl)
+    except KeyError as e:
+        parser.error(str(e))
+    if args.json:
+        doc = {k: v for k, v in doc.items() if not k.startswith("_")}
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(render_report(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

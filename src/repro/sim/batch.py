@@ -156,6 +156,7 @@ class TracingExecutor(FunctionalExecutor):
         surf = self._surface(msg.surface)
         trace = self.trace
         kind = msg.kind
+        label = getattr(surf, "obs_label", None) or f"bti{msg.surface}"
 
         if kind in (MsgKind.MEDIA_BLOCK_READ, MsgKind.MEDIA_BLOCK_WRITE):
             x = self._scalar(msg.addr0)
@@ -169,7 +170,7 @@ class TracingExecutor(FunctionalExecutor):
             ev = trace.memory(
                 MemKind.BLOCK2D_READ if is_read else MemKind.BLOCK2D_WRITE,
                 nbytes=nbytes, lines=lines, dram_lines=new, l3_bytes=nbytes,
-                msgs=messages, is_read=is_read)
+                msgs=messages, is_read=is_read, surface=label)
             if is_read:
                 self._register_load(msg.payload_reg, nbytes, ev)
         elif kind in (MsgKind.OWORD_BLOCK_READ, MsgKind.OWORD_BLOCK_WRITE):
@@ -182,7 +183,7 @@ class TracingExecutor(FunctionalExecutor):
             ev = trace.memory(
                 MemKind.OWORD_READ if is_read else MemKind.OWORD_WRITE,
                 nbytes=nbytes, lines=lines, dram_lines=new, l3_bytes=nbytes,
-                msgs=messages, is_read=is_read)
+                msgs=messages, is_read=is_read, surface=label)
             if is_read:
                 self._register_load(msg.payload_reg, nbytes, ev)
         else:  # GATHER / SCATTER / ATOMIC
@@ -197,15 +198,18 @@ class TracingExecutor(FunctionalExecutor):
             if kind is MsgKind.GATHER:
                 self._extra_messages(messages)
                 ev = trace.memory(MemKind.GATHER, nbytes=nbytes, lines=lines,
-                                  dram_lines=new, msgs=messages)
+                                  dram_lines=new, msgs=messages,
+                                  surface=label)
                 self._register_load(msg.payload_reg, nbytes, ev)
             elif kind is MsgKind.SCATTER:
                 self._extra_messages(messages)
                 trace.memory(MemKind.SCATTER, nbytes=nbytes, lines=lines,
-                             dram_lines=new, msgs=messages, is_read=False)
+                             dram_lines=new, msgs=messages, is_read=False,
+                             surface=label)
             else:  # ATOMIC
                 ev = trace.memory(MemKind.ATOMIC, nbytes=nbytes, lines=lines,
-                                  dram_lines=new, msgs=messages)
+                                  dram_lines=new, msgs=messages,
+                                  surface=label)
                 active = byte_offs if mask is None else \
                     byte_offs[np.asarray(mask, dtype=bool)]
                 trace.atomic_global(active // 4, surface_id=id(surf))

@@ -19,6 +19,13 @@ Two dispatch paths exist:
   are shared by every thread (a compiled program is identical across
   threads).  Combined with :meth:`Device.compile`'s kernel cache this is
   the fast path for repeated launches.
+
+Both paths are instrumented through :mod:`repro.obs`: dispatches open
+trace spans, per-kernel :class:`~repro.obs.breakdown.TimeBreakdown`
+attribution is folded as threads retire (when enabled), and the
+:class:`DeviceProfile` counters are backed by a
+:class:`~repro.obs.metrics.MetricsRegistry`.  With the default disabled
+observability the extra cost is a couple of branch checks per chunk.
 """
 
 from __future__ import annotations
@@ -31,6 +38,10 @@ import numpy as np
 
 from repro.isa.executor import FunctionalExecutor
 from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
+from repro.obs import get_observability
+from repro.obs.breakdown import BreakdownAccumulator, TimeBreakdown
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace_span
 from repro.sim import context as ctx_mod
 from repro.sim.batch import TracingExecutor
 from repro.sim.context import ThreadContext
@@ -46,6 +57,9 @@ class KernelRun:
     name: str
     timing: KernelTiming
     launch_overhead_us: float
+    #: per-bucket time attribution; present when observability breakdowns
+    #: were enabled for the launch.
+    breakdown: Optional[TimeBreakdown] = None
 
     @property
     def kernel_time_us(self) -> float:
@@ -56,24 +70,94 @@ class KernelRun:
         return self.timing.time_us + self.launch_overhead_us
 
 
-@dataclass
 class DeviceProfile:
-    """Counters describing how the device dispatched work."""
+    """Counters describing how the device dispatched work.
 
-    threads_run: int = 0
-    chunks_dispatched: int = 0
-    peak_live_traces: int = 0
-    compile_cache_hits: int = 0
-    compile_cache_misses: int = 0
+    The values live in a :class:`MetricsRegistry` (one private registry
+    per profile unless one is injected), so ``device.profile.registry``
+    can be scraped or merged into reports while the attribute API
+    (``profile.threads_run`` etc.) keeps working.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._threads_run = self.registry.counter(
+            "device_threads_run", "hardware threads executed")
+        self._chunks_dispatched = self.registry.counter(
+            "device_chunks_dispatched", "trace chunks retired")
+        self._peak_live_traces = self.registry.gauge(
+            "device_peak_live_traces", "high-water mark of live traces")
+        self._compile_cache_hits = self.registry.counter(
+            "compile_cache_hits", "kernel cache hits via Device.compile")
+        self._compile_cache_misses = self.registry.counter(
+            "compile_cache_misses", "kernel cache misses via Device.compile")
+
+    # Attribute-compatible accessors over the registry instruments.
+
+    @property
+    def threads_run(self) -> int:
+        return int(self._threads_run.value)
+
+    @threads_run.setter
+    def threads_run(self, value: int) -> None:
+        self._threads_run.inc(value - self._threads_run.value)
+
+    @property
+    def chunks_dispatched(self) -> int:
+        return int(self._chunks_dispatched.value)
+
+    @chunks_dispatched.setter
+    def chunks_dispatched(self, value: int) -> None:
+        self._chunks_dispatched.inc(value - self._chunks_dispatched.value)
+
+    @property
+    def peak_live_traces(self) -> int:
+        return int(self._peak_live_traces.value)
+
+    @peak_live_traces.setter
+    def peak_live_traces(self, value: int) -> None:
+        self._peak_live_traces.set(value)
+
+    @property
+    def compile_cache_hits(self) -> int:
+        return int(self._compile_cache_hits.value)
+
+    @compile_cache_hits.setter
+    def compile_cache_hits(self, value: int) -> None:
+        self._compile_cache_hits.inc(value - self._compile_cache_hits.value)
+
+    @property
+    def compile_cache_misses(self) -> int:
+        return int(self._compile_cache_misses.value)
+
+    @compile_cache_misses.setter
+    def compile_cache_misses(self, value: int) -> None:
+        self._compile_cache_misses.inc(
+            value - self._compile_cache_misses.value)
+
+    def note_live_traces(self, count: int) -> None:
+        """Record an observed number of concurrently live traces."""
+        self._peak_live_traces.set_max(count)
+
+    def __repr__(self) -> str:
+        return (f"DeviceProfile(threads_run={self.threads_run}, "
+                f"chunks_dispatched={self.chunks_dispatched}, "
+                f"peak_live_traces={self.peak_live_traces}, "
+                f"compile_cache_hits={self.compile_cache_hits}, "
+                f"compile_cache_misses={self.compile_cache_misses})")
 
 
 class Device:
     """A simulated Gen GPU plus its in-order execution queue."""
 
-    def __init__(self, machine: MachineConfig = GEN11_ICL) -> None:
+    def __init__(self, machine: MachineConfig = GEN11_ICL,
+                 obs=None) -> None:
         self.machine = machine
         self.runs: list[KernelRun] = []
         self.surfaces: list = []
+        #: observability bundle; defaults to the process-wide one (a
+        #: disabled no-op unless ``repro.obs.enable()`` was called).
+        self.obs = obs if obs is not None else get_observability()
         self.profile = DeviceProfile()
         #: lazily-created KernelCache (avoids importing the compiler
         #: package unless the device actually compiles something).
@@ -87,11 +171,13 @@ class Device:
             surf = BufferSurface.allocate(int(data_or_size))
         else:
             surf = BufferSurface.from_array(np.asarray(data_or_size))
+        surf.obs_label = f"buf{len(self.surfaces)}"
         self.surfaces.append(surf)
         return surf
 
     def image2d(self, data: np.ndarray, bytes_per_pixel: int = 1) -> Image2DSurface:
         surf = Image2DSurface(np.asarray(data), bytes_per_pixel)
+        surf.obs_label = f"img{len(self.surfaces)}"
         self.surfaces.append(surf)
         return surf
 
@@ -110,11 +196,13 @@ class Device:
 
         Repeated compiles of the same (body, signature) return the cached
         :class:`CompiledKernel`; hits and misses are tallied both in the
-        cache's own stats and in :attr:`profile`.
+        cache's own stats and in :attr:`profile` (and, when observability
+        is enabled, in the shared metrics registry).
         """
         if self.kernel_cache is None:
             from repro.compiler.cache import KernelCache
-            self.kernel_cache = KernelCache()
+            self.kernel_cache = KernelCache(
+                registry=self.obs.registry if self.obs.enabled else None)
         kernel, hit = self.kernel_cache.lookup(
             body, name, surfaces, scalar_params=scalar_params,
             optimize=optimize)
@@ -140,25 +228,34 @@ class Device:
         thread's trace is folded into the timing totals as it retires, so
         only one trace is live at a time regardless of grid size.
         """
+        kname = name or getattr(kernel, "__name__", "cm")
         self.begin_enqueue()
         acc = TimingAccumulator(self.machine)
+        bacc = (BreakdownAccumulator(self.machine)
+                if self.obs.breakdowns else None)
         thread_ctx: Optional[ThreadContext] = None
-        for thread_id in self._grid_ids(grid):
-            trace = ThreadTrace(self.machine)
-            if thread_ctx is None:
-                thread_ctx = ThreadContext(trace, thread_id=thread_id)
-            else:
-                thread_ctx.reuse(trace, thread_id=thread_id)
-            ctx_mod.activate(thread_ctx)
-            try:
-                kernel(*args)
-            finally:
-                ctx_mod.deactivate()
-            acc.add(trace)
-            self.profile.threads_run += 1
-        self.profile.peak_live_traces = max(self.profile.peak_live_traces, 1)
-        return self._record(acc.finalize(),
-                            name or getattr(kernel, "__name__", "cm"))
+        n_threads = 0
+        with trace_span("dispatch", kernel=kname, path="cm"):
+            for thread_id in self._grid_ids(grid):
+                trace = ThreadTrace(self.machine)
+                if thread_ctx is None:
+                    thread_ctx = ThreadContext(trace, thread_id=thread_id)
+                else:
+                    thread_ctx.reuse(trace, thread_id=thread_id)
+                ctx_mod.activate(thread_ctx)
+                try:
+                    kernel(*args)
+                finally:
+                    ctx_mod.deactivate()
+                acc.add(trace)
+                if bacc is not None:
+                    bacc.add(trace)
+                n_threads += 1
+        self.profile.threads_run += n_threads
+        if n_threads:
+            # The eager path streams: exactly one trace is ever live.
+            self.profile.note_live_traces(1)
+        return self._record(acc.finalize(), kname, bacc)
 
     def run_compiled(self, kernel, grid: Sequence[int],
                      surfaces: Sequence[Surface],
@@ -187,11 +284,13 @@ class Device:
         """
         from repro.compiler.finalizer import SCRATCH_BTI
 
+        kname = name or kernel.name
         self.begin_enqueue()
         table = {i: s for i, s in enumerate(surfaces)}
         scratch = None
         if kernel.allocation.scratch_bytes:
             scratch = BufferSurface.allocate(kernel.allocation.scratch_bytes)
+            scratch.obs_label = "scratch"
             table[SCRATCH_BTI] = scratch
 
         # Pre-resolve scalar parameter GRF bases once for the whole grid.
@@ -208,54 +307,81 @@ class Device:
         ex = TracingExecutor(table) if collect_timing else \
             FunctionalExecutor(table)
         acc = TimingAccumulator(self.machine) if collect_timing else None
+        bacc = (BreakdownAccumulator(self.machine)
+                if collect_timing and self.obs.breakdowns else None)
         live: list[ThreadTrace] = []
+        live_peak = 0
         n_threads = 0
-        for thread_id in self._grid_ids(grid):
-            ex.reset()
-            if scratch is not None:
-                scratch.bytes.fill(0)
-            if collect_timing:
-                trace = ThreadTrace(self.machine)
-                ex.begin_thread(trace)
-            values = scalars(thread_id) if per_thread else fixed
-            for pname, base in scalar_bases:
-                value = values.get(pname)
-                if value is not None:
-                    ex.grf.write_bytes(
-                        base, np.asarray([value], dtype=np.int32))
-            ex.run(kernel.program)
-            n_threads += 1
-            if collect_timing:
-                trace.note_grf(kernel.allocation.max_grf_bytes)
-                live.append(trace)
-                if len(live) >= chunk_threads:
-                    self._retire_chunk(acc, live)
-            elif n_threads % max(chunk_threads, 1) == 0:
-                self.profile.chunks_dispatched += 1
-        if live:
-            self._retire_chunk(acc, live)
+        with trace_span("dispatch", kernel=kname, path="compiled"):
+            for thread_id in self._grid_ids(grid):
+                ex.reset()
+                if scratch is not None:
+                    scratch.bytes.fill(0)
+                if collect_timing:
+                    trace = ThreadTrace(self.machine)
+                    ex.begin_thread(trace)
+                values = scalars(thread_id) if per_thread else fixed
+                for pname, base in scalar_bases:
+                    value = values.get(pname)
+                    if value is not None:
+                        ex.grf.write_bytes(
+                            base, np.asarray([value], dtype=np.int32))
+                ex.run(kernel.program)
+                n_threads += 1
+                if collect_timing:
+                    trace.note_grf(kernel.allocation.max_grf_bytes)
+                    live.append(trace)
+                    if len(live) > live_peak:
+                        live_peak = len(live)
+                    if len(live) >= chunk_threads:
+                        self._retire_chunk(acc, live, bacc)
+                elif n_threads % max(chunk_threads, 1) == 0:
+                    self.profile.chunks_dispatched += 1
+            if live:
+                self._retire_chunk(acc, live, bacc)
         self.profile.threads_run += n_threads
+        self.profile.note_live_traces(live_peak)
 
         if not collect_timing:
             return None
-        return self._record(acc.finalize(), name or kernel.name)
+        return self._record(acc.finalize(), kname, bacc)
 
     def _retire_chunk(self, acc: TimingAccumulator,
-                      live: list) -> None:
-        self.profile.peak_live_traces = max(self.profile.peak_live_traces,
-                                            len(live))
-        self.profile.chunks_dispatched += 1
-        acc.extend(live)
-        live.clear()
+                      live: list, bacc=None) -> None:
+        with trace_span("chunk", threads=len(live)):
+            self.profile.chunks_dispatched += 1
+            acc.extend(live)
+            if bacc is not None:
+                bacc.extend(live)
+            live.clear()
 
     def submit(self, traces: Sequence[ThreadTrace], name: str) -> KernelRun:
         """Record a completed enqueue built from externally-run traces."""
-        return self._record(time_kernel(traces, self.machine), name)
+        bacc = None
+        if self.obs.breakdowns:
+            bacc = BreakdownAccumulator(self.machine)
+            bacc.extend(traces)
+        return self._record(time_kernel(traces, self.machine), name, bacc)
 
-    def _record(self, timing: KernelTiming, name: str) -> KernelRun:
+    def _record(self, timing: KernelTiming, name: str,
+                bacc: Optional[BreakdownAccumulator] = None) -> KernelRun:
+        overhead = self.machine.launch_overhead_us
+        breakdown = None
+        if bacc is not None:
+            breakdown = bacc.finalize(name, timing,
+                                      launch_overhead_us=overhead)
         run = KernelRun(name=name, timing=timing,
-                        launch_overhead_us=self.machine.launch_overhead_us)
+                        launch_overhead_us=overhead, breakdown=breakdown)
         self.runs.append(run)
+        if self.obs.enabled:
+            reg = self.obs.registry
+            reg.counter("kernel_launches", kernel=name).inc()
+            reg.counter("kernel_time_us", kernel=name).inc(timing.time_us)
+            reg.counter("kernel_threads",
+                        kernel=name).inc(timing.num_threads)
+            reg.counter("kernel_dram_bytes",
+                        kernel=name).inc(timing.dram_bytes)
+            reg.counter("kernel_barriers", kernel=name).inc(timing.barriers)
         return run
 
     def new_trace(self) -> ThreadTrace:
@@ -310,6 +436,7 @@ class Device:
         if self.kernel_cache is not None:
             st = self.kernel_cache.stats
             lines.append(
-                f"  kernel cache: {st.hits} hits, {st.misses} misses, "
-                f"{st.evictions} evictions, {len(self.kernel_cache)} entries")
+                f"  kernel cache: {st.hits} hits, {st.misses} misses "
+                f"({st.hit_rate:.0%} hit rate), {st.evictions} evictions, "
+                f"{len(self.kernel_cache)} entries")
         return "\n".join(lines)

@@ -60,6 +60,7 @@ class MemEvent:
     issue_at: float = 0.0     # thread issue position when sent
     consumed_at: Optional[float] = None  # issue position of first use
     is_read: bool = True
+    surface: Optional[object] = None  # observability label of the target
 
     def latency(self, machine: MachineConfig) -> int:
         if self.kind is MemKind.SAMPLER:
@@ -114,14 +115,16 @@ class ThreadTrace:
     def memory(self, kind: MemKind, nbytes: int = 0, lines: int = 0,
                dram_lines: int = None, l3_bytes: int = None, texels: int = 0,
                slm_cycles: int = 0, is_read: bool = True,
-               msgs: int = 1) -> MemEvent:
+               msgs: int = 1, surface: Optional[object] = None) -> MemEvent:
         """Record a memory message; returns the event for dep tracking.
 
         ``lines`` is the L3 transaction count; ``dram_lines`` the
         compulsory (first-touch) subset, defaulting to ``lines`` when the
         caller does no reuse tracking.  ``l3_bytes`` is what the message
         moves over the L3 fabric — the payload for dense block messages,
-        full lines for scattered ones (the default).
+        full lines for scattered ones (the default).  ``surface`` is an
+        opaque label naming the target surface, used by the time-breakdown
+        profiler to attribute traffic per surface.
         """
         # A send occupies the front end briefly.
         self.inst_count += 1
@@ -131,7 +134,7 @@ class ThreadTrace:
                       l3_bytes=lines * 64 if l3_bytes is None else l3_bytes,
                       texels=texels, msgs=msgs,
                       slm_cycles=slm_cycles, issue_at=self.issue_cycles,
-                      is_read=is_read)
+                      is_read=is_read, surface=surface)
         self.events.append(ev)
         return ev
 

@@ -28,9 +28,14 @@ class WorkloadRun:
 
 
 def run_and_time(name: str, fn: Callable[[Device], np.ndarray],
-                 machine: MachineConfig = GEN11_ICL) -> WorkloadRun:
-    """Run ``fn`` against a fresh device and collect its timing."""
-    device = Device(machine)
+                 machine: MachineConfig = GEN11_ICL,
+                 obs=None) -> WorkloadRun:
+    """Run ``fn`` against a fresh device and collect its timing.
+
+    ``obs`` is an optional :class:`repro.obs.Observability` bundle; when
+    given, the device records spans/metrics/breakdowns into it.
+    """
+    device = Device(machine, obs=obs)
     output = fn(device)
     return WorkloadRun(
         name=name,

@@ -110,6 +110,70 @@ def run_cm_dgemm(device: Device, a, b, c, alpha=1.0, beta=0.0) -> np.ndarray:
                          CM_BM // 2, CM_BN, "cm_dgemm")
 
 
+# -- CM implementation, compiled path ------------------------------------------
+
+#: Compiled-path C-block (smaller than the eager CM kernel's: the trace
+#: frontend fully unrolls the K loop, so keep the program compact).
+JIT_BM, JIT_BN = 8, 16
+
+#: One body per K so Device.compile's identity-keyed cache hits across
+#: launches of the same problem size.
+_JIT_BODIES: dict = {}
+_JIT_SIG = [("abuf", True), ("bbuf", True), ("cbuf", True)]
+
+
+def _jit_gemm_body(k: int):
+    body = _JIT_BODIES.get(k)
+    if body is not None:
+        return body
+
+    def sgemm_jit(cmx, abuf, bbuf, cbuf, tx, ty):
+        row0 = ty * JIT_BM
+        col0 = tx * JIT_BN
+        atile = cmx.matrix(np.float32, JIT_BM, k)
+        cmx.read(abuf, 0, row0, atile)
+        btile = cmx.matrix(np.float32, k, JIT_BN)
+        cmx.read(bbuf, col0 * 4, 0, btile)
+        acc = cmx.matrix(np.float32, JIT_BM, JIT_BN,
+                         np.zeros(JIT_BM * JIT_BN, np.float32))
+        for kk in range(k):
+            a_bcast = atile.replicate(JIT_BM, k, JIT_BN, 0, kk)
+            b_bcast = btile.replicate(JIT_BM, 0, JIT_BN, 1, kk * JIT_BN)
+            acc += a_bcast * b_bcast
+        ctile = cmx.matrix(np.float32, JIT_BM, JIT_BN)
+        cmx.read(cbuf, col0 * 4, row0, ctile)
+        out = cmx.matrix(np.float32, JIT_BM, JIT_BN)
+        out.assign(acc + ctile)
+        cmx.write(cbuf, col0 * 4, row0, out)
+
+    _JIT_BODIES[k] = sgemm_jit
+    return sgemm_jit
+
+
+def run_cm_sgemm_compiled(device: Device, a, b, c) -> np.ndarray:
+    """C = A@B + C through the full compile pipeline + batch engine.
+
+    Unlike :func:`run_cm_sgemm` (eager per-thread interpretation), this
+    path goes frontend -> passes -> vISA -> finalizer -> pooled
+    ``run_compiled`` dispatch, so a traced run shows ``compile`` /
+    ``pass:*`` spans next to the ``dispatch`` span.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    if m % JIT_BM or n % JIT_BN:
+        raise ValueError(f"dims must divide {JIT_BM}x{JIT_BN} blocks")
+    abuf = device.image2d(a.copy(), bytes_per_pixel=4)
+    bbuf = device.image2d(b.copy(), bytes_per_pixel=4)
+    cbuf = device.image2d(c.copy(), bytes_per_pixel=4)
+    kern = device.compile(_jit_gemm_body(k), "cm_sgemm_jit", _JIT_SIG,
+                          ["tx", "ty"])
+    device.run_compiled(kern, grid=(n // JIT_BN, m // JIT_BM),
+                        surfaces=[abuf, bbuf, cbuf],
+                        scalars=lambda tid: {"tx": tid[0], "ty": tid[1]},
+                        name="cm_sgemm_jit")
+    return cbuf.to_numpy().copy()
+
+
 # -- OpenCL implementation ------------------------------------------------------
 
 
