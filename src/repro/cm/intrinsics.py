@@ -26,6 +26,9 @@ import numpy as np
 
 from repro.cm.dtypes import as_cm_dtype
 from repro.cm.vector import Matrix, MatrixRef, Vector, VectorRef, _CMBase
+from repro.isa.msg_geometry import (
+    media_block_messages, oword_block_messages, scatter_messages,
+)
 from repro.memory.slm import (
     ATOMIC_OPS_PER_CYCLE, SharedLocalMemory, bank_conflict_cycles,
 )
@@ -34,14 +37,6 @@ from repro.sim import context as ctx
 from repro.sim.trace import MemKind
 
 OWORD = 16
-
-#: Media block message limits: wider/taller blocks split into several sends.
-_MEDIA_MSG_WIDTH = 32
-_MEDIA_MSG_HEIGHT = 8
-#: Oword block messages move at most 8 owords.
-_OWORD_MSG_BYTES = 128
-#: Scattered messages carry 16 lanes each.
-_SCATTER_LANES = 16
 
 
 def _container_buf(container: _CMBase) -> np.ndarray:
@@ -106,7 +101,7 @@ def _media_block_read(surface: Image2DSurface, x: int, y: int,
     nbytes = width_bytes * height
     lines, new = surface.mark_lines_block2d(x, y, width_bytes, height,
                                             surface.pitch)
-    messages = -(-width_bytes // _MEDIA_MSG_WIDTH) * -(-height // _MEDIA_MSG_HEIGHT)
+    messages = media_block_messages(width_bytes, height)
     _extra_messages(messages)
     ev = ctx.emit_memory(MemKind.BLOCK2D_READ, nbytes=nbytes, lines=lines,
                          dram_lines=new, l3_bytes=nbytes, msgs=messages,
@@ -123,7 +118,7 @@ def _media_block_write(surface: Image2DSurface, x: int, y: int,
     nbytes = width_bytes * height
     lines, new = surface.mark_lines_block2d(x, y, width_bytes, height,
                                             surface.pitch)
-    messages = -(-width_bytes // _MEDIA_MSG_WIDTH) * -(-height // _MEDIA_MSG_HEIGHT)
+    messages = media_block_messages(width_bytes, height)
     _extra_messages(messages)
     ctx.emit_memory(MemKind.BLOCK2D_WRITE, nbytes=nbytes, lines=lines,
                     dram_lines=new, l3_bytes=nbytes, msgs=messages,
@@ -141,7 +136,7 @@ def _oword_block_read(surface: Surface, offset: int,
     nbytes = buf.size * v.dtype.size
     data = surface.read_linear(offset, nbytes)
     buf[...] = data.view(v.dtype.np_dtype).reshape(buf.shape)
-    messages = -(-nbytes // _OWORD_MSG_BYTES)
+    messages = oword_block_messages(nbytes)
     _extra_messages(messages)
     lines, new = surface.mark_lines_range(offset, nbytes)
     ev = ctx.emit_memory(MemKind.OWORD_READ, nbytes=nbytes,
@@ -157,7 +152,7 @@ def _oword_block_write(surface: Surface, offset: int,
     vals = np.ascontiguousarray(v._read().astype(v.dtype.np_dtype, copy=False))
     nbytes = vals.size * v.dtype.size
     surface.write_linear(offset, vals)
-    messages = -(-nbytes // _OWORD_MSG_BYTES)
+    messages = oword_block_messages(nbytes)
     _extra_messages(messages)
     lines, new = surface.mark_lines_range(offset, nbytes)
     ctx.emit_memory(MemKind.OWORD_WRITE, nbytes=nbytes,
@@ -190,7 +185,7 @@ def read_scattered(surface: Surface, global_offset: int, element_offsets,
     n = len(byte_offs)
     lines, new = surface.mark_lines_offsets(byte_offs, ret.dtype.size,
                                             mask=mask)
-    messages = -(-n // _SCATTER_LANES)
+    messages = scatter_messages(n)
     _extra_messages(messages)
     ev = ctx.emit_memory(MemKind.GATHER, nbytes=n * ret.dtype.size,
                          lines=lines, dram_lines=new, msgs=messages,
@@ -209,7 +204,7 @@ def write_scattered(surface: Surface, global_offset: int, element_offsets,
     n = len(byte_offs)
     lines, new = surface.mark_lines_offsets(byte_offs, values.dtype.size,
                                             mask=mask)
-    messages = -(-n // _SCATTER_LANES)
+    messages = scatter_messages(n)
     _extra_messages(messages)
     ctx.emit_memory(MemKind.SCATTER, nbytes=n * values.dtype.size,
                     lines=lines, dram_lines=new, msgs=messages,
@@ -230,7 +225,7 @@ def atomic(op: str, surface: Surface, element_offsets,
     old = surface.atomic(op, byte_offs, operands, dt, mask=mask)
     n = len(byte_offs)
     lines, new = surface.mark_lines_offsets(byte_offs, dt.size, mask=mask)
-    messages = -(-n // _SCATTER_LANES)
+    messages = scatter_messages(n)
     ev = ctx.emit_memory(MemKind.ATOMIC, nbytes=n * dt.size, lines=lines,
                          dram_lines=new, msgs=messages,
                          surface=surface.obs_label)

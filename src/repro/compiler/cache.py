@@ -16,6 +16,11 @@ module provides that cache:
   Factory functions that rebuild the body callable per configuration get
   a fresh key automatically (each new function object misses once).
 - **Bounded**: an optional ``maxsize`` turns the cache into an LRU.
+- **Thread-safe**: lookups, insertions, evictions and invalidations are
+  serialized by a per-cache re-entrant lock, so one cache can be shared
+  by the serving layer's device workers (:mod:`repro.serve`).  A miss
+  compiles *inside* the lock: concurrent requests for the same kernel
+  wait and then hit instead of compiling twice.
 
 Hit/miss/eviction/invalidation counters are kept per cache and surfaced
 through :meth:`repro.sim.device.Device.report`.
@@ -23,6 +28,7 @@ through :meth:`repro.sim.device.Device.report`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
@@ -70,6 +76,7 @@ class KernelCache:
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         # Optional mirror into a metrics registry (Device passes the
         # observability registry when enabled); None keeps lookups free
         # of any registry overhead.
@@ -86,7 +93,21 @@ class KernelCache:
                 "kernel_cache_invalidations", "explicit invalidations")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def contains(self, body: Callable, name: str,
+                 surfaces: Sequence[Tuple[str, bool]],
+                 scalar_params: Sequence[str] = (),
+                 optimize: bool = True) -> bool:
+        """True if the exact compile result is resident (no side effects).
+
+        The serving layer's cache-affinity router uses this to steer a
+        request to the device whose cache already holds the program.
+        """
+        key = cache_key(body, name, surfaces, scalar_params, optimize)
+        with self._lock:
+            return key in self._entries
 
     def lookup(self, body: Callable, name: str,
                surfaces: Sequence[Tuple[str, bool]],
@@ -94,26 +115,27 @@ class KernelCache:
                optimize: bool = True) -> Tuple[CompiledKernel, bool]:
         """Return ``(kernel, was_hit)``, compiling on miss."""
         key = cache_key(body, name, surfaces, scalar_params, optimize)
-        kernel = self._entries.get(key)
-        if kernel is not None:
-            self.stats.hits += 1
-            if self._m_hits is not None:
-                self._m_hits.inc()
-            self._entries.move_to_end(key)
-            return kernel, True
-        self.stats.misses += 1
-        if self._m_misses is not None:
-            self._m_misses.inc()
-        kernel = compile_kernel(body, name, surfaces,
-                                scalar_params=scalar_params,
-                                optimize=optimize)
-        self._entries[key] = kernel
-        if self.maxsize is not None and len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self._m_evictions is not None:
-                self._m_evictions.inc()
-        return kernel, False
+        with self._lock:
+            kernel = self._entries.get(key)
+            if kernel is not None:
+                self.stats.hits += 1
+                if self._m_hits is not None:
+                    self._m_hits.inc()
+                self._entries.move_to_end(key)
+                return kernel, True
+            self.stats.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
+            kernel = compile_kernel(body, name, surfaces,
+                                    scalar_params=scalar_params,
+                                    optimize=optimize)
+            self._entries[key] = kernel
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
+            return kernel, False
 
     def get_or_compile(self, body: Callable, name: str,
                        surfaces: Sequence[Tuple[str, bool]],
@@ -131,23 +153,25 @@ class KernelCache:
         """
         if name is None and body is None:
             return self.clear()
-        doomed = [k for k in self._entries
-                  if (name is None or k[1] == name)
-                  and (body is None or k[0] is body)]
-        for k in doomed:
-            del self._entries[k]
-        self.stats.invalidations += len(doomed)
-        if self._m_invalidations is not None:
-            self._m_invalidations.inc(len(doomed))
-        return len(doomed)
+        with self._lock:
+            doomed = [k for k in self._entries
+                      if (name is None or k[1] == name)
+                      and (body is None or k[0] is body)]
+            for k in doomed:
+                del self._entries[k]
+            self.stats.invalidations += len(doomed)
+            if self._m_invalidations is not None:
+                self._m_invalidations.inc(len(doomed))
+            return len(doomed)
 
     def clear(self) -> int:
-        n = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += n
-        if self._m_invalidations is not None:
-            self._m_invalidations.inc(n)
-        return n
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += n
+            if self._m_invalidations is not None:
+                self._m_invalidations.inc(n)
+            return n
 
 
 #: Process-wide default cache used by :func:`compile_kernel_cached` and

@@ -1,0 +1,40 @@
+"""Message-split geometry shared by every dispatch path.
+
+The Gen dataport carves oversized accesses into multiple hardware
+messages: media-block I/O splits at 32 bytes x 8 rows, oword-block I/O
+at 8 owords (128 bytes), and scattered/gather/atomic messages carry 16
+lanes each.  Both the eager intrinsics (:mod:`repro.cm.intrinsics`) and
+the compiled-path tracer (:mod:`repro.sim.batch`) charge the same split
+counts; they import the geometry from here.
+
+This module is a *leaf*: it depends on nothing inside :mod:`repro`, so
+``repro.cm`` (which pulls in :mod:`repro.sim.context`) and ``repro.sim``
+can both import it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+#: Media-block message limits: wider/taller blocks split into several sends.
+MEDIA_MSG_WIDTH = 32   # bytes per media-block message row
+MEDIA_MSG_HEIGHT = 8   # rows per media-block message
+
+#: Oword-block messages move at most 8 owords.
+OWORD_MSG_BYTES = 128
+
+#: Scattered (gather/scatter/atomic) messages carry 16 lanes each.
+SCATTER_LANES = 16
+
+
+def media_block_messages(width_bytes: int, height: int) -> int:
+    """Hardware messages for one media-block access of the given shape."""
+    return -(-width_bytes // MEDIA_MSG_WIDTH) * -(-height // MEDIA_MSG_HEIGHT)
+
+
+def oword_block_messages(nbytes: int) -> int:
+    """Hardware messages for one oword-block access of ``nbytes``."""
+    return -(-nbytes // OWORD_MSG_BYTES)
+
+
+def scatter_messages(lanes: int) -> int:
+    """Hardware messages for one scattered access of ``lanes`` lanes."""
+    return -(-lanes // SCATTER_LANES)

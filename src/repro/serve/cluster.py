@@ -1,0 +1,468 @@
+"""The virtual serving cluster: N devices, one scheduler, one front door.
+
+Pipeline::
+
+    submit() -> SubmissionQueue -> dispatcher thread -> DeviceWorker[i]
+                 (admission /       (resolve, batch,      (per-device
+                  backpressure)      pick device)          thread + lock)
+
+- The **dispatcher** drains the bounded submission queue, resolves each
+  request against the workload registry, lets the
+  :class:`~repro.serve.batcher.DynamicBatcher` coalesce compatible
+  compiled requests, and routes every batch to a device via the
+  configured :class:`~repro.serve.scheduler.Policy`.
+- Each **DeviceWorker** owns one simulated :class:`Device` plus a lock,
+  so the device and its :class:`KernelCache` are never touched by two
+  threads at once; workers run concurrently with each other, which is
+  where the wall-clock parallelism comes from.
+- Two clocks are kept per request: wall time (thread reality) and the
+  simulated-microsecond timeline, where each device is a serial resource
+  — a batch head pays the full launch overhead, coalesced followers pay
+  only the pipelined gap (see :mod:`repro.serve.batcher`).
+
+Everything is observable: ``serve_*`` counters/gauges/histograms land in
+the cluster registry (the installed :mod:`repro.obs` registry when
+enabled), and batch execution opens ``serve:batch`` / ``serve:request``
+spans in the trace sinks.
+"""
+
+from __future__ import annotations
+
+import queue as _stdqueue
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import get_observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace_span
+from repro.sim.batch import TracingExecutor
+from repro.sim.device import Device
+from repro.sim.machine import GEN11_ICL, MachineConfig
+
+from repro.serve.batcher import Batch, DynamicBatcher, WorkItem
+from repro.serve.queue import SubmissionQueue
+from repro.serve.request import Request, RequestStatus, percentiles
+from repro.serve.scheduler import Policy, make_policy
+from repro.serve.workloads import get_workload
+
+_SHUTDOWN = object()
+
+#: Wall-latency histogram buckets in milliseconds (the default metric
+#: buckets are microsecond-scaled for simulated time).
+_MS_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0,
+               float("inf"))
+
+
+class DeviceWorker(threading.Thread):
+    """One thread driving one simulated device."""
+
+    def __init__(self, index: int, device: Device,
+                 cluster: "ServeCluster") -> None:
+        super().__init__(name=f"serve-dev{index}", daemon=True)
+        self.index = index
+        self.device = device
+        self.cluster = cluster
+        self.inbox: _stdqueue.Queue = _stdqueue.Queue()
+        #: serializes every touch of the device and its kernel cache.
+        self.lock = threading.Lock()
+        #: device-free point on the simulated timeline.
+        self.sim_clock_us = 0.0
+        #: committed simulated busy time (overhead + kernel).
+        self.busy_sim_us = 0.0
+        #: estimated simulated time of batches queued on the inbox.
+        self.pending_sim_us = 0.0
+        self.requests_done = 0
+        self.batches_done = 0
+        self._pending_lock = threading.Lock()
+
+    def load_sim_us(self) -> float:
+        """The least-loaded metric: committed + estimated queued work."""
+        with self._pending_lock:
+            return self.busy_sim_us + self.pending_sim_us
+
+    def note_assigned(self, estimate_us: float) -> None:
+        with self._pending_lock:
+            self.pending_sim_us += estimate_us
+
+    def _note_served(self, estimate_us: float, busy_us: float) -> None:
+        with self._pending_lock:
+            self.pending_sim_us = max(0.0, self.pending_sim_us - estimate_us)
+            self.busy_sim_us += busy_us
+
+    def run(self) -> None:
+        while True:
+            batch = self.inbox.get()
+            if batch is _SHUTDOWN:
+                break
+            try:
+                self._execute(batch)
+            finally:
+                self.inbox.task_done()
+
+    # -- batch execution ---------------------------------------------------
+
+    def _execute(self, batch: Batch) -> None:
+        cluster = self.cluster
+        machine = self.device.machine
+        with self.lock, trace_span("serve:batch", device=self.index,
+                                   kernel=batch.kernel_name,
+                                   size=batch.size):
+            batch_busy_us = 0.0
+            pooled = TracingExecutor() if (
+                batch.size > 1 and batch.items[0].kind == "compiled") \
+                else None
+            for pos, item in enumerate(batch.items):
+                req = item.request
+                req.status = RequestStatus.RUNNING
+                req.t_dispatch_wall = time.perf_counter()
+                req.device_index = self.index
+                req.batch_id = batch.id
+                req.batch_size = batch.size
+                overhead_us = machine.launch_overhead_us if pos == 0 \
+                    else machine.pipelined_launch_us
+                start = self.sim_clock_us
+                if req.arrival_sim_us is not None:
+                    start = max(start, req.arrival_sim_us)
+                req.start_sim_us = start
+                error: Optional[str] = None
+                try:
+                    with trace_span("serve:request", request=req.id,
+                                    workload=req.workload,
+                                    device=self.index):
+                        self._run_item(item, pooled)
+                except Exception as exc:  # noqa: BLE001 - isolate requests
+                    error = f"{type(exc).__name__}: {exc}"
+                # Failed requests occupied their queue slot but are
+                # charged no simulated service.
+                if error is None:
+                    req.overhead_sim_us = overhead_us if req.launches else 0.0
+                    served = req.service_sim_us
+                    self.sim_clock_us = start + served
+                    batch_busy_us += served
+                req.t_done_wall = time.perf_counter()
+                if error is None:
+                    req.finish(RequestStatus.DONE)
+                else:
+                    req.finish(RequestStatus.FAILED, error)
+                self.requests_done += 1
+                cluster._request_finished(req, self)
+            self.batches_done += 1
+            self._note_served(batch.estimate_us, batch_busy_us)
+            cluster._batch_finished(batch, self, batch_busy_us)
+
+    def _run_item(self, item: WorkItem, pooled) -> None:
+        req = item.request
+        device = self.device
+        n_surfaces = len(device.surfaces)
+        hits0 = device.profile.compile_cache_hits
+        misses0 = device.profile.compile_cache_misses
+        try:
+            if item.kind == "compiled":
+                launch = item.launch
+                surfaces, scalars = launch.bind(device)
+                kernel = device.compile(launch.body, launch.name,
+                                        launch.sig, launch.scalar_params)
+                run = device.run_compiled(kernel, launch.grid, surfaces,
+                                          scalars=scalars, name=launch.name,
+                                          executor=pooled)
+                req.kernel_sim_us = run.timing.time_us
+                req.dram_bytes = int(run.timing.dram_bytes)
+                req.launches = 1
+                if launch.finish is not None:
+                    req.result = launch.finish(surfaces)
+            else:
+                wrun = item.runner(device)
+                req.kernel_sim_us = wrun.kernel_time_us
+                # Eager workloads may enqueue many kernels; their own
+                # pipelined overhead beyond the first launch is theirs.
+                req.kernel_sim_us += max(
+                    0.0, wrun.launch_overhead_us -
+                    device.machine.launch_overhead_us)
+                req.dram_bytes = int(sum(
+                    r.timing.dram_bytes
+                    for r in device.runs[-wrun.launches:])) \
+                    if wrun.launches else 0
+                req.launches = wrun.launches
+                req.result = wrun.name
+        finally:
+            req.cache_hits = device.profile.compile_cache_hits - hits0
+            req.cache_misses = device.profile.compile_cache_misses - misses0
+            # Release this request's surfaces so a long-lived pooled
+            # device doesn't accumulate (and re-scan) dead bindings.
+            del device.surfaces[n_surfaces:]
+
+
+class ServeCluster:
+    """A pool of simulated devices behind a scheduling front end."""
+
+    def __init__(self, num_devices: int = 2,
+                 machine: MachineConfig = GEN11_ICL,
+                 policy="round-robin",
+                 batching: bool = True,
+                 max_batch: int = 8,
+                 queue_capacity: int = 512,
+                 high_watermark: Optional[int] = None,
+                 dispatch_window: int = 64,
+                 batch_linger_s: float = 0.001,
+                 obs=None) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.obs = obs if obs is not None else get_observability()
+        self.registry: MetricsRegistry = (
+            self.obs.registry if self.obs.enabled else MetricsRegistry())
+        self.policy: Policy = make_policy(policy)
+        self.batcher = DynamicBatcher(max_batch=max_batch, enabled=batching)
+        self.queue = SubmissionQueue(capacity=queue_capacity,
+                                     high_watermark=high_watermark,
+                                     registry=self.registry)
+        self.dispatch_window = dispatch_window
+        self.batch_linger_s = batch_linger_s
+        self.workers = [DeviceWorker(i, Device(machine, obs=self.obs), self)
+                        for i in range(num_devices)]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True)
+        self._outstanding = 0
+        self._done_cv = threading.Condition()
+        self._started = False
+        self._stopped = False
+        self._t_start = time.perf_counter()
+        #: per-workload EMA of simulated service, for load estimates.
+        self._service_est_us: Dict[str, float] = {}
+        self._est_lock = threading.Lock()
+        self.completed: List[Request] = []
+        self._completed_lock = threading.Lock()
+
+        self._m_requests = {
+            status: self.registry.counter("serve_requests",
+                                          status=status.value)
+            for status in RequestStatus
+        }
+        self._m_batches = self.registry.counter(
+            "serve_batches", "batches dispatched")
+        self._m_coalesced = self.registry.counter(
+            "serve_coalesced_requests",
+            "requests that rode a batch as non-head members")
+        self._m_overhead = self.registry.counter(
+            "serve_launch_overhead_sim_us",
+            "simulated launch overhead charged across all requests")
+        self._m_kernel = self.registry.counter(
+            "serve_kernel_sim_us", "simulated kernel time served")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServeCluster":
+        if self._started:
+            return self
+        self._started = True
+        self._t_start = time.perf_counter()
+        for w in self.workers:
+            w.start()
+        self._dispatcher.start()
+        return self
+
+    def __enter__(self) -> "ServeCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.queue.close()
+        if self._started and wait:
+            self._dispatcher.join()
+            for w in self.workers:
+                w.inbox.put(_SHUTDOWN)
+            for w in self.workers:
+                w.join()
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.workers)
+
+    @property
+    def devices(self) -> List[Device]:
+        return [w.device for w in self.workers]
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, workload: str, params: Optional[Dict[str, Any]] = None,
+               arrival_sim_us: Optional[float] = None,
+               block: bool = False,
+               timeout: Optional[float] = None) -> Request:
+        """Admit one request; raises :class:`Backpressure` when full."""
+        if not self._started:
+            self.start()
+        req = Request(workload=workload, params=dict(params or {}),
+                      arrival_sim_us=arrival_sim_us)
+        self.queue.submit(req, block=block, timeout=timeout)
+        with self._done_cv:
+            self._outstanding += 1
+        return req
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every admitted request finished; True on success."""
+        with self._done_cv:
+            return self._done_cv.wait_for(
+                lambda: self._outstanding == 0, timeout)
+
+    # -- dispatcher --------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            items = self.queue.take(max_items=self.dispatch_window,
+                                    timeout=0.1)
+            if not items:
+                if self.queue.closed and not len(self.queue):
+                    return
+                continue
+            if self.batcher.enabled and len(items) < self.dispatch_window \
+                    and self.batch_linger_s > 0:
+                # Linger briefly so near-simultaneous compatible requests
+                # can coalesce instead of heading out as singletons.
+                deadline = time.perf_counter() + self.batch_linger_s
+                while len(items) < self.dispatch_window:
+                    left = deadline - time.perf_counter()
+                    if left <= 0:
+                        break
+                    more = self.queue.take(
+                        max_items=self.dispatch_window - len(items),
+                        timeout=left)
+                    if not more:
+                        break
+                    items.extend(more)
+            work: List[WorkItem] = []
+            for req in items:
+                item = self._resolve(req)
+                if item is not None:
+                    work.append(item)
+            for batch in self.batcher.form(work):
+                idx = self.policy.select(batch, self.workers)
+                batch.estimate_us = self._estimate_batch_us(batch)
+                self.workers[idx].note_assigned(batch.estimate_us)
+                self._m_batches.inc()
+                if batch.size > 1:
+                    self._m_coalesced.inc(batch.size - 1)
+                self.workers[idx].inbox.put(batch)
+
+    def _resolve(self, req: Request) -> Optional[WorkItem]:
+        try:
+            wl = get_workload(req.workload)
+            made = wl.make(req.params)
+        except Exception as exc:  # noqa: BLE001 - bad request, not a crash
+            req.finish(RequestStatus.FAILED, f"{type(exc).__name__}: {exc}")
+            self._request_finished(req, None)
+            return None
+        if wl.kind == "compiled":
+            return WorkItem(request=req, kind="compiled", launch=made)
+        return WorkItem(request=req, kind="eager", runner=made)
+
+    def _estimate_batch_us(self, batch: Batch) -> float:
+        with self._est_lock:
+            est = sum(self._service_est_us.get(it.request.workload, 0.0)
+                      for it in batch.items)
+        machine = self.workers[0].device.machine
+        return est + machine.launch_overhead_us \
+            + (batch.size - 1) * machine.pipelined_launch_us
+
+    # -- completion callbacks (worker threads) -----------------------------
+
+    def _request_finished(self, req: Request,
+                          worker: Optional[DeviceWorker]) -> None:
+        self._m_requests[req.status].inc()
+        if req.status is RequestStatus.DONE:
+            self._m_kernel.inc(req.kernel_sim_us)
+            self._m_overhead.inc(req.overhead_sim_us)
+            pname = self.policy.name
+            self.registry.histogram(
+                "serve_wait_wall_ms", buckets=_MS_BUCKETS,
+                policy=pname).observe(req.wait_wall_s * 1e3)
+            self.registry.histogram(
+                "serve_latency_wall_ms", buckets=_MS_BUCKETS,
+                policy=pname).observe(req.latency_wall_s * 1e3)
+            self.registry.histogram(
+                "serve_service_sim_us",
+                policy=pname).observe(req.service_sim_us)
+            self.registry.histogram(
+                "serve_latency_sim_us",
+                policy=pname).observe(req.latency_sim_us)
+            with self._est_lock:
+                prev = self._service_est_us.get(req.workload)
+                sample = req.kernel_sim_us
+                self._service_est_us[req.workload] = sample if prev is None \
+                    else prev + 0.3 * (sample - prev)
+        with self._completed_lock:
+            self.completed.append(req)
+        with self._done_cv:
+            self._outstanding -= 1
+            self._done_cv.notify_all()
+
+    def _batch_finished(self, batch: Batch, worker: DeviceWorker,
+                        busy_us: float) -> None:
+        self.registry.counter("serve_device_busy_sim_us",
+                              device=worker.index).inc(busy_us)
+        self.registry.counter("serve_device_requests",
+                              device=worker.index).inc(batch.size)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """Aggregate serving statistics over everything completed so far."""
+        with self._completed_lock:
+            reqs = list(self.completed)
+        done = [r for r in reqs if r.status is RequestStatus.DONE]
+        wall_s = time.perf_counter() - self._t_start
+        by_status = {s.value: sum(1 for r in reqs if r.status is s)
+                     for s in RequestStatus}
+        total_busy = sum(w.busy_sim_us for w in self.workers)
+        horizon = max((w.sim_clock_us for w in self.workers), default=0.0)
+        cache_hits = sum(r.cache_hits for r in reqs)
+        cache_misses = sum(r.cache_misses for r in reqs)
+        lookups = cache_hits + cache_misses
+        batches = sum(w.batches_done for w in self.workers)
+        return {
+            "policy": self.policy.name,
+            "devices": self.num_devices,
+            "batching": self.batcher.enabled,
+            "requests": by_status | {"total": len(reqs)},
+            "wall_elapsed_s": wall_s,
+            "throughput_rps": len(done) / wall_s if wall_s > 0 else 0.0,
+            "latency_wall_ms": percentiles(
+                [r.latency_wall_s * 1e3 for r in done]),
+            "wait_wall_ms": percentiles(
+                [r.wait_wall_s * 1e3 for r in done]),
+            "latency_sim_us": percentiles(
+                [r.latency_sim_us for r in done]),
+            "service_sim_us": percentiles(
+                [r.service_sim_us for r in done]),
+            "sim": {
+                "kernel_us": sum(r.kernel_sim_us for r in done),
+                "launch_overhead_us": sum(r.overhead_sim_us for r in done),
+                "busy_us": total_busy,
+                "horizon_us": horizon,
+                "batches": batches,
+                "avg_batch": (len(done) / batches) if batches else 0.0,
+                "dram_bytes": sum(r.dram_bytes for r in done),
+            },
+            "kernel_cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": cache_hits / lookups if lookups else 0.0,
+            },
+            "per_device": [
+                {
+                    "index": w.index,
+                    "requests": w.requests_done,
+                    "batches": w.batches_done,
+                    "busy_sim_us": w.busy_sim_us,
+                    "utilization_sim": (w.busy_sim_us / horizon)
+                    if horizon > 0 else 0.0,
+                    "share_of_busy": (w.busy_sim_us / total_busy)
+                    if total_busy > 0 else 0.0,
+                }
+                for w in self.workers
+            ],
+        }

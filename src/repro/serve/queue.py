@@ -1,0 +1,151 @@
+"""Bounded submission queue with admission control and backpressure.
+
+The cluster front door.  Admission follows a watermark contract:
+
+- depth < ``high_watermark``: the request is admitted immediately.
+- depth >= ``high_watermark`` (or the queue is at ``capacity``): the
+  submit is **rejected** with :class:`Backpressure`, carrying a
+  ``retry_after_s`` hint derived from the dispatcher's observed drain
+  rate — the serving-layer equivalent of HTTP 429 + ``Retry-After``.
+  ``submit(block=True)`` instead parks the caller until space frees
+  (the closed-loop load-generator mode).
+
+Depth is exported as a gauge and admissions/rejections as counters on
+the registry the cluster provides, so a loadgen report can show how hard
+the front door was hit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+from repro.serve.request import Request, RequestStatus
+
+
+class Backpressure(RuntimeError):
+    """Submission refused; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, depth: int, capacity: int,
+                 retry_after_s: float) -> None:
+        super().__init__(
+            f"submission queue full ({depth}/{capacity}); "
+            f"retry after {retry_after_s * 1e3:.1f} ms")
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+
+
+class ShutDown(RuntimeError):
+    """Submitted to a closed queue."""
+
+
+class SubmissionQueue:
+    """FIFO request queue with watermark admission control."""
+
+    def __init__(self, capacity: int = 512,
+                 high_watermark: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.high_watermark = high_watermark if high_watermark is not None \
+            else capacity
+        if not 1 <= self.high_watermark <= capacity:
+            raise ValueError("high_watermark must be in [1, capacity]")
+        self._items: deque = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+        #: EMA of seconds between dequeues; seeds the retry-after hint.
+        self._drain_interval_s = 1e-3
+        self._last_take: Optional[float] = None
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._depth = self.registry.gauge(
+            "serve_queue_depth", "requests waiting for dispatch")
+        self._admitted = self.registry.counter(
+            "serve_queue_admitted", "requests admitted")
+        self._rejected = self.registry.counter(
+            "serve_queue_rejected", "submissions rejected by backpressure")
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._items)
+
+    # -- producer side ----------------------------------------------------
+
+    def retry_after_s(self, overflow: int) -> float:
+        """Backpressure hint: time for the dispatcher to drain ``overflow``."""
+        return min(1.0, max(1e-3, overflow * self._drain_interval_s))
+
+    def submit(self, request: Request, block: bool = False,
+               timeout: Optional[float] = None) -> Request:
+        """Admit ``request`` or raise :class:`Backpressure`.
+
+        ``block=True`` waits for space below the watermark instead of
+        rejecting (closed-loop callers); ``timeout`` bounds the wait.
+        """
+        with self._cv:
+            if block:
+                ok = self._cv.wait_for(
+                    lambda: self._closed
+                    or len(self._items) < self.high_watermark,
+                    timeout)
+                if not ok:
+                    raise Backpressure(len(self._items), self.capacity,
+                                       self.retry_after_s(1))
+            if self._closed:
+                raise ShutDown("submission queue is closed")
+            depth = len(self._items)
+            if depth >= self.high_watermark or depth >= self.capacity:
+                self._rejected.inc()
+                raise Backpressure(
+                    depth, self.capacity,
+                    self.retry_after_s(depth - self.high_watermark + 1))
+            request.status = RequestStatus.QUEUED
+            request.t_submit_wall = time.perf_counter()
+            self._items.append(request)
+            self._admitted.inc()
+            self._depth.set(len(self._items))
+            self._cv.notify_all()
+            return request
+
+    # -- consumer side ----------------------------------------------------
+
+    def take(self, max_items: int = 1,
+             timeout: Optional[float] = None) -> List[Request]:
+        """Block for at least one request, then drain up to ``max_items``.
+
+        Returns an empty list only when the queue is closed and empty
+        (dispatcher shutdown) or the timeout expired.
+        """
+        with self._cv:
+            ok = self._cv.wait_for(
+                lambda: self._items or self._closed, timeout)
+            if not ok or not self._items:
+                return []
+            out = []
+            while self._items and len(out) < max_items:
+                out.append(self._items.popleft())
+            now = time.perf_counter()
+            if self._last_take is not None:
+                # Per-request drain interval, smoothed.
+                sample = (now - self._last_take) / max(len(out), 1)
+                self._drain_interval_s += 0.2 * (sample -
+                                                 self._drain_interval_s)
+            self._last_take = now
+            self._depth.set(len(self._items))
+            self._cv.notify_all()
+            return out
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -9,12 +9,11 @@ events the eager intrinsics would — ALU issue, memory messages with
 cache-line footprints, load-use dependency distances, atomics, barriers
 — so a compiled launch can be timed with the same analytic model.
 
-Message accounting deliberately mirrors :mod:`repro.cm.intrinsics`
-(media blocks split into 32Bx8 messages, oword blocks into 128B
-messages, scattered messages into 16-lane messages, extra messages
-charged as two scalar ops each).  The constants are duplicated here
-rather than imported: ``repro.cm`` pulls in :mod:`repro.sim.context`, so
-importing it from inside :mod:`repro.sim` would be circular.
+Message accounting matches :mod:`repro.cm.intrinsics` exactly (media
+blocks split into 32Bx8 messages, oword blocks into 128B messages,
+scattered messages into 16-lane messages, extra messages charged as two
+scalar ops each): both paths take the split geometry from the shared
+leaf module :mod:`repro.isa.msg_geometry`.
 """
 
 from __future__ import annotations
@@ -27,13 +26,10 @@ from repro.isa.dtypes import DType, UD, promote
 from repro.isa.executor import FunctionalExecutor, _contiguous_region
 from repro.isa.grf import GRF_SIZE_BYTES, RegOperand
 from repro.isa.instructions import Instruction, MsgKind, Opcode
+from repro.isa.msg_geometry import (
+    media_block_messages, oword_block_messages, scatter_messages,
+)
 from repro.sim.trace import MemKind, ThreadTrace
-
-#: Message-split geometry; keep in sync with repro.cm.intrinsics.
-_MEDIA_MSG_WIDTH = 32    # bytes per media-block message row
-_MEDIA_MSG_HEIGHT = 8    # rows per media-block message
-_OWORD_MSG_BYTES = 128   # bytes per oword-block message
-_SCATTER_LANES = 16      # lanes per scattered message
 
 
 class TracingExecutor(FunctionalExecutor):
@@ -164,7 +160,7 @@ class TracingExecutor(FunctionalExecutor):
             w, h = msg.block_width, msg.block_height
             nbytes = w * h
             lines, new = surf.mark_lines_block2d(x, y, w, h, surf.pitch)
-            messages = -(-w // _MEDIA_MSG_WIDTH) * -(-h // _MEDIA_MSG_HEIGHT)
+            messages = media_block_messages(w, h)
             self._extra_messages(messages)
             is_read = kind is MsgKind.MEDIA_BLOCK_READ
             ev = trace.memory(
@@ -177,7 +173,7 @@ class TracingExecutor(FunctionalExecutor):
             offset = self._scalar(msg.addr0)
             nbytes = msg.payload_bytes
             lines, new = surf.mark_lines_range(offset, nbytes)
-            messages = -(-nbytes // _OWORD_MSG_BYTES)
+            messages = oword_block_messages(nbytes)
             self._extra_messages(messages)
             is_read = kind is MsgKind.OWORD_BLOCK_READ
             ev = trace.memory(
@@ -193,7 +189,7 @@ class TracingExecutor(FunctionalExecutor):
             mask = self._pred_mask(inst)
             lines, new = surf.mark_lines_offsets(byte_offs, elem.size,
                                                  mask=mask)
-            messages = -(-n // _SCATTER_LANES)
+            messages = scatter_messages(n)
             nbytes = n * elem.size
             if kind is MsgKind.GATHER:
                 self._extra_messages(messages)

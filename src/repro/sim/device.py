@@ -264,7 +264,9 @@ class Device:
                                              Dict[str, int]], None] = None,
                      name: Optional[str] = None,
                      chunk_threads: int = 64,
-                     collect_timing: bool = True) -> Optional[KernelRun]:
+                     collect_timing: bool = True,
+                     executor: Optional[TracingExecutor] = None,
+                     ) -> Optional[KernelRun]:
         """Launch a :class:`CompiledKernel` over a grid of hardware threads.
 
         ``surfaces`` bind positionally to the kernel's surface params.
@@ -281,6 +283,13 @@ class Device:
 
         With ``collect_timing=False`` the launch is functional only (no
         traces, no :class:`KernelRun`) and returns ``None``.
+
+        ``executor`` optionally supplies an already-pooled
+        :class:`TracingExecutor` to reuse *across* launches: the serving
+        layer's dynamic batcher passes one executor for a whole batch of
+        same-program requests so the memoized operand/instruction plans
+        are shared between requests, not just between threads.  The
+        executor is rebound to this launch's surface table.
         """
         from repro.compiler.finalizer import SCRATCH_BTI
 
@@ -304,8 +313,14 @@ class Device:
         fixed = {} if scalars is None or per_thread else dict(scalars)
 
         # Functional-only launches skip the tracing subclass entirely.
-        ex = TracingExecutor(table) if collect_timing else \
-            FunctionalExecutor(table)
+        if executor is not None:
+            if not collect_timing:
+                raise ValueError("pooled executors imply collect_timing")
+            executor.rebind(table)
+            ex = executor
+        else:
+            ex = TracingExecutor(table) if collect_timing else \
+                FunctionalExecutor(table)
         acc = TimingAccumulator(self.machine) if collect_timing else None
         bacc = (BreakdownAccumulator(self.machine)
                 if collect_timing and self.obs.breakdowns else None)
@@ -411,9 +426,24 @@ class Device:
     def launches(self) -> int:
         return len(self.runs)
 
-    def reset(self) -> None:
+    def reset(self, clear_cache: bool = False) -> None:
+        """Return the device to a just-constructed state for reuse.
+
+        Clears the recorded runs (the timing accumulator behind
+        :attr:`total_time_us`), releases the bound surfaces, and zeroes
+        every :class:`DeviceProfile` counter, so pooled devices can be
+        reused across load-generator runs without leaking state.  The
+        kernel cache survives by default — recompiling is exactly what a
+        pooled device wants to avoid — and its hit/miss stats are reset;
+        ``clear_cache=True`` also drops the cached programs.
+        """
         self.runs.clear()
+        self.surfaces.clear()
         self.profile = DeviceProfile()
+        if self.kernel_cache is not None:
+            if clear_cache:
+                self.kernel_cache.clear()
+            self.kernel_cache.stats = type(self.kernel_cache.stats)()
 
     def report(self) -> str:
         """Human-readable per-run breakdown (for examples and debugging)."""

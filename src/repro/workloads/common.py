@@ -47,6 +47,36 @@ def run_and_time(name: str, fn: Callable[[Device], np.ndarray],
     )
 
 
+def run_on(device: Device, name: str,
+           fn: Callable[[Device], np.ndarray]) -> WorkloadRun:
+    """Run ``fn`` on an *existing* device and report only its delta.
+
+    The serving layer (:mod:`repro.serve`) dispatches many requests onto
+    one pooled device, so per-request timing must be the difference the
+    request made, not the device's lifetime totals: kernel time summed
+    over the runs this call appended, plus the launch-overhead model for
+    exactly those launches (full driver overhead for the first, the
+    pipelined gap for the rest — the same model as
+    :attr:`Device.total_time_us`).
+    """
+    runs_before = len(device.runs)
+    output = fn(device)
+    new_runs = device.runs[runs_before:]
+    kernel_us = sum(r.kernel_time_us for r in new_runs)
+    overhead_us = 0.0
+    if new_runs:
+        overhead_us = device.machine.launch_overhead_us + \
+            (len(new_runs) - 1) * device.machine.pipelined_launch_us
+    return WorkloadRun(
+        name=name,
+        output=output,
+        total_time_us=kernel_us + overhead_us,
+        kernel_time_us=kernel_us,
+        launches=len(new_runs),
+        device=device,
+    )
+
+
 def speedup(ocl: WorkloadRun, cm: WorkloadRun) -> float:
     """The paper's Figure 5 metric: OpenCL time / CM time."""
     return ocl.total_time_us / cm.total_time_us
