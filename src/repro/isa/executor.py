@@ -106,8 +106,14 @@ class FunctionalExecutor:
             return self.grf.bytes[idx].view(src.dtype.np_dtype).ravel()
         values = getattr(src, "values", None)
         if values is not None:  # packed vector immediate
-            arr = np.asarray(values, dtype=src.dtype.np_dtype)
-            return np.resize(arr, exec_size)
+            key = (src, exec_size)
+            arr = self._imm_cache.get(key)
+            if arr is None:
+                arr = np.resize(
+                    np.asarray(values, dtype=src.dtype.np_dtype), exec_size)
+                arr.flags.writeable = False
+                self._imm_cache[key] = arr
+            return arr
         raise ExecutionError(f"bad source operand {src!r}")
 
     def _write_dst(self, operand: RegOperand, values: np.ndarray,
@@ -190,7 +196,12 @@ class FunctionalExecutor:
                     inst.opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
                 raise ExecutionError("bitwise ops on float operands")
         dst_idx = self._dst_plan(inst.dst, n) if inst.dst is not None else None
-        plan = (inst, fetchers, exec_dtype, dst_idx)
+        # sel writes all lanes (the predicate only chooses the source), so
+        # its write goes through an unpredicated clone.  Clone once here
+        # rather than on every execution.
+        nopred = _without_pred(inst) \
+            if inst.opcode is Opcode.SEL and inst.pred is not None else None
+        plan = (inst, fetchers, exec_dtype, dst_idx, nopred)
         self._inst_plans[id(inst)] = plan
         return plan
 
@@ -198,7 +209,7 @@ class FunctionalExecutor:
         dst = inst.dst
         if dst is None:
             raise ExecutionError(f"ALU instruction without destination: {inst}")
-        _, fetchers, exec_dtype, dst_idx = self._alu_plan(inst)
+        _, fetchers, exec_dtype, dst_idx, nopred = self._alu_plan(inst)
         grf_bytes = self.grf.bytes
         srcs = [payload if idx is None else
                 grf_bytes[idx].view(payload).ravel()
@@ -212,7 +223,7 @@ class FunctionalExecutor:
                 raise ExecutionError("sel requires a predicate")
             result = np.where(mask, srcs[0], srcs[1])
             # sel writes all lanes; the predicate only chooses the source.
-            inst = _without_pred(inst)
+            inst = nopred
         else:
             ops = [s if s.dtype == exec_dtype.np_dtype else
                    convert(s, exec_dtype) for s in srcs]
@@ -222,24 +233,46 @@ class FunctionalExecutor:
             result = convert(result, dst.dtype, saturate=inst.sat)
         self._write_dst(dst, result, mask=self._pred_mask(inst), idx=dst_idx)
 
-    def _execute_cmp(self, inst: Instruction) -> None:
+    def _cmp_plan(self, inst: Instruction) -> tuple:
+        """Like :meth:`_alu_plan`, for CMP: source plans, the promoted
+        comparison dtype, the resolved comparison ufunc, and the planned
+        destination indices (when CMP also writes a bool-vector dst)."""
+        plan = self._inst_plans.get(id(inst))
+        if plan is not None and plan[0] is inst:
+            return plan
         n = inst.exec_size
-        a = self._fetch(inst.srcs[0], n)
-        b = self._fetch(inst.srcs[1], n)
+        fetchers = []
+        for s in inst.srcs:
+            if isinstance(s, RegOperand):
+                fetchers.append((self._src_plan(s, n), s.dtype.np_dtype))
+            else:
+                arr = np.asarray(self._fetch(s, n))
+                arr.flags.writeable = False
+                fetchers.append((None, arr))
         exec_dtype = promote(self._src_dtype(inst.srcs[0]),
                              self._src_dtype(inst.srcs[1]))
-        a = convert(a, exec_dtype)
-        b = convert(b, exec_dtype)
         cmp_fn = {
             CondMod.EQ: np.equal, CondMod.NE: np.not_equal,
             CondMod.LT: np.less, CondMod.LE: np.less_equal,
             CondMod.GT: np.greater, CondMod.GE: np.greater_equal,
         }[inst.cond_mod]
-        result = cmp_fn(a, b)
+        dst_idx = self._dst_plan(inst.dst, n) if inst.dst is not None else None
+        plan = (inst, fetchers, exec_dtype, cmp_fn, dst_idx)
+        self._inst_plans[id(inst)] = plan
+        return plan
+
+    def _execute_cmp(self, inst: Instruction) -> None:
+        _, fetchers, exec_dtype, cmp_fn, dst_idx = self._cmp_plan(inst)
+        grf_bytes = self.grf.bytes
+        a, b = [payload if idx is None else
+                grf_bytes[idx].view(payload).ravel()
+                for idx, payload in fetchers]
+        result = cmp_fn(convert(a, exec_dtype), convert(b, exec_dtype))
         flag = self._flag_lanes(inst.flag.index if inst.flag else 0)
-        flag[:n] = result
+        flag[: inst.exec_size] = result
         if inst.dst is not None:
-            self.grf.write_region(inst.dst, result.astype(inst.dst.dtype.np_dtype))
+            self._write_dst(inst.dst, result.astype(inst.dst.dtype.np_dtype),
+                            idx=dst_idx)
 
     # -- memory ------------------------------------------------------------
 

@@ -1,0 +1,568 @@
+"""Grid-vectorized ("wide") execution of straight-line Gen programs.
+
+The paper's thesis is that explicit SIMD wins by issuing whole-vector
+operations in one step instead of emulating lanes.  The sequential
+dispatch path in :mod:`repro.sim.device` ironically does the SIMT
+thing one level up: it re-interprets the same straight-line program
+once per hardware thread, paying ``grid_size x program_length`` Python
+dispatch steps.  Because compiled programs are straight-line (the ISA
+has no control flow; divergence is expressed through execution masks),
+every thread executes the identical instruction sequence — so the
+thread loop can be hoisted *inside* each NumPy op.
+
+:class:`WideExecutor` stacks T per-thread register files into one
+``(T, 4096)`` uint8 array and executes each :class:`Instruction` once
+for all T threads:
+
+- region plans stay the per-program column-index arrays the scalar
+  executor memoizes; fetches become ``grf2d[:, idx]`` (T, n) views;
+- ALU ops, conversions, and saturation run on ``(T, exec_size)``
+  arrays; flags become ``(T, 32)`` bools;
+- block SEND messages batch into strided copies across threads, and
+  gather/scatter/atomic flatten into ``(T*n)`` offset vectors with a
+  per-thread lane mask.  Atomics apply in thread order (integer
+  add/sub/inc/dec through a grouped prefix-sum reduction; everything
+  else through the sequential lane loop on the flattened vector), so
+  results stay bit-identical to per-thread execution.
+
+:class:`WideTracingExecutor` additionally produces per-thread
+:class:`~repro.sim.trace.ThreadTrace` streams.  For straight-line
+programs every issue-timeline quantity (instruction counts, issue
+cycles, event issue/consume positions) is *thread-invariant* — only
+per-event cache-line footprints and atomic addresses differ across
+threads — so the wide path drives a single template trace and fans it
+out per thread with the per-thread line counts recorded by the
+vectorized surface marking.  :class:`~repro.sim.timing.
+TimingAccumulator` and the time-breakdown profiler see exactly the
+traces the sequential path would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.isa.dtypes import UD, convert
+from repro.isa.executor import (
+    ExecutionError, FunctionalExecutor, _alu_compute, _contiguous_region,
+)
+from repro.isa.grf import GRF_SIZE_BYTES, RegOperand
+from repro.isa.instructions import Immediate, Instruction, MsgKind, Opcode
+from repro.isa.msg_geometry import (
+    media_block_messages, oword_block_messages, scatter_messages,
+)
+from repro.memory.surfaces import Surface
+from repro.sim.batch import TracingExecutor
+from repro.sim.trace import MemEvent, MemKind, ThreadTrace
+
+#: Message kinds the wide path knows how to vectorize (currently all of
+#: them; the check guards against future kinds silently mis-executing).
+_WIDE_MSG_KINDS = frozenset({
+    MsgKind.MEDIA_BLOCK_READ, MsgKind.MEDIA_BLOCK_WRITE,
+    MsgKind.OWORD_BLOCK_READ, MsgKind.OWORD_BLOCK_WRITE,
+    MsgKind.GATHER, MsgKind.SCATTER, MsgKind.ATOMIC,
+})
+
+
+def wide_eligible(program: Iterable[Instruction]) -> bool:
+    """Whether a compiled program can run on the wide path.
+
+    The ISA is straight-line (no control flow), so the only thing that
+    can disqualify a program is a message kind the vectorized SEND
+    handlers do not cover.
+    """
+    for inst in program:
+        if inst.opcode is Opcode.SEND:
+            msg = inst.msg
+            if msg is None or msg.kind not in _WIDE_MSG_KINDS:
+                return False
+    return True
+
+
+class WideScratch(Surface):
+    """Per-thread scratch (spill) storage for a wide chunk.
+
+    The sequential path binds one shared scratch surface and zeroes it
+    before each thread; threads running *simultaneously* need private
+    rows instead, so actual storage is a ``(T, scratch_bytes)`` array.
+    Cache-line tracking stays shared across threads (and across chunks,
+    via :meth:`resize`): the first thread to spill a line pays DRAM,
+    later threads hit L3 — exactly what the sequential shared surface
+    models.
+    """
+
+    def __init__(self, num_threads: int, nbytes: int) -> None:
+        super().__init__(np.zeros(nbytes, dtype=np.uint8))
+        self.bytes2d = np.zeros((num_threads, nbytes), dtype=np.uint8)
+        self.obs_label = "scratch"
+
+    def resize(self, num_threads: int) -> None:
+        """Fresh zeroed rows for the next chunk; line tracking persists."""
+        self.bytes2d = np.zeros((num_threads, self.bytes.size),
+                                dtype=np.uint8)
+
+    def read_linear_many(self, byte_offsets, nbytes: int) -> np.ndarray:
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        if offs.size:
+            self._check(int(offs.min()), 0)
+            self._check(int(offs.max()), nbytes)
+        idx = offs[:, None] + np.arange(nbytes)
+        return np.take_along_axis(self.bytes2d, idx, axis=1)
+
+    def write_linear_many(self, byte_offsets, data: np.ndarray) -> None:
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        raw = np.ascontiguousarray(data).view(np.uint8)
+        raw = raw.reshape(self.bytes2d.shape[0], -1)
+        if offs.size:
+            self._check(int(offs.min()), 0)
+            self._check(int(offs.max()), raw.shape[1])
+        idx = offs[:, None] + np.arange(raw.shape[1])
+        np.put_along_axis(self.bytes2d, idx, raw, axis=1)
+
+
+class WideExecutor(FunctionalExecutor):
+    """Execute one straight-line program for T threads at once.
+
+    The inherited :class:`FunctionalExecutor` machinery is reused for
+    everything thread-invariant — operand region plans, immediate
+    caches, per-instruction ALU/CMP plans (``self.grf`` serves purely
+    as the plan builder and bounds checker).  Architectural state lives
+    in :attr:`grf2d` (``(T, num_regs*32)`` uint8) and ``(T, 32)`` flag
+    arrays; every override swaps a per-lane op for the same op on a
+    ``(T, ...)`` array.
+    """
+
+    def __init__(self, surfaces: Mapping[int, object] | None = None,
+                 num_regs: int = 128, num_threads: int = 0) -> None:
+        super().__init__(surfaces, num_regs)
+        self.num_threads = num_threads
+        self.grf2d = np.zeros((num_threads, self.grf.bytes.size),
+                              dtype=np.uint8)
+
+    def reset(self, num_threads: Optional[int] = None) -> None:
+        """Zero architectural state, optionally resizing to a new T."""
+        if num_threads is not None and num_threads != self.num_threads:
+            self.num_threads = num_threads
+            self.grf2d = np.zeros((num_threads, self.grf.bytes.size),
+                                  dtype=np.uint8)
+        else:
+            self.grf2d.fill(0)
+        self.flags.clear()
+        self.instructions_executed = 0
+
+    def seed_scalar(self, byte_offset: int, values: np.ndarray) -> None:
+        """Seed a 4-byte scalar parameter column (one int32 per thread)."""
+        vals = np.ascontiguousarray(np.asarray(values, dtype=np.int32))
+        self.grf2d[:, byte_offset:byte_offset + 4] = \
+            vals.view(np.uint8).reshape(self.num_threads, 4)
+
+    # -- operand access (wide) --------------------------------------------
+
+    def _fetch(self, src, exec_size: int) -> np.ndarray:
+        if isinstance(src, RegOperand):
+            # np.take (not grf2d[:, idx]): mixed basic/advanced indexing
+            # can return an F-ordered copy, which .view() rejects.
+            idx = self._src_plan(src, exec_size)
+            return np.take(self.grf2d, idx.reshape(-1),
+                           axis=1).view(src.dtype.np_dtype)
+        return super()._fetch(src, exec_size)  # immediates broadcast (n,)
+
+    def _write_dst(self, operand: RegOperand, values: np.ndarray,
+                   mask: np.ndarray | None = None,
+                   idx: np.ndarray | None = None) -> None:
+        dtype = operand.dtype.np_dtype
+        T = self.num_threads
+        values = np.asarray(values)
+        n = values.shape[-1]
+        if idx is None:
+            idx = self._dst_plan(operand, n)
+        if values.shape != (T, n) or values.dtype != dtype or \
+                not values.flags["C_CONTIGUOUS"]:
+            values = np.ascontiguousarray(
+                np.broadcast_to(values, (T, n)), dtype=dtype)
+        raw = values.view(np.uint8).reshape(T, n, operand.dtype.size)
+        if mask is None:
+            self.grf2d[:, idx] = raw
+        else:
+            keep = np.asarray(mask, dtype=bool)
+            if keep.ndim == 1:
+                keep = np.broadcast_to(keep, (T, n))
+            cur = self.grf2d[:, idx]  # (T, n, size) read-modify-write
+            np.copyto(cur, raw, where=keep[:, :, None])
+            self.grf2d[:, idx] = cur
+
+    def _flag_lanes(self, index: int) -> np.ndarray:
+        f = self.flags.get(index)
+        if f is None:
+            f = np.zeros((self.num_threads, 32), dtype=bool)
+            self.flags[index] = f
+        return f
+
+    def _pred_mask(self, inst: Instruction) -> np.ndarray | None:
+        if inst.pred is None:
+            return None
+        lanes = self._flag_lanes(inst.pred.flag.index)[:, : inst.exec_size]
+        return ~lanes if inst.pred.invert else lanes.copy()
+
+    # -- ALU (wide) --------------------------------------------------------
+
+    def _execute_alu(self, inst: Instruction) -> None:
+        dst = inst.dst
+        if dst is None:
+            raise ExecutionError(f"ALU instruction without destination: {inst}")
+        _, fetchers, exec_dtype, dst_idx, nopred = self._alu_plan(inst)
+        grf2d = self.grf2d
+        srcs = [payload if idx is None else
+                np.take(grf2d, idx.reshape(-1), axis=1).view(payload)
+                for idx, payload in fetchers]
+
+        if inst.opcode is Opcode.MOV:
+            result = srcs[0]
+        elif inst.opcode is Opcode.SEL:
+            mask = self._pred_mask(inst)
+            if mask is None:
+                raise ExecutionError("sel requires a predicate")
+            result = np.where(mask, srcs[0], srcs[1])
+            inst = nopred
+        else:
+            ops = [s if s.dtype == exec_dtype.np_dtype else
+                   convert(s, exec_dtype) for s in srcs]
+            result = _alu_compute(inst, exec_dtype, ops)
+
+        if inst.sat or result.dtype != dst.dtype.np_dtype:
+            result = convert(result, dst.dtype, saturate=inst.sat)
+        self._write_dst(dst, result, mask=self._pred_mask(inst), idx=dst_idx)
+
+    def _execute_cmp(self, inst: Instruction) -> None:
+        _, fetchers, exec_dtype, cmp_fn, dst_idx = self._cmp_plan(inst)
+        grf2d = self.grf2d
+        a, b = [payload if idx is None else
+                np.take(grf2d, idx.reshape(-1), axis=1).view(payload)
+                for idx, payload in fetchers]
+        result = np.broadcast_to(
+            cmp_fn(convert(a, exec_dtype), convert(b, exec_dtype)),
+            (self.num_threads, inst.exec_size))
+        flag = self._flag_lanes(inst.flag.index if inst.flag else 0)
+        flag[:, : inst.exec_size] = result
+        if inst.dst is not None:
+            self._write_dst(inst.dst, result.astype(inst.dst.dtype.np_dtype),
+                            idx=dst_idx)
+
+    # -- memory (wide) ----------------------------------------------------
+
+    def _scalar_vec(self, src) -> np.ndarray:
+        """A per-message scalar address operand as a (T,) int64 column."""
+        if isinstance(src, Immediate):
+            return np.full(self.num_threads, int(src.value), dtype=np.int64)
+        idx = self._src_plan(src, 1)
+        return np.take(self.grf2d, idx.reshape(-1), axis=1) \
+            .view(src.dtype.np_dtype).reshape(-1).astype(np.int64)
+
+    def _load_payload(self, base: int, nbytes: int) -> np.ndarray:
+        self._check_payload(base, nbytes)
+        return self.grf2d[:, base:base + nbytes]
+
+    def _store_payload(self, base: int, data: np.ndarray) -> None:
+        self._check_payload(base, data.shape[1])
+        self.grf2d[:, base:base + data.shape[1]] = data
+
+    def _check_payload(self, base: int, nbytes: int) -> None:
+        if base < 0 or base + nbytes > self.grf2d.shape[1]:
+            raise IndexError(
+                f"GRF payload of {nbytes} bytes at offset {base} overruns "
+                f"the {self.grf2d.shape[1]}-byte register file")
+
+    def _execute_send(self, inst: Instruction) -> None:
+        msg = inst.msg
+        if msg is None:
+            raise ExecutionError("send without message descriptor")
+        surf = self._surface(msg.surface)
+        kind = msg.kind
+        base = msg.payload_reg * GRF_SIZE_BYTES
+        T = self.num_threads
+
+        if kind is MsgKind.MEDIA_BLOCK_READ:
+            x = self._scalar_vec(msg.addr0)
+            y = self._scalar_vec(msg.addr1)
+            w, h = msg.block_width, msg.block_height
+            block = surf.read_block_many(x, y, w, h)  # (T, h, w)
+            self._store_payload(base, block.reshape(T, -1))
+        elif kind is MsgKind.MEDIA_BLOCK_WRITE:
+            x = self._scalar_vec(msg.addr0)
+            y = self._scalar_vec(msg.addr1)
+            w, h = msg.block_width, msg.block_height
+            data = np.ascontiguousarray(self._load_payload(base, w * h))
+            surf.write_block_many(x, y, w, h, data.reshape(T, h, w))
+        elif kind is MsgKind.OWORD_BLOCK_READ:
+            offset = self._scalar_vec(msg.addr0)
+            self._store_payload(
+                base, surf.read_linear_many(offset, msg.payload_bytes))
+        elif kind is MsgKind.OWORD_BLOCK_WRITE:
+            offset = self._scalar_vec(msg.addr0)
+            surf.write_linear_many(
+                offset, self._load_payload(base, msg.payload_bytes))
+        elif kind in (MsgKind.GATHER, MsgKind.SCATTER, MsgKind.ATOMIC):
+            self._execute_scattered(inst, surf)
+        else:
+            raise ExecutionError(f"unhandled message kind {kind}")
+
+    def _execute_scattered(self, inst: Instruction, surf) -> None:
+        msg = inst.msg
+        n = inst.exec_size
+        T = self.num_threads
+        addr_op = RegOperand(msg.addr_reg, 0, UD,
+                             region=_contiguous_region(n))
+        offsets = self._fetch(addr_op, n).astype(np.int64)  # (T, n)
+        if msg.addr0 is not None:
+            offsets = offsets + self._scalar_vec(msg.addr0)[:, None]
+        elem = msg.elem_dtype
+        offsets = offsets * elem.size
+        base = msg.payload_reg * GRF_SIZE_BYTES
+        mask = self._pred_mask(inst)
+        # Flatten thread-major: lane order within a thread, threads in
+        # ascending id — the exact order the sequential dispatch loop
+        # performs these accesses, so overlap/atomic semantics match.
+        flat = offsets.reshape(-1)
+        fmask = None if mask is None else mask.reshape(-1)
+
+        if msg.kind is MsgKind.GATHER:
+            data = surf.gather(flat, elem, mask=fmask)
+            self._store_payload(base, data.reshape(T, n).view(np.uint8))
+        elif msg.kind is MsgKind.SCATTER:
+            raw = np.ascontiguousarray(
+                self._load_payload(base, n * elem.size)).view(elem.np_dtype)
+            surf.scatter(flat, raw.reshape(-1), mask=fmask)
+        else:  # ATOMIC
+            operands = None
+            if msg.payload_bytes:
+                operands = np.ascontiguousarray(
+                    self._load_payload(base, n * elem.size)) \
+                    .view(elem.np_dtype).reshape(-1)
+            old = _wide_atomic(surf, msg.atomic_op, flat, operands, elem,
+                               fmask)
+            if inst.dst is not None:
+                self._write_dst(inst.dst, old.reshape(T, n), mask=mask)
+
+
+_FAST_ATOMIC_OPS = frozenset({"add", "sub", "inc", "dec"})
+
+
+def _wide_atomic(surf, op: str, offsets: np.ndarray,
+                 operands: Optional[np.ndarray], elem,
+                 mask: Optional[np.ndarray]) -> np.ndarray:
+    """Apply a flattened (T*n)-lane atomic in thread order.
+
+    Integer add/sub/inc/dec commute up to ordering of the *returned* old
+    values, which a stable sort by address plus a grouped exclusive
+    prefix sum reconstructs exactly (modular integer addition is
+    order-independent); everything else (min/max/bitwise/xchg, float
+    adds) falls back to the sequential lane loop on the flattened
+    vector, which is the same order the per-thread path applies.
+    """
+    old = _fast_int_atomic(surf, op, offsets, operands, elem, mask)
+    if old is None:
+        old = surf.atomic(op, offsets, operands, elem, mask=mask)
+    return old
+
+
+def _fast_int_atomic(surf, op, offsets, operands, elem, mask):
+    if op not in _FAST_ATOMIC_OPS or elem.is_float:
+        return None
+    n = len(offsets)
+    old = np.zeros(n, dtype=elem.np_dtype)
+    act = np.arange(n) if mask is None else \
+        np.flatnonzero(np.asarray(mask, dtype=bool))
+    if act.size == 0:
+        return old
+    offs = offsets[act]
+    if np.any(offs % elem.size):
+        return None  # misaligned: the lane loop raises the right error
+    idx = offs // elem.size
+    if op in ("add", "sub"):
+        delta = operands[act].astype(elem.np_dtype, copy=True)
+    else:  # inc / dec
+        delta = np.ones(act.size, dtype=elem.np_dtype)
+    if op in ("sub", "dec"):
+        delta = np.negative(delta)  # modular: wraps like cur - src
+
+    order = np.argsort(idx, kind="stable")  # stable: keeps thread order
+    sidx = idx[order]
+    sdelta = delta[order]
+    csum = np.cumsum(sdelta, dtype=elem.np_dtype)  # wraps like hardware
+    head = np.ones(sidx.size, dtype=bool)
+    head[1:] = sidx[1:] != sidx[:-1]
+    excl = csum - sdelta
+    group_base = excl[head]
+    seg_id = np.cumsum(head) - 1
+    view = surf.bytes.view(elem.np_dtype)
+    init = view[sidx[head]]  # value before this message, per address
+    old_sorted = init[seg_id] + (excl - group_base[seg_id])
+    last = np.flatnonzero(np.concatenate([head[1:], [True]]))
+    view[sidx[head]] = init + (csum[last] - group_base)
+    old_act = np.empty(act.size, dtype=elem.np_dtype)
+    old_act[order] = old_sorted
+    old[act] = old_act
+    return old
+
+
+class _WideEvent:
+    """Per-thread data for one template memory event."""
+
+    __slots__ = ("ev", "lines", "dram", "l3_from_lines", "words", "wmask",
+                 "surface_id")
+
+    def __init__(self, ev: MemEvent, lines: np.ndarray, dram: np.ndarray,
+                 l3_from_lines: bool, words=None, wmask=None,
+                 surface_id: int = 0) -> None:
+        self.ev = ev
+        self.lines = lines
+        self.dram = dram
+        self.l3_from_lines = l3_from_lines
+        self.words = words
+        self.wmask = wmask
+        self.surface_id = surface_id
+
+
+class WideTracingExecutor(WideExecutor, TracingExecutor):
+    """A :class:`WideExecutor` that reconstructs per-thread traces.
+
+    Execution drives a single *template* :class:`ThreadTrace`: for a
+    straight-line program, instruction counts, issue cycles, message
+    issue positions, and load-use consumption distances are identical
+    for every thread (no per-thread cost in the model depends on data
+    values).  The only per-thread quantities — cache-line footprints
+    and atomic target addresses — are recorded as (T,) vectors by the
+    vectorized surface marking.  :meth:`drain_traces` fans the template
+    out into T real traces, which feed the accumulators in thread
+    order, bit-identical to sequential dispatch.
+
+    Inherits the dependency/ALU accounting of
+    :class:`~repro.sim.batch.TracingExecutor` unchanged (those are
+    thread-invariant) and overrides only the SEND accounting.
+    """
+
+    def __init__(self, surfaces: Mapping[int, object] | None = None,
+                 num_regs: int = 128, num_threads: int = 0) -> None:
+        super().__init__(surfaces, num_regs, num_threads)
+        self._wide_events: list[_WideEvent] = []
+
+    def begin_launch(self, machine) -> None:
+        """Attach a fresh template trace for the next chunk."""
+        self.begin_thread(ThreadTrace(machine))
+        self._wide_events = []
+
+    # -- memory accounting (wide) -----------------------------------------
+
+    def _account_send(self, inst: Instruction) -> None:
+        msg = inst.msg
+        surf = self._surface(msg.surface)
+        trace = self.trace
+        kind = msg.kind
+        label = getattr(surf, "obs_label", None) or f"bti{msg.surface}"
+
+        if kind in (MsgKind.MEDIA_BLOCK_READ, MsgKind.MEDIA_BLOCK_WRITE):
+            x = self._scalar_vec(msg.addr0)
+            y = self._scalar_vec(msg.addr1)
+            w, h = msg.block_width, msg.block_height
+            nbytes = w * h
+            lines, new = surf.mark_lines_block2d_many(x, y, w, h, surf.pitch)
+            messages = media_block_messages(w, h)
+            self._extra_messages(messages)
+            is_read = kind is MsgKind.MEDIA_BLOCK_READ
+            ev = trace.memory(
+                MemKind.BLOCK2D_READ if is_read else MemKind.BLOCK2D_WRITE,
+                nbytes=nbytes, lines=0, dram_lines=0, l3_bytes=nbytes,
+                msgs=messages, is_read=is_read, surface=label)
+            self._wide_events.append(_WideEvent(ev, lines, new, False))
+            if is_read:
+                self._register_load(msg.payload_reg, nbytes, ev)
+        elif kind in (MsgKind.OWORD_BLOCK_READ, MsgKind.OWORD_BLOCK_WRITE):
+            offset = self._scalar_vec(msg.addr0)
+            nbytes = msg.payload_bytes
+            lines, new = surf.mark_lines_range_many(offset, nbytes)
+            messages = oword_block_messages(nbytes)
+            self._extra_messages(messages)
+            is_read = kind is MsgKind.OWORD_BLOCK_READ
+            ev = trace.memory(
+                MemKind.OWORD_READ if is_read else MemKind.OWORD_WRITE,
+                nbytes=nbytes, lines=0, dram_lines=0, l3_bytes=nbytes,
+                msgs=messages, is_read=is_read, surface=label)
+            self._wide_events.append(_WideEvent(ev, lines, new, False))
+            if is_read:
+                self._register_load(msg.payload_reg, nbytes, ev)
+        else:  # GATHER / SCATTER / ATOMIC
+            n = inst.exec_size
+            elem = msg.elem_dtype
+            byte_offs = self._scattered_offsets(inst)  # (T, n)
+            mask = self._pred_mask(inst)
+            lines, new = surf.mark_lines_offsets_many(byte_offs, elem.size,
+                                                      mask=mask)
+            messages = scatter_messages(n)
+            nbytes = n * elem.size
+            if kind is MsgKind.GATHER:
+                self._extra_messages(messages)
+                ev = trace.memory(MemKind.GATHER, nbytes=nbytes, lines=0,
+                                  dram_lines=0, l3_bytes=0, msgs=messages,
+                                  surface=label)
+                self._wide_events.append(_WideEvent(ev, lines, new, True))
+                self._register_load(msg.payload_reg, nbytes, ev)
+            elif kind is MsgKind.SCATTER:
+                self._extra_messages(messages)
+                ev = trace.memory(MemKind.SCATTER, nbytes=nbytes, lines=0,
+                                  dram_lines=0, l3_bytes=0, msgs=messages,
+                                  is_read=False, surface=label)
+                self._wide_events.append(_WideEvent(ev, lines, new, True))
+            else:  # ATOMIC
+                ev = trace.memory(MemKind.ATOMIC, nbytes=nbytes, lines=0,
+                                  dram_lines=0, l3_bytes=0, msgs=messages,
+                                  surface=label)
+                self._wide_events.append(_WideEvent(
+                    ev, lines, new, True, words=byte_offs // 4,
+                    wmask=None if mask is None else mask,
+                    surface_id=id(surf)))
+                if inst.dst is not None:
+                    self._register_load(
+                        inst.dst.byte_offset // GRF_SIZE_BYTES, nbytes, ev)
+
+    def _scattered_offsets(self, inst: Instruction) -> np.ndarray:
+        """(T, n) per-lane byte offsets (same math as execution)."""
+        msg = inst.msg
+        n = inst.exec_size
+        addr_op = RegOperand(msg.addr_reg, 0, UD,
+                             region=_contiguous_region(n))
+        offsets = self._fetch(addr_op, n).astype(np.int64)
+        if msg.addr0 is not None:
+            offsets = offsets + self._scalar_vec(msg.addr0)[:, None]
+        return offsets * msg.elem_dtype.size
+
+    # -- trace fan-out -----------------------------------------------------
+
+    def drain_traces(self) -> list[ThreadTrace]:
+        """Fan the template trace out into T per-thread traces."""
+        tmpl = self.trace
+        events = self._wide_events
+        out = []
+        for t in range(self.num_threads):
+            tr = ThreadTrace(tmpl.machine)
+            tr.issue_cycles = tmpl.issue_cycles
+            tr.inst_count = tmpl.inst_count
+            tr.barriers = tmpl.barriers
+            for we in events:
+                e = we.ev
+                lines = int(we.lines[t])
+                tr.events.append(MemEvent(
+                    kind=e.kind, nbytes=e.nbytes, lines=lines,
+                    dram_lines=int(we.dram[t]),
+                    l3_bytes=lines * 64 if we.l3_from_lines else e.l3_bytes,
+                    msgs=e.msgs, texels=e.texels, slm_cycles=e.slm_cycles,
+                    issue_at=e.issue_at, consumed_at=e.consumed_at,
+                    is_read=e.is_read, surface=e.surface))
+                if we.words is not None:
+                    words = we.words[t] if we.wmask is None else \
+                        we.words[t][we.wmask[t]]
+                    tr.atomic_addrs.update(
+                        (we.surface_id, int(w)) for w in words)
+            out.append(tr)
+        self._wide_events = []
+        return out

@@ -94,7 +94,10 @@ class Surface:
         arr = np.ascontiguousarray(data)
         self._host = arr
         self.bytes = arr.view(np.uint8).ravel()
-        self._touched_lines: set[int] = set()
+        #: One bool per cache line; True once the line has been touched.
+        #: A dense mask (1/64th of the surface) beats a set here because
+        #: the wide dispatch path marks whole line *vectors* per step.
+        self._touched = np.zeros(self.bytes.size // LINE + 1, dtype=bool)
         #: observability label; the device renames this to ``buf<i>`` /
         #: ``img<i>`` at bind time so breakdowns group traffic per surface.
         self.obs_label = (type(self).__name__.replace("Surface", "").lower()
@@ -111,7 +114,7 @@ class Surface:
     # -- cache-line tracking -------------------------------------------------
 
     def reset_line_tracking(self) -> None:
-        self._touched_lines.clear()
+        self._touched[:] = False
 
     def mark_lines_range(self, byte_offset: int, nbytes: int):
         """Mark a contiguous access; returns (total_lines, new_lines).
@@ -122,14 +125,10 @@ class Surface:
         end = min(byte_offset + max(nbytes, 1), self.bytes.size)
         first = byte_offset // LINE
         last = (max(end, byte_offset + 1) - 1) // LINE
-        total = last - first + 1
-        new = 0
-        touched = self._touched_lines
-        for line in range(first, last + 1):
-            if line not in touched:
-                touched.add(line)
-                new += 1
-        return total, new
+        seg = self._touched[first:last + 1]
+        new = int(seg.size) - int(seg.sum())
+        seg[:] = True
+        return last - first + 1, new
 
     def mark_lines_offsets(self, byte_offsets, access_bytes: int = 4,
                            mask=None):
@@ -140,14 +139,10 @@ class Surface:
         if offs.size == 0:
             return 0, 0
         lines = np.unique(spanned_lines(offs, access_bytes, LINE))
-        total = len(lines)
-        touched = self._touched_lines
-        new = 0
-        for line in lines.tolist():
-            if line not in touched:
-                touched.add(line)
-                new += 1
-        return total, new
+        touched = self._touched
+        new = int(lines.size) - int(touched[lines].sum())
+        touched[lines] = True
+        return len(lines), new
 
     def mark_lines_block2d(self, x: int, y: int, width: int, height: int,
                            pitch: int):
@@ -159,6 +154,103 @@ class Surface:
             new += n
         return total, new
 
+    # -- vectorized tracking (wide dispatch: one call covers T threads) ------
+    #
+    # Each ``*_many`` method marks in *thread order* (thread 0's lines
+    # first), so a line shared between threads is compulsory DRAM traffic
+    # for exactly the lowest-id thread that touches it — the same
+    # attribution the sequential per-thread loop produces.
+
+    def _mark_flat(self, lines: np.ndarray, segs: np.ndarray,
+                   nseg: int) -> np.ndarray:
+        """Mark ``lines`` (grouped by ``segs``, laid out in marking order);
+        credit each newly-touched line to the segment where it first
+        appears.  Returns new-line counts per segment."""
+        uniq, first_idx = np.unique(lines, return_index=True)
+        fresh = ~self._touched[uniq]
+        self._touched[uniq[fresh]] = True
+        return np.bincount(segs[first_idx[fresh]],
+                           minlength=nseg).astype(np.int64)
+
+    def _mark_ranges_grouped(self, first: np.ndarray, counts: np.ndarray,
+                             segs: np.ndarray, nseg: int) -> np.ndarray:
+        """Expand ragged line ranges ``[first_i, first_i + counts_i)`` in
+        the order given and mark them; returns new-line counts per seg."""
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(nseg, dtype=np.int64)
+        starts = np.cumsum(counts) - counts
+        pos = np.arange(total)
+        flat = np.repeat(first, counts) + (pos - np.repeat(starts, counts))
+        return self._mark_flat(flat, np.repeat(segs, counts), nseg)
+
+    def mark_lines_range_many(self, byte_offsets, nbytes: int):
+        """Vectorized :meth:`mark_lines_range`: one contiguous access per
+        thread.  Returns ``(totals, new)`` int64 arrays of shape (T,)."""
+        size = self.bytes.size
+        off = np.clip(np.asarray(byte_offsets, dtype=np.int64),
+                      0, max(size - 1, 0))
+        end = np.minimum(off + max(nbytes, 1), size)
+        first = off // LINE
+        last = (np.maximum(end, off + 1) - 1) // LINE
+        totals = last - first + 1
+        new = self._mark_ranges_grouped(first, totals,
+                                        np.arange(len(off)), len(off))
+        return totals, new
+
+    def mark_lines_offsets_many(self, byte_offsets, access_bytes: int = 4,
+                                mask=None):
+        """Vectorized :meth:`mark_lines_offsets`: ``byte_offsets`` is a
+        ``(T, n)`` array of per-thread lane offsets, ``mask`` an optional
+        ``(T, n)`` lane mask.  Returns ``(totals, new)`` of shape (T,)."""
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        T, n = offs.shape
+        segs = np.repeat(np.arange(T), n)
+        flat_offs = offs.reshape(-1)
+        if mask is not None:
+            keep = np.asarray(mask, dtype=bool).reshape(-1)
+            flat_offs = flat_offs[keep]
+            segs = segs[keep]
+        if flat_offs.size == 0:
+            z = np.zeros(T, dtype=np.int64)
+            return z, z.copy()
+        first = flat_offs // LINE
+        last = (flat_offs + access_bytes - 1) // LINE
+        counts = last - first + 1
+        total = int(counts.sum())
+        starts = np.cumsum(counts) - counts
+        pos = np.arange(total)
+        lines = np.repeat(first, counts) + (pos - np.repeat(starts, counts))
+        lseg = np.repeat(segs, counts)
+        # Per-thread unique-line totals (the np.unique in the scalar path).
+        order = np.lexsort((lines, lseg))
+        sl, ss = lines[order], lseg[order]
+        head = np.ones(sl.size, dtype=bool)
+        head[1:] = (ss[1:] != ss[:-1]) | (sl[1:] != sl[:-1])
+        totals = np.bincount(ss[head], minlength=T).astype(np.int64)
+        return totals, self._mark_flat(lines, lseg, T)
+
+    def mark_lines_block2d_many(self, xs, ys, width: int, height: int,
+                                pitch: int):
+        """Vectorized :meth:`mark_lines_block2d`: one ``width`` x
+        ``height`` block per thread at ``(xs[t], ys[t])``.  Returns
+        ``(totals, new)`` of shape (T,)."""
+        size = self.bytes.size
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        rows = np.arange(height)
+        off = np.clip((ys[:, None] + rows) * pitch + xs[:, None],
+                      0, max(size - 1, 0))
+        end = np.minimum(off + max(width, 1), size)
+        first = off // LINE
+        last = (np.maximum(end, off + 1) - 1) // LINE
+        counts = last - first + 1
+        totals = counts.sum(axis=1)
+        new = self._mark_ranges_grouped(
+            first.reshape(-1), counts.reshape(-1),
+            np.repeat(np.arange(len(xs)), height), len(xs))
+        return totals, new
+
     # -- linear (oword block) access ------------------------------------
 
     def read_linear(self, byte_offset: int, nbytes: int) -> np.ndarray:
@@ -169,6 +261,27 @@ class Surface:
         raw = np.ascontiguousarray(data).view(np.uint8).ravel()
         self._check(byte_offset, raw.size)
         self.bytes[byte_offset:byte_offset + raw.size] = raw
+
+    def read_linear_many(self, byte_offsets, nbytes: int) -> np.ndarray:
+        """One contiguous ``nbytes`` read per thread -> (T, nbytes) uint8."""
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        if offs.size:
+            self._check(int(offs.min()), 0)
+            self._check(int(offs.max()), nbytes)
+        return self.bytes[offs[:, None] + np.arange(nbytes)]
+
+    def write_linear_many(self, byte_offsets, data: np.ndarray) -> None:
+        """One contiguous write per thread from ``data`` rows (T, nbytes).
+
+        Overlapping writes resolve in thread order (the later thread
+        wins), matching the sequential per-thread dispatch loop.
+        """
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(len(offs), -1)
+        if offs.size:
+            self._check(int(offs.min()), 0)
+            self._check(int(offs.max()), raw.shape[1])
+        self.bytes[offs[:, None] + np.arange(raw.shape[1])] = raw
 
     # -- scattered access --------------------------------------------------
 
@@ -301,6 +414,38 @@ class Image2DSurface(Surface):
         if y0 >= y1 or x0 >= x1:
             return
         img[y0:y1, x0:x1] = block[y0 - y:y1 - y, x0 - x:x1 - x]
+
+    def read_block_many(self, xs, ys, width: int, height: int) -> np.ndarray:
+        """Vectorized :meth:`read_block`: one block per thread at
+        ``(xs[t], ys[t])`` -> (T, height, width) uint8, edge-clamped."""
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        rows = np.clip(ys[:, None] + np.arange(height), 0, self.height - 1)
+        cols = np.clip(xs[:, None] + np.arange(width), 0, self.pitch - 1)
+        img = self.bytes.reshape(self.height, self.pitch)
+        return img[rows[:, :, None], cols[:, None, :]]
+
+    def write_block_many(self, xs, ys, width: int, height: int,
+                         data: np.ndarray) -> None:
+        """Vectorized :meth:`write_block` from ``data`` (T, height, width).
+
+        Out-of-bounds texels are dropped; overlapping in-bounds texels
+        resolve in thread order (the later thread wins).
+        """
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        rows = ys[:, None] + np.arange(height)
+        cols = xs[:, None] + np.arange(width)
+        ok = ((rows >= 0) & (rows < self.height))[:, :, None] & \
+            ((cols >= 0) & (cols < self.pitch))[:, None, :]
+        img = self.bytes.reshape(self.height, self.pitch)
+        r = np.broadcast_to(np.clip(rows, 0, self.height - 1)[:, :, None],
+                            ok.shape)
+        c = np.broadcast_to(np.clip(cols, 0, self.pitch - 1)[:, None, :],
+                            ok.shape)
+        raw = np.ascontiguousarray(data).view(np.uint8)
+        raw = raw.reshape(len(xs), height, width)
+        img[r[ok], c[ok]] = raw[ok]
 
     # -- sampler-style typed access (OpenCL images) -------------------------
 

@@ -36,7 +36,7 @@ from typing import Any, Dict, List, Optional
 from repro.obs import get_observability
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import trace_span
-from repro.sim.batch import TracingExecutor
+from repro.isa.wide import WideTracingExecutor
 from repro.sim.device import Device
 from repro.sim.machine import GEN11_ICL, MachineConfig
 
@@ -109,7 +109,11 @@ class DeviceWorker(threading.Thread):
                                    kernel=batch.kernel_name,
                                    size=batch.size):
             batch_busy_us = 0.0
-            pooled = TracingExecutor() if (
+            # Pooled wide executor: coalesced compiled batches reuse one
+            # grid-vectorized executor (and its instruction plans) across
+            # the whole batch; run_compiled falls back to a fresh scalar
+            # path for programs the wide path cannot vectorize.
+            pooled = WideTracingExecutor() if (
                 batch.size > 1 and batch.items[0].kind == "compiled") \
                 else None
             for pos, item in enumerate(batch.items):

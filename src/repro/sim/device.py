@@ -266,6 +266,8 @@ class Device:
                      chunk_threads: int = 64,
                      collect_timing: bool = True,
                      executor: Optional[TracingExecutor] = None,
+                     wide: Optional[bool] = None,
+                     max_live_threads: int = 1024,
                      ) -> Optional[KernelRun]:
         """Launch a :class:`CompiledKernel` over a grid of hardware threads.
 
@@ -274,33 +276,38 @@ class Device:
         dict shared by every thread, or a callable mapping a thread id
         tuple to that thread's dict (how per-thread coordinates are fed).
 
-        One :class:`TracingExecutor` is pooled across the whole grid —
-        its GRF is zeroed between threads while the memoized operand
-        plans (identical for every thread of a fixed program) are kept.
-        The grid is dispatched in chunks of ``chunk_threads``; a chunk's
-        traces retire into the accumulator together, bounding live-trace
-        memory at the chunk size.
+        Dispatch defaults to the *wide* path (``wide=None``): because a
+        compiled program is straight-line and identical for every
+        thread, a :class:`~repro.isa.wide.WideExecutor` stacks all
+        thread register files and executes each instruction once for
+        the whole grid, chunked so at most ``max_live_threads`` threads
+        (GRFs + traces) are live at a time.  Per-thread traces are
+        reconstructed from the wide execution, so timing is
+        bit-identical to the sequential path.  ``wide=False`` forces
+        the sequential per-thread loop (one pooled
+        :class:`TracingExecutor`, retiring traces every
+        ``chunk_threads``); ``wide=True`` raises if the program is not
+        wide-eligible instead of silently falling back.
 
         With ``collect_timing=False`` the launch is functional only (no
         traces, no :class:`KernelRun`) and returns ``None``.
 
         ``executor`` optionally supplies an already-pooled
-        :class:`TracingExecutor` to reuse *across* launches: the serving
-        layer's dynamic batcher passes one executor for a whole batch of
-        same-program requests so the memoized operand/instruction plans
-        are shared between requests, not just between threads.  The
-        executor is rebound to this launch's surface table.
+        :class:`~repro.isa.wide.WideTracingExecutor` (or scalar
+        :class:`TracingExecutor`) to reuse *across* launches: the
+        serving layer's dynamic batcher passes one executor for a whole
+        batch of same-program requests so the memoized
+        operand/instruction plans are shared between requests, not just
+        between threads.  The executor is rebound to this launch's
+        surface table; a pooled wide executor falls back to a fresh
+        scalar path when the program is ineligible.
         """
         from repro.compiler.finalizer import SCRATCH_BTI
+        from repro.isa.wide import WideTracingExecutor, wide_eligible
 
         kname = name or kernel.name
         self.begin_enqueue()
         table = {i: s for i, s in enumerate(surfaces)}
-        scratch = None
-        if kernel.allocation.scratch_bytes:
-            scratch = BufferSurface.allocate(kernel.allocation.scratch_bytes)
-            scratch.obs_label = "scratch"
-            table[SCRATCH_BTI] = scratch
 
         # Pre-resolve scalar parameter GRF bases once for the whole grid.
         scalar_bases = []
@@ -312,10 +319,34 @@ class Device:
         per_thread = callable(scalars)
         fixed = {} if scalars is None or per_thread else dict(scalars)
 
-        # Functional-only launches skip the tracing subclass entirely.
+        eligible = wide_eligible(kernel.program)
         if executor is not None:
             if not collect_timing:
                 raise ValueError("pooled executors imply collect_timing")
+            if isinstance(executor, WideTracingExecutor):
+                if eligible and wide is not False:
+                    return self._run_compiled_wide(
+                        kernel, grid, table, scalar_bases, scalars,
+                        per_thread, fixed, kname, collect_timing,
+                        executor, max_live_threads)
+                executor = None  # ineligible program: fresh scalar path
+        elif wide is True or (wide is None and eligible):
+            if not eligible:
+                raise ValueError(
+                    f"{kname}: program is not wide-eligible "
+                    f"(wide=True was requested)")
+            return self._run_compiled_wide(
+                kernel, grid, table, scalar_bases, scalars, per_thread,
+                fixed, kname, collect_timing, None, max_live_threads)
+
+        scratch = None
+        if kernel.allocation.scratch_bytes:
+            scratch = BufferSurface.allocate(kernel.allocation.scratch_bytes)
+            scratch.obs_label = "scratch"
+            table[SCRATCH_BTI] = scratch
+
+        # Functional-only launches skip the tracing subclass entirely.
+        if executor is not None:
             executor.rebind(table)
             ex = executor
         else:
@@ -356,6 +387,82 @@ class Device:
                 self._retire_chunk(acc, live, bacc)
         self.profile.threads_run += n_threads
         self.profile.note_live_traces(live_peak)
+
+        if not collect_timing:
+            return None
+        return self._record(acc.finalize(), kname, bacc)
+
+    def _run_compiled_wide(self, kernel, grid, table, scalar_bases,
+                           scalars, per_thread, fixed, kname: str,
+                           collect_timing: bool, executor,
+                           max_live_threads: int) -> Optional[KernelRun]:
+        """Grid-vectorized dispatch: each instruction runs once for a
+        whole chunk of threads (see :mod:`repro.isa.wide`)."""
+        from repro.compiler.finalizer import SCRATCH_BTI
+        from repro.isa.wide import (
+            WideExecutor, WideScratch, WideTracingExecutor,
+        )
+
+        thread_ids = list(self._grid_ids(grid))
+        total = len(thread_ids)
+        max_live = max(1, max_live_threads)
+
+        # Scalar parameters become per-thread int32 columns, seeded into
+        # the stacked GRF in one strided write per parameter per chunk.
+        cols: Dict[str, np.ndarray] = {}
+        if scalar_bases:
+            if per_thread:
+                values = [scalars(tid) for tid in thread_ids]
+                for pname, _base in scalar_bases:
+                    cols[pname] = np.asarray(
+                        [0 if v.get(pname) is None else v.get(pname)
+                         for v in values], dtype=np.int32)
+            else:
+                for pname, _base in scalar_bases:
+                    v = fixed.get(pname)
+                    cols[pname] = np.full(
+                        total, 0 if v is None else int(v), dtype=np.int32)
+
+        scratch = None
+        if kernel.allocation.scratch_bytes:
+            scratch = WideScratch(0, kernel.allocation.scratch_bytes)
+            table[SCRATCH_BTI] = scratch
+
+        if executor is not None:
+            executor.rebind(table)
+            ex = executor
+        else:
+            ex = WideTracingExecutor(table) if collect_timing else \
+                WideExecutor(table)
+        acc = TimingAccumulator(self.machine) if collect_timing else None
+        bacc = (BreakdownAccumulator(self.machine)
+                if collect_timing and self.obs.breakdowns else None)
+        live_peak = 0
+        with trace_span("dispatch", kernel=kname, path="wide"):
+            for start in range(0, total, max_live):
+                count = min(max_live, total - start)
+                ex.reset(count)
+                if scratch is not None:
+                    scratch.resize(count)
+                if collect_timing:
+                    ex.begin_launch(self.machine)
+                for pname, base in scalar_bases:
+                    ex.seed_scalar(base, cols[pname][start:start + count])
+                with trace_span("dispatch:wide", kernel=kname,
+                                threads=count):
+                    ex.run(kernel.program)
+                if collect_timing:
+                    traces = ex.drain_traces()
+                    for tr in traces:
+                        tr.note_grf(kernel.allocation.max_grf_bytes)
+                    if count > live_peak:
+                        live_peak = count
+                    self._retire_chunk(acc, traces, bacc)
+                else:
+                    self.profile.chunks_dispatched += 1
+        self.profile.threads_run += total
+        if live_peak:
+            self.profile.note_live_traces(live_peak)
 
         if not collect_timing:
             return None

@@ -233,7 +233,7 @@ def _hist_body(cmx, src, out, t):
 
 
 class TestRunCompiledVsEager:
-    def _run_gemm_pair(self, chunk_threads=64):
+    def _run_gemm_pair(self, chunk_threads=64, wide=None):
         m, n, k = 16, 32, _K
         a, b, c = gemm.make_inputs(m, n, k, seed=5)
         dev_e = Device()
@@ -249,7 +249,7 @@ class TestRunCompiledVsEager:
         run = dev_c.run_compiled(
             kern, (n // _BN, m // _BM), [abuf, bbuf, cbuf],
             scalars=lambda tid: {"tx": tid[0], "ty": tid[1]},
-            chunk_threads=chunk_threads)
+            chunk_threads=chunk_threads, wide=wide)
         return dev_e, out_e, dev_c, cbuf.to_numpy().copy(), run, (a, b, c)
 
     def test_gemm_outputs_identical_and_same_bound(self):
@@ -262,8 +262,13 @@ class TestRunCompiledVsEager:
         assert run.timing.num_threads == eager.num_threads
 
     def test_gemm_chunked_dispatch_matches_unchunked(self):
-        _, _, dev1, out1, run1, _ = self._run_gemm_pair(chunk_threads=64)
-        _, _, dev2, out2, run2, _ = self._run_gemm_pair(chunk_threads=1)
+        # chunk_threads / peak_live_traces are sequential-path internals;
+        # pin the scalar path (the wide path has its own chunking test in
+        # test_wide_dispatch.py).
+        _, _, dev1, out1, run1, _ = self._run_gemm_pair(chunk_threads=64,
+                                                        wide=False)
+        _, _, dev2, out2, run2, _ = self._run_gemm_pair(chunk_threads=1,
+                                                        wide=False)
         assert np.array_equal(out1, out2)
         assert run1.timing.cycles == run2.timing.cycles
         assert dev2.profile.chunks_dispatched == 4

@@ -110,3 +110,266 @@ def test_eager_matches_numpy_oracle(steps, seed):
     v = cm.vector(cm.int32, N, data)
     _apply_cm_ops(cm, v, steps)
     assert v.to_numpy().tolist() == expect.tolist()
+
+
+# -- wide executor vs per-thread sequential execution -------------------------
+#
+# The grid-vectorized WideExecutor claims bit-identical architectural
+# state to running the same straight-line program once per thread on the
+# sequential FunctionalExecutor (GRF bytes, flag registers, and shared
+# surface contents — including atomics, whose same-address collisions
+# must resolve in thread order).  Random programs are hand-built at the
+# Instruction level because the frontend never emits atomics directly.
+
+from repro.compiler.finalizer import VectorImmediate  # noqa: E402
+from repro.isa.dtypes import D, F, UB, UD, UW  # noqa: E402
+from repro.isa.executor import FunctionalExecutor  # noqa: E402
+from repro.isa.grf import RegOperand  # noqa: E402
+from repro.isa.instructions import (  # noqa: E402
+    CondMod, FlagOperand, Immediate, Instruction, MathFn, MessageDesc,
+    MsgKind, Opcode, Predicate,
+)
+from repro.isa.regions import Region  # noqa: E402
+from repro.isa.wide import WideExecutor  # noqa: E402
+
+_TIDS = [0, 1, 2, 3, 7]          # includes a gap so addresses collide unevenly
+_TID_BASE = 32                   # r1.0:d
+_SURF_WORDS = 64                 # 256-byte buffer, dword-addressed
+_ADDR_MASK = _SURF_WORDS - 1
+
+_DATA = (2, 3, 4, 5)             # :d working registers
+_FREG = 6                        # :f working register
+_AREG = 8                        # :ud element-offset register
+_PREG = 9                        # payload register
+_OREG = 10                       # atomic old-value register
+
+_ALU_OPS = [Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.XOR,
+            Opcode.MIN, Opcode.MAX]
+_CONDS = [CondMod.EQ, CondMod.NE, CondMod.LT, CondMod.LE, CondMod.GT,
+          CondMod.GE]
+_ATOMIC_OPS = ["add", "sub", "inc", "dec", "min", "max", "xchg", "and",
+               "or", "xor"]
+
+
+def _src(reg, dt, n=8, sub=0):
+    return RegOperand(reg, sub, dt, Region.contiguous(min(n, 8)))
+
+
+def _bcast(reg, dt, sub=0):
+    return RegOperand(reg, sub, dt, Region.scalar())
+
+
+def _dst(reg, dt, sub=0):
+    return RegOperand(reg, sub, dt)
+
+
+def _prologue():
+    """Seed registers with lane- and thread-varying values from r1 (tid)."""
+    out = []
+    for i, r in enumerate(_DATA):
+        lanes = tuple((i * 37 + j * 11 + 5) % 251 - 100 for j in range(8))
+        out.append(Instruction(Opcode.MOV, 8, _dst(r, D),
+                               [VectorImmediate(lanes, D)]))
+        out.append(Instruction(Opcode.ADD, 8, _dst(r, D),
+                               [_src(r, D), _bcast(1, D)]))
+    out.append(Instruction(Opcode.MOV, 8, _dst(_FREG, F), [_src(2, D)]))
+    out.append(Instruction(Opcode.MOV, 8, _dst(_AREG, UD),
+                           [VectorImmediate(tuple(range(0, 24, 3)), UD)]))
+    out.append(Instruction(Opcode.ADD, 8, _dst(_AREG, UD),
+                           [_src(_AREG, UD), _bcast(1, D)]))
+    out.append(Instruction(Opcode.AND, 8, _dst(_AREG, UD),
+                           [_src(_AREG, UD), Immediate(_ADDR_MASK, UD)]))
+    out.append(Instruction(Opcode.MOV, 8, _dst(_PREG, D), [_src(3, D)]))
+    return out
+
+
+_MAX_STEPS = 10
+
+
+def _build_step(kind, a, b, c, idx=0):
+    """One deterministic instruction (or a few) from drawn integers."""
+    pred = None
+    if c % 3 == 1:
+        pred = Predicate(FlagOperand(0), invert=bool(c % 2))
+    if kind == "alu":
+        op = _ALU_OPS[a % len(_ALU_OPS)]
+        dt = D if b % 2 else UD
+        dr, s0, s1 = (_DATA[a % 4], _DATA[b % 4], _DATA[(a + b) % 4])
+        return [Instruction(op, 8, _dst(dr, dt),
+                            [_src(s0, dt), _src(s1, dt)], pred=pred,
+                            sat=bool(a % 5 == 0))]
+    if kind == "w_alu":
+        op = _ALU_OPS[b % len(_ALU_OPS)]
+        return [Instruction(op, 16, _dst(_DATA[a % 4], UW),
+                            [RegOperand(_DATA[b % 4], 0, UW,
+                                        Region.contiguous(8)),
+                             Immediate(c % 97, UW)], sat=bool(b % 2))]
+    if kind == "b_alu":
+        return [Instruction(Opcode.ADD, 16, _dst(_DATA[a % 4], UB),
+                            [RegOperand(_DATA[b % 4], 0, UB,
+                                        Region.contiguous(8)),
+                             Immediate(c % 200, UW)], sat=True)]
+    if kind == "shift":
+        op = [Opcode.SHL, Opcode.SHR, Opcode.ASR][a % 3]
+        return [Instruction(op, 8, _dst(_DATA[a % 4], UD),
+                            [_src(_DATA[b % 4], UD),
+                             Immediate(c % 31, UD)])]
+    if kind == "mad":
+        return [Instruction(Opcode.MAD, 8, _dst(_FREG, F),
+                            [_src(_FREG, F), _src(2, D),
+                             Immediate(float(c) / 7.0, F)], pred=pred)]
+    if kind == "math":
+        fn = [MathFn.INV, MathFn.SQRT, MathFn.EXP][a % 3]
+        return [Instruction(Opcode.MATH, 8, _dst(_FREG, F),
+                            [_src(_FREG, F)], math_fn=fn)]
+    if kind == "cmp":
+        cond = _CONDS[a % len(_CONDS)]
+        dst = _dst(_DATA[c % 4], D) if c % 4 == 0 else None
+        return [Instruction(Opcode.CMP, 8, dst,
+                            [_src(_DATA[a % 4], D), _src(_DATA[b % 4], D)],
+                            cond_mod=cond, flag=FlagOperand(0))]
+    if kind == "sel":
+        return [Instruction(Opcode.SEL, 8, _dst(_DATA[c % 4], D),
+                            [_src(_DATA[a % 4], D), _src(_DATA[b % 4], D)],
+                            pred=Predicate(FlagOperand(0),
+                                           invert=bool(a % 2)))]
+    if kind == "pred_mov":
+        return [Instruction(Opcode.MOV, 8, _dst(_DATA[b % 4], D),
+                            [_src(_DATA[a % 4], D)],
+                            pred=Predicate(FlagOperand(0),
+                                           invert=bool(c % 2)))]
+    # Memory steps keep the program *race-free across threads*: gathers
+    # read surface 0 (never written), scatters hit surface 1, and each
+    # atomic step gets a private window of surface 2 (addr0).  A read
+    # that observes another thread's write is a data race — undefined on
+    # hardware, and the one thing the lockstep model legitimately
+    # reorders relative to sequential per-thread dispatch.  Collisions
+    # *within* one message (the ordered case) are still heavily hit.
+    if kind == "gather":
+        msg = MessageDesc(MsgKind.GATHER, surface=0, addr_reg=_AREG,
+                          payload_reg=_PREG, payload_bytes=32,
+                          elem_dtype=D)
+        return [Instruction(Opcode.SEND, 8, None, [], msg=msg, pred=pred)]
+    if kind == "scatter":
+        msg = MessageDesc(MsgKind.SCATTER, surface=1, addr_reg=_AREG,
+                          payload_reg=_PREG, payload_bytes=32,
+                          elem_dtype=D)
+        return [Instruction(Opcode.SEND, 8, None, [], msg=msg, pred=pred)]
+    if kind == "atomic":
+        op = _ATOMIC_OPS[a % len(_ATOMIC_OPS)]
+        needs_src = op not in ("inc", "dec")
+        msg = MessageDesc(MsgKind.ATOMIC, surface=2,
+                          addr0=Immediate(idx * _SURF_WORDS, UD),
+                          addr_reg=_AREG,
+                          payload_reg=_PREG if needs_src else -1,
+                          payload_bytes=32 if needs_src else 0,
+                          atomic_op=op, elem_dtype=UD if b % 2 else D)
+        dst = _dst(_OREG, msg.elem_dtype) if b % 3 else None
+        return [Instruction(Opcode.SEND, 8, dst, [], msg=msg, pred=pred)]
+    raise AssertionError(kind)
+
+
+_WIDE_STEP = st.builds(
+    lambda kind, a, b, c: (kind, a, b, c),
+    st.sampled_from(["alu", "w_alu", "b_alu", "shift", "mad", "math",
+                     "cmp", "sel", "pred_mov", "gather", "scatter",
+                     "atomic"]),
+    st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+
+
+def _build_program(steps):
+    prog = list(_prologue())
+    for idx, step in enumerate(steps):
+        prog.extend(_build_step(*step, idx=idx))
+    return prog
+
+
+def _make_surfaces(seed):
+    rng = np.random.default_rng(seed)
+
+    def buf(words):
+        data = rng.integers(0, 2**31, words, dtype=np.int64)
+        return BufferSurface(data.astype(np.int32).view(np.uint8).copy())
+
+    return {0: buf(_SURF_WORDS),                    # gather source
+            1: buf(_SURF_WORDS),                    # scatter target
+            2: buf(_SURF_WORDS * (_MAX_STEPS + 1))}  # atomic windows
+
+
+def _surface_bytes(table):
+    return {k: s.bytes.copy() for k, s in table.items()}
+
+
+def _run_sequential(program, seed):
+    table = _make_surfaces(seed)
+    ex = FunctionalExecutor(table)
+    grfs, flags = [], []
+    for tid in _TIDS:
+        ex.reset()
+        ex.grf.write_bytes(_TID_BASE, np.asarray([tid], dtype=np.int32))
+        ex.run(program)
+        grfs.append(ex.grf.bytes.copy())
+        flags.append({k: v.copy() for k, v in ex.flags.items()})
+    return np.stack(grfs), flags, _surface_bytes(table)
+
+
+def _run_wide(program, seed):
+    table = _make_surfaces(seed)
+    ex = WideExecutor(table, num_threads=len(_TIDS))
+    ex.seed_scalar(_TID_BASE, np.asarray(_TIDS, dtype=np.int32))
+    ex.run(program)
+    return ex.grf2d.copy(), ex.flags, _surface_bytes(table)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_WIDE_STEP, min_size=1, max_size=10),
+       st.integers(0, 2**31 - 1))
+def test_wide_matches_sequential_bit_exact(steps, seed):
+    program = _build_program(steps)
+    with np.errstate(all="ignore"):
+        seq_grf, seq_flags, seq_surf = _run_sequential(program, seed)
+        wide_grf, wide_flags, wide_surf = _run_wide(program, seed)
+
+    for bti in seq_surf:
+        assert np.array_equal(wide_surf[bti], seq_surf[bti]), \
+            f"surface {bti} state diverged"
+    assert np.array_equal(wide_grf, seq_grf), "GRF state diverged"
+    indices = set(wide_flags)
+    for t, per_thread in enumerate(seq_flags):
+        indices |= set(per_thread)
+        for idx in indices:
+            seq_f = per_thread.get(idx, np.zeros(32, dtype=bool))
+            wide_f = wide_flags[idx][t] if idx in wide_flags else \
+                np.zeros(32, dtype=bool)
+            assert np.array_equal(wide_f, seq_f), f"flag f{idx} diverged"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, len(_ATOMIC_OPS) - 1), st.booleans(), st.booleans(),
+       st.integers(0, 2**31 - 1))
+def test_wide_predicated_atomics_thread_order(op_idx, invert, with_dst,
+                                              seed):
+    """Atomics under a data-dependent predicate, colliding across threads."""
+    op = _ATOMIC_OPS[op_idx]
+    needs_src = op not in ("inc", "dec")
+    prog = list(_prologue())
+    # flag = (r2 < r3): thread- and lane-dependent predicate
+    prog.append(Instruction(Opcode.CMP, 8, None,
+                            [_src(2, D), _src(3, D)],
+                            cond_mod=CondMod.LT, flag=FlagOperand(0)))
+    # force heavy collisions: addresses only span 4 words
+    prog.append(Instruction(Opcode.AND, 8, _dst(_AREG, UD),
+                            [_src(_AREG, UD), Immediate(3, UD)]))
+    msg = MessageDesc(MsgKind.ATOMIC, surface=0, addr_reg=_AREG,
+                      payload_reg=_PREG if needs_src else -1,
+                      payload_bytes=32 if needs_src else 0,
+                      atomic_op=op, elem_dtype=D)
+    prog.append(Instruction(
+        Opcode.SEND, 8, _dst(_OREG, D) if with_dst else None, [], msg=msg,
+        pred=Predicate(FlagOperand(0), invert=invert)))
+
+    seq_grf, _, seq_surf = _run_sequential(prog, seed)
+    wide_grf, _, wide_surf = _run_wide(prog, seed)
+    for bti in seq_surf:
+        assert np.array_equal(wide_surf[bti], seq_surf[bti])
+    assert np.array_equal(wide_grf, seq_grf)

@@ -201,9 +201,11 @@ class TestDeviceIntegration:
                                gemm._JIT_SIG, ["tx", "ty"])
             surfs = [dev.image2d(m.copy(), bytes_per_pixel=4)
                      for m in (a, b, c)]
+            # wide=False: chunk_threads retirement is a sequential-path
+            # internal (the wide path keeps a whole chunk live by design).
             dev.run_compiled(kern, (2, 2), surfs,
                              scalars=lambda t: {"tx": t[0], "ty": t[1]},
-                             chunk_threads=chunk_threads)
+                             chunk_threads=chunk_threads, wide=False)
             return dev
 
         # chunk of 1: traces retire immediately, peak is exactly 1 (the
