@@ -54,6 +54,12 @@ class FunctionalExecutor:
         #: by identity (with the instruction held in the plan to guard
         #: against id reuse) so the hot loop never hashes operands.
         self._inst_plans: dict = {}
+        #: optional sanitizer hook bundle
+        #: (:class:`repro.sanitize.hooks.ExecSanitizer`); when set,
+        #: ``before_inst``/``after_inst`` are called around every
+        #: instruction.  Sequential dispatch only — the wide executor
+        #: refuses to run with hooks attached.
+        self.san = None
 
     def reset(self) -> None:
         """Zero architectural state (GRF, flags) for the next thread.
@@ -156,16 +162,18 @@ class FunctionalExecutor:
 
     def execute(self, inst: Instruction) -> None:
         self.instructions_executed += 1
+        san = self.san
+        if san is not None:
+            san.before_inst(self, inst)
         op = inst.opcode
-        if op is Opcode.NOP or op is Opcode.BARRIER:
-            return
         if op is Opcode.SEND:
             self._execute_send(inst)
-            return
-        if op is Opcode.CMP:
+        elif op is Opcode.CMP:
             self._execute_cmp(inst)
-            return
-        self._execute_alu(inst)
+        elif op is not Opcode.NOP and op is not Opcode.BARRIER:
+            self._execute_alu(inst)
+        if san is not None:
+            san.after_inst(self, inst)
 
     # -- ALU ------------------------------------------------------------------
 

@@ -140,6 +140,16 @@ class WideExecutor(FunctionalExecutor):
         self.grf2d = np.zeros((num_threads, self.grf.bytes.size),
                               dtype=np.uint8)
 
+    def run(self, program) -> None:
+        # Sanitizer hooks assume one thread's register file and lane
+        # masks; sanitized launches are always sequential (the race
+        # verdict is what *admits* a program to the wide path).
+        if self.san is not None:
+            raise ExecutionError(
+                "sanitizer hooks cannot run on the wide executor; "
+                "use sequential dispatch for sanitized launches")
+        super().run(program)
+
     def reset(self, num_threads: Optional[int] = None) -> None:
         """Zero architectural state, optionally resizing to a new T."""
         if num_threads is not None and num_threads != self.num_threads:

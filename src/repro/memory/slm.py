@@ -58,12 +58,22 @@ def bank_conflict_cycles(byte_offsets: np.ndarray,
 
 
 class SharedLocalMemory(Surface):
-    """One work-group's SLM allocation."""
+    """One work-group's SLM allocation.
+
+    Because SLM is a :class:`Surface`, the sanitizer's race detector
+    covers it through the same ``_san_rec`` notifications as global
+    surfaces — the OpenCL runtime attaches each work-group's fresh SLM
+    allocation to the active recorder, and the work-group scheduler's
+    barrier phases become the detector's happens-before epochs.
+    """
 
     def __init__(self, nbytes: int) -> None:
         if nbytes > 64 * 1024:
             raise ValueError(f"SLM allocation of {nbytes} bytes exceeds 64 KB")
         super().__init__(np.zeros(nbytes, dtype=np.uint8))
+        # a stable label ("slm", not "sharedlocalmemory") for breakdowns,
+        # sanitizer conflict reports, and oob metrics
+        self.obs_label = "slm"
 
     def clear(self) -> None:
         self.bytes[:] = 0

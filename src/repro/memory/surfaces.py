@@ -80,6 +80,20 @@ def _atomic_result(op: str, cur, src, elem: DType):
 #: Cache line granularity for DRAM-traffic tracking.
 LINE = 64
 
+#: Strict OOB mode: clamped/dropped out-of-bounds accesses raise
+#: :class:`OOBError` instead of silently counting.  Toggled through
+#: ``repro.sanitize.oob`` (the flag lives here so surfaces never import
+#: the sanitizer package).
+STRICT_OOB = False
+
+#: Per-surface cap on retained OOB diagnostic events (counters keep
+#: incrementing past it).
+_MAX_OOB_EVENTS = 16
+
+
+class OOBError(IndexError):
+    """A clamped/dropped out-of-bounds access under strict OOB mode."""
+
 
 class Surface:
     """Base class: flat byte storage + linear/scattered/atomic access.
@@ -102,6 +116,26 @@ class Surface:
         #: ``img<i>`` at bind time so breakdowns group traffic per surface.
         self.obs_label = (type(self).__name__.replace("Surface", "").lower()
                           or "surface")
+        #: attached ``repro.sanitize`` race recorder; every access method
+        #: forwards read/write/atomic byte sets here when one is set.
+        self._san_rec = None
+        #: lanes clipped or dropped by the edge-clamping access paths
+        #: (media blocks, sampler pixels) since creation / last reset.
+        self.oob_clipped_lanes = 0
+        #: bounded list of (kind, lanes, detail) diagnostic tuples.
+        self.oob_events: list = []
+        #: high-water mark of lanes already folded into device totals.
+        self._oob_reported = 0
+
+    def _note_oob(self, kind: str, lanes: int, detail: str) -> None:
+        """Account ``lanes`` clipped/dropped lanes; raise in strict mode."""
+        self.oob_clipped_lanes += int(lanes)
+        if len(self.oob_events) < _MAX_OOB_EVENTS:
+            self.oob_events.append((kind, int(lanes), detail))
+        if STRICT_OOB:
+            raise OOBError(
+                f"{kind} on surface {self.obs_label!r} clipped "
+                f"{lanes} out-of-bounds lane(s): {detail}")
 
     @property
     def size_bytes(self) -> int:
@@ -255,11 +289,15 @@ class Surface:
 
     def read_linear(self, byte_offset: int, nbytes: int) -> np.ndarray:
         self._check(byte_offset, nbytes)
+        if self._san_rec is not None:
+            self._san_rec.note_range(self, "r", byte_offset, nbytes)
         return self.bytes[byte_offset:byte_offset + nbytes].copy()
 
     def write_linear(self, byte_offset: int, data: np.ndarray) -> None:
         raw = np.ascontiguousarray(data).view(np.uint8).ravel()
         self._check(byte_offset, raw.size)
+        if self._san_rec is not None:
+            self._san_rec.note_range(self, "w", byte_offset, raw.size)
         self.bytes[byte_offset:byte_offset + raw.size] = raw
 
     def read_linear_many(self, byte_offsets, nbytes: int) -> np.ndarray:
@@ -291,6 +329,8 @@ class Surface:
         out = np.zeros(len(offs), dtype=elem.np_dtype)
         active = slice(None) if mask is None else np.asarray(mask, dtype=bool)
         idx = offs[active]
+        if self._san_rec is not None and idx.size:
+            self._san_rec.note_offsets(self, "r", idx, elem.size)
         if idx.size:
             self._check(int(idx.min()), 0)
             self._check(int(idx.max()), elem.size)
@@ -311,6 +351,8 @@ class Surface:
             return
         self._check(int(offs.min()), 0)
         self._check(int(offs.max()), elem_size)
+        if self._san_rec is not None:
+            self._san_rec.note_offsets(self, "w", offs, elem_size)
         # Duplicate offsets take the last lane's value (hardware scatter order).
         byte_idx = offs[:, None] + np.arange(elem_size)
         self.bytes[byte_idx] = raw
@@ -320,6 +362,9 @@ class Surface:
     def atomic(self, op: str, byte_offsets: np.ndarray,
                operands: Optional[np.ndarray], elem: DType,
                mask: Optional[np.ndarray] = None) -> np.ndarray:
+        if self._san_rec is not None:
+            self._san_rec.note_offsets(self, "a", byte_offsets, elem.size,
+                                       mask=mask)
         return apply_atomic(self.bytes, op, np.asarray(byte_offsets, np.int64),
                             operands, elem, mask)
 
@@ -327,6 +372,8 @@ class Surface:
                        newval: np.ndarray, elem: DType,
                        mask: Optional[np.ndarray] = None) -> np.ndarray:
         offs = np.asarray(byte_offsets, dtype=np.int64)
+        if self._san_rec is not None:
+            self._san_rec.note_offsets(self, "a", offs, elem.size, mask=mask)
         view = self.bytes.view(elem.np_dtype)
         old = np.zeros(len(offs), dtype=elem.np_dtype)
         for lane in range(len(offs)):
@@ -398,7 +445,22 @@ class Image2DSurface(Surface):
         Out-of-bounds rows/columns are clamped to the surface edge, which
         matches the replication behaviour of the Gen media block read unit
         and is what the paper's linear filter relies on for its borders.
+        Clamped lanes are counted (strict OOB mode raises instead).
         """
+        vis_h = min(max(min(y + height, self.height) - max(y, 0), 0), height)
+        vis_w = min(max(min(x + width, self.pitch) - max(x, 0), 0), width)
+        clipped = height * width - vis_h * vis_w
+        if clipped:
+            self._note_oob("read_block", clipped,
+                           f"block ({x},{y}) {width}x{height} vs "
+                           f"{self.pitch}x{self.height}")
+        if self._san_rec is not None:
+            # bytes actually touched: the edge-clamped rectangle
+            ry0 = min(max(y, 0), self.height - 1)
+            ry1 = min(max(y + height - 1, 0), self.height - 1) + 1
+            rx0 = min(max(x, 0), self.pitch - 1)
+            rx1 = min(max(x + width - 1, 0), self.pitch - 1) + 1
+            self._san_rec.note_rect(self, "r", rx0, rx1, ry0, ry1, self.pitch)
         rows = np.clip(np.arange(y, y + height), 0, self.height - 1)
         cols = np.clip(np.arange(x, x + width), 0, self.pitch - 1)
         img = self.bytes.reshape(self.height, self.pitch)
@@ -406,13 +468,21 @@ class Image2DSurface(Surface):
 
     def write_block(self, x: int, y: int, width: int, height: int,
                     data: np.ndarray) -> None:
-        """Write a block; out-of-bounds texels are dropped (hw behaviour)."""
+        """Write a block; out-of-bounds texels are dropped (hw behaviour;
+        dropped lanes are counted, strict OOB mode raises instead)."""
         block = np.ascontiguousarray(data).view(np.uint8).reshape(height, width)
         img = self.bytes.reshape(self.height, self.pitch)
         y0, y1 = max(y, 0), min(y + height, self.height)
         x0, x1 = max(x, 0), min(x + width, self.pitch)
+        kept = max(y1 - y0, 0) * max(x1 - x0, 0)
+        if kept != height * width:
+            self._note_oob("write_block", height * width - kept,
+                           f"block ({x},{y}) {width}x{height} vs "
+                           f"{self.pitch}x{self.height}")
         if y0 >= y1 or x0 >= x1:
             return
+        if self._san_rec is not None:
+            self._san_rec.note_rect(self, "w", x0, x1, y0, y1, self.pitch)
         img[y0:y1, x0:x1] = block[y0 - y:y1 - y, x0 - x:x1 - x]
 
     def read_block_many(self, xs, ys, width: int, height: int) -> np.ndarray:
@@ -420,6 +490,15 @@ class Image2DSurface(Surface):
         ``(xs[t], ys[t])`` -> (T, height, width) uint8, edge-clamped."""
         xs = np.asarray(xs, dtype=np.int64)
         ys = np.asarray(ys, dtype=np.int64)
+        vis = (np.clip(np.minimum(ys + height, self.height)
+                       - np.maximum(ys, 0), 0, height)
+               * np.clip(np.minimum(xs + width, self.pitch)
+                         - np.maximum(xs, 0), 0, width))
+        clipped = height * width * len(xs) - int(vis.sum())
+        if clipped:
+            self._note_oob("read_block_many", clipped,
+                           f"{len(xs)} thread blocks {width}x{height} vs "
+                           f"{self.pitch}x{self.height}")
         rows = np.clip(ys[:, None] + np.arange(height), 0, self.height - 1)
         cols = np.clip(xs[:, None] + np.arange(width), 0, self.pitch - 1)
         img = self.bytes.reshape(self.height, self.pitch)
@@ -438,6 +517,11 @@ class Image2DSurface(Surface):
         cols = xs[:, None] + np.arange(width)
         ok = ((rows >= 0) & (rows < self.height))[:, :, None] & \
             ((cols >= 0) & (cols < self.pitch))[:, None, :]
+        dropped = ok.size - int(ok.sum())
+        if dropped:
+            self._note_oob("write_block_many", dropped,
+                           f"{len(xs)} thread blocks {width}x{height} vs "
+                           f"{self.pitch}x{self.height}")
         img = self.bytes.reshape(self.height, self.pitch)
         r = np.broadcast_to(np.clip(rows, 0, self.height - 1)[:, :, None],
                             ok.shape)
@@ -456,10 +540,21 @@ class Image2DSurface(Surface):
         the raw channels of each texel.  The OpenCL layer converts these to
         float, mirroring the image unit's format conversion.
         """
-        xs = np.clip(np.asarray(xs, dtype=np.int64), 0, self.width - 1)
-        ys = np.clip(np.asarray(ys, dtype=np.int64), 0, self.height - 1)
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        ok = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        clipped = ok.size - int(ok.sum())
+        if clipped:
+            self._note_oob("read_pixels", clipped,
+                           f"{clipped}/{ok.size} coords outside "
+                           f"{self.width}x{self.height}")
+        xs = np.clip(xs, 0, self.width - 1)
+        ys = np.clip(ys, 0, self.height - 1)
         img = self.bytes.reshape(self.height, self.pitch)
         base = xs * self.bytes_per_pixel
+        if self._san_rec is not None:
+            self._san_rec.note_offsets(
+                self, "r", ys * self.pitch + base, self.bytes_per_pixel)
         cols = base[:, None] + np.arange(self.bytes_per_pixel)
         return img[ys[:, None], cols].copy()
 
@@ -469,9 +564,17 @@ class Image2DSurface(Surface):
         xs = np.asarray(xs, dtype=np.int64)
         ys = np.asarray(ys, dtype=np.int64)
         ok = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        dropped = ok.size - int(ok.sum())
+        if dropped:
+            self._note_oob("write_pixels", dropped,
+                           f"{dropped}/{ok.size} coords outside "
+                           f"{self.width}x{self.height}")
         raw = np.ascontiguousarray(values).view(np.uint8)
         raw = raw.reshape(len(xs), self.bytes_per_pixel)
         img = self.bytes.reshape(self.height, self.pitch)
         base = xs[ok] * self.bytes_per_pixel
+        if self._san_rec is not None:
+            self._san_rec.note_offsets(
+                self, "w", ys[ok] * self.pitch + base, self.bytes_per_pixel)
         cols = base[:, None] + np.arange(self.bytes_per_pixel)
         img[ys[ok][:, None], cols] = raw[ok]

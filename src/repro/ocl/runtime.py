@@ -17,6 +17,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+import repro.sanitize as sanitize_mod
 from repro.memory.slm import SharedLocalMemory
 from repro.ocl.builtins import BARRIER, SubgroupInfo
 from repro.sim import context as ctx_mod
@@ -73,16 +74,26 @@ def enqueue(device: Device, kernel: Callable, global_size, local_size=None,
     wants_slm = "slm" in inspect.signature(kernel).parameters
     n_groups = [g // l for g, l in zip(gsize, lsize)]
     traces: list[ThreadTrace] = []
+    kname = name or getattr(kernel, "__name__", "ocl")
+
+    sess = sanitize_mod.current_session()
+    if sess is not None:
+        sess.begin_kernel(kname, device.surfaces)
 
     for gy in range(n_groups[1] if len(n_groups) > 1 else 1):
         for gx in range(n_groups[0]):
             group_ids = (gx, gy)[: len(gsize)]
             slm = SharedLocalMemory(slm_bytes) if slm_bytes else None
+            if sess is not None and slm is not None:
+                sess.attach_surface(slm)
             traces.extend(
                 _run_workgroup(device, kernel, args, gsize, lsize,
-                               group_ids, simd, slm, wants_slm))
+                               group_ids, simd, slm, wants_slm, sess))
 
-    run = device.submit(traces, name or getattr(kernel, "__name__", "ocl"))
+    if sess is not None:
+        sess.finish_kernel()
+    device._collect_oob(device.surfaces)
+    run = device.submit(traces, kname)
     return NDRangeResult(run)
 
 
@@ -109,13 +120,16 @@ def _subgroup_contexts(device: Device, gsize, lsize, group_ids, simd, slm):
 
 
 def _run_workgroup(device, kernel, args, gsize, lsize, group_ids, simd,
-                   slm, wants_slm):
+                   slm, wants_slm, sess=None):
     contexts = _subgroup_contexts(device, gsize, lsize, group_ids, simd, slm)
     kwargs = {"slm": slm} if wants_slm else {}
+    race = sess.race if sess is not None else None
 
     if not inspect.isgeneratorfunction(kernel):
         for thread, _trace in contexts:
             ctx_mod.activate(thread)
+            if race is not None:
+                race.begin_thread(thread.thread_id)
             try:
                 kernel(*args, **kwargs)
             finally:
@@ -137,6 +151,8 @@ def _run_workgroup(device, kernel, args, gsize, lsize, group_ids, simd,
         for i in live:
             thread, _trace = contexts[i]
             ctx_mod.activate(thread)
+            if race is not None:
+                race.begin_thread(thread.thread_id)
             try:
                 yielded = next(gens[i])
             except StopIteration:
@@ -153,5 +169,8 @@ def _run_workgroup(device, kernel, args, gsize, lsize, group_ids, simd,
             raise RuntimeError(
                 "barrier divergence: some subgroups finished while others "
                 "are waiting at a barrier (this hangs on real hardware)")
+        # every live subgroup reached the barrier: happens-before edge.
+        if race is not None and next_live:
+            race.barrier()
         live = next_live
     return [t for _, t in contexts]

@@ -1,0 +1,75 @@
+"""Out-of-bounds / clip sanitizer API.
+
+The Gen media block unit *clamps* out-of-bounds block coordinates to the
+surface edge and *drops* out-of-bounds writes — behaviour workloads
+legitimately rely on (the paper's linear filter reads its borders
+through edge replication), so the simulator cannot simply raise.
+Instead every silently-clamping access path in
+:mod:`repro.memory.surfaces` (block reads/writes, their ``_many`` wide
+variants, and the sampler-style pixel paths) counts the lanes it
+clipped or dropped into ``Surface.oob_clipped_lanes`` and keeps a small
+ring of diagnostic events.
+
+This module is the user-facing switchboard over that counting:
+
+- **counting mode** (default): clips accumulate per surface and flow
+  into ``repro.obs`` metrics (``sanitize_oob_lanes{surface=...}``) and
+  ``Device.report()``.
+- **strict mode** (:func:`strict` / :func:`set_strict`): the next
+  clipped access raises :class:`OOBError` (a subclass of
+  ``IndexError``) with a source-level diagnostic naming the surface,
+  the access kind, and the offending coordinates.
+
+The counters live inline in ``surfaces.py`` (no import cycle: surfaces
+never import this package); this module re-exports the error type and
+provides collection helpers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable
+
+from repro.memory import surfaces as _surfaces
+from repro.memory.surfaces import OOBError
+
+__all__ = ["OOBError", "strict", "set_strict", "strict_enabled",
+           "collect", "reset"]
+
+
+def set_strict(enabled: bool) -> None:
+    """Globally toggle strict OOB mode (raise instead of count)."""
+    _surfaces.STRICT_OOB = bool(enabled)
+
+
+def strict_enabled() -> bool:
+    return _surfaces.STRICT_OOB
+
+
+@contextmanager
+def strict():
+    """Context manager: strict OOB mode for the enclosed block."""
+    prev = _surfaces.STRICT_OOB
+    _surfaces.STRICT_OOB = True
+    try:
+        yield
+    finally:
+        _surfaces.STRICT_OOB = prev
+
+
+def collect(surfs: Iterable) -> Dict[str, int]:
+    """Per-surface clipped-lane counts (surfaces with zero clips omitted)."""
+    out: Dict[str, int] = {}
+    for surf in surfs:
+        lanes = getattr(surf, "oob_clipped_lanes", 0)
+        if lanes:
+            label = getattr(surf, "obs_label", "surface")
+            out[label] = out.get(label, 0) + int(lanes)
+    return out
+
+
+def reset(surfs: Iterable) -> None:
+    """Zero the clip counters and diagnostic events on ``surfs``."""
+    for surf in surfs:
+        surf.oob_clipped_lanes = 0
+        surf.oob_events = []

@@ -1,0 +1,111 @@
+"""Aggregated sanitizer results and their observability wiring.
+
+A :class:`KernelSanitizeResult` captures everything the checkers found
+for one sanitized kernel launch; a :class:`SanitizerReport` aggregates
+results across kernels/devices, serializes to JSON (the CI artifact),
+and publishes counters into a :class:`~repro.obs.metrics.MetricsRegistry`
+(``sanitize_oob_lanes{surface=...}``, ``sanitize_race_conflicts`` and
+``sanitize_uninit_reads`` labelled per kernel).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sanitize.race import RaceVerdict
+from repro.sanitize.uninit import UninitRead
+
+
+@dataclass
+class KernelSanitizeResult:
+    """Checker outcomes for one sanitized kernel launch."""
+
+    kernel: str
+    verdict: Optional[RaceVerdict] = None
+    uninit: List[UninitRead] = field(default_factory=list)
+    uninit_total: int = 0
+    oob_lanes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return ((self.verdict is None or self.verdict.race_free)
+                and self.uninit_total == 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "race": self.verdict.to_dict() if self.verdict else None,
+            "uninit_reads": [u.to_dict() for u in self.uninit],
+            "uninit_total": self.uninit_total,
+            "oob_lanes": dict(self.oob_lanes),
+            "clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        bits = []
+        if self.verdict is not None:
+            bits.append("race_free" if self.verdict.race_free else
+                        f"RACY ({len(self.verdict.conflicts)} conflicts)")
+        if self.uninit_total:
+            bits.append(f"UNINIT ({self.uninit_total} lane reads)")
+        if self.oob_lanes:
+            oob = ", ".join(f"{k}={v}" for k, v in self.oob_lanes.items())
+            bits.append(f"oob[{oob}]")
+        return f"{self.kernel}: {'; '.join(bits) if bits else 'clean'}"
+
+
+@dataclass
+class SanitizerReport:
+    """All sanitized launches of a run, ready for JSON/metrics export."""
+
+    results: List[KernelSanitizeResult] = field(default_factory=list)
+
+    def add(self, result: KernelSanitizeResult) -> KernelSanitizeResult:
+        self.results.append(result)
+        return result
+
+    @property
+    def clean(self) -> bool:
+        return all(r.clean for r in self.results)
+
+    def to_dict(self) -> dict:
+        racy = sum(1 for r in self.results
+                   if r.verdict is not None and not r.verdict.race_free)
+        return {
+            "kernels": len(self.results),
+            "clean": self.clean,
+            "racy": racy,
+            "uninit_total": sum(r.uninit_total for r in self.results),
+            "oob_lanes_total": sum(sum(r.oob_lanes.values())
+                                   for r in self.results),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    def publish(self, registry) -> None:
+        """Increment sanitizer counters in an obs metrics registry."""
+        for r in self.results:
+            if r.verdict is not None and not r.verdict.race_free:
+                registry.counter("sanitize_race_conflicts",
+                                 kernel=r.kernel).inc(
+                    len(r.verdict.conflicts))
+            if r.uninit_total:
+                registry.counter("sanitize_uninit_reads",
+                                 kernel=r.kernel).inc(r.uninit_total)
+            for label, lanes in r.oob_lanes.items():
+                registry.counter("sanitize_oob_lanes",
+                                 surface=label).inc(lanes)
+
+    def summary(self) -> str:
+        lines = [r.summary() for r in self.results]
+        status = "clean" if self.clean else "FINDINGS"
+        lines.append(f"sanitize: {len(self.results)} kernel(s), {status}")
+        return "\n".join(lines)

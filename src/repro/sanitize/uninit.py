@@ -1,0 +1,103 @@
+"""Uninitialized-GRF-read tracking for compiled-kernel execution.
+
+The functional executor zeroes the register file between threads, so a
+kernel that reads a register it never wrote silently computes with
+zeros — plausible-looking results that mask a codegen or register
+allocation bug.  :class:`UninitTracker` shadows the 4 KB register file
+with a per-byte validity bitmap: destination writes mark bytes valid,
+source fetches check them, and execution masks are honoured so
+predicated-off lanes never false-positive (a lane the predicate
+disables neither reads its sources nor taints its destination).
+
+The tracker is driven by the executor's sanitizer hooks (see
+:class:`repro.sanitize.hooks.ExecSanitizer`): ``before_inst`` checks the
+source operands an instruction is about to fetch, ``after_inst`` marks
+the bytes it defined.  Reported bytes are marked valid immediately so a
+single missing initialization produces one finding, not a cascade
+through every dependent instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa.grf import GRF_SIZE_BYTES, RegOperand
+
+#: cap on retained findings; the total count keeps incrementing past it.
+_MAX_FINDINGS = 32
+
+
+@dataclass(frozen=True)
+class UninitRead:
+    """One read of never-written GRF bytes by an active lane."""
+
+    thread: object
+    inst: int
+    opcode: str
+    reg: int
+    subreg: int
+    lanes: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "thread": list(self.thread) if isinstance(self.thread, tuple)
+            else self.thread,
+            "inst": self.inst, "opcode": self.opcode,
+            "reg": self.reg, "subreg": self.subreg,
+            "lanes": list(self.lanes),
+        }
+
+    def __str__(self) -> str:
+        return (f"uninitialized read of r{self.reg}.{self.subreg} lanes "
+                f"{list(self.lanes)} by {self.opcode} (inst {self.inst}, "
+                f"thread {self.thread})")
+
+
+class UninitTracker:
+    """Shadow validity bitmap over one thread's register file."""
+
+    def __init__(self, num_regs: int = 128) -> None:
+        self.valid = np.zeros(num_regs * GRF_SIZE_BYTES, dtype=bool)
+        self.findings: List[UninitRead] = []
+        self.total = 0
+        self.cur_thread: object = -1
+
+    def begin_thread(self, key) -> None:
+        self.valid.fill(False)
+        self.cur_thread = key
+
+    # -- marking ----------------------------------------------------------
+
+    def mark_range(self, start: int, nbytes: int) -> None:
+        self.valid[start:start + nbytes] = True
+
+    def mark_plan(self, idx: np.ndarray,
+                  mask: Optional[np.ndarray] = None) -> None:
+        """Mark a planned ``(lanes, elem_size)`` byte-index array valid."""
+        if mask is None:
+            self.valid[idx] = True
+        else:
+            self.valid[idx[np.asarray(mask, dtype=bool)]] = True
+
+    # -- checking ---------------------------------------------------------
+
+    def check_plan(self, idx: np.ndarray, mask: Optional[np.ndarray],
+                   inst_ix: int, opcode: str, operand: RegOperand) -> None:
+        """Check a planned byte-index array; report lanes whose bytes were
+        never written, then mark them to suppress cascaded findings."""
+        ok = self.valid[idx]
+        bad = ~ok.all(axis=1) if ok.ndim > 1 else ~ok
+        if mask is not None:
+            bad = bad & np.asarray(mask, dtype=bool)
+        if not bad.any():
+            return
+        self.total += int(bad.sum())
+        if len(self.findings) < _MAX_FINDINGS:
+            lanes = tuple(int(i) for i in np.flatnonzero(bad)[:8])
+            self.findings.append(UninitRead(
+                thread=self.cur_thread, inst=inst_ix, opcode=opcode,
+                reg=operand.reg, subreg=operand.subreg, lanes=lanes))
+        self.valid[idx[bad]] = True

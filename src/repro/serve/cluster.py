@@ -33,6 +33,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+import repro.sanitize as sanitize_mod
 from repro.obs import get_observability
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import trace_span
@@ -169,7 +170,8 @@ class DeviceWorker(threading.Thread):
                                         launch.sig, launch.scalar_params)
                 run = device.run_compiled(kernel, launch.grid, surfaces,
                                           scalars=scalars, name=launch.name,
-                                          executor=pooled)
+                                          executor=pooled,
+                                          validate=self.cluster.validate)
                 req.kernel_sim_us = run.timing.time_us
                 req.dram_bytes = int(run.timing.dram_bytes)
                 req.launches = 1
@@ -209,9 +211,19 @@ class ServeCluster:
                  high_watermark: Optional[int] = None,
                  dispatch_window: int = 64,
                  batch_linger_s: float = 0.001,
-                 obs=None) -> None:
+                 obs=None,
+                 validate: str = "first") -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
+        if validate not in sanitize_mod.VALIDATE_MODES:
+            raise ValueError(
+                f"validate must be one of {sanitize_mod.VALIDATE_MODES}, "
+                f"got {validate!r}")
+        #: dispatch-gating mode for compiled launches: "first" sanitizes
+        #: each kernel's first launch per device (certifying or refusing
+        #: the wide path), "always" sanitizes every launch, "off" trusts
+        #: the kernel and always allows wide selection.
+        self.validate = validate
         self.obs = obs if obs is not None else get_observability()
         self.registry: MetricsRegistry = (
             self.obs.registry if self.obs.enabled else MetricsRegistry())

@@ -149,14 +149,21 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
                 batching: bool = True, max_batch: int = 8,
                 queue_capacity: int = 512,
                 high_watermark: Optional[int] = None,
-                max_retries: int = 50) -> Dict[str, Any]:
-    """Run one load-generation pass; returns the JSON-able report."""
+                max_retries: int = 50,
+                sanitize: bool = False) -> Dict[str, Any]:
+    """Run one load-generation pass; returns the JSON-able report.
+
+    With ``sanitize=True`` every compiled launch runs under the full
+    sanitizer (``validate="always"``) and the report gains a
+    ``sanitize`` section summarizing per-device findings.
+    """
     trace = build_trace(seed, requests, mix, sim_rate_rps)
     counters = {"rejected_submits": 0, "dropped": 0}
     cluster = ServeCluster(num_devices=devices, policy=policy,
                            batching=batching, max_batch=max_batch,
                            queue_capacity=queue_capacity,
-                           high_watermark=high_watermark)
+                           high_watermark=high_watermark,
+                           validate="always" if sanitize else "first")
     with cluster:
         if mode == "open":
             run_open_loop(cluster, trace, rate_rps, max_retries, counters,
@@ -180,6 +187,22 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
         "failed": len(failed),
         "errors": [f"{r.workload}: {r.error}" for r in failed[:10]],
     }
+    if sanitize:
+        results = [r for w in cluster.workers
+                   for r in w.device.sanitizer_results]
+        oob: Dict[str, int] = {}
+        for w in cluster.workers:
+            for label, lanes in w.device.oob_lanes.items():
+                oob[label] = oob.get(label, 0) + lanes
+        report["sanitize"] = {
+            "sanitized_launches": len(results),
+            "clean": all(r.clean for r in results),
+            "racy_kernels": sorted({r.kernel for r in results
+                                    if r.verdict is not None
+                                    and not r.verdict.race_free}),
+            "uninit_total": sum(r.uninit_total for r in results),
+            "oob_lanes": oob,
+        }
     return report
 
 
@@ -208,6 +231,14 @@ def render(report: Dict[str, Any]) -> str:
         f"  backpressure: {lg['rejected_submits']} rejected submits, "
         f"{lg['dropped']} dropped, {lg['failed']} failed",
     ]
+    san = report.get("sanitize")
+    if san is not None:
+        lines.append(
+            f"  sanitize: {san['sanitized_launches']} sanitized launches, "
+            f"{'clean' if san['clean'] else 'FINDINGS'} "
+            f"(racy={len(san['racy_kernels'])}, "
+            f"uninit={san['uninit_total']}, "
+            f"oob={sum(san['oob_lanes'].values())})")
     for d in report["per_device"]:
         lines.append(
             f"  dev{d['index']}: {d['requests']} requests, "
@@ -245,6 +276,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also dump the report as JSON to FILE "
                              "('-' for stdout)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every compiled launch under the "
+                             "sanitizer (validate='always') and add a "
+                             "sanitize section to the report")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -254,7 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rate_rps=args.rate, sim_rate_rps=args.sim_rate,
         concurrency=args.concurrency, batching=args.batching,
         max_batch=args.max_batch, queue_capacity=args.queue_capacity,
-        high_watermark=args.high_watermark)
+        high_watermark=args.high_watermark, sanitize=args.sanitize)
 
     if not args.quiet:
         print(render(report))

@@ -105,8 +105,10 @@ class TracingExecutor(FunctionalExecutor):
     def execute(self, inst: Instruction) -> None:
         op = inst.opcode
         if op is Opcode.BARRIER:
-            self.instructions_executed += 1
+            # base execute() handles the count and the sanitizer hooks
+            # (a barrier is a happens-before edge for the race detector)
             self.trace.barrier()
+            super().execute(inst)
             return
         if op is Opcode.NOP:
             super().execute(inst)

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+import repro.sanitize as sanitize_mod
 from repro.isa.executor import FunctionalExecutor
 from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
 from repro.obs import get_observability
@@ -162,6 +163,16 @@ class Device:
         #: lazily-created KernelCache (avoids importing the compiler
         #: package unless the device actually compiles something).
         self.kernel_cache = None
+        #: kernel identity -> (kernel, RaceVerdict) from sanitized
+        #: launches; consulted by ``run_compiled(wide=None)`` before
+        #: taking the wide path.  Lifecycle matches the kernel cache
+        #: (``reset(clear_cache=True)`` drops it).
+        self._race_verdicts: dict = {}
+        #: KernelSanitizeResult per sanitized launch on this device.
+        self.sanitizer_results: list = []
+        #: per-surface-label OOB clipped-lane totals observed by this
+        #: device's launches (counting mode; see repro.sanitize.oob).
+        self.oob_lanes: Dict[str, int] = {}
 
     # -- memory management -------------------------------------------------
 
@@ -230,6 +241,13 @@ class Device:
         """
         kname = name or getattr(kernel, "__name__", "cm")
         self.begin_enqueue()
+        # Under an active sanitizer session every eager launch runs with
+        # a per-kernel race detector attached to the bound surfaces (the
+        # eager path is already sequential, so sanitizing adds only the
+        # recording cost).
+        sess = sanitize_mod.current_session()
+        if sess is not None:
+            sess.begin_kernel(kname, self.surfaces)
         acc = TimingAccumulator(self.machine)
         bacc = (BreakdownAccumulator(self.machine)
                 if self.obs.breakdowns else None)
@@ -237,6 +255,8 @@ class Device:
         n_threads = 0
         with trace_span("dispatch", kernel=kname, path="cm"):
             for thread_id in self._grid_ids(grid):
+                if sess is not None:
+                    sess.race.begin_thread(thread_id)
                 trace = ThreadTrace(self.machine)
                 if thread_ctx is None:
                     thread_ctx = ThreadContext(trace, thread_id=thread_id)
@@ -255,6 +275,9 @@ class Device:
         if n_threads:
             # The eager path streams: exactly one trace is ever live.
             self.profile.note_live_traces(1)
+        if sess is not None:
+            sess.finish_kernel()
+        self._collect_oob(self.surfaces)
         return self._record(acc.finalize(), kname, bacc)
 
     def run_compiled(self, kernel, grid: Sequence[int],
@@ -268,6 +291,7 @@ class Device:
                      executor: Optional[TracingExecutor] = None,
                      wide: Optional[bool] = None,
                      max_live_threads: int = 1024,
+                     validate: Optional[str] = None,
                      ) -> Optional[KernelRun]:
         """Launch a :class:`CompiledKernel` over a grid of hardware threads.
 
@@ -288,6 +312,27 @@ class Device:
         :class:`TracingExecutor`, retiring traces every
         ``chunk_threads``); ``wide=True`` raises if the program is not
         wide-eligible instead of silently falling back.
+
+        The wide path is only bit-identical for *race-free* programs,
+        so auto-selection is gated by the sanitizer (``validate``,
+        default from :func:`repro.sanitize.default_validate` /
+        ``REPRO_SANITIZE``):
+
+        - ``"first"`` — a kernel's first ``wide=None`` launch runs
+          sequentially with the race detector and uninitialized-GRF
+          tracker attached; the cached
+          :class:`~repro.sanitize.race.RaceVerdict` then admits
+          (``race_free``) or permanently refuses (conflicts found)
+          the wide path for subsequent launches.  Simulated timing is
+          identical either way — only wall-clock differs.
+        - ``"always"`` — every launch runs sanitized-sequential.
+        - ``"off"`` — trust the caller; eligible programs go wide
+          unchecked (the pre-sanitizer behaviour).
+
+        An explicit ``wide=True`` bypasses validation (the caller
+        asserts race freedom); ``wide=False`` under ``"first"`` stays
+        an unsanitized scalar launch so tests pinning scalar-path
+        internals see no hooks.
 
         With ``collect_timing=False`` the launch is functional only (no
         traces, no :class:`KernelRun`) and returns ``None``.
@@ -320,24 +365,57 @@ class Device:
         fixed = {} if scalars is None or per_thread else dict(scalars)
 
         eligible = wide_eligible(kernel.program)
-        if executor is not None:
-            if not collect_timing:
-                raise ValueError("pooled executors imply collect_timing")
-            if isinstance(executor, WideTracingExecutor):
-                if eligible and wide is not False:
+        if validate is not None:
+            mode = validate
+        elif sanitize_mod.current_session() is not None:
+            mode = "always"  # inside sanitize.session(): check everything
+        else:
+            mode = sanitize_mod.default_validate()
+        if mode not in sanitize_mod.VALIDATE_MODES:
+            raise ValueError(
+                f"validate must be one of {sanitize_mod.VALIDATE_MODES}, "
+                f"got {mode!r}")
+        cached = self._race_verdicts.get(id(kernel))
+        verdict = cached[1] if (cached is not None and cached[0] is kernel) \
+            else None
+        #: may the wide path be taken without a sanitized launch first?
+        certified = mode == "off" or (verdict is not None
+                                      and verdict.race_free)
+        sanitize_now = wide is not True and (
+            mode == "always"
+            or (mode == "first" and wide is None and eligible
+                and verdict is None))
+
+        if executor is not None and not collect_timing:
+            raise ValueError("pooled executors imply collect_timing")
+        pooled_wide = isinstance(executor, WideTracingExecutor)
+        if not sanitize_now:
+            if pooled_wide:
+                if eligible and wide is not False and certified:
                     return self._run_compiled_wide(
                         kernel, grid, table, scalar_bases, scalars,
                         per_thread, fixed, kname, collect_timing,
                         executor, max_live_threads)
-                executor = None  # ineligible program: fresh scalar path
-        elif wide is True or (wide is None and eligible):
-            if not eligible:
-                raise ValueError(
-                    f"{kname}: program is not wide-eligible "
-                    f"(wide=True was requested)")
-            return self._run_compiled_wide(
-                kernel, grid, table, scalar_bases, scalars, per_thread,
-                fixed, kname, collect_timing, None, max_live_threads)
+                # ineligible or uncertified program: fresh scalar path
+                executor = None
+            elif wide is True or (wide is None and eligible and certified):
+                if not eligible:
+                    raise ValueError(
+                        f"{kname}: program is not wide-eligible "
+                        f"(wide=True was requested)")
+                return self._run_compiled_wide(
+                    kernel, grid, table, scalar_bases, scalars, per_thread,
+                    fixed, kname, collect_timing, None, max_live_threads)
+        elif pooled_wide:
+            executor = None  # wide pool is unusable on a sanitized launch
+
+        san = oob_base = None
+        if sanitize_now:
+            race = sanitize_mod.RaceDetector()
+            race.attach(table.values())
+            san = sanitize_mod.ExecSanitizer(
+                race=race, uninit=sanitize_mod.UninitTracker())
+            oob_base = [(s, s.oob_clipped_lanes) for s in table.values()]
 
         scratch = None
         if kernel.allocation.scratch_bytes:
@@ -352,6 +430,8 @@ class Device:
         else:
             ex = TracingExecutor(table) if collect_timing else \
                 FunctionalExecutor(table)
+        if san is not None:
+            ex.san = san
         acc = TimingAccumulator(self.machine) if collect_timing else None
         bacc = (BreakdownAccumulator(self.machine)
                 if collect_timing and self.obs.breakdowns else None)
@@ -361,6 +441,8 @@ class Device:
         with trace_span("dispatch", kernel=kname, path="compiled"):
             for thread_id in self._grid_ids(grid):
                 ex.reset()
+                if san is not None:
+                    san.begin_thread(thread_id)
                 if scratch is not None:
                     scratch.bytes.fill(0)
                 if collect_timing:
@@ -372,6 +454,8 @@ class Device:
                     if value is not None:
                         ex.grf.write_bytes(
                             base, np.asarray([value], dtype=np.int32))
+                        if san is not None:
+                            san.mark_grf_valid(base, 4)
                 ex.run(kernel.program)
                 n_threads += 1
                 if collect_timing:
@@ -388,9 +472,56 @@ class Device:
         self.profile.threads_run += n_threads
         self.profile.note_live_traces(live_peak)
 
+        if san is not None:
+            ex.san = None
+            self._finish_sanitized(kernel, kname, san, oob_base)
+        self._collect_oob(table.values())
+
         if not collect_timing:
             return None
         return self._record(acc.finalize(), kname, bacc)
+
+    def _finish_sanitized(self, kernel, kname: str, san, oob_base) -> None:
+        """Fold a sanitized-sequential launch into verdicts and reports."""
+        verdict = san.race.finish()
+        self._race_verdicts[id(kernel)] = (kernel, verdict)
+        oob: Dict[str, int] = {}
+        for surf, base in oob_base:
+            delta = int(surf.oob_clipped_lanes) - base
+            if delta:
+                label = getattr(surf, "obs_label", "surface")
+                oob[label] = oob.get(label, 0) + delta
+        result = sanitize_mod.KernelSanitizeResult(
+            kernel=kname, verdict=verdict,
+            uninit=list(san.uninit.findings),
+            uninit_total=san.uninit.total, oob_lanes=oob)
+        self.sanitizer_results.append(result)
+        if self.obs.enabled:
+            reg = self.obs.registry
+            if not verdict.race_free:
+                reg.counter("sanitize_race_conflicts", kernel=kname).inc(
+                    len(verdict.conflicts))
+            if result.uninit_total:
+                reg.counter("sanitize_uninit_reads", kernel=kname).inc(
+                    result.uninit_total)
+        sess = sanitize_mod.current_session()
+        if sess is not None:
+            sess.report.add(result)
+
+    def _collect_oob(self, surfs) -> None:
+        """Fold per-surface OOB clip deltas into device totals + metrics."""
+        for surf in surfs:
+            total = int(getattr(surf, "oob_clipped_lanes", 0))
+            seen = getattr(surf, "_oob_reported", 0)
+            delta = total - seen
+            if delta <= 0:
+                continue
+            surf._oob_reported = total
+            label = getattr(surf, "obs_label", "surface")
+            self.oob_lanes[label] = self.oob_lanes.get(label, 0) + delta
+            if self.obs.enabled:
+                self.obs.registry.counter(
+                    "sanitize_oob_lanes", surface=label).inc(delta)
 
     def _run_compiled_wide(self, kernel, grid, table, scalar_bases,
                            scalars, per_thread, fixed, kname: str,
@@ -463,6 +594,7 @@ class Device:
         self.profile.threads_run += total
         if live_peak:
             self.profile.note_live_traces(live_peak)
+        self._collect_oob(table.values())
 
         if not collect_timing:
             return None
@@ -547,10 +679,16 @@ class Device:
         self.runs.clear()
         self.surfaces.clear()
         self.profile = DeviceProfile()
+        self.sanitizer_results.clear()
+        self.oob_lanes.clear()
         if self.kernel_cache is not None:
             if clear_cache:
                 self.kernel_cache.clear()
             self.kernel_cache.stats = type(self.kernel_cache.stats)()
+        if clear_cache:
+            # sanitizer verdicts are keyed by kernel identity, exactly
+            # like cached programs: drop them together.
+            self._race_verdicts.clear()
 
     def report(self) -> str:
         """Human-readable per-run breakdown (for examples and debugging)."""
@@ -576,4 +714,16 @@ class Device:
                 f"  kernel cache: {st.hits} hits, {st.misses} misses "
                 f"({st.hit_rate:.0%} hit rate), {st.evictions} evictions, "
                 f"{len(self.kernel_cache)} entries")
+        if self.oob_lanes:
+            oob = ", ".join(f"{k}={v}"
+                            for k, v in sorted(self.oob_lanes.items()))
+            lines.append(f"  oob clipped lanes: {oob}")
+        if self.sanitizer_results:
+            clean = sum(1 for r in self.sanitizer_results if r.clean)
+            lines.append(
+                f"  sanitizer: {len(self.sanitizer_results)} sanitized "
+                f"launch(es), {clean} clean")
+            for r in self.sanitizer_results:
+                if not r.clean:
+                    lines.append(f"    {r.summary()}")
         return "\n".join(lines)

@@ -131,6 +131,7 @@ from repro.isa.instructions import (  # noqa: E402
 )
 from repro.isa.regions import Region  # noqa: E402
 from repro.isa.wide import WideExecutor  # noqa: E402
+from repro.sanitize import RaceDetector  # noqa: E402
 
 _TIDS = [0, 1, 2, 3, 7]          # includes a gap so addresses collide unevenly
 _TID_BASE = 32                   # r1.0:d
@@ -142,6 +143,8 @@ _FREG = 6                        # :f working register
 _AREG = 8                        # :ud element-offset register
 _PREG = 9                        # payload register
 _OREG = 10                       # atomic old-value register
+_SREG = 11                       # thread-private scatter offsets
+_TREG = 12                       # scratch for tid*8
 
 _ALU_OPS = [Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.XOR,
             Opcode.MIN, Opcode.MAX]
@@ -179,6 +182,19 @@ def _prologue():
                            [_src(_AREG, UD), _bcast(1, D)]))
     out.append(Instruction(Opcode.AND, 8, _dst(_AREG, UD),
                            [_src(_AREG, UD), Immediate(_ADDR_MASK, UD)]))
+    # Scatter offsets fold into a private 8-word window per thread
+    # (tid*8 + lane offset): non-atomic cross-thread writes to the same
+    # bytes are a data race, so the generator keeps them disjoint and
+    # the race detector certifies that it succeeded (see
+    # _run_sequential).  Gathers and atomics keep the shared _AREG
+    # pattern — reads of a read-only surface and colliding atomics are
+    # race-free and exactly the ordered cases worth fuzzing.
+    out.append(Instruction(Opcode.AND, 8, _dst(_SREG, UD),
+                           [_src(_AREG, UD), Immediate(7, UD)]))
+    out.append(Instruction(Opcode.SHL, 8, _dst(_TREG, UD),
+                           [_bcast(1, UD), Immediate(3, UD)]))
+    out.append(Instruction(Opcode.ADD, 8, _dst(_SREG, UD),
+                           [_src(_SREG, UD), _bcast(_TREG, UD)]))
     out.append(Instruction(Opcode.MOV, 8, _dst(_PREG, D), [_src(3, D)]))
     return out
 
@@ -239,19 +255,21 @@ def _build_step(kind, a, b, c, idx=0):
                             pred=Predicate(FlagOperand(0),
                                            invert=bool(c % 2)))]
     # Memory steps keep the program *race-free across threads*: gathers
-    # read surface 0 (never written), scatters hit surface 1, and each
-    # atomic step gets a private window of surface 2 (addr0).  A read
-    # that observes another thread's write is a data race — undefined on
-    # hardware, and the one thing the lockstep model legitimately
-    # reorders relative to sequential per-thread dispatch.  Collisions
-    # *within* one message (the ordered case) are still heavily hit.
+    # read surface 0 (never written), scatters hit thread-private
+    # windows of surface 1 (_SREG), and each atomic step gets a private
+    # window of surface 2 (addr0).  A read that observes another
+    # thread's write is a data race — undefined on hardware, and the
+    # one thing the lockstep model legitimately reorders relative to
+    # sequential per-thread dispatch.  This discipline is not taken on
+    # faith: _run_sequential runs the repro.sanitize race detector over
+    # every generated program and asserts the race-free verdict.
     if kind == "gather":
         msg = MessageDesc(MsgKind.GATHER, surface=0, addr_reg=_AREG,
                           payload_reg=_PREG, payload_bytes=32,
                           elem_dtype=D)
         return [Instruction(Opcode.SEND, 8, None, [], msg=msg, pred=pred)]
     if kind == "scatter":
-        msg = MessageDesc(MsgKind.SCATTER, surface=1, addr_reg=_AREG,
+        msg = MessageDesc(MsgKind.SCATTER, surface=1, addr_reg=_SREG,
                           payload_reg=_PREG, payload_bytes=32,
                           elem_dtype=D)
         return [Instruction(Opcode.SEND, 8, None, [], msg=msg, pred=pred)]
@@ -300,16 +318,26 @@ def _surface_bytes(table):
     return {k: s.bytes.copy() for k, s in table.items()}
 
 
-def _run_sequential(program, seed):
+def _run_sequential(program, seed, certify=True):
     table = _make_surfaces(seed)
+    detector = RaceDetector()
+    detector.attach(table.values())
     ex = FunctionalExecutor(table)
     grfs, flags = [], []
     for tid in _TIDS:
         ex.reset()
+        detector.begin_thread(tid)
         ex.grf.write_bytes(_TID_BASE, np.asarray([tid], dtype=np.int32))
         ex.run(program)
         grfs.append(ex.grf.bytes.copy())
         flags.append({k: v.copy() for k, v in ex.flags.items()})
+    verdict = detector.finish()
+    if certify:
+        # The wide-vs-sequential equivalence claim only holds for
+        # race-free programs; certify the generator's discipline.
+        assert verdict.race_free, \
+            "generator produced a racy program: " + \
+            "; ".join(str(c) for c in verdict.conflicts)
     return np.stack(grfs), flags, _surface_bytes(table)
 
 
@@ -373,3 +401,120 @@ def test_wide_predicated_atomics_thread_order(op_idx, invert, with_dst,
     for bti in seq_surf:
         assert np.array_equal(wide_surf[bti], seq_surf[bti])
     assert np.array_equal(wide_grf, seq_grf)
+
+
+# -- seeded-bug corpus --------------------------------------------------------
+#
+# The detector certification in _run_sequential is only meaningful if
+# the checkers actually fire on the bug classes they claim to catch:
+# plant one of each (cross-thread race, out-of-bounds clip, read of an
+# uninitialized register) and require a 100% catch rate.
+
+import pytest  # noqa: E402
+
+from repro.memory.surfaces import Image2DSurface  # noqa: E402
+from repro.sanitize import (  # noqa: E402
+    ExecSanitizer, OOBError, UninitTracker, strict,
+)
+
+
+def _verdict_for(program, seed=5):
+    table = _make_surfaces(seed)
+    detector = RaceDetector()
+    detector.attach(table.values())
+    ex = FunctionalExecutor(table)
+    for tid in _TIDS:
+        ex.reset()
+        detector.begin_thread(tid)
+        ex.grf.write_bytes(_TID_BASE, np.asarray([tid], dtype=np.int32))
+        ex.run(program)
+    return detector.finish()
+
+
+class TestSeededBugs:
+    def test_planted_write_write_race_is_caught(self):
+        # scatter through the *shared* offset register: threads with
+        # overlapping _AREG windows write the same bytes of surface 1.
+        prog = list(_prologue())
+        msg = MessageDesc(MsgKind.SCATTER, surface=1, addr_reg=_AREG,
+                          payload_reg=_PREG, payload_bytes=32,
+                          elem_dtype=D)
+        prog.append(Instruction(Opcode.SEND, 8, None, [], msg=msg))
+        verdict = _verdict_for(prog)
+        assert not verdict.race_free
+        assert any(c.kind == "write-write" for c in verdict.conflicts)
+        # and the certified path refuses such a program outright
+        with pytest.raises(AssertionError, match="racy"):
+            _run_sequential(prog, seed=5)
+
+    def test_planted_read_write_race_is_caught(self):
+        # private-window scatters plus a shared-window gather of the
+        # *same* surface: later threads read bytes earlier threads wrote.
+        prog = list(_prologue())
+        prog.append(Instruction(Opcode.SEND, 8, None, [], msg=MessageDesc(
+            MsgKind.SCATTER, surface=1, addr_reg=_SREG,
+            payload_reg=_PREG, payload_bytes=32, elem_dtype=D)))
+        prog.append(Instruction(Opcode.SEND, 8, None, [], msg=MessageDesc(
+            MsgKind.GATHER, surface=1, addr_reg=_AREG,
+            payload_reg=_PREG, payload_bytes=32, elem_dtype=D)))
+        verdict = _verdict_for(prog)
+        assert not verdict.race_free
+        assert any(c.kind == "read-write" for c in verdict.conflicts)
+
+    def test_race_free_program_is_certified(self):
+        # the same shape with disciplined addressing passes cleanly.
+        prog = list(_prologue())
+        prog.append(Instruction(Opcode.SEND, 8, None, [], msg=MessageDesc(
+            MsgKind.SCATTER, surface=1, addr_reg=_SREG,
+            payload_reg=_PREG, payload_bytes=32, elem_dtype=D)))
+        prog.append(Instruction(Opcode.SEND, 8, None, [], msg=MessageDesc(
+            MsgKind.GATHER, surface=0, addr_reg=_AREG,
+            payload_reg=_PREG, payload_bytes=32, elem_dtype=D)))
+        assert _verdict_for(prog).race_free
+
+    def test_planted_uninit_read_is_caught(self):
+        prog = list(_prologue())
+        prog.append(Instruction(Opcode.ADD, 8, _dst(_DATA[0], D),
+                                [_src(20, D), _src(_DATA[1], D)]))
+        table = _make_surfaces(3)
+        ex = FunctionalExecutor(table)
+        san = ExecSanitizer(uninit=UninitTracker())
+        ex.san = san
+        ex.reset()
+        san.begin_thread(0)
+        ex.grf.write_bytes(_TID_BASE, np.asarray([0], dtype=np.int32))
+        san.mark_grf_valid(_TID_BASE, 4)
+        ex.run(prog)
+        assert san.uninit.total > 0
+        assert any(f.reg == 20 for f in san.uninit.findings)
+
+    def test_clean_program_has_no_uninit_findings(self):
+        prog = _build_program([("alu", 1, 2, 3), ("gather", 0, 0, 0),
+                               ("scatter", 0, 0, 0)])
+        table = _make_surfaces(3)
+        ex = FunctionalExecutor(table)
+        san = ExecSanitizer(uninit=UninitTracker())
+        ex.san = san
+        ex.reset()
+        san.begin_thread(0)
+        ex.grf.write_bytes(_TID_BASE, np.asarray([0], dtype=np.int32))
+        san.mark_grf_valid(_TID_BASE, 4)
+        ex.run(prog)
+        assert san.uninit.total == 0, san.uninit.findings
+
+    def test_planted_oob_block_read_is_caught(self):
+        img = Image2DSurface(np.zeros((8, 16), dtype=np.uint8))
+        msg = MessageDesc(MsgKind.MEDIA_BLOCK_READ, surface=0,
+                          addr0=Immediate(12, UD), addr1=Immediate(4, UD),
+                          payload_reg=_PREG, block_width=8, block_height=8)
+        prog = [Instruction(Opcode.SEND, 8, None, [], msg=msg)]
+        ex = FunctionalExecutor({0: img})
+        ex.reset()
+        ex.run(prog)
+        # 8x8 block at (12, 4) on a 16x8 image: only 4x4 is in bounds.
+        assert img.oob_clipped_lanes == 48
+        with strict():
+            ex2 = FunctionalExecutor({0: img})
+            ex2.reset()
+            with pytest.raises(OOBError):
+                ex2.run(prog)

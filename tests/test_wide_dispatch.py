@@ -38,7 +38,7 @@ _SAXPY_SIG = [("xbuf", False), ("ybuf", False)]
 
 
 def _run_saxpy(wide, n_threads=64, max_live_threads=1024, executor=None,
-               obs=None):
+               obs=None, validate="off"):
     dev = Device(obs=obs) if obs is not None else Device()
     rng = np.random.default_rng(7)
     x = rng.standard_normal(n_threads * _VEC).astype(np.float32)
@@ -50,7 +50,7 @@ def _run_saxpy(wide, n_threads=64, max_live_threads=1024, executor=None,
                            scalars=lambda tid: {"tid": tid[0]},
                            name="wsaxpy", wide=wide,
                            max_live_threads=max_live_threads,
-                           executor=executor)
+                           executor=executor, validate=validate)
     expect = 2.0 * x + y
     got = ybuf.to_numpy().view(np.float32)
     assert np.allclose(got, expect, atol=1e-6)
@@ -184,6 +184,9 @@ class TestScratch:
 
 
 class TestDispatchPlumbing:
+    # These tests pin the wide plumbing itself, so they run with
+    # validate="off" (the _run_saxpy default); the sanitized
+    # first-launch gating of wide=None is covered in test_sanitize.py.
     def test_wide_is_the_default_for_eligible_programs(self):
         dev, _ = _run_saxpy(wide=None)
         # the wide path keeps whole chunks of traces live
