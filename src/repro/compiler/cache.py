@@ -55,6 +55,15 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+def _release_derived(kernel) -> None:
+    """Drop a kernel's derived state (plan table, JIT megakernel) when
+    it leaves the cache, so long-lived serving processes cannot leak
+    plans for programs they will never run again."""
+    release = getattr(kernel, "release_derived", None)
+    if release is not None:
+        release()
+
+
 def cache_key(body: Callable, name: str,
               surfaces: Sequence[Tuple[str, bool]],
               scalar_params: Sequence[str] = (),
@@ -131,7 +140,8 @@ class KernelCache:
                                     optimize=optimize)
             self._entries[key] = kernel
             if self.maxsize is not None and len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                _key, evicted = self._entries.popitem(last=False)
+                _release_derived(evicted)
                 self.stats.evictions += 1
                 if self._m_evictions is not None:
                     self._m_evictions.inc()
@@ -158,7 +168,7 @@ class KernelCache:
                       if (name is None or k[1] == name)
                       and (body is None or k[0] is body)]
             for k in doomed:
-                del self._entries[k]
+                _release_derived(self._entries.pop(k))
             self.stats.invalidations += len(doomed)
             if self._m_invalidations is not None:
                 self._m_invalidations.inc(len(doomed))
@@ -167,6 +177,8 @@ class KernelCache:
     def clear(self) -> int:
         with self._lock:
             n = len(self._entries)
+            for kernel in self._entries.values():
+                _release_derived(kernel)
             self._entries.clear()
             self.stats.invalidations += n
             if self._m_invalidations is not None:

@@ -31,10 +31,34 @@ class CompiledKernel:
     program: List[Instruction]
     allocation: Allocation
     surfaces: List[str] = field(default_factory=list)
+    #: lazily-built derived execution state whose lifetime must match
+    #: the kernel's (program-scoped instruction plans, JIT megakernel).
+    #: ``KernelCache`` calls :meth:`release_derived` on eviction.
+    _plan_table: object = field(default=None, repr=False, compare=False)
+    _jit: object = field(default=None, repr=False, compare=False)
 
     @property
     def num_instructions(self) -> int:
         return len(self.program)
+
+    def plan_table(self):
+        """The program-scoped :class:`~repro.isa.plans.PlanTable`.
+
+        Built on first use and shared by every executor that runs this
+        kernel (sequential, wide, and JIT dispatch), so plan
+        construction happens once per cached program — and dies with it.
+        """
+        table = self._plan_table
+        if table is None:
+            from repro.isa.plans import PlanTable
+            table = PlanTable(self.program)
+            self._plan_table = table
+        return table
+
+    def release_derived(self) -> None:
+        """Drop derived state (plans, JIT) when the kernel is evicted."""
+        self._plan_table = None
+        self._jit = None
 
     def asm(self) -> str:
         """Gen-assembly listing of the compiled kernel."""
@@ -53,6 +77,7 @@ class CompiledKernel:
             table[SCRATCH_BTI] = BufferSurface.allocate(
                 self.allocation.scratch_bytes)
         ex = FunctionalExecutor(table)
+        ex.bind_plans(self.plan_table())
         for name, value in (scalars or {}).items():
             vreg = self.visa.params.get(name)
             if vreg is None:

@@ -22,6 +22,7 @@ from repro.isa.grf import GRFFile, RegOperand, GRF_SIZE_BYTES
 from repro.isa.instructions import (
     CondMod, Immediate, Instruction, MathFn, MsgKind, Opcode,
 )
+from repro.isa.plans import PlanTable
 from repro.isa.regions import Region
 
 
@@ -47,13 +48,18 @@ class FunctionalExecutor:
         self.surfaces = dict(surfaces or {})
         self.instructions_executed = 0
         #: (operand, exec_size) -> byte-index array; survives reset().
+        #: Keyed by operand *value* (RegOperand is a frozen dataclass),
+        #: so entries are never stale regardless of program lifetime.
         self._region_plans: dict = {}
         #: (Immediate, exec_size) -> read-only broadcast array.
         self._imm_cache: dict = {}
-        #: id(inst) -> fully-resolved ALU plan; survives reset().  Keyed
-        #: by identity (with the instruction held in the plan to guard
-        #: against id reuse) so the hot loop never hashes operands.
-        self._inst_plans: dict = {}
+        #: the :class:`~repro.isa.plans.PlanTable` bound to the program
+        #: currently being run.  Fully-resolved per-instruction plans
+        #: live here, keyed by (program, index) — never by ``id(inst)``,
+        #: which goes stale when an Instruction object is recycled into
+        #: a new program.  ``run()`` rebinds/rebuilds on program change,
+        #: so a pooled executor holds at most one program's plans.
+        self.plans: PlanTable | None = None
         #: optional sanitizer hook bundle
         #: (:class:`repro.sanitize.hooks.ExecSanitizer`); when set,
         #: ``before_inst``/``after_inst`` are called around every
@@ -156,7 +162,25 @@ class FunctionalExecutor:
 
     # -- main loop -----------------------------------------------------------
 
+    def bind_plans(self, table: PlanTable | None) -> None:
+        """Adopt a shared plan table (e.g. one attached to a kernel).
+
+        ``run()`` verifies the binding and replaces it if the program
+        differs, so a wrong table can never be *used* — binding merely
+        lets executors share plan construction work for the same
+        program (and ties plan lifetime to the table's owner).
+        """
+        if table is not None:
+            self.plans = table
+
+    def _bind_program(self, program: Sequence[Instruction]) -> PlanTable:
+        table = self.plans
+        if table is None or not table.matches(program):
+            self.plans = table = PlanTable(program)
+        return table
+
     def run(self, program: Sequence[Instruction]) -> None:
+        self._bind_program(program)
         for inst in program:
             self.execute(inst)
 
@@ -177,14 +201,25 @@ class FunctionalExecutor:
 
     # -- ALU ------------------------------------------------------------------
 
+    def _plan_slot(self, inst: Instruction):
+        """(table, slot, cached plan) for an instruction of the bound
+        program; (None, None, None) for ad-hoc ``execute()`` calls."""
+        table = self.plans
+        if table is not None:
+            slot = table.slot(inst)
+            if slot is not None:
+                return table, slot, table.plans[slot]
+        return None, None, None
+
     def _alu_plan(self, inst: Instruction) -> tuple:
         """Resolve everything about an ALU instruction that does not
         depend on thread state: source index plans / broadcast arrays and
         the promoted execution type.  A compiled program runs the same
-        ``Instruction`` objects for every thread, so plans are keyed by
-        instruction identity and built exactly once per program."""
-        plan = self._inst_plans.get(id(inst))
-        if plan is not None and plan[0] is inst:
+        ``Instruction`` objects for every thread, so plans are built once
+        per program and stored in the bound :class:`PlanTable` slot (ad-hoc
+        instructions outside the bound program get an unmemoized plan)."""
+        table, slot, plan = self._plan_slot(inst)
+        if plan is not None:
             return plan
         n = inst.exec_size
         fetchers = []
@@ -210,7 +245,8 @@ class FunctionalExecutor:
         nopred = _without_pred(inst) \
             if inst.opcode is Opcode.SEL and inst.pred is not None else None
         plan = (inst, fetchers, exec_dtype, dst_idx, nopred)
-        self._inst_plans[id(inst)] = plan
+        if table is not None:
+            table.plans[slot] = plan
         return plan
 
     def _execute_alu(self, inst: Instruction) -> None:
@@ -245,8 +281,8 @@ class FunctionalExecutor:
         """Like :meth:`_alu_plan`, for CMP: source plans, the promoted
         comparison dtype, the resolved comparison ufunc, and the planned
         destination indices (when CMP also writes a bool-vector dst)."""
-        plan = self._inst_plans.get(id(inst))
-        if plan is not None and plan[0] is inst:
+        table, slot, plan = self._plan_slot(inst)
+        if plan is not None:
             return plan
         n = inst.exec_size
         fetchers = []
@@ -266,7 +302,8 @@ class FunctionalExecutor:
         }[inst.cond_mod]
         dst_idx = self._dst_plan(inst.dst, n) if inst.dst is not None else None
         plan = (inst, fetchers, exec_dtype, cmp_fn, dst_idx)
-        self._inst_plans[id(inst)] = plan
+        if table is not None:
+            table.plans[slot] = plan
         return plan
 
     def _execute_cmp(self, inst: Instruction) -> None:

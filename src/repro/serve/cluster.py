@@ -37,7 +37,7 @@ import repro.sanitize as sanitize_mod
 from repro.obs import get_observability
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import trace_span
-from repro.isa.wide import WideTracingExecutor
+from repro.isa.jit import JitTracingExecutor
 from repro.sim.device import Device
 from repro.sim.machine import GEN11_ICL, MachineConfig
 
@@ -110,11 +110,14 @@ class DeviceWorker(threading.Thread):
                                    kernel=batch.kernel_name,
                                    size=batch.size):
             batch_busy_us = 0.0
-            # Pooled wide executor: coalesced compiled batches reuse one
-            # grid-vectorized executor (and its instruction plans) across
-            # the whole batch; run_compiled falls back to a fresh scalar
-            # path for programs the wide path cannot vectorize.
-            pooled = WideTracingExecutor() if (
+            # Pooled JIT-capable wide executor: coalesced compiled
+            # batches reuse one grid-vectorized executor across the
+            # whole batch, and run_compiled binds the kernel's cached
+            # megakernel into it so every request after the first skips
+            # both plan construction and JIT compilation; run_compiled
+            # falls back to a fresh scalar path for programs the wide
+            # path cannot vectorize.
+            pooled = JitTracingExecutor() if (
                 batch.size > 1 and batch.items[0].kind == "compiled") \
                 else None
             for pos, item in enumerate(batch.items):

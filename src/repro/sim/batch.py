@@ -32,6 +32,28 @@ from repro.isa.msg_geometry import (
 from repro.sim.trace import MemKind, ThreadTrace
 
 
+def _alu_cost(inst: Instruction, machine) -> tuple:
+    """(n_inst, issue_cycles) for one legalized ALU instruction.
+
+    Same math as :meth:`ThreadTrace.alu` with ``inst_factor`` folded to
+    1, precomputed so per-thread replay is two additions.  Shared with
+    the JIT template builder (:mod:`repro.isa.jit`), which folds these
+    costs into a statically-simulated trace.
+    """
+    exec_dtype: Optional[DType] = None
+    for s in inst.srcs:
+        t = getattr(s, "dtype", None)
+        if t is not None:
+            exec_dtype = t if exec_dtype is None else promote(exec_dtype, t)
+    if exec_dtype is None and inst.dst is not None:
+        exec_dtype = inst.dst.dtype
+    n = inst.exec_size
+    n_inst = -(-n // machine.native_simd(exec_dtype.size))
+    lanes = machine.alu_lanes_per_cycle(exec_dtype,
+                                        inst.opcode is Opcode.MATH)
+    return (n_inst, max(n_inst * machine.issue_cycles_per_inst, n / lanes))
+
+
 class TracingExecutor(FunctionalExecutor):
     """A :class:`FunctionalExecutor` that also records a thread trace.
 
@@ -48,12 +70,15 @@ class TracingExecutor(FunctionalExecutor):
         #: GRF register index -> MemEvent still awaiting its first use.
         self._pending_loads: dict = {}
         #: (operand, exec_size) -> tuple of GRF registers the source reads.
+        #: Value-keyed (RegOperand is frozen), so never stale.
         self._operand_regs: dict = {}
-        #: id(inst) -> (inst, merged source-register tuple).
-        self._inst_src_regs: dict = {}
-        #: id(inst) -> (inst, n_inst, issue_cycles).  Valid because every
-        #: trace attached to one executor shares the same machine model.
-        self._alu_costs: dict = {}
+        # Per-instruction memos (merged source registers, ALU issue
+        # costs) live in the inherited program-scoped ``self.plans``
+        # PlanTable — keyed by (program, index), never ``id(inst)``, so
+        # a recycled Instruction in a new program cannot alias a stale
+        # entry and pooled executors stay bounded (one program's worth
+        # of plans at a time).  Costs are sub-keyed per machine, so one
+        # kernel-attached table serves heterogeneous devices.
 
     def begin_thread(self, trace: ThreadTrace) -> None:
         """Attach the trace for the next thread and clear dependency state."""
@@ -83,18 +108,27 @@ class TracingExecutor(FunctionalExecutor):
                 for r in [r for r, e in pending.items() if e is ev]:
                     del pending[r]
 
+    def _merged_src_regs(self, inst: Instruction) -> tuple:
+        merged: list = []
+        for s in inst.srcs:
+            if isinstance(s, RegOperand):
+                merged.extend(self._src_regs(s, inst.exec_size))
+        return tuple(dict.fromkeys(merged))
+
     def _note_src_consumption(self, inst: Instruction) -> None:
         if not self._pending_loads:
             return
-        cached = self._inst_src_regs.get(id(inst))
-        if cached is None or cached[0] is not inst:
-            merged: list = []
-            for s in inst.srcs:
-                if isinstance(s, RegOperand):
-                    merged.extend(self._src_regs(s, inst.exec_size))
-            cached = (inst, tuple(dict.fromkeys(merged)))
-            self._inst_src_regs[id(inst)] = cached
-        self._consume_regs(cached[1])
+        regs = None
+        table = self.plans
+        if table is not None:
+            slot = table.slot(inst)
+            if slot is not None:
+                regs = table.src_regs[slot]
+                if regs is None:
+                    regs = table.src_regs[slot] = self._merged_src_regs(inst)
+        if regs is None:  # ad-hoc instruction outside the bound program
+            regs = self._merged_src_regs(inst)
+        self._consume_regs(regs)
 
     def _register_load(self, first_reg: int, nbytes: int, ev) -> None:
         for reg in range(first_reg, first_reg + -(-nbytes // GRF_SIZE_BYTES)):
@@ -122,30 +156,21 @@ class TracingExecutor(FunctionalExecutor):
         self._account_alu(inst)
 
     def _account_alu(self, inst: Instruction) -> None:
-        cost = self._alu_costs.get(id(inst))
-        if cost is None or cost[0] is not inst:
-            exec_dtype: Optional[DType] = None
-            for s in inst.srcs:
-                t = getattr(s, "dtype", None)
-                if t is not None:
-                    exec_dtype = t if exec_dtype is None else \
-                        promote(exec_dtype, t)
-            if exec_dtype is None and inst.dst is not None:
-                exec_dtype = inst.dst.dtype
-            # Same math as ThreadTrace.alu for a legalized instruction
-            # (inst_factor folds to 1), precomputed so per-thread replay
-            # is two additions.
-            m = self.trace.machine
-            n = inst.exec_size
-            n_inst = -(-n // m.native_simd(exec_dtype.size))
-            lanes = m.alu_lanes_per_cycle(exec_dtype,
-                                          inst.opcode is Opcode.MATH)
-            cycles = max(n_inst * m.issue_cycles_per_inst, n / lanes)
-            cost = (inst, n_inst, cycles)
-            self._alu_costs[id(inst)] = cost
         trace = self.trace
-        trace.inst_count += cost[1]
-        trace.issue_cycles += cost[2]
+        cost = None
+        slots = None
+        table = self.plans
+        if table is not None:
+            slot = table.slot(inst)
+            if slot is not None:
+                slots = table.cost_slots(trace.machine)
+                cost = slots[slot]
+        if cost is None:
+            cost = _alu_cost(inst, trace.machine)
+            if slots is not None:
+                slots[slot] = cost
+        trace.inst_count += cost[0]
+        trace.issue_cycles += cost[1]
 
     # -- memory accounting --------------------------------------------------
 

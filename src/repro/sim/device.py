@@ -31,6 +31,7 @@ observability the extra cost is a couple of branch checks per chunk.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
@@ -92,6 +93,10 @@ class DeviceProfile:
             "compile_cache_hits", "kernel cache hits via Device.compile")
         self._compile_cache_misses = self.registry.counter(
             "compile_cache_misses", "kernel cache misses via Device.compile")
+        self._jit_compiles = self.registry.counter(
+            "jit_compiles", "megakernel JIT compilations")
+        self._jit_cache_hits = self.registry.counter(
+            "jit_cache_hits", "launches reusing a cached megakernel")
 
     # Attribute-compatible accessors over the registry instruments.
 
@@ -136,6 +141,22 @@ class DeviceProfile:
         self._compile_cache_misses.inc(
             value - self._compile_cache_misses.value)
 
+    @property
+    def jit_compiles(self) -> int:
+        return int(self._jit_compiles.value)
+
+    @jit_compiles.setter
+    def jit_compiles(self, value: int) -> None:
+        self._jit_compiles.inc(value - self._jit_compiles.value)
+
+    @property
+    def jit_cache_hits(self) -> int:
+        return int(self._jit_cache_hits.value)
+
+    @jit_cache_hits.setter
+    def jit_cache_hits(self, value: int) -> None:
+        self._jit_cache_hits.inc(value - self._jit_cache_hits.value)
+
     def note_live_traces(self, count: int) -> None:
         """Record an observed number of concurrently live traces."""
         self._peak_live_traces.set_max(count)
@@ -145,7 +166,9 @@ class DeviceProfile:
                 f"chunks_dispatched={self.chunks_dispatched}, "
                 f"peak_live_traces={self.peak_live_traces}, "
                 f"compile_cache_hits={self.compile_cache_hits}, "
-                f"compile_cache_misses={self.compile_cache_misses})")
+                f"compile_cache_misses={self.compile_cache_misses}, "
+                f"jit_compiles={self.jit_compiles}, "
+                f"jit_cache_hits={self.jit_cache_hits})")
 
 
 class Device:
@@ -290,6 +313,7 @@ class Device:
                      collect_timing: bool = True,
                      executor: Optional[TracingExecutor] = None,
                      wide: Optional[bool] = None,
+                     jit: Optional[bool] = None,
                      max_live_threads: int = 1024,
                      validate: Optional[str] = None,
                      ) -> Optional[KernelRun]:
@@ -333,6 +357,17 @@ class Device:
         asserts race freedom); ``wide=False`` under ``"first"`` stays
         an unsanitized scalar launch so tests pinning scalar-path
         internals see no hooks.
+
+        On top of the wide path sits the **JIT tier** (``jit=None``,
+        the default): whenever a launch takes the wide path, the
+        program is compiled once to a Python megakernel
+        (:mod:`repro.isa.jit`) cached on the kernel object, and each
+        chunk executes with zero per-instruction dispatch.  Results
+        and simulated timing are bit-identical to both other tiers —
+        the JIT rides the same race-verdict gating as the wide path.
+        ``jit=False`` keeps the wide interpreter; ``jit=True`` forces
+        the JIT tier (implies the wide path, bypasses validation like
+        ``wide=True``, and raises if the program cannot be compiled).
 
         With ``collect_timing=False`` the launch is functional only (no
         traces, no :class:`KernelRun`) and returns ``None``.
@@ -381,7 +416,14 @@ class Device:
         #: may the wide path be taken without a sanitized launch first?
         certified = mode == "off" or (verdict is not None
                                       and verdict.race_free)
-        sanitize_now = wide is not True and (
+        if jit is True and wide is False:
+            raise ValueError(
+                f"{kname}: jit=True requires the wide path (wide=False "
+                f"was also requested)")
+        #: explicit vector-path requests bypass validation: the caller
+        #: asserts race freedom (jit=True implies the wide path).
+        forced = wide is True or jit is True
+        sanitize_now = not forced and (
             mode == "always"
             or (mode == "first" and wide is None and eligible
                 and verdict is None))
@@ -391,21 +433,29 @@ class Device:
         pooled_wide = isinstance(executor, WideTracingExecutor)
         if not sanitize_now:
             if pooled_wide:
-                if eligible and wide is not False and certified:
+                if eligible and wide is not False and (certified
+                                                      or jit is True):
                     return self._run_compiled_wide(
                         kernel, grid, table, scalar_bases, scalars,
                         per_thread, fixed, kname, collect_timing,
-                        executor, max_live_threads)
-                # ineligible or uncertified program: fresh scalar path
-                executor = None
-            elif wide is True or (wide is None and eligible and certified):
-                if not eligible:
+                        executor, max_live_threads, jit=jit)
+                if jit is True:
                     raise ValueError(
                         f"{kname}: program is not wide-eligible "
-                        f"(wide=True was requested)")
+                        f"(jit=True was requested)")
+                # ineligible or uncertified program: fresh scalar path
+                executor = None
+            elif (wide is True or jit is True
+                  or (wide is None and eligible and certified)):
+                if not eligible:
+                    which = "wide" if wide is True else "jit"
+                    raise ValueError(
+                        f"{kname}: program is not wide-eligible "
+                        f"({which}=True was requested)")
                 return self._run_compiled_wide(
                     kernel, grid, table, scalar_bases, scalars, per_thread,
-                    fixed, kname, collect_timing, None, max_live_threads)
+                    fixed, kname, collect_timing, None, max_live_threads,
+                    jit=jit)
         elif pooled_wide:
             executor = None  # wide pool is unusable on a sanitized launch
 
@@ -523,10 +573,37 @@ class Device:
                 self.obs.registry.counter(
                     "sanitize_oob_lanes", surface=label).inc(delta)
 
+    def _jit_for(self, kernel, kname: str):
+        """Resolve the kernel's cached JIT megakernel (compiling once).
+
+        Returns ``None`` when the program is not JIT-eligible; updates
+        the device profile / metrics with compile-vs-hit accounting.
+        """
+        from repro.isa.jit import get_jit
+
+        t0 = time.perf_counter()
+        jitk, cached = get_jit(kernel)
+        if jitk is None:
+            return None
+        if cached:
+            self.profile.jit_cache_hits += 1
+            if self.obs.enabled:
+                self.obs.registry.counter(
+                    "jit_cache_hits", kernel=kname).inc()
+        else:
+            dt = time.perf_counter() - t0
+            self.profile.jit_compiles += 1
+            if self.obs.enabled:
+                reg = self.obs.registry
+                reg.counter("jit_compiles", kernel=kname).inc()
+                reg.counter("jit_compile_seconds", kernel=kname).inc(dt)
+        return jitk
+
     def _run_compiled_wide(self, kernel, grid, table, scalar_bases,
                            scalars, per_thread, fixed, kname: str,
                            collect_timing: bool, executor,
-                           max_live_threads: int) -> Optional[KernelRun]:
+                           max_live_threads: int,
+                           jit: Optional[bool] = None) -> Optional[KernelRun]:
         """Grid-vectorized dispatch: each instruction runs once for a
         whole chunk of threads (see :mod:`repro.isa.wide`)."""
         from repro.compiler.finalizer import SCRATCH_BTI
@@ -559,17 +636,39 @@ class Device:
             scratch = WideScratch(0, kernel.allocation.scratch_bytes)
             table[SCRATCH_BTI] = scratch
 
+        jitk = self._jit_for(kernel, kname) if jit is not False else None
+        if jit is True and jitk is None:
+            raise ValueError(
+                f"{kname}: program is not JIT-eligible "
+                f"(jit=True was requested)")
         if executor is not None:
             executor.rebind(table)
             ex = executor
+            if jitk is not None:
+                if hasattr(ex, "bind_jit"):
+                    ex.bind_jit(jitk)
+                elif jit is True:
+                    raise ValueError(
+                        f"{kname}: pooled executor {type(ex).__name__} "
+                        f"cannot run the JIT tier (jit=True was requested)")
+                else:  # plain pooled wide executor: stay on the wide path
+                    jitk = None
         else:
-            ex = WideTracingExecutor(table) if collect_timing else \
-                WideExecutor(table)
+            if jitk is not None:
+                from repro.isa.jit import JitExecutor, JitTracingExecutor
+                ex = JitTracingExecutor(table) if collect_timing else \
+                    JitExecutor(table)
+                ex.bind_jit(jitk)
+            else:
+                ex = WideTracingExecutor(table) if collect_timing else \
+                    WideExecutor(table)
+        ex.bind_plans(kernel.plan_table())
+        path = "jit" if jitk is not None else "wide"
         acc = TimingAccumulator(self.machine) if collect_timing else None
         bacc = (BreakdownAccumulator(self.machine)
                 if collect_timing and self.obs.breakdowns else None)
         live_peak = 0
-        with trace_span("dispatch", kernel=kname, path="wide"):
+        with trace_span("dispatch", kernel=kname, path=path):
             for start in range(0, total, max_live):
                 count = min(max_live, total - start)
                 ex.reset(count)
@@ -579,16 +678,25 @@ class Device:
                     ex.begin_launch(self.machine)
                 for pname, base in scalar_bases:
                     ex.seed_scalar(base, cols[pname][start:start + count])
-                with trace_span("dispatch:wide", kernel=kname,
+                with trace_span(f"dispatch:{path}", kernel=kname,
                                 threads=count):
                     ex.run(kernel.program)
                 if collect_timing:
-                    traces = ex.drain_traces()
-                    for tr in traces:
-                        tr.note_grf(kernel.allocation.max_grf_bytes)
                     if count > live_peak:
                         live_peak = count
-                    self._retire_chunk(acc, traces, bacc)
+                    if jitk is not None and bacc is None:
+                        # JIT chunks fold timing without fanning the
+                        # template out into per-thread traces (the
+                        # breakdown profiler still needs real traces).
+                        with trace_span("chunk", threads=count):
+                            self.profile.chunks_dispatched += 1
+                            ex.fold_chunk(
+                                acc, kernel.allocation.max_grf_bytes)
+                    else:
+                        traces = ex.drain_traces()
+                        for tr in traces:
+                            tr.note_grf(kernel.allocation.max_grf_bytes)
+                        self._retire_chunk(acc, traces, bacc)
                 else:
                     self.profile.chunks_dispatched += 1
         self.profile.threads_run += total

@@ -372,11 +372,7 @@ def test_wide_matches_sequential_bit_exact(steps, seed):
             assert np.array_equal(wide_f, seq_f), f"flag f{idx} diverged"
 
 
-@settings(max_examples=15, deadline=None)
-@given(st.integers(0, len(_ATOMIC_OPS) - 1), st.booleans(), st.booleans(),
-       st.integers(0, 2**31 - 1))
-def test_wide_predicated_atomics_thread_order(op_idx, invert, with_dst,
-                                              seed):
+def _collision_atomic_program(op_idx, invert, with_dst):
     """Atomics under a data-dependent predicate, colliding across threads."""
     op = _ATOMIC_OPS[op_idx]
     needs_src = op not in ("inc", "dec")
@@ -395,12 +391,81 @@ def test_wide_predicated_atomics_thread_order(op_idx, invert, with_dst,
     prog.append(Instruction(
         Opcode.SEND, 8, _dst(_OREG, D) if with_dst else None, [], msg=msg,
         pred=Predicate(FlagOperand(0), invert=invert)))
+    return prog
 
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, len(_ATOMIC_OPS) - 1), st.booleans(), st.booleans(),
+       st.integers(0, 2**31 - 1))
+def test_wide_predicated_atomics_thread_order(op_idx, invert, with_dst,
+                                              seed):
+    prog = _collision_atomic_program(op_idx, invert, with_dst)
     seq_grf, _, seq_surf = _run_sequential(prog, seed)
     wide_grf, _, wide_surf = _run_wide(prog, seed)
     for bti in seq_surf:
         assert np.array_equal(wide_surf[bti], seq_surf[bti])
     assert np.array_equal(wide_grf, seq_grf)
+
+
+# -- JIT megakernel vs wide vs sequential -------------------------------------
+#
+# The JIT tier (repro.isa.jit) compiles the whole program to one
+# generated Python function; it claims the same architectural
+# bit-identity as the wide interpreter.  The three-way differential
+# holds all three back ends to one oracle over the same random corpus.
+
+from repro.isa.jit import JitExecutor, JitKernel, jit_eligible  # noqa: E402
+
+
+def _run_jit(program, seed):
+    table = _make_surfaces(seed)
+    ex = JitExecutor(table, num_threads=len(_TIDS))
+    ex.bind_jit(JitKernel(program))
+    ex.seed_scalar(_TID_BASE, np.asarray(_TIDS, dtype=np.int32))
+    ex.run(program)
+    return ex.grf2d.copy(), ex.flags, _surface_bytes(table)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_WIDE_STEP, min_size=1, max_size=10),
+       st.integers(0, 2**31 - 1))
+def test_jit_matches_wide_and_sequential_bit_exact(steps, seed):
+    program = _build_program(steps)
+    # every construct the generator can emit must compile, not fall back
+    assert jit_eligible(program)
+    with np.errstate(all="ignore"):
+        seq_grf, seq_flags, seq_surf = _run_sequential(program, seed)
+        wide_grf, _, wide_surf = _run_wide(program, seed)
+        jit_grf, jit_flags, jit_surf = _run_jit(program, seed)
+
+    for bti in seq_surf:
+        assert np.array_equal(jit_surf[bti], seq_surf[bti]), \
+            f"surface {bti}: jit diverged from sequential"
+        assert np.array_equal(jit_surf[bti], wide_surf[bti]), \
+            f"surface {bti}: jit diverged from wide"
+    assert np.array_equal(jit_grf, seq_grf), "GRF: jit vs sequential"
+    assert np.array_equal(jit_grf, wide_grf), "GRF: jit vs wide"
+    indices = set(jit_flags)
+    for t, per_thread in enumerate(seq_flags):
+        indices |= set(per_thread)
+        for idx in indices:
+            seq_f = per_thread.get(idx, np.zeros(32, dtype=bool))
+            jit_f = jit_flags[idx][t] if idx in jit_flags else \
+                np.zeros(32, dtype=bool)
+            assert np.array_equal(jit_f, seq_f), f"flag f{idx} diverged"
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, len(_ATOMIC_OPS) - 1), st.booleans(), st.booleans(),
+       st.integers(0, 2**31 - 1))
+def test_jit_predicated_atomics_thread_order(op_idx, invert, with_dst,
+                                             seed):
+    prog = _collision_atomic_program(op_idx, invert, with_dst)
+    seq_grf, _, seq_surf = _run_sequential(prog, seed)
+    jit_grf, _, jit_surf = _run_jit(prog, seed)
+    for bti in seq_surf:
+        assert np.array_equal(jit_surf[bti], seq_surf[bti])
+    assert np.array_equal(jit_grf, seq_grf)
 
 
 # -- seeded-bug corpus --------------------------------------------------------

@@ -1,0 +1,327 @@
+"""Kernel JIT megakernels: codegen, caching, dispatch plumbing — and
+the stale-plan regressions that motivated program-scoped PlanTables.
+
+Architectural bit-identity of the JIT tier against the sequential and
+wide interpreters is pinned by the three-way differential fuzz in
+test_fuzz_differential.py; this file covers everything around it:
+
+- the ``id(inst)`` memoization bugs the :class:`~repro.isa.plans.
+  PlanTable` keying fixes (a recycled ``Instruction`` object must never
+  see a stale plan; pooled executors must not grow unboundedly),
+- megakernel compilation, eligibility, and the kernel-attached cache
+  (compile once, hit afterwards, released with the kernel),
+- ``Device.run_compiled`` tier selection (``jit=None/True/False``),
+  chunking, pooled executors, and timing parity with the other tiers.
+"""
+
+import dataclasses
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.compiler.cache import KernelCache
+from repro.isa.dtypes import D, F
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.grf import RegOperand
+from repro.isa.instructions import (
+    Immediate, Instruction, MessageDesc, Opcode,
+)
+from repro.isa.jit import (
+    JitExecutor, JitKernel, JitTracingExecutor, get_jit, jit_eligible,
+)
+from repro.isa.wide import WideExecutor, WideTracingExecutor
+from repro.isa.regions import Region
+from repro.sim.device import Device
+
+_VEC = 16
+
+
+def _packed(n):
+    w = min(n, 8)
+    return Region(w, w, 1)
+
+
+def _load_reg(ex, reg, values, dtype):
+    ex.grf.write_bytes(reg * 32, np.asarray(values, dtype=dtype.np_dtype))
+
+
+def _add_imm(imm):
+    return Instruction(
+        Opcode.ADD, 8, RegOperand(2, 0, D),
+        [RegOperand(1, 0, D, _packed(8)), Immediate(imm, D)])
+
+
+def _saxpy_body(cmx, xbuf, ybuf, tid):
+    off = tid * (_VEC * 4)
+    x = cmx.vector(np.float32, _VEC)
+    cmx.read(xbuf, off, x)
+    y = cmx.vector(np.float32, _VEC)
+    cmx.read(ybuf, off, y)
+    out = cmx.vector(np.float32, _VEC)
+    out.assign(x * np.float32(2.0) + y)
+    cmx.write(ybuf, off, out)
+
+
+_SAXPY_SIG = [("xbuf", False), ("ybuf", False)]
+
+
+def _run_saxpy(jit, wide=None, n_threads=32, max_live_threads=1024,
+               executor=None, dev=None, collect_timing=True):
+    dev = dev if dev is not None else Device()
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(n_threads * _VEC).astype(np.float32)
+    y = rng.standard_normal(n_threads * _VEC).astype(np.float32)
+    xbuf, ybuf = dev.buffer(x.copy()), dev.buffer(y.copy())
+    kern = dev.compile(_saxpy_body, "jsaxpy", _SAXPY_SIG, ["tid"])
+    run = dev.run_compiled(kern, grid=(n_threads,), surfaces=[xbuf, ybuf],
+                           scalars=lambda t: {"tid": t[0]}, name="jsaxpy",
+                           wide=wide, jit=jit, executor=executor,
+                           max_live_threads=max_live_threads,
+                           collect_timing=collect_timing, validate="off")
+    got = ybuf.to_numpy().view(np.float32).copy()
+    assert np.allclose(got, 2.0 * x + y, atol=1e-6)
+    return dev, run, got
+
+
+def _timing_equal(a, b):
+    return all(getattr(a, f.name) == getattr(b, f.name)
+               for f in dataclasses.fields(a))
+
+
+# -- the id(inst) regression --------------------------------------------------
+
+
+class TestStalePlanRegression:
+    def test_recycled_instruction_does_not_reuse_stale_plan(self):
+        """An Instruction object recycled (same ``id``) into a *new*
+        program with mutated operands must be re-planned.
+
+        The pre-PlanTable executor memoized plans in an ``id(inst)``
+        keyed dict that survived across ``run()`` calls, so the mutated
+        instruction silently executed with the old program's baked
+        immediate fetcher and produced the old result."""
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, range(8), D)
+        inst = _add_imm(10)
+        ex.run([inst])
+        assert ex.grf.dump_reg(2, D)[:8].tolist() == list(range(10, 18))
+        # same object identity, new operands, new program list
+        inst.srcs = [RegOperand(1, 0, D, _packed(8)), Immediate(100, D)]
+        ex.run([inst])
+        assert ex.grf.dump_reg(2, D)[:8].tolist() == list(range(100, 108))
+
+    def test_recycled_destination_not_stale(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, range(8), D)
+        inst = _add_imm(5)
+        ex.run([inst])
+        inst.dst = RegOperand(3, 0, D)
+        ex.run([inst])
+        assert ex.grf.dump_reg(3, D)[:8].tolist() == list(range(5, 13))
+
+    def test_plan_table_is_program_scoped(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, range(8), D)
+        prog = [_add_imm(1)]
+        ex.run(prog)
+        table = ex.plans
+        assert table is not None and table.matches(prog)
+        ex.run(prog)  # same list object: table retained
+        assert ex.plans is table
+        other = [_add_imm(2)]
+        ex.run(other)  # different program: table replaced, not grown
+        assert ex.plans is not table and ex.plans.matches(other)
+
+
+class TestBoundedPlanState:
+    def test_pooled_executor_keeps_one_program_of_plans(self):
+        """The old id-keyed dicts grew by one entry per instruction per
+        program for the lifetime of a pooled executor; the PlanTable
+        binding holds exactly the current program's plans."""
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, range(8), D)
+        last = None
+        for imm in range(50):
+            last = [_add_imm(imm), _add_imm(imm + 1)]
+            ex.run(last)
+        assert ex.plans.matches(last)
+        assert len(ex.plans.plans) == len(last)
+
+    def test_dead_programs_are_collectable(self):
+        ex = FunctionalExecutor()
+        _load_reg(ex, 1, range(8), D)
+        prog = [_add_imm(7)]
+        ref = weakref.ref(prog[0])
+        ex.run(prog)
+        del prog
+        ex.run([_add_imm(8)])  # rebinding drops the old table
+        gc.collect()
+        assert ref() is None
+
+
+# -- compilation + executors --------------------------------------------------
+
+
+class TestJitKernel:
+    def test_codegen_and_functional_parity(self):
+        prog = [_add_imm(10),
+                Instruction(Opcode.MUL, 8, RegOperand(3, 0, D),
+                            [RegOperand(2, 0, D, _packed(8)),
+                             Immediate(3, D)])]
+        assert jit_eligible(prog)
+        jitk = JitKernel(prog)
+        assert "def _mega" in jitk.source and jitk.n_sends == 0
+
+        seq = FunctionalExecutor()
+        _load_reg(seq, 1, range(8), D)
+        seq.run(prog)
+
+        jx = JitExecutor()
+        jx.reset(4)
+        for t in range(4):
+            jx.grf2d[t, 32:64] = np.arange(8, dtype=np.int32).view(np.uint8)
+        jx.bind_jit(jitk)
+        jx.run(prog)
+        for t in range(4):
+            got = jx.grf2d[t, 96:128].view(np.int32)
+            assert got.tolist() == seq.grf.dump_reg(3, D)[:8].tolist()
+
+    def test_unbound_program_falls_back_to_wide(self):
+        bound = [_add_imm(10)]
+        other = [_add_imm(99)]
+        jx = JitExecutor()
+        jx.reset(2)
+        jx.grf2d[:, 32:64] = np.arange(8, dtype=np.int32).view(np.uint8)
+        jx.bind_jit(JitKernel(bound))
+        jx.run(other)  # not the compiled program: interpreter path
+        assert jx.grf2d[0, 64:96].view(np.int32).tolist() == \
+            list(range(99, 107))
+
+    def test_ineligible_opcode_rejected(self):
+        bad = Instruction(Opcode.SEND,
+                          msg=MessageDesc(kind=None, surface=0))
+        assert not jit_eligible([bad])
+
+
+class TestKernelAttachedCache:
+    def test_get_jit_compiles_once(self):
+        dev = Device()
+        kern = dev.compile(_saxpy_body, "jsaxpy", _SAXPY_SIG, ["tid"])
+        jitk, cached = get_jit(kern)
+        assert jitk is not None and not cached
+        again, cached = get_jit(kern)
+        assert again is jitk and cached
+
+    def test_released_on_cache_eviction(self):
+        dev = Device()
+        dev.kernel_cache = KernelCache(maxsize=1)
+        kern = dev.compile(_saxpy_body, "jsaxpy", _SAXPY_SIG, ["tid"])
+        _run_saxpy(jit=True, dev=dev)
+        assert kern._jit is not None and kern._plan_table is not None
+
+        def other_body(cmx, xbuf, ybuf, tid):
+            _saxpy_body(cmx, xbuf, ybuf, tid)
+
+        dev.compile(other_body, "jsaxpy2", _SAXPY_SIG, ["tid"])  # evicts
+        assert kern._jit is None and kern._plan_table is None
+
+
+# -- device dispatch ----------------------------------------------------------
+
+
+class TestDeviceDispatch:
+    def test_jit_matches_wide_and_scalar(self):
+        _, run_j, out_j = _run_saxpy(jit=True)
+        _, run_w, out_w = _run_saxpy(jit=False, wide=True)
+        _, run_s, out_s = _run_saxpy(jit=False, wide=False)
+        assert np.array_equal(out_j, out_w)
+        assert np.array_equal(out_j, out_s)
+        assert _timing_equal(run_j.timing, run_w.timing)
+        assert _timing_equal(run_j.timing, run_s.timing)
+
+    def test_jit_is_the_default_top_tier(self):
+        dev, run_a, _ = _run_saxpy(jit=None)
+        assert dev.profile.jit_compiles == 1
+        _, run_s, _ = _run_saxpy(jit=False, wide=False)
+        assert _timing_equal(run_a.timing, run_s.timing)
+
+    def test_chunked_jit_matches_unchunked(self):
+        # 32 threads in chunks of 9: totals must not depend on chunking.
+        _, run_c, _ = _run_saxpy(jit=True, max_live_threads=9)
+        _, run_u, _ = _run_saxpy(jit=True)
+        assert _timing_equal(run_c.timing, run_u.timing)
+
+    def test_functional_only_jit_launch(self):
+        dev, run, _ = _run_saxpy(jit=True, collect_timing=False)
+        assert run is None and dev.runs == []
+
+    def test_profile_counts_compiles_and_hits(self):
+        dev = Device()
+        for _ in range(3):
+            _run_saxpy(jit=True, dev=dev)
+        assert dev.profile.jit_compiles == 1
+        assert dev.profile.jit_cache_hits == 2
+
+    def test_pooled_jit_executor_reused_across_launches(self):
+        pooled = JitTracingExecutor()
+        dev = Device()
+        _, run1, _ = _run_saxpy(jit=None, executor=pooled, dev=dev)
+        _, run2, _ = _run_saxpy(jit=None, executor=pooled, dev=dev)
+        _, run_s, _ = _run_saxpy(jit=False, wide=False)
+        assert dev.profile.jit_compiles == 1
+        assert dev.profile.jit_cache_hits == 1
+        assert _timing_equal(run1.timing, run_s.timing)
+        assert _timing_equal(run2.timing, run_s.timing)
+
+    def test_plain_pooled_wide_executor_stays_wide(self):
+        # a non-JIT pooled executor silently keeps the wide tier …
+        pooled = WideTracingExecutor()
+        dev, run, _ = _run_saxpy(jit=None, executor=pooled, dev=Device())
+        assert dev.profile.jit_cache_hits + dev.profile.jit_compiles == 1
+        _, run_s, _ = _run_saxpy(jit=False, wide=False)
+        assert _timing_equal(run.timing, run_s.timing)
+        # … unless the JIT was explicitly demanded
+        with pytest.raises(ValueError, match="cannot run the JIT tier"):
+            _run_saxpy(jit=True, executor=WideTracingExecutor())
+
+    def test_jit_true_requires_wide_path(self):
+        with pytest.raises(ValueError, match="requires the wide path"):
+            _run_saxpy(jit=True, wide=False)
+
+    def test_jit_true_on_ineligible_program_raises(self):
+        dev = Device()
+        kern = dev.compile(_saxpy_body, "jsaxpy", _SAXPY_SIG, ["tid"])
+        kern.program.insert(0, Instruction(
+            Opcode.SEND, msg=MessageDesc(kind=None, surface=0)))
+        buf = dev.buffer(np.zeros(_VEC, dtype=np.float32))
+        with pytest.raises(ValueError, match="jit=True was requested"):
+            dev.run_compiled(kern, grid=(1,), surfaces=[buf, buf],
+                             scalars={"tid": 0}, jit=True, validate="off")
+
+    def test_fold_chunk_matches_trace_fanout(self):
+        """The vectorized JIT timing fold and the per-thread trace
+        fan-out (which the breakdown profiler forces) must agree on
+        every KernelTiming field."""
+        from repro import obs as obs_mod
+
+        _, run_fold, _ = _run_saxpy(jit=True, n_threads=48,
+                                    max_live_threads=16)
+        with obs_mod.observed(span_metrics=False):
+            _, run_fan, _ = _run_saxpy(jit=True, n_threads=48,
+                                       max_live_threads=16)
+        assert run_fan.breakdown is not None
+        assert _timing_equal(run_fold.timing, run_fan.timing)
+
+    def test_dispatch_jit_spans_emitted(self):
+        from repro import obs as obs_mod
+        from repro.obs.tracing import ChromeTraceSink
+
+        sink = ChromeTraceSink()
+        with obs_mod.observed(sink=sink, span_metrics=False):
+            _run_saxpy(jit=True, max_live_threads=20)
+        jit_spans = [e for e in sink.events if e["name"] == "dispatch:jit"]
+        assert sorted(e["args"]["threads"] for e in jit_spans) == [12, 20]
+        outer = [e for e in sink.events if e["name"] == "dispatch"]
+        assert outer and outer[0]["args"]["path"] == "jit"

@@ -318,7 +318,8 @@ class TestWideGating:
             _launch(dev, kern, [xb, yb], validate="first")
             return dev
         events, dev = _trace(go)
-        assert _dispatch_paths(events) == ["compiled", "wide"]
+        # second launch takes the top auto tier (JIT) once certified
+        assert _dispatch_paths(events) == ["compiled", "jit"]
         assert len(dev.sanitizer_results) == 1
         assert dev.sanitizer_results[0].verdict.race_free
         assert dev.sanitizer_results[0].clean
@@ -363,7 +364,7 @@ class TestWideGating:
             _launch(dev, kern, [xb, yb], validate="off")
             return dev
         events, dev = _trace(go)
-        assert _dispatch_paths(events) == ["wide"]
+        assert _dispatch_paths(events) == ["jit"]
         assert dev.sanitizer_results == []
 
     def test_wide_true_bypasses_validation(self):

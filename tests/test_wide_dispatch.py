@@ -38,7 +38,7 @@ _SAXPY_SIG = [("xbuf", False), ("ybuf", False)]
 
 
 def _run_saxpy(wide, n_threads=64, max_live_threads=1024, executor=None,
-               obs=None, validate="off"):
+               obs=None, validate="off", jit=False):
     dev = Device(obs=obs) if obs is not None else Device()
     rng = np.random.default_rng(7)
     x = rng.standard_normal(n_threads * _VEC).astype(np.float32)
@@ -48,7 +48,7 @@ def _run_saxpy(wide, n_threads=64, max_live_threads=1024, executor=None,
     kern = dev.compile(_saxpy_body, "wsaxpy", _SAXPY_SIG, ["tid"])
     run = dev.run_compiled(kern, grid=(n_threads,), surfaces=[xbuf, ybuf],
                            scalars=lambda tid: {"tid": tid[0]},
-                           name="wsaxpy", wide=wide,
+                           name="wsaxpy", wide=wide, jit=jit,
                            max_live_threads=max_live_threads,
                            executor=executor, validate=validate)
     expect = 2.0 * x + y
