@@ -63,6 +63,7 @@ from repro.isa.wide import (
     _WIDE_MSG_KINDS, _WideEvent, WideExecutor, WideTracingExecutor,
     wide_eligible,
 )
+from repro.obs.tracing import trace_span
 from repro.sim.batch import _alu_cost
 from repro.sim.trace import MemKind, ThreadTrace
 
@@ -793,10 +794,14 @@ def get_jit(kernel):
     cur = kernel._jit
     if cur is not None:
         return (None if cur is _INELIGIBLE else cur), True
-    try:
-        jitk = JitKernel(kernel.program, plans=kernel.plan_table())
-    except JitError:
-        kernel._jit = _INELIGIBLE
-        return None, False
+    with trace_span("jit:compile",
+                    kernel=getattr(kernel, "name", "?")) as span:
+        try:
+            jitk = JitKernel(kernel.program, plans=kernel.plan_table())
+        except JitError as exc:
+            kernel._jit = _INELIGIBLE
+            span.set(eligible=False, reason=str(exc))
+            return None, False
+        span.set(eligible=True, instructions=len(kernel.program))
     kernel._jit = jitk
     return jitk, False

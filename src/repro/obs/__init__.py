@@ -37,18 +37,26 @@ from repro.obs.breakdown import (
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, format_labels,
 )
+from repro.obs.recorder import DumpReason, FlightDump, FlightRecorder
+from repro.obs.request import (
+    RequestTrace, SpanNode, mint_trace_id, traces_to_chrome,
+)
+from repro.obs.slo import SLObjective, SLOTracker
 from repro.obs.tracing import (
     ChromeTraceSink, JsonlSink, NULL_SINK, NullSink, TeeSink, Tracer,
-    get_tracer, set_tracer, trace_span,
+    active_request, get_tracer, set_tracer, trace_span,
 )
 
 __all__ = [
     "Observability", "DISABLED",
     "get_observability", "install", "enable", "disable", "observed",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "format_labels",
-    "Tracer", "trace_span", "get_tracer", "set_tracer",
+    "Tracer", "trace_span", "get_tracer", "set_tracer", "active_request",
     "ChromeTraceSink", "JsonlSink", "NullSink", "NULL_SINK", "TeeSink",
     "BreakdownAccumulator", "TimeBreakdown", "merge_breakdowns",
+    "RequestTrace", "SpanNode", "mint_trace_id", "traces_to_chrome",
+    "SLObjective", "SLOTracker",
+    "FlightRecorder", "FlightDump", "DumpReason",
 ]
 
 

@@ -1,0 +1,184 @@
+"""Always-on flight recorder: a bounded ring of request span trees.
+
+Production postmortems need the trace of the request that *already*
+misbehaved — turning tracing on after the page is too late.  The
+:class:`FlightRecorder` therefore retains the last ``capacity``
+completed :class:`~repro.obs.request.RequestTrace` trees in a ring
+buffer regardless of whether any trace sink is installed (the
+request-trace bridge works without one), and snapshots the full causal
+trace of any request that:
+
+- breached its SLO (:mod:`repro.obs.slo`),
+- produced sanitizer findings (race / OOB / uninit verdicts), or
+- failed outright,
+
+into its bounded :attr:`dumps` list (optionally also one JSON file per
+dump under ``dump_dir``).  Dumps survive ring eviction — they carry a
+materialized copy of the tree, not a reference.
+
+Costs are bounded by construction: the ring is a ``deque(maxlen=...)``
+plus an id index, recording is O(1), and each tree is capped at
+:data:`repro.obs.request.MAX_SPANS` spans.  The serve-path overhead of
+the whole always-on pipeline (minting + tree building + ring) is gated
+<5% by ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.request import RequestTrace, traces_to_chrome
+
+
+class DumpReason:
+    """Why a flight-recorder dump was taken."""
+
+    SLO_BREACH = "slo_breach"
+    SANITIZER = "sanitizer"
+    ERROR = "error"
+    MANUAL = "manual"
+
+    ALL = (SLO_BREACH, SANITIZER, ERROR, MANUAL)
+
+
+@dataclass
+class FlightDump:
+    """One dumped request: reason + a materialized copy of its tree."""
+
+    reason: str
+    trace_id: str
+    workload: str
+    detail: str = ""
+    #: ``RequestTrace.to_dict()`` snapshot taken at dump time.
+    trace: Dict[str, Any] = field(default_factory=dict)
+    #: path of the JSON file written for this dump (``dump_dir`` set).
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"reason": self.reason, "trace_id": self.trace_id,
+                "workload": self.workload, "detail": self.detail,
+                "trace": self.trace}
+
+
+class FlightRecorder:
+    """Bounded ring buffer of completed request traces + breach dumps."""
+
+    def __init__(self, capacity: int = 256, max_dumps: int = 64,
+                 dump_dir: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_dumps < 1:
+            raise ValueError("max_dumps must be >= 1")
+        self.capacity = capacity
+        self.max_dumps = max_dumps
+        self.dump_dir = dump_dir
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        #: trace_id -> RequestTrace, insertion-ordered (oldest first).
+        self._ring: "OrderedDict[str, RequestTrace]" = OrderedDict()
+        self.dumps: deque = deque(maxlen=max_dumps)
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.evicted = 0
+        self.dumped = 0
+        #: dumps dropped because :attr:`dumps` was full (never silent).
+        self.dumps_dropped = 0
+        self._m_recorded = self.registry.counter(
+            "recorder_traces", "request traces recorded")
+        self._m_evicted = self.registry.counter(
+            "recorder_evicted", "request traces evicted from the ring")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, trace: RequestTrace) -> None:
+        """Retain a completed trace, evicting the oldest beyond capacity."""
+        with self._lock:
+            self._ring[trace.trace_id] = trace
+            self._ring.move_to_end(trace.trace_id)
+            self.recorded += 1
+            while len(self._ring) > self.capacity:
+                self._ring.popitem(last=False)
+                self.evicted += 1
+                self._m_evicted.inc()
+        self._m_recorded.inc()
+
+    def get(self, trace_id: str) -> Optional[RequestTrace]:
+        """The retained trace for ``trace_id`` (None once evicted)."""
+        with self._lock:
+            return self._ring.get(trace_id)
+
+    def traces(self) -> List[RequestTrace]:
+        """Retained traces, oldest first."""
+        with self._lock:
+            return list(self._ring.values())
+
+    # -- dumping -----------------------------------------------------------
+
+    def dump(self, trace: Union[RequestTrace, str], reason: str,
+             detail: str = "") -> Optional[FlightDump]:
+        """Snapshot a trace (object or retained trace ID) into
+        :attr:`dumps`; returns None for an unknown/evicted ID."""
+        if reason not in DumpReason.ALL:
+            raise ValueError(f"unknown dump reason {reason!r}; "
+                             f"choose from {DumpReason.ALL}")
+        if isinstance(trace, str):
+            trace = self.get(trace)
+            if trace is None:
+                return None
+        dump = FlightDump(reason=reason, trace_id=trace.trace_id,
+                          workload=trace.workload, detail=detail,
+                          trace=trace.to_dict())
+        if self.dump_dir is not None:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            dump.path = os.path.join(
+                self.dump_dir, f"{trace.trace_id}.{reason}.json")
+            with open(dump.path, "w") as fh:
+                json.dump(dump.to_dict(), fh, indent=2)
+        with self._lock:
+            if len(self.dumps) == self.dumps.maxlen:
+                self.dumps_dropped += 1
+            self.dumps.append(dump)
+            self.dumped += 1
+        self.registry.counter("recorder_dumps", reason=reason).inc()
+        return dump
+
+    # -- export / reporting ------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """One Chrome-trace document of every retained request tree."""
+        return traces_to_chrome(self.traces())
+
+    def export_chrome(self, path_or_file) -> None:
+        doc = self.to_chrome()
+        if hasattr(path_or_file, "write"):
+            json.dump(doc, path_or_file)
+        else:
+            with open(path_or_file, "w") as fh:
+                json.dump(doc, fh)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            retained = len(self._ring)
+            by_reason: Dict[str, int] = {}
+            for d in self.dumps:
+                by_reason[d.reason] = by_reason.get(d.reason, 0) + 1
+        return {
+            "capacity": self.capacity,
+            "retained": retained,
+            "recorded": self.recorded,
+            "evicted": self.evicted,
+            "dumps": self.dumped,
+            "dumps_dropped": self.dumps_dropped,
+            "dumps_by_reason": by_reason,
+        }

@@ -1,0 +1,212 @@
+"""Service-level objectives: per-workload latency targets, attainment,
+and sliding-window burn rate.
+
+An :class:`SLObjective` says "``objective`` of requests for
+``workload`` must finish within ``target``" — targets exist in both of
+the serving layer's time domains (wall milliseconds and simulated
+microseconds; either or both may be set).  The :class:`SLOTracker`
+observes every completed request, keeps a sliding window per workload,
+and derives the two numbers an operator actually pages on:
+
+- **attainment**: the fraction of requests in the window that met the
+  objective's target (the SLI);
+- **burn rate**: how fast the error budget is being spent —
+  ``(1 - attainment) / (1 - objective)``.  Burn 1.0 means the budget
+  exactly lasts the period; burn 2.0 means it is gone in half the
+  period; sustained burn > 1 is an alert.
+
+Observations also land in the metrics registry as ``slo_requests`` /
+``slo_breaches`` counters and ``slo_attainment`` / ``slo_burn_rate``
+gauges (labeled by workload), so the same numbers are scrapeable and
+show up in ``ServeCluster.report()`` and the loadgen summary.
+
+A breach verdict is returned from :meth:`SLOTracker.observe` so the
+cluster can hand the request's span tree to the flight recorder
+(:mod:`repro.obs.recorder`) while the full causal trace still exists.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Error budgets below this are clamped so burn rate stays finite even
+#: for a (degenerate) 100% objective.
+_MIN_BUDGET = 1e-6
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One latency objective: targets, required fraction, window size."""
+
+    workload: str = "*"
+    #: wall-clock latency target in milliseconds (None = not bounded).
+    target_wall_ms: Optional[float] = None
+    #: simulated latency target in microseconds (None = not bounded).
+    target_sim_us: Optional[float] = None
+    #: required fraction of requests meeting the target (e.g. 0.99).
+    objective: float = 0.99
+    #: sliding-window length in requests for attainment / burn rate.
+    window: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError(f"objective must be in (0, 1], "
+                             f"got {self.objective}")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.target_wall_ms is None and self.target_sim_us is None:
+            raise ValueError("an SLObjective needs at least one of "
+                             "target_wall_ms / target_sim_us")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed breach fraction."""
+        return max(1.0 - self.objective, _MIN_BUDGET)
+
+    def met_by(self, latency_wall_ms: float, latency_sim_us: float,
+               failed: bool = False) -> bool:
+        """Did a request with these latencies meet the objective's
+        target?  Failed requests never meet it."""
+        if failed:
+            return False
+        if self.target_wall_ms is not None \
+                and latency_wall_ms > self.target_wall_ms:
+            return False
+        if self.target_sim_us is not None \
+                and latency_sim_us > self.target_sim_us:
+            return False
+        return True
+
+    def describe(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"objective": self.objective,
+                             "window": self.window}
+        if self.target_wall_ms is not None:
+            d["target_wall_ms"] = self.target_wall_ms
+        if self.target_sim_us is not None:
+            d["target_sim_us"] = self.target_sim_us
+        return d
+
+
+class _WorkloadState:
+    """Sliding window + lifetime totals for one workload."""
+
+    __slots__ = ("objective", "window", "requests", "breaches")
+
+    def __init__(self, objective: SLObjective) -> None:
+        self.objective = objective
+        self.window: deque = deque(maxlen=objective.window)
+        self.requests = 0
+        self.breaches = 0
+
+    def observe(self, ok: bool) -> None:
+        self.window.append(ok)
+        self.requests += 1
+        if not ok:
+            self.breaches += 1
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of window requests that met the target (1.0 empty)."""
+        if not self.window:
+            return 1.0
+        return sum(self.window) / len(self.window)
+
+    @property
+    def burn_rate(self) -> float:
+        """Window error rate over the error budget."""
+        return (1.0 - self.attainment) / self.objective.budget
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.objective.describe() | {
+            "requests": self.requests,
+            "breaches": self.breaches,
+            "attainment": self.attainment,
+            "burn_rate": self.burn_rate,
+            "attainment_total": ((self.requests - self.breaches)
+                                 / self.requests) if self.requests else 1.0,
+        }
+
+
+#: What ``ServeCluster(slo=...)`` accepts per workload.
+SLOSpec = Union[float, SLObjective]
+
+
+class SLOTracker:
+    """Tracks objectives for many workloads; ``"*"`` is the default.
+
+    ``objectives`` maps workload key to either an :class:`SLObjective`
+    or a bare float, shorthand for a wall-latency target in
+    milliseconds at the default 0.99 objective.
+    """
+
+    def __init__(self, objectives: Optional[Dict[str, SLOSpec]] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._objectives: Dict[str, SLObjective] = {}
+        for key, spec in (objectives or {}).items():
+            if not isinstance(spec, SLObjective):
+                spec = SLObjective(workload=key,
+                                   target_wall_ms=float(spec))
+            self._objectives[key] = spec
+        self._states: Dict[str, _WorkloadState] = {}
+        self._lock = threading.Lock()
+
+    def objective_for(self, workload: str) -> Optional[SLObjective]:
+        return self._objectives.get(workload, self._objectives.get("*"))
+
+    @property
+    def has_objectives(self) -> bool:
+        return bool(self._objectives)
+
+    def observe(self, workload: str, latency_wall_ms: float,
+                latency_sim_us: float, failed: bool = False) -> bool:
+        """Record one completed request; returns True when it breached."""
+        obj = self.objective_for(workload)
+        if obj is None:
+            return False
+        ok = obj.met_by(latency_wall_ms, latency_sim_us, failed=failed)
+        with self._lock:
+            state = self._states.get(workload)
+            if state is None:
+                state = self._states[workload] = _WorkloadState(obj)
+            state.observe(ok)
+            attainment = state.attainment
+            burn = state.burn_rate
+        reg = self.registry
+        reg.counter("slo_requests", workload=workload).inc()
+        if not ok:
+            reg.counter("slo_breaches", workload=workload).inc()
+        reg.gauge("slo_attainment", workload=workload).set(attainment)
+        reg.gauge("slo_burn_rate", workload=workload).set(burn)
+        return not ok
+
+    def observe_request(self, req) -> bool:
+        """Convenience: observe a finished ``repro.serve`` Request."""
+        from repro.serve.request import RequestStatus
+        return self.observe(req.workload,
+                            req.latency_wall_s * 1e3,
+                            req.latency_sim_us,
+                            failed=req.status is not RequestStatus.DONE)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Per-workload SLI snapshot plus an ``overall`` rollup."""
+        with self._lock:
+            per = {key: state.snapshot()
+                   for key, state in sorted(self._states.items())}
+        requests = sum(s["requests"] for s in per.values())
+        breaches = sum(s["breaches"] for s in per.values())
+        overall = {
+            "requests": requests,
+            "breaches": breaches,
+            "attainment": ((requests - breaches) / requests)
+            if requests else 1.0,
+            "max_burn_rate": max(
+                (s["burn_rate"] for s in per.values()), default=0.0),
+        }
+        return {"overall": overall, "workloads": per}

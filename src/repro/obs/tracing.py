@@ -17,6 +17,7 @@ stack (sim, compiler, memory) can import it without cycles.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import time
 from typing import IO, Optional, Union
@@ -103,17 +104,27 @@ class TeeSink:
 
 
 class _Span:
-    """A live span; records wall time on exit and emits one event."""
+    """A live span; records wall time on exit and emits one event.
 
-    __slots__ = ("tracer", "name", "attrs", "t0")
+    When a request trace is active (see :func:`activate_request`), the
+    span is additionally pushed into that trace's tree so per-request
+    causal chains survive across the serving layer's thread handoffs.
+    """
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+    __slots__ = ("tracer", "name", "attrs", "t0", "req", "_node")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict,
+                 req=None) -> None:
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
+        self.req = req
+        self._node = None
 
     def __enter__(self) -> "_Span":
         self.t0 = self.tracer.now_us()
+        if self.req is not None:
+            self._node = self.req.push(self.name, self.attrs, self.t0)
         return self
 
     def set(self, **attrs) -> None:
@@ -122,11 +133,14 @@ class _Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         t1 = self.tracer.now_us()
-        event = {"name": self.name, "ph": "X", "cat": "repro",
-                 "ts": self.t0, "dur": t1 - self.t0, "pid": 0, "tid": 0}
-        if self.attrs:
-            event["args"] = self.attrs
-        self.tracer.sink.emit(event)
+        if self._node is not None:
+            self.req.pop(self._node, t1)
+        if self.tracer.sink.enabled:
+            event = {"name": self.name, "ph": "X", "cat": "repro",
+                     "ts": self.t0, "dur": t1 - self.t0, "pid": 0, "tid": 0}
+            if self.attrs:
+                event["args"] = self.attrs
+            self.tracer.sink.emit(event)
         return False
 
 
@@ -162,6 +176,12 @@ class Tracer:
     def now_us(self) -> float:
         return (time.perf_counter() - self._epoch) * 1e6
 
+    def to_us(self, t_perf: float) -> float:
+        """Convert an absolute ``time.perf_counter()`` stamp to this
+        tracer's microsecond timeline (for cross-thread stage spans
+        whose start was captured before the span could be opened)."""
+        return (t_perf - self._epoch) * 1e6
+
     def span(self, name: str, attrs: Optional[dict] = None) -> _Span:
         return _Span(self, name, attrs or {})
 
@@ -180,9 +200,46 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return tracer
 
 
+#: The request trace (a ``repro.obs.request.RequestTrace``) active in
+#: the current context, if any; set by the serving layer around each
+#: request's execution so device/compiler spans land in its tree.
+_ACTIVE_REQUEST: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_request_trace", default=None)
+
+
+def activate_request(trace) -> contextvars.Token:
+    """Route subsequent ``trace_span`` calls in this context into
+    ``trace`` (anything with ``push(name, attrs, t0)`` / ``pop(node,
+    t1)``).  Returns a token for :func:`deactivate_request`."""
+    return _ACTIVE_REQUEST.set(trace)
+
+
+def deactivate_request(token: contextvars.Token) -> None:
+    _ACTIVE_REQUEST.reset(token)
+
+
+def active_request():
+    return _ACTIVE_REQUEST.get()
+
+
+#: Span names never bridged into request trees: per-chunk retire
+#: accounting fires once per execution chunk, so on large grids it would
+#: dominate both the tree size and the always-on recorder's per-request
+#: cost.  Sinks still receive these spans when tracing is enabled.
+_NO_BRIDGE = frozenset(("chunk",))
+
+
 def trace_span(name: str, **attrs):
-    """Open a span on the global tracer (no-op when tracing is disabled)."""
+    """Open a span on the global tracer (no-op when tracing is disabled).
+
+    With a request trace active the span is recorded into that trace's
+    tree even when no sink is installed — that is what keeps the flight
+    recorder always-on without enabling process-wide tracing.
+    """
     tracer = _TRACER
-    if not tracer.sink.enabled:
+    req = _ACTIVE_REQUEST.get()
+    if req is not None and name in _NO_BRIDGE:
+        req = None
+    if req is None and not tracer.sink.enabled:
         return NULL_SPAN
-    return _Span(tracer, name, attrs)
+    return _Span(tracer, name, attrs, req)

@@ -1,0 +1,175 @@
+"""Request-waterfall viewer for flight-recorder trace exports.
+
+``python -m repro.report.flight TRACE.json`` reads a Chrome-trace file
+produced by the serving layer (``loadgen --trace-out``,
+``FlightRecorder.export_chrome``, or a single flight dump written under
+``--dump-dir``) and prints one ASCII waterfall per request: every span
+of the causal tree on its own line, indented by depth, with a bar
+positioned on the request's own timeline.
+
+Options:
+
+- ``--trace-id ID`` (repeatable): show only these requests.
+- ``--slowest N``: show the N longest requests (default 5; 0 = all).
+- ``--width COLS``: bar width in characters (default 48).
+- ``--min-us US``: hide spans shorter than this (default 0).
+
+The viewer groups events by the ``trace_id`` each span carries in its
+``args``, so it works on any merge of request trees — including a file
+where many requests share one timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+
+def load_events(path: str) -> List[dict]:
+    """Trace-event rows from a Chrome-trace document or a flight dump."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, list):  # bare event array
+        return doc
+    if "traceEvents" in doc:
+        return doc["traceEvents"]
+    if "trace" in doc:  # FlightDump.to_dict(): rebuild rows from the tree
+        return _tree_to_events(doc["trace"])
+    raise ValueError(f"{path}: not a Chrome trace or flight dump")
+
+
+def _tree_to_events(trace: Dict[str, Any]) -> List[dict]:
+    events: List[dict] = []
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        args = dict(node.get("attrs", {}))
+        args["trace_id"] = trace.get("trace_id", "?")
+        events.append({"name": node["name"], "ph": "X",
+                       "ts": node["t0_us"], "dur": node["dur_us"],
+                       "tid": trace.get("request_id", 0), "args": args,
+                       "_depth": depth})
+        for child in node.get("children", []):
+            walk(child, depth + 1)
+
+    for root in trace.get("spans", []):
+        walk(root, 0)
+    return events
+
+
+def group_requests(events: List[dict]) -> Dict[str, List[dict]]:
+    """Complete spans ("X" phase) grouped by their ``trace_id`` arg."""
+    groups: Dict[str, List[dict]] = {}
+    names: Dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[ev.get("tid", 0)] = ev["args"]["name"]
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        tid = ev.get("args", {}).get("trace_id")
+        if tid is None:
+            tid = names.get(ev.get("tid", 0), f"tid-{ev.get('tid', 0)}")
+        groups.setdefault(str(tid), []).append(ev)
+    for evs in groups.values():
+        evs.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    return groups
+
+
+def _nest(events: List[dict]) -> List[dict]:
+    """Assign a ``_depth`` to each span by time containment."""
+    open_stack: List[dict] = []
+    for ev in events:
+        if "_depth" in ev:  # flight-dump path already knows depth
+            continue
+        t0, t1 = ev["ts"], ev["ts"] + ev.get("dur", 0.0)
+        while open_stack:
+            p = open_stack[-1]
+            if t0 < p["ts"] + p.get("dur", 0.0) - 1e-9 \
+                    and t1 <= p["ts"] + p.get("dur", 0.0) + 1e-9:
+                break
+            open_stack.pop()
+        ev["_depth"] = len(open_stack)
+        open_stack.append(ev)
+    return events
+
+
+_INTERESTING_ATTRS = ("kernel", "tier", "outcome", "policy", "device",
+                      "batch", "batch_size", "position", "depth", "chunk",
+                      "grid", "threads")
+
+
+def render_request(trace_id: str, events: List[dict], width: int = 48,
+                   min_us: float = 0.0) -> str:
+    _nest(events)
+    t0 = min(e["ts"] for e in events)
+    t1 = max(e["ts"] + e.get("dur", 0.0) for e in events)
+    span_total = max(t1 - t0, 1e-9)
+    label_w = max((len("  " * e["_depth"] + e["name"]) for e in events),
+                  default=0)
+    lines = [f"{trace_id}: {len(events)} spans, {span_total:.1f} us"]
+    for ev in events:
+        dur = ev.get("dur", 0.0)
+        if dur < min_us and ev["_depth"] > 0:
+            continue
+        lo = int((ev["ts"] - t0) / span_total * width)
+        hi = int((ev["ts"] + dur - t0) / span_total * width)
+        hi = max(hi, lo + 1)
+        bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+        label = "  " * ev["_depth"] + ev["name"]
+        attrs = ev.get("args", {})
+        extra = " ".join(f"{k}={attrs[k]}" for k in _INTERESTING_ATTRS
+                         if k in attrs)
+        lines.append(f"  {label:<{label_w}} |{bar}| "
+                     f"{dur:9.1f} us  {extra}".rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report.flight",
+        description="Print per-request ASCII waterfalls from a serving "
+                    "trace export or flight dump.")
+    parser.add_argument("trace", help="Chrome-trace JSON (loadgen "
+                        "--trace-out) or a flight-dump JSON file")
+    parser.add_argument("--trace-id", action="append", default=None,
+                        help="show only this request (repeatable)")
+    parser.add_argument("--slowest", type=int, default=5,
+                        help="show the N longest requests (0 = all)")
+    parser.add_argument("--width", type=int, default=48)
+    parser.add_argument("--min-us", type=float, default=0.0,
+                        help="hide nested spans shorter than this")
+    args = parser.parse_args(argv)
+
+    groups = group_requests(load_events(args.trace))
+    if not groups:
+        print(f"{args.trace}: no request spans found", file=sys.stderr)
+        return 1
+    if args.trace_id:
+        missing = [t for t in args.trace_id if t not in groups]
+        for t in missing:
+            print(f"trace id {t!r} not in {args.trace} "
+                  f"(have {len(groups)} requests)", file=sys.stderr)
+        selected = [(t, groups[t]) for t in args.trace_id if t in groups]
+        if not selected:
+            return 1
+    else:
+        def total_us(evs):
+            return (max(e["ts"] + e.get("dur", 0.0) for e in evs)
+                    - min(e["ts"] for e in evs))
+        selected = sorted(groups.items(), key=lambda kv: -total_us(kv[1]))
+        if args.slowest:
+            selected = selected[:args.slowest]
+    out = []
+    for tid, evs in selected:
+        out.append(render_request(tid, evs, width=args.width,
+                                  min_us=args.min_us))
+    print("\n\n".join(out))
+    print(f"\n{len(selected)} of {len(groups)} requests shown "
+          f"from {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

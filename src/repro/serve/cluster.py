@@ -36,7 +36,10 @@ from typing import Any, Dict, List, Optional
 import repro.sanitize as sanitize_mod
 from repro.obs import get_observability
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import trace_span
+from repro.obs.recorder import DumpReason, FlightRecorder
+from repro.obs.request import RequestTrace, mint_trace_id
+from repro.obs.slo import SLOTracker
+from repro.obs.tracing import get_tracer, trace_span
 from repro.isa.jit import JitTracingExecutor
 from repro.sim.device import Device
 from repro.sim.machine import GEN11_ICL, MachineConfig
@@ -135,10 +138,21 @@ class DeviceWorker(threading.Thread):
                 req.start_sim_us = start
                 error: Optional[str] = None
                 try:
-                    with trace_span("serve:request", request=req.id,
-                                    workload=req.workload,
-                                    device=self.index):
-                        self._run_item(item, pooled)
+                    if req.trace is not None:
+                        # Route every span the device opens (sanitize_gate,
+                        # dispatch:*, chunk, fold, jit:compile) into this
+                        # request's tree, whatever sink is installed.
+                        with req.trace.active(), \
+                                trace_span("serve:request", request=req.id,
+                                           workload=req.workload,
+                                           device=self.index,
+                                           batch=batch.id, position=pos):
+                            self._run_item(item, pooled)
+                    else:
+                        with trace_span("serve:request", request=req.id,
+                                        workload=req.workload,
+                                        device=self.index):
+                            self._run_item(item, pooled)
                 except Exception as exc:  # noqa: BLE001 - isolate requests
                     error = f"{type(exc).__name__}: {exc}"
                 # Failed requests occupied their queue slot but are
@@ -165,6 +179,7 @@ class DeviceWorker(threading.Thread):
         n_surfaces = len(device.surfaces)
         hits0 = device.profile.compile_cache_hits
         misses0 = device.profile.compile_cache_misses
+        n_san0 = len(device.sanitizer_results)
         try:
             if item.kind == "compiled":
                 launch = item.launch
@@ -178,6 +193,7 @@ class DeviceWorker(threading.Thread):
                 req.kernel_sim_us = run.timing.time_us
                 req.dram_bytes = int(run.timing.dram_bytes)
                 req.launches = 1
+                req.tier = run.path
                 if launch.finish is not None:
                     req.result = launch.finish(surfaces)
             else:
@@ -194,9 +210,14 @@ class DeviceWorker(threading.Thread):
                     if wrun.launches else 0
                 req.launches = wrun.launches
                 req.result = wrun.name
+                req.tier = "eager"
         finally:
             req.cache_hits = device.profile.compile_cache_hits - hits0
             req.cache_misses = device.profile.compile_cache_misses - misses0
+            new_results = device.sanitizer_results[n_san0:]
+            req.sanitized_launches = len(new_results)
+            req.sanitize_findings = [r.summary() for r in new_results
+                                     if not r.clean]
             # Release this request's surfaces so a long-lived pooled
             # device doesn't accumulate (and re-scan) dead bindings.
             del device.surfaces[n_surfaces:]
@@ -215,7 +236,11 @@ class ServeCluster:
                  dispatch_window: int = 64,
                  batch_linger_s: float = 0.001,
                  obs=None,
-                 validate: str = "first") -> None:
+                 validate: str = "first",
+                 slo=None,
+                 recorder=True,
+                 recorder_capacity: int = 256,
+                 dump_dir: Optional[str] = None) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
         if validate not in sanitize_mod.VALIDATE_MODES:
@@ -235,6 +260,24 @@ class ServeCluster:
         self.queue = SubmissionQueue(capacity=queue_capacity,
                                      high_watermark=high_watermark,
                                      registry=self.registry)
+        #: optional SLO tracker: pass a {workload: target_wall_ms |
+        #: SLObjective} mapping or a prebuilt SLOTracker.
+        if isinstance(slo, SLOTracker):
+            self.slo: Optional[SLOTracker] = slo
+        elif slo:
+            self.slo = SLOTracker(slo, registry=self.registry)
+        else:
+            self.slo = None
+        #: always-on flight recorder (True builds one; pass an instance
+        #: to share a ring across clusters; False/None disables).
+        if isinstance(recorder, FlightRecorder):
+            self.recorder: Optional[FlightRecorder] = recorder
+        elif recorder:
+            self.recorder = FlightRecorder(capacity=recorder_capacity,
+                                           dump_dir=dump_dir,
+                                           registry=self.registry)
+        else:
+            self.recorder = None
         self.dispatch_window = dispatch_window
         self.batch_linger_s = batch_linger_s
         self.workers = [DeviceWorker(i, Device(machine, obs=self.obs), self)
@@ -317,9 +360,18 @@ class ServeCluster:
             self.start()
         req = Request(workload=workload, params=dict(params or {}),
                       arrival_sim_us=arrival_sim_us)
+        self._mint_trace(req)
         self.queue.submit(req, block=block, timeout=timeout)
         with self._done_cv:
             self._outstanding += 1
+        return req
+
+    def _mint_trace(self, req: Request) -> Request:
+        """Stamp a trace ID + empty span tree (recorder enabled only)."""
+        if self.recorder is not None:
+            req.trace_id = mint_trace_id()
+            req.trace = RequestTrace(req.trace_id, workload=req.workload,
+                                     request_id=req.id)
         return req
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -353,18 +405,39 @@ class ServeCluster:
                     if not more:
                         break
                     items.extend(more)
+            tracer = get_tracer()
+            t_take = tracer.now_us()
+            for req in items:
+                if req.trace is not None and req.t_submit_wall is not None:
+                    req.trace.record("queue_wait",
+                                     tracer.to_us(req.t_submit_wall),
+                                     t_take,
+                                     depth=req.queue_depth_at_admit)
             work: List[WorkItem] = []
             for req in items:
                 item = self._resolve(req)
                 if item is not None:
                     work.append(item)
-            for batch in self.batcher.form(work):
+            t_form0 = tracer.now_us()
+            batches = self.batcher.form(work)
+            t_form1 = tracer.now_us()
+            for batch in batches:
                 idx = self.policy.select(batch, self.workers)
                 batch.estimate_us = self._estimate_batch_us(batch)
                 self.workers[idx].note_assigned(batch.estimate_us)
                 self._m_batches.inc()
                 if batch.size > 1:
                     self._m_coalesced.inc(batch.size - 1)
+                t_sched = tracer.now_us()
+                for pos, it in enumerate(batch.items):
+                    tr = it.request.trace
+                    if tr is None:
+                        continue
+                    tr.record("batch_assemble", t_form0, t_form1,
+                              batch=batch.id, batch_size=batch.size,
+                              position=pos)
+                    tr.record("schedule", t_form1, t_sched,
+                              policy=self.policy.name, device=idx)
                 self.workers[idx].inbox.put(batch)
 
     def _resolve(self, req: Request) -> Optional[WorkItem]:
@@ -392,6 +465,9 @@ class ServeCluster:
     def _request_finished(self, req: Request,
                           worker: Optional[DeviceWorker]) -> None:
         self._m_requests[req.status].inc()
+        if self.slo is not None:
+            req.slo_breached = self.slo.observe_request(req)
+        self._retire_trace(req)
         if req.status is RequestStatus.DONE:
             self._m_kernel.inc(req.kernel_sim_us)
             self._m_overhead.inc(req.overhead_sim_us)
@@ -419,6 +495,29 @@ class ServeCluster:
             self._outstanding -= 1
             self._done_cv.notify_all()
 
+    def _retire_trace(self, req: Request) -> None:
+        """Seal the request's span tree into the flight recorder, auto-
+        dumping the traces a postmortem will want (failure, SLO breach,
+        sanitizer findings)."""
+        tr = req.trace
+        if tr is None or self.recorder is None:
+            return
+        tr.finish(status=req.status.value, tier=req.tier,
+                  latency_wall_ms=req.latency_wall_s * 1e3,
+                  latency_sim_us=req.latency_sim_us,
+                  error=req.error, slo_breached=req.slo_breached)
+        self.recorder.record(tr)
+        if req.status is RequestStatus.FAILED:
+            self.recorder.dump(tr, DumpReason.ERROR, detail=req.error or "")
+        elif req.slo_breached:
+            self.recorder.dump(
+                tr, DumpReason.SLO_BREACH,
+                detail=f"latency {req.latency_wall_s * 1e3:.3f} ms "
+                       f"(sim {req.latency_sim_us:.1f} us)")
+        if req.sanitize_findings:
+            self.recorder.dump(tr, DumpReason.SANITIZER,
+                               detail="; ".join(req.sanitize_findings))
+
     def _batch_finished(self, batch: Batch, worker: DeviceWorker,
                         busy_us: float) -> None:
         self.registry.counter("serve_device_busy_sim_us",
@@ -427,6 +526,12 @@ class ServeCluster:
                               device=worker.index).inc(batch.size)
 
     # -- reporting ---------------------------------------------------------
+
+    def export_traces(self, path_or_file) -> None:
+        """Write every retained request tree as one Chrome-trace file."""
+        if self.recorder is None:
+            raise ValueError("flight recorder is disabled on this cluster")
+        self.recorder.export_chrome(path_or_file)
 
     def report(self) -> Dict[str, Any]:
         """Aggregate serving statistics over everything completed so far."""
@@ -442,7 +547,19 @@ class ServeCluster:
         cache_misses = sum(r.cache_misses for r in reqs)
         lookups = cache_hits + cache_misses
         batches = sum(w.batches_done for w in self.workers)
-        return {
+        tiers: Dict[str, int] = {}
+        gate: Dict[str, int] = {}
+        for w in self.workers:
+            for tier, n in w.device.profile.tier_launches.items():
+                tiers[tier] = tiers.get(tier, 0) + n
+            for outcome, n in w.device.profile.gate_outcomes.items():
+                gate[outcome] = gate.get(outcome, 0) + n
+        extra: Dict[str, Any] = {}
+        if self.slo is not None:
+            extra["slo"] = self.slo.snapshot()
+        if self.recorder is not None:
+            extra["recorder"] = self.recorder.stats()
+        return extra | {
             "policy": self.policy.name,
             "devices": self.num_devices,
             "batching": self.batcher.enabled,
@@ -471,6 +588,8 @@ class ServeCluster:
                 "misses": cache_misses,
                 "hit_rate": cache_hits / lookups if lookups else 0.0,
             },
+            "tiers": tiers,
+            "sanitize_gate": gate,
             "per_device": [
                 {
                     "index": w.index,

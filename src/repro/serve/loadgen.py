@@ -35,6 +35,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.slo import SLObjective
+
 from repro.serve.cluster import ServeCluster
 from repro.serve.queue import Backpressure
 from repro.serve.request import RequestStatus
@@ -150,20 +152,33 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
                 queue_capacity: int = 512,
                 high_watermark: Optional[int] = None,
                 max_retries: int = 50,
-                sanitize: bool = False) -> Dict[str, Any]:
+                sanitize: bool = False,
+                slo_target_ms: Optional[float] = 250.0,
+                slo_objective: float = 0.99,
+                recorder: bool = True,
+                trace_out: Optional[str] = None,
+                dump_dir: Optional[str] = None) -> Dict[str, Any]:
     """Run one load-generation pass; returns the JSON-able report.
 
     With ``sanitize=True`` every compiled launch runs under the full
     sanitizer (``validate="always"``) and the report gains a
-    ``sanitize`` section summarizing per-device findings.
+    ``sanitize`` section summarizing per-device findings.  The cluster
+    runs with its always-on flight recorder (unless ``recorder=False``)
+    and a wall-latency SLO of ``slo_target_ms`` at ``slo_objective``
+    (``None`` disables SLO tracking); ``trace_out`` additionally writes
+    every retained request span tree as one Chrome-trace JSON file.
     """
     trace = build_trace(seed, requests, mix, sim_rate_rps)
     counters = {"rejected_submits": 0, "dropped": 0}
+    slo = ({"*": SLObjective(target_wall_ms=slo_target_ms,
+                             objective=slo_objective)}
+           if slo_target_ms is not None else None)
     cluster = ServeCluster(num_devices=devices, policy=policy,
                            batching=batching, max_batch=max_batch,
                            queue_capacity=queue_capacity,
                            high_watermark=high_watermark,
-                           validate="always" if sanitize else "first")
+                           validate="always" if sanitize else "first",
+                           slo=slo, recorder=recorder, dump_dir=dump_dir)
     with cluster:
         if mode == "open":
             run_open_loop(cluster, trace, rate_rps, max_retries, counters,
@@ -187,6 +202,9 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
         "failed": len(failed),
         "errors": [f"{r.workload}: {r.error}" for r in failed[:10]],
     }
+    if trace_out:
+        cluster.export_traces(trace_out)
+        report["loadgen"]["trace_out"] = trace_out
     if sanitize:
         results = [r for w in cluster.workers
                    for r in w.device.sanitizer_results]
@@ -231,6 +249,28 @@ def render(report: Dict[str, Any]) -> str:
         f"  backpressure: {lg['rejected_submits']} rejected submits, "
         f"{lg['dropped']} dropped, {lg['failed']} failed",
     ]
+    tiers = report.get("tiers")
+    if tiers:
+        lines.append("  tiers: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(tiers.items())))
+    gate = report.get("sanitize_gate")
+    if gate:
+        lines.append("  wide gate: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(gate.items())))
+    slo = report.get("slo")
+    if slo is not None:
+        ov = slo["overall"]
+        lines.append(
+            f"  slo: {ov['breaches']}/{ov['requests']} breaches, "
+            f"attainment {ov['attainment']:.2%}, "
+            f"max burn rate {ov['max_burn_rate']:.2f}")
+    rec = report.get("recorder")
+    if rec is not None:
+        lines.append(
+            f"  recorder: {rec['retained']}/{rec['capacity']} traces "
+            f"retained ({rec['evicted']} evicted), {rec['dumps']} dumps "
+            + (f"{rec['dumps_by_reason']}" if rec["dumps_by_reason"]
+               else ""))
     san = report.get("sanitize")
     if san is not None:
         lines.append(
@@ -280,6 +320,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run every compiled launch under the "
                              "sanitizer (validate='always') and add a "
                              "sanitize section to the report")
+    parser.add_argument("--slo-target-ms", type=float, default=250.0,
+                        help="per-request wall-latency SLO target in ms "
+                             "(<= 0 disables SLO tracking)")
+    parser.add_argument("--slo-objective", type=float, default=0.99,
+                        help="fraction of requests that must meet the "
+                             "SLO target")
+    parser.add_argument("--no-recorder", dest="recorder",
+                        action="store_false", default=True,
+                        help="disable the always-on flight recorder "
+                             "(also disables --trace-out)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write every retained request span tree as "
+                             "one Chrome-trace JSON file")
+    parser.add_argument("--dump-dir", metavar="DIR", default=None,
+                        help="write one JSON file per flight-recorder "
+                             "dump (SLO breach / sanitizer / error)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -289,7 +345,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         rate_rps=args.rate, sim_rate_rps=args.sim_rate,
         concurrency=args.concurrency, batching=args.batching,
         max_batch=args.max_batch, queue_capacity=args.queue_capacity,
-        high_watermark=args.high_watermark, sanitize=args.sanitize)
+        high_watermark=args.high_watermark, sanitize=args.sanitize,
+        slo_target_ms=(args.slo_target_ms
+                       if args.slo_target_ms > 0 else None),
+        slo_objective=args.slo_objective, recorder=args.recorder,
+        trace_out=args.trace_out if args.recorder else None,
+        dump_dir=args.dump_dir)
 
     if not args.quiet:
         print(render(report))

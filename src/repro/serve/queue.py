@@ -107,6 +107,7 @@ class SubmissionQueue:
                     self.retry_after_s(depth - self.high_watermark + 1))
             request.status = RequestStatus.QUEUED
             request.t_submit_wall = time.perf_counter()
+            request.queue_depth_at_admit = depth
             self._items.append(request)
             self._admitted.inc()
             self._depth.set(len(self._items))

@@ -21,7 +21,7 @@ import itertools
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 _ids = itertools.count()
 
@@ -59,6 +59,22 @@ class Request:
     cache_misses: int = 0
     launches: int = 0
     dram_bytes: int = 0
+    #: end-to-end trace identity, minted at ``ServeCluster.submit``; the
+    #: ``trace`` is the request's causal span tree
+    #: (:class:`repro.obs.request.RequestTrace`), retained by the
+    #: cluster's flight recorder after completion.
+    trace_id: Optional[str] = None
+    trace: Any = field(default=None, repr=False)
+    #: dispatch tier the (last) launch took: ``sequential`` / ``wide``
+    #: / ``jit`` for compiled requests, ``eager`` otherwise.
+    tier: Optional[str] = None
+    #: queue depth observed at admission (queue_wait span label).
+    queue_depth_at_admit: int = 0
+    #: SLO verdict, stamped by the cluster's tracker at completion.
+    slo_breached: bool = False
+    #: sanitizer accounting for this request's launches.
+    sanitized_launches: int = 0
+    sanitize_findings: List[str] = field(default_factory=list)
 
     t_submit_wall: Optional[float] = None
     t_dispatch_wall: Optional[float] = None

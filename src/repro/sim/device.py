@@ -42,7 +42,7 @@ from repro.isa.executor import FunctionalExecutor
 from repro.memory.surfaces import BufferSurface, Image2DSurface, Surface
 from repro.obs import get_observability
 from repro.obs.breakdown import BreakdownAccumulator, TimeBreakdown
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.obs.tracing import trace_span
 from repro.sim import context as ctx_mod
 from repro.sim.batch import TracingExecutor
@@ -62,6 +62,11 @@ class KernelRun:
     #: per-bucket time attribution; present when observability breakdowns
     #: were enabled for the launch.
     breakdown: Optional[TimeBreakdown] = None
+    #: dispatch tier that executed the launch: ``cm`` (eager),
+    #: ``sequential``, ``wide``, ``jit``, or ``external`` (submitted
+    #: traces).  Simulated timing is tier-invariant; the tier only
+    #: matters for wall-clock and observability.
+    path: str = "sequential"
 
     @property
     def kernel_time_us(self) -> float:
@@ -97,6 +102,38 @@ class DeviceProfile:
             "jit_compiles", "megakernel JIT compilations")
         self._jit_cache_hits = self.registry.counter(
             "jit_cache_hits", "launches reusing a cached megakernel")
+        #: per-tier launch counters (cm / sequential / wide / jit /
+        #: external) — which dispatch tier actually ran each enqueue.
+        self._tier_launches: Dict[str, Counter] = {}
+        #: wide-admission gate outcomes per launch (sanitized / admitted
+        #: / refused / trusted / bypassed / ineligible / forced_scalar).
+        self._gate_outcomes: Dict[str, Counter] = {}
+
+    def count_launch(self, tier: str) -> None:
+        """Tally one launch on its dispatch tier."""
+        c = self._tier_launches.get(tier)
+        if c is None:
+            c = self._tier_launches[tier] = self.registry.counter(
+                "device_tier_launches", tier=tier)
+        c.inc()
+
+    def count_gate(self, outcome: str) -> None:
+        """Tally one wide-admission gate decision."""
+        c = self._gate_outcomes.get(outcome)
+        if c is None:
+            c = self._gate_outcomes[outcome] = self.registry.counter(
+                "device_wide_gate", outcome=outcome)
+        c.inc()
+
+    @property
+    def tier_launches(self) -> Dict[str, int]:
+        return {tier: int(c.value)
+                for tier, c in sorted(self._tier_launches.items())}
+
+    @property
+    def gate_outcomes(self) -> Dict[str, int]:
+        return {outcome: int(c.value)
+                for outcome, c in sorted(self._gate_outcomes.items())}
 
     # Attribute-compatible accessors over the registry instruments.
 
@@ -276,32 +313,38 @@ class Device:
                 if self.obs.breakdowns else None)
         thread_ctx: Optional[ThreadContext] = None
         n_threads = 0
-        with trace_span("dispatch", kernel=kname, path="cm"):
-            for thread_id in self._grid_ids(grid):
-                if sess is not None:
-                    sess.race.begin_thread(thread_id)
-                trace = ThreadTrace(self.machine)
-                if thread_ctx is None:
-                    thread_ctx = ThreadContext(trace, thread_id=thread_id)
-                else:
-                    thread_ctx.reuse(trace, thread_id=thread_id)
-                ctx_mod.activate(thread_ctx)
-                try:
-                    kernel(*args)
-                finally:
-                    ctx_mod.deactivate()
-                acc.add(trace)
-                if bacc is not None:
-                    bacc.add(trace)
-                n_threads += 1
+        with trace_span("dispatch", kernel=kname, path="cm",
+                        grid=tuple(grid)):
+            with trace_span("dispatch:cm", kernel=kname, grid=tuple(grid),
+                            chunk=0) as tier_span:
+                for thread_id in self._grid_ids(grid):
+                    if sess is not None:
+                        sess.race.begin_thread(thread_id)
+                    trace = ThreadTrace(self.machine)
+                    if thread_ctx is None:
+                        thread_ctx = ThreadContext(trace,
+                                                   thread_id=thread_id)
+                    else:
+                        thread_ctx.reuse(trace, thread_id=thread_id)
+                    ctx_mod.activate(thread_ctx)
+                    try:
+                        kernel(*args)
+                    finally:
+                        ctx_mod.deactivate()
+                    acc.add(trace)
+                    if bacc is not None:
+                        bacc.add(trace)
+                    n_threads += 1
+                tier_span.set(threads=n_threads)
         self.profile.threads_run += n_threads
+        self.profile.count_launch("cm")
         if n_threads:
             # The eager path streams: exactly one trace is ever live.
             self.profile.note_live_traces(1)
         if sess is not None:
             sess.finish_kernel()
         self._collect_oob(self.surfaces)
-        return self._record(acc.finalize(), kname, bacc)
+        return self._record(acc.finalize(), kname, bacc, path="cm")
 
     def run_compiled(self, kernel, grid: Sequence[int],
                      surfaces: Sequence[Surface],
@@ -428,6 +471,32 @@ class Device:
             or (mode == "first" and wide is None and eligible
                 and verdict is None))
 
+        # The gate decision, tallied per launch and emitted as an
+        # (instant) ``sanitize_gate`` span so a request's trace shows
+        # *why* its launch took the tier it did.
+        if forced:
+            gate = "bypassed"          # caller asserted race freedom
+        elif sanitize_now:
+            gate = "sanitized"         # this launch runs under checkers
+        elif wide is False:
+            gate = "forced_scalar"     # caller pinned the scalar path
+        elif not eligible:
+            gate = "ineligible"        # program cannot vectorize
+        elif mode == "off":
+            gate = "trusted"           # validation disabled
+        elif certified:
+            gate = "admitted"          # race-free verdict on file
+        elif verdict is not None:
+            gate = "refused"           # racy verdict: wide denied
+        else:
+            gate = "unverified"
+        self.profile.count_gate(gate)
+        gate_attrs = {"kernel": kname, "mode": mode, "outcome": gate}
+        if verdict is not None:
+            gate_attrs["race_free"] = verdict.race_free
+        with trace_span("sanitize_gate", **gate_attrs):
+            pass
+
         if executor is not None and not collect_timing:
             raise ValueError("pooled executors imply collect_timing")
         pooled_wide = isinstance(executor, WideTracingExecutor)
@@ -488,7 +557,10 @@ class Device:
         live: list[ThreadTrace] = []
         live_peak = 0
         n_threads = 0
-        with trace_span("dispatch", kernel=kname, path="compiled"):
+        with trace_span("dispatch", kernel=kname, path="compiled",
+                        grid=tuple(grid)), \
+                trace_span("dispatch:sequential", kernel=kname,
+                           grid=tuple(grid), chunk=0) as tier_span:
             for thread_id in self._grid_ids(grid):
                 ex.reset()
                 if san is not None:
@@ -514,13 +586,15 @@ class Device:
                     if len(live) > live_peak:
                         live_peak = len(live)
                     if len(live) >= chunk_threads:
-                        self._retire_chunk(acc, live, bacc)
+                        self._retire_chunk(acc, live, bacc, kernel=kname)
                 elif n_threads % max(chunk_threads, 1) == 0:
                     self.profile.chunks_dispatched += 1
             if live:
-                self._retire_chunk(acc, live, bacc)
+                self._retire_chunk(acc, live, bacc, kernel=kname)
+            tier_span.set(threads=n_threads)
         self.profile.threads_run += n_threads
         self.profile.note_live_traces(live_peak)
+        self.profile.count_launch("sequential")
 
         if san is not None:
             ex.san = None
@@ -529,7 +603,7 @@ class Device:
 
         if not collect_timing:
             return None
-        return self._record(acc.finalize(), kname, bacc)
+        return self._record(acc.finalize(), kname, bacc, path="sequential")
 
     def _finish_sanitized(self, kernel, kname: str, san, oob_base) -> None:
         """Fold a sanitized-sequential launch into verdicts and reports."""
@@ -668,8 +742,9 @@ class Device:
         bacc = (BreakdownAccumulator(self.machine)
                 if collect_timing and self.obs.breakdowns else None)
         live_peak = 0
-        with trace_span("dispatch", kernel=kname, path=path):
-            for start in range(0, total, max_live):
+        with trace_span("dispatch", kernel=kname, path=path,
+                        grid=tuple(grid), threads=total):
+            for chunk_idx, start in enumerate(range(0, total, max_live)):
                 count = min(max_live, total - start)
                 ex.reset(count)
                 if scratch is not None:
@@ -679,6 +754,7 @@ class Device:
                 for pname, base in scalar_bases:
                     ex.seed_scalar(base, cols[pname][start:start + count])
                 with trace_span(f"dispatch:{path}", kernel=kname,
+                                grid=tuple(grid), chunk=chunk_idx,
                                 threads=count):
                     ex.run(kernel.program)
                 if collect_timing:
@@ -688,7 +764,8 @@ class Device:
                         # JIT chunks fold timing without fanning the
                         # template out into per-thread traces (the
                         # breakdown profiler still needs real traces).
-                        with trace_span("chunk", threads=count):
+                        with trace_span("chunk", kernel=kname,
+                                        threads=count):
                             self.profile.chunks_dispatched += 1
                             ex.fold_chunk(
                                 acc, kernel.allocation.max_grf_bytes)
@@ -696,21 +773,24 @@ class Device:
                         traces = ex.drain_traces()
                         for tr in traces:
                             tr.note_grf(kernel.allocation.max_grf_bytes)
-                        self._retire_chunk(acc, traces, bacc)
+                        self._retire_chunk(acc, traces, bacc,
+                                           kernel=kname)
                 else:
                     self.profile.chunks_dispatched += 1
         self.profile.threads_run += total
         if live_peak:
             self.profile.note_live_traces(live_peak)
+        self.profile.count_launch(path)
         self._collect_oob(table.values())
 
         if not collect_timing:
             return None
-        return self._record(acc.finalize(), kname, bacc)
+        return self._record(acc.finalize(), kname, bacc, path=path)
 
     def _retire_chunk(self, acc: TimingAccumulator,
-                      live: list, bacc=None) -> None:
-        with trace_span("chunk", threads=len(live)):
+                      live: list, bacc=None,
+                      kernel: Optional[str] = None) -> None:
+        with trace_span("chunk", kernel=kernel, threads=len(live)):
             self.profile.chunks_dispatched += 1
             acc.extend(live)
             if bacc is not None:
@@ -723,17 +803,22 @@ class Device:
         if self.obs.breakdowns:
             bacc = BreakdownAccumulator(self.machine)
             bacc.extend(traces)
-        return self._record(time_kernel(traces, self.machine), name, bacc)
+        self.profile.count_launch("external")
+        return self._record(time_kernel(traces, self.machine), name, bacc,
+                            path="external")
 
     def _record(self, timing: KernelTiming, name: str,
-                bacc: Optional[BreakdownAccumulator] = None) -> KernelRun:
+                bacc: Optional[BreakdownAccumulator] = None,
+                path: str = "sequential") -> KernelRun:
         overhead = self.machine.launch_overhead_us
-        breakdown = None
-        if bacc is not None:
-            breakdown = bacc.finalize(name, timing,
-                                      launch_overhead_us=overhead)
-        run = KernelRun(name=name, timing=timing,
-                        launch_overhead_us=overhead, breakdown=breakdown)
+        with trace_span("fold", kernel=name, path=path):
+            breakdown = None
+            if bacc is not None:
+                breakdown = bacc.finalize(name, timing,
+                                          launch_overhead_us=overhead)
+            run = KernelRun(name=name, timing=timing,
+                            launch_overhead_us=overhead,
+                            breakdown=breakdown, path=path)
         self.runs.append(run)
         if self.obs.enabled:
             reg = self.obs.registry
@@ -816,6 +901,14 @@ class Device:
                 f"  dispatch: {p.threads_run} threads, "
                 f"{p.chunks_dispatched} chunks, "
                 f"peak {p.peak_live_traces} live traces")
+        if p.tier_launches:
+            tiers = ", ".join(f"{tier}={n}"
+                              for tier, n in p.tier_launches.items())
+            lines.append(f"  tiers: {tiers}")
+        if p.gate_outcomes:
+            gates = ", ".join(f"{outcome}={n}"
+                              for outcome, n in p.gate_outcomes.items())
+            lines.append(f"  wide gate: {gates}")
         if self.kernel_cache is not None:
             st = self.kernel_cache.stats
             lines.append(
