@@ -13,6 +13,7 @@ lower to scalar IR, so one compiled binary serves every thread.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -52,13 +53,17 @@ class _Tracer:
         return make_constant(self.fn, np.asarray(values), dtype)
 
 
-_current_tracer: Optional[_Tracer] = None
+# Thread-local: device workers compile concurrently, and a module-wide
+# tracer slot would let one thread's trace teardown clobber another's
+# in-flight trace.
+_trace_state = threading.local()
 
 
 def _tracer() -> _Tracer:
-    if _current_tracer is None:
+    tracer = getattr(_trace_state, "tracer", None)
+    if tracer is None:
         raise TraceError("no kernel is being traced")
-    return _current_tracer
+    return tracer
 
 
 class TraceScalar:
@@ -428,11 +433,10 @@ def trace_kernel(body: Callable, name: str,
     ``body`` is called as ``body(cmx, *surface_params, *scalar_traces)``
     where ``cmx`` is this module (providing the trace-mode CM API).
     """
-    global _current_tracer
     import repro.compiler.frontend as cmx
 
     tracer = _Tracer(name)
-    _current_tracer = tracer
+    _trace_state.tracer = tracer
     try:
         params = [SurfaceParam(nm, bti, is_image)
                   for bti, (nm, is_image) in enumerate(surfaces)]
@@ -444,7 +448,7 @@ def trace_kernel(body: Callable, name: str,
             scalars.append(TraceScalar(val))
         body(cmx, *params, *scalars)
     finally:
-        _current_tracer = None
+        _trace_state.tracer = None
     return tracer.fn
 
 

@@ -145,6 +145,35 @@ class Surface:
         """The surface contents viewed as the host array it was built from."""
         return self._host
 
+    # -- snapshot / restore (the shared-memory data plane) -------------------
+
+    def snapshot_into(self, dst: np.ndarray) -> None:
+        """Copy the surface's bytes straight into ``dst`` (any array of
+        matching byte size — typically a view of a
+        ``multiprocessing.shared_memory`` block), with no intermediate
+        allocation.  The unified-memory write-back half of the zero-copy
+        surface idiom."""
+        if not dst.flags["C_CONTIGUOUS"]:
+            raise ValueError("snapshot target must be C-contiguous")
+        out = dst.view(np.uint8).reshape(-1)
+        if out.size != self.bytes.size:
+            raise ValueError(f"snapshot target holds {out.size} bytes, "
+                             f"surface holds {self.bytes.size}")
+        out[:] = self.bytes
+
+    def restore_from(self, src: np.ndarray) -> None:
+        """Overwrite the surface's bytes from ``src`` in place — the
+        companion of :meth:`snapshot_into` for mapping request payloads
+        out of a shared-memory block without reallocating the surface.
+        Line tracking is untouched: a restore models a host write, not
+        device traffic."""
+        arr = np.ascontiguousarray(src)
+        data = arr.reshape(-1).view(np.uint8)
+        if data.size != self.bytes.size:
+            raise ValueError(f"restore source holds {data.size} bytes, "
+                             f"surface holds {self.bytes.size}")
+        self.bytes[:] = data
+
     # -- cache-line tracking -------------------------------------------------
 
     def reset_line_tracking(self) -> None:

@@ -39,7 +39,8 @@ from repro.obs.metrics import (
 )
 from repro.obs.recorder import DumpReason, FlightDump, FlightRecorder
 from repro.obs.request import (
-    RequestTrace, SpanNode, mint_trace_id, traces_to_chrome,
+    RequestTrace, SpanNode, mint_trace_id, set_trace_scope,
+    traces_to_chrome,
 )
 from repro.obs.slo import SLObjective, SLOTracker
 from repro.obs.tracing import (
@@ -54,7 +55,8 @@ __all__ = [
     "Tracer", "trace_span", "get_tracer", "set_tracer", "active_request",
     "ChromeTraceSink", "JsonlSink", "NullSink", "NULL_SINK", "TeeSink",
     "BreakdownAccumulator", "TimeBreakdown", "merge_breakdowns",
-    "RequestTrace", "SpanNode", "mint_trace_id", "traces_to_chrome",
+    "RequestTrace", "SpanNode", "mint_trace_id", "set_trace_scope",
+    "traces_to_chrome",
     "SLObjective", "SLOTracker",
     "FlightRecorder", "FlightDump", "DumpReason",
 ]

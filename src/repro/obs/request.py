@@ -38,15 +38,28 @@ from repro.obs import tracing as _tracing
 
 _trace_ids = itertools.count()
 
+#: Scope prefix baked into minted trace IDs.  Empty in a plain process;
+#: shard workers set it (``set_trace_scope("s3")``) so IDs minted on
+#: both sides of a process boundary can never collide when the parent
+#: stitches worker trees into its flight recorder.
+_trace_scope = ""
+
 #: Hard per-trace span cap: an eager workload that enqueues hundreds of
 #: kernels would otherwise grow its tree without bound.  Exceeding the
 #: cap sets ``RequestTrace.truncated`` (never silently).
 MAX_SPANS = 1024
 
 
+def set_trace_scope(scope: str) -> None:
+    """Namespace minted trace IDs (e.g. ``"s3"`` inside shard worker 3)."""
+    global _trace_scope
+    _trace_scope = f"{scope}-" if scope else ""
+
+
 def mint_trace_id() -> str:
-    """A process-unique trace ID (``t-000000`` style, monotonic)."""
-    return f"t-{next(_trace_ids):06x}"
+    """A process-unique trace ID (``t-000000`` style, monotonic),
+    carrying the process's scope prefix when one is set."""
+    return f"t-{_trace_scope}{next(_trace_ids):06x}"
 
 
 class SpanNode:
@@ -75,6 +88,15 @@ class SpanNode:
         if self.children:
             d["children"] = [c.to_dict() for c in self.children]
         return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "SpanNode":
+        """Rebuild a span subtree from its :meth:`to_dict` form."""
+        node = cls(d["name"], float(d.get("t0_us", 0.0)),
+                   dict(d.get("attrs", {})))
+        node.dur_us = float(d.get("dur_us", 0.0))
+        node.children = [cls.from_dict(c) for c in d.get("children", ())]
+        return node
 
     def __repr__(self) -> str:
         return (f"SpanNode({self.name!r}, dur={self.dur_us:.1f}us, "
@@ -160,6 +182,36 @@ class RequestTrace:
             self.meta["truncated_at_spans"] = MAX_SPANS
         return self
 
+    def graft(self, other, name: str = "shard",
+              **attrs) -> Optional[SpanNode]:
+        """Adopt another trace's whole span tree as one nested root span.
+
+        This is the cross-process stitch: a shard worker serializes its
+        tree (:meth:`to_dict`), ships it over the completion queue, and
+        the parent grafts it here so the worker's ``serve:request`` /
+        ``dispatch:*`` spans land in the parent's flight recorder with
+        explicit parent linkage.  ``other`` may be a
+        :class:`RequestTrace` or its dict form.  Timestamps under the
+        graft stay on the child process's clock; the graft span carries
+        the child's own trace ID in its attrs.
+        """
+        if isinstance(other, dict):
+            other = RequestTrace.from_dict(other)
+        t0 = min((r.t0_us for r in other.roots), default=0.0)
+        t1 = max((r.t1_us for r in other.roots), default=t0)
+        with self._lock:
+            n_new = 1 + other.num_spans
+            if self._n + n_new > MAX_SPANS:
+                self.truncated = True
+                return None
+            node = SpanNode(name, t0,
+                            {"trace_id": other.trace_id, **attrs})
+            node.dur_us = t1 - t0
+            node.children = list(other.roots)
+            self.roots.append(node)
+            self._n += n_new
+            return node
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -199,6 +251,18 @@ class RequestTrace:
             "meta": dict(self.meta),
             "spans": [r.to_dict() for r in self.roots],
         }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RequestTrace":
+        """Rebuild a trace from its :meth:`to_dict` form (the shape that
+        crosses the shard process boundary)."""
+        trace = cls(d["trace_id"], workload=d.get("workload", ""),
+                    request_id=d.get("request_id"))
+        trace.meta = dict(d.get("meta", {}))
+        trace.roots = [SpanNode.from_dict(s) for s in d.get("spans", ())]
+        trace._n = sum(1 for _ in trace._walk())
+        trace.truncated = "truncated_at_spans" in trace.meta
+        return trace
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())

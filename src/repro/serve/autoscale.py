@@ -1,0 +1,131 @@
+"""Autoscaler: add and drain shards from observed load.
+
+Policy, not mechanism: the :class:`Autoscaler` only *decides* (+1 / 0 /
+-1) from a periodic load sample; the sharded cluster's monitor thread
+executes decisions by spawning a shard process or draining one (stop
+routing to it, wait for its in-flight work, then stop it — nothing is
+dropped by a scale-down).
+
+Two signals drive the decision, both already produced by the serving
+stack:
+
+- **backlog per active shard** — parent queue depth plus total
+  in-flight, divided by active shards.  High backlog means requests are
+  waiting on capacity; near-zero backlog means shards idle.
+- **SLO burn rate** — the sliding-window burn of the parent's
+  :class:`~repro.obs.slo.SLOTracker`.  Sustained burn above 1.0 spends
+  error budget faster than the period allows, so capacity is added even
+  if backlog alone looks tolerable.
+
+A cooldown separates consecutive actions so one burst cannot
+flip-flop the fleet, and ``min_shards``/``max_shards`` bound the range.
+Every decision is recorded as a :class:`ScaleEvent` for the report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and thresholds for shard autoscaling."""
+
+    min_shards: int = 1
+    max_shards: int = 8
+    #: scale up when backlog per active shard exceeds this.
+    backlog_high: float = 32.0
+    #: scale down when backlog per active shard stays under this.
+    backlog_low: float = 2.0
+    #: scale up when SLO burn rate reaches this (regardless of backlog).
+    burn_high: float = 1.0
+    #: seconds between consecutive scale actions.
+    cooldown_s: float = 1.0
+    #: monitor sampling interval.
+    interval_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if self.backlog_low >= self.backlog_high:
+            raise ValueError("backlog_low must be below backlog_high")
+
+
+@dataclass
+class ScaleEvent:
+    """One executed scale action."""
+
+    t_wall_s: float
+    action: str  # "up" | "down"
+    shards_before: int
+    shards_after: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"t_wall_s": round(self.t_wall_s, 3), "action": self.action,
+                "shards_before": self.shards_before,
+                "shards_after": self.shards_after, "reason": self.reason}
+
+
+class Autoscaler:
+    """Turns load samples into bounded, cooled-down scale decisions."""
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        self.policy = policy
+        self.events: List[ScaleEvent] = []
+        self._last_action_t = -math.inf
+
+    def decide(self, now_s: float, active_shards: int, backlog: int,
+               burn_rate: float) -> int:
+        """+1 to add a shard, -1 to drain one, 0 to hold."""
+        p = self.policy
+        if active_shards < p.min_shards:
+            return 1  # below floor: restore immediately, no cooldown
+        if now_s - self._last_action_t < p.cooldown_s:
+            return 0
+        per_shard = backlog / max(active_shards, 1)
+        if (per_shard >= p.backlog_high or burn_rate >= p.burn_high) \
+                and active_shards < p.max_shards:
+            return 1
+        if per_shard <= p.backlog_low and burn_rate < 0.5 * p.burn_high \
+                and active_shards > p.min_shards:
+            return -1
+        return 0
+
+    def reason_for(self, decision: int, active_shards: int, backlog: int,
+                   burn_rate: float) -> str:
+        per_shard = backlog / max(active_shards, 1)
+        if decision > 0:
+            if active_shards < self.policy.min_shards:
+                return f"below min_shards={self.policy.min_shards}"
+            if burn_rate >= self.policy.burn_high:
+                return f"slo burn {burn_rate:.2f} >= {self.policy.burn_high}"
+            return (f"backlog/shard {per_shard:.1f} >= "
+                    f"{self.policy.backlog_high}")
+        return (f"backlog/shard {per_shard:.1f} <= "
+                f"{self.policy.backlog_low}, burn {burn_rate:.2f}")
+
+    def note(self, now_s: float, action: str, before: int, after: int,
+             reason: str) -> ScaleEvent:
+        """Record an executed action and start the cooldown."""
+        self._last_action_t = now_s
+        event = ScaleEvent(now_s, action, before, after, reason)
+        self.events.append(event)
+        return event
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "policy": {
+                "min_shards": self.policy.min_shards,
+                "max_shards": self.policy.max_shards,
+                "backlog_high": self.policy.backlog_high,
+                "backlog_low": self.policy.backlog_low,
+                "burn_high": self.policy.burn_high,
+                "cooldown_s": self.policy.cooldown_s,
+            },
+            "actions": len(self.events),
+            "events": [e.to_dict() for e in self.events],
+        }
+

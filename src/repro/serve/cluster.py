@@ -45,6 +45,7 @@ from repro.sim.device import Device
 from repro.sim.machine import GEN11_ICL, MachineConfig
 
 from repro.serve.batcher import Batch, DynamicBatcher, WorkItem
+from repro.serve.lanes import PriorityLaneQueue, normalize_lane
 from repro.serve.queue import SubmissionQueue
 from repro.serve.request import Request, RequestStatus, percentiles
 from repro.serve.scheduler import Policy, make_policy
@@ -233,6 +234,7 @@ class ServeCluster:
                  max_batch: int = 8,
                  queue_capacity: int = 512,
                  high_watermark: Optional[int] = None,
+                 lanes: bool = False,
                  dispatch_window: int = 64,
                  batch_linger_s: float = 0.001,
                  obs=None,
@@ -257,9 +259,10 @@ class ServeCluster:
             self.obs.registry if self.obs.enabled else MetricsRegistry())
         self.policy: Policy = make_policy(policy)
         self.batcher = DynamicBatcher(max_batch=max_batch, enabled=batching)
-        self.queue = SubmissionQueue(capacity=queue_capacity,
-                                     high_watermark=high_watermark,
-                                     registry=self.registry)
+        queue_cls = PriorityLaneQueue if lanes else SubmissionQueue
+        self.queue = queue_cls(capacity=queue_capacity,
+                               high_watermark=high_watermark,
+                               registry=self.registry)
         #: optional SLO tracker: pass a {workload: target_wall_ms |
         #: SLObjective} mapping or a prebuilt SLOTracker.
         if isinstance(slo, SLOTracker):
@@ -294,6 +297,10 @@ class ServeCluster:
         self._est_lock = threading.Lock()
         self.completed: List[Request] = []
         self._completed_lock = threading.Lock()
+        #: optional completion callback (finished Request -> None), run
+        #: on the finishing worker thread before the request is counted
+        #: drained — the shard worker ships completions through it.
+        self.on_complete = None
 
         self._m_requests = {
             status: self.registry.counter("serve_requests",
@@ -353,13 +360,27 @@ class ServeCluster:
 
     def submit(self, workload: str, params: Optional[Dict[str, Any]] = None,
                arrival_sim_us: Optional[float] = None,
+               lane: str = "interactive",
+               deadline_ms: Optional[float] = None,
                block: bool = False,
                timeout: Optional[float] = None) -> Request:
-        """Admit one request; raises :class:`Backpressure` when full."""
+        """Admit one request; raises :class:`Backpressure` when full.
+
+        ``lane`` and ``deadline_ms`` only affect drain order on a
+        cluster built with ``lanes=True``; a deadline left ``None``
+        inherits the workload's SLO wall target when one is configured.
+        """
         if not self._started:
             self.start()
         req = Request(workload=workload, params=dict(params or {}),
                       arrival_sim_us=arrival_sim_us)
+        req.lane = normalize_lane(lane)
+        if deadline_ms is None and self.slo is not None:
+            objective = self.slo.objective_for(workload)
+            if objective is not None:
+                deadline_ms = objective.target_wall_ms
+        if deadline_ms is not None:
+            req.deadline_wall_s = time.perf_counter() + deadline_ms / 1e3
         self._mint_trace(req)
         self.queue.submit(req, block=block, timeout=timeout)
         with self._done_cv:
@@ -491,6 +512,11 @@ class ServeCluster:
                     else prev + 0.3 * (sample - prev)
         with self._completed_lock:
             self.completed.append(req)
+        if self.on_complete is not None:
+            try:
+                self.on_complete(req)
+            except Exception:  # noqa: BLE001 - shipping must not wedge drain
+                pass
         with self._done_cv:
             self._outstanding -= 1
             self._done_cv.notify_all()

@@ -1,0 +1,92 @@
+"""Priority lanes and deadline-aware ordering over the backpressure queue.
+
+The serving layer distinguishes two traffic classes:
+
+- **interactive** — a user is waiting; these carry (or inherit from
+  their workload's SLO target) a wall-clock deadline.
+- **batch** — throughput work that tolerates delay; it may be starved
+  by interactive traffic under overload, and that is the point: an
+  overloaded batch lane must not spend the interactive lane's error
+  budget.
+
+:class:`PriorityLaneQueue` keeps the :class:`~repro.serve.queue.
+SubmissionQueue` admission contract untouched (capacity, watermark,
+:class:`~repro.serve.queue.Backpressure` with a drain-rate retry hint,
+blocking submits) and changes only the *order* requests leave in:
+
+1. the interactive lane drains strictly before the batch lane;
+2. within a lane, earliest absolute deadline first (EDF); requests
+   without a deadline sort last, among themselves in FIFO order.
+
+Per-lane depth is exported as a ``serve_queue_depth{lane=...}`` gauge
+next to the base queue's aggregate gauge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+from repro.serve.queue import SubmissionQueue
+from repro.serve.request import Request
+
+#: Drain-priority order: earlier lanes preempt later ones entirely.
+LANES = ("interactive", "batch")
+
+#: Lane assigned to requests naming an unknown lane.
+DEFAULT_LANE = "interactive"
+
+
+def normalize_lane(lane: Optional[str]) -> str:
+    return lane if lane in LANES else DEFAULT_LANE
+
+
+class PriorityLaneQueue(SubmissionQueue):
+    """Two-lane EDF queue behind the standard admission front door."""
+
+    def __init__(self, capacity: int = 512,
+                 high_watermark: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        #: per-lane min-heaps of (deadline, seq, request); the heaps are
+        #: the storage — the base class deque stays empty.
+        self._heaps: Dict[str, List[tuple]] = {lane: [] for lane in LANES}
+        self._seq = itertools.count()
+        super().__init__(capacity=capacity, high_watermark=high_watermark,
+                         registry=registry)
+        self._lane_depth = {
+            lane: self.registry.gauge("serve_queue_depth", lane=lane)
+            for lane in LANES
+        }
+
+    # -- storage hooks (called under the base queue's condition lock) ------
+
+    def _push(self, request: Request) -> None:
+        lane = normalize_lane(request.lane)
+        deadline = request.deadline_wall_s
+        heapq.heappush(
+            self._heaps[lane],
+            (deadline if deadline is not None else math.inf,
+             next(self._seq), request))
+        self._lane_depth[lane].set(len(self._heaps[lane]))
+
+    def _pop(self) -> Request:
+        for lane in LANES:
+            heap = self._heaps[lane]
+            if heap:
+                _, _, request = heapq.heappop(heap)
+                self._lane_depth[lane].set(len(heap))
+                return request
+        raise IndexError("pop from an empty lane queue")
+
+    def _size(self) -> int:
+        return sum(len(heap) for heap in self._heaps.values())
+
+    # -- introspection -----------------------------------------------------
+
+    def lane_depths(self) -> Dict[str, int]:
+        with self._cv:
+            return {lane: len(heap) for lane, heap in self._heaps.items()}

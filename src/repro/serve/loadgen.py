@@ -60,13 +60,29 @@ _MIXES: Dict[str, List[Tuple[str, list, float]]] = {
         ("fig5.prefix", [{}], 0.3),
         ("fig5.histogram", [{}], 0.3),
     ],
+    # Heavier per-request work for multi-process soaks: enough compute
+    # per request that control-plane overhead is visibly amortized.
+    "shard": [
+        ("sgemm", [{"m": 64, "n": 64, "k": 16},
+                   {"m": 32, "n": 64, "k": 16}], 0.4),
+        ("saxpy", [{"n": 4096}, {"n": 8192}], 0.25),
+        ("scale", [{"n": 4096}], 0.15),
+        ("blur", [{"blocks_x": 8, "blocks_y": 8}], 0.2),
+    ],
 }
 _MIXES["all"] = _MIXES["compiled"] + _MIXES["fig5"]
 
+#: ``--lane mixed``: this fraction of requests are interactive, the
+#: rest batch — an overloaded batch lane pressing on an interactive one
+#: is the scenario priority lanes exist for.
+_MIXED_INTERACTIVE_FRACTION = 0.25
+
 
 def build_trace(seed: int, n_requests: int, mix: str,
-                sim_rate_rps: float) -> List[Dict[str, Any]]:
-    """The seeded request trace: workload, params, simulated arrival."""
+                sim_rate_rps: float,
+                lane: str = "interactive") -> List[Dict[str, Any]]:
+    """The seeded request trace: workload, params, simulated arrival,
+    lane (``lane="mixed"`` draws interactive vs batch per request)."""
     entries = _MIXES.get(mix)
     if entries is None:
         raise KeyError(f"unknown mix {mix!r}; choose from {sorted(_MIXES)}")
@@ -82,17 +98,30 @@ def build_trace(seed: int, n_requests: int, mix: str,
         key = keys[int(rng.choice(len(keys), p=weights))]
         params = dict(menus[key][int(rng.integers(len(menus[key])))])
         params["seed"] = int(rng.integers(1 << 30))
+        if lane == "mixed":
+            req_lane = "interactive" \
+                if rng.random() < _MIXED_INTERACTIVE_FRACTION else "batch"
+        else:
+            req_lane = lane
         trace.append({"workload": key, "params": params,
-                      "arrival_sim_us": sim_t})
+                      "arrival_sim_us": sim_t, "lane": req_lane})
     return trace
 
 
-def _submit_with_retry(cluster: ServeCluster, entry: Dict[str, Any],
-                       max_retries: int, counters: Dict[str, int]):
+def _submit(cluster, entry: Dict[str, Any],
+            deadline_ms: Optional[float], block: bool = False):
+    return cluster.submit(entry["workload"], entry["params"],
+                          arrival_sim_us=entry["arrival_sim_us"],
+                          lane=entry.get("lane", "interactive"),
+                          deadline_ms=deadline_ms, block=block)
+
+
+def _submit_with_retry(cluster, entry: Dict[str, Any],
+                       max_retries: int, counters: Dict[str, int],
+                       deadline_ms: Optional[float] = None):
     for _ in range(max_retries + 1):
         try:
-            return cluster.submit(entry["workload"], entry["params"],
-                                  arrival_sim_us=entry["arrival_sim_us"])
+            return _submit(cluster, entry, deadline_ms)
         except Backpressure as bp:
             counters["rejected_submits"] += 1
             time.sleep(bp.retry_after_s)
@@ -100,9 +129,10 @@ def _submit_with_retry(cluster: ServeCluster, entry: Dict[str, Any],
     return None
 
 
-def run_open_loop(cluster: ServeCluster, trace, rate_rps: float,
+def run_open_loop(cluster, trace, rate_rps: float,
                   max_retries: int, counters: Dict[str, int],
-                  seed: int = 0) -> None:
+                  seed: int = 0,
+                  deadline_ms: Optional[float] = None) -> None:
     rng = np.random.default_rng(seed ^ 0xA881)
     t0 = time.perf_counter()
     offset = 0.0
@@ -111,11 +141,13 @@ def run_open_loop(cluster: ServeCluster, trace, rate_rps: float,
         delay = t0 + offset - time.perf_counter()
         if delay > 0:
             time.sleep(delay)
-        _submit_with_retry(cluster, entry, max_retries, counters)
+        _submit_with_retry(cluster, entry, max_retries, counters,
+                           deadline_ms=deadline_ms)
 
 
-def run_closed_loop(cluster: ServeCluster, trace, concurrency: int,
-                    counters: Dict[str, int]) -> None:
+def run_closed_loop(cluster, trace, concurrency: int,
+                    counters: Dict[str, int],
+                    deadline_ms: Optional[float] = None) -> None:
     import threading
 
     it = iter(trace)
@@ -128,9 +160,7 @@ def run_closed_loop(cluster: ServeCluster, trace, concurrency: int,
             if entry is None:
                 return
             try:
-                req = cluster.submit(entry["workload"], entry["params"],
-                                     arrival_sim_us=entry["arrival_sim_us"],
-                                     block=True)
+                req = _submit(cluster, entry, deadline_ms, block=True)
             except Exception:  # noqa: BLE001 - queue closed/timeout
                 counters["dropped"] += 1
                 continue
@@ -157,36 +187,75 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
                 slo_objective: float = 0.99,
                 recorder: bool = True,
                 trace_out: Optional[str] = None,
-                dump_dir: Optional[str] = None) -> Dict[str, Any]:
+                dump_dir: Optional[str] = None,
+                shards: int = 0,
+                lane: str = "interactive",
+                deadline_ms: Optional[float] = None,
+                soak: Optional[int] = None,
+                autoscale: bool = False,
+                ship_traces: bool = True) -> Dict[str, Any]:
     """Run one load-generation pass; returns the JSON-able report.
 
     With ``sanitize=True`` every compiled launch runs under the full
     sanitizer (``validate="always"``) and the report gains a
-    ``sanitize`` section summarizing per-device findings.  The cluster
-    runs with its always-on flight recorder (unless ``recorder=False``)
-    and a wall-latency SLO of ``slo_target_ms`` at ``slo_objective``
-    (``None`` disables SLO tracking); ``trace_out`` additionally writes
-    every retained request span tree as one Chrome-trace JSON file.
+    ``sanitize`` section summarizing per-device findings (single-process
+    clusters only — shard workers keep sanitizer state in their own
+    processes).  The cluster runs with its always-on flight recorder
+    (unless ``recorder=False``) and a wall-latency SLO of
+    ``slo_target_ms`` at ``slo_objective`` (``None`` disables SLO
+    tracking); ``trace_out`` additionally writes every retained request
+    span tree as one Chrome-trace JSON file.
+
+    ``shards > 0`` drives a multi-process
+    :class:`~repro.serve.shard.ShardedCluster` (``devices`` becomes
+    devices *per shard*) and the report gains ``per_shard`` / ``lanes``
+    / ``control`` sections.  ``lane`` tags every request
+    (``"mixed"`` draws interactive vs batch per request), ``deadline_ms``
+    overrides the SLO-derived deadline, and ``soak=N`` is shorthand for
+    a closed-loop fixed-count run of ``N`` requests.  ``autoscale``
+    (sharded only) lets the cluster add/drain shards from backlog and
+    SLO burn rate.
     """
-    trace = build_trace(seed, requests, mix, sim_rate_rps)
+    if soak is not None:
+        requests = soak
+        mode = "closed"
+    trace = build_trace(seed, requests, mix, sim_rate_rps, lane=lane)
     counters = {"rejected_submits": 0, "dropped": 0}
     slo = ({"*": SLObjective(target_wall_ms=slo_target_ms,
                              objective=slo_objective)}
            if slo_target_ms is not None else None)
-    cluster = ServeCluster(num_devices=devices, policy=policy,
-                           batching=batching, max_batch=max_batch,
-                           queue_capacity=queue_capacity,
-                           high_watermark=high_watermark,
-                           validate="always" if sanitize else "first",
-                           slo=slo, recorder=recorder, dump_dir=dump_dir)
+    sharded = shards > 0
+    if sharded:
+        from repro.serve.autoscale import AutoscalePolicy
+        from repro.serve.shard import ShardedCluster
+        policy_obj = AutoscalePolicy(
+            min_shards=1, max_shards=max(2, shards + 2)) \
+            if autoscale else None
+        cluster = ShardedCluster(
+            shards=shards, devices_per_shard=devices, policy=policy,
+            batching=batching, max_batch=max_batch,
+            queue_capacity=queue_capacity, high_watermark=high_watermark,
+            validate="always" if sanitize else "first",
+            ship_traces=ship_traces and recorder, slo=slo,
+            recorder=recorder, dump_dir=dump_dir, autoscale=policy_obj)
+    else:
+        cluster = ServeCluster(num_devices=devices, policy=policy,
+                               batching=batching, max_batch=max_batch,
+                               queue_capacity=queue_capacity,
+                               high_watermark=high_watermark,
+                               validate="always" if sanitize else "first",
+                               slo=slo, recorder=recorder,
+                               dump_dir=dump_dir)
     with cluster:
         if mode == "open":
             run_open_loop(cluster, trace, rate_rps, max_retries, counters,
-                          seed=seed)
+                          seed=seed, deadline_ms=deadline_ms)
         else:
-            run_closed_loop(cluster, trace, concurrency, counters)
-        cluster.drain(timeout=300.0)
-        report = cluster.report()
+            run_closed_loop(cluster, trace, concurrency, counters,
+                            deadline_ms=deadline_ms)
+        cluster.drain(timeout=600.0)
+        report = cluster.report(refresh_snapshots=True) if sharded \
+            else cluster.report()
     failed = [r for r in cluster.completed
               if r.status is RequestStatus.FAILED]
     report["loadgen"] = {
@@ -194,6 +263,10 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
         "mix": mix,
         "seed": seed,
         "requests": requests,
+        "shards": shards if sharded else None,
+        "lane": lane,
+        "deadline_ms": deadline_ms,
+        "soak": soak,
         "rate_rps": rate_rps if mode == "open" else None,
         "concurrency": concurrency if mode == "closed" else None,
         "sim_rate_rps": sim_rate_rps,
@@ -205,7 +278,7 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
     if trace_out:
         cluster.export_traces(trace_out)
         report["loadgen"]["trace_out"] = trace_out
-    if sanitize:
+    if sanitize and not sharded:
         results = [r for w in cluster.workers
                    for r in w.device.sanitizer_results]
         oob: Dict[str, int] = {}
@@ -227,11 +300,21 @@ def run_loadgen(devices: int = 2, requests: int = 200, seed: int = 0,
 def render(report: Dict[str, Any]) -> str:
     lg = report["loadgen"]
     sim = report["sim"]
+    sharded = "per_shard" in report
+    if sharded:
+        topo = (f"{report['shards']} shards x "
+                f"{report['devices_per_shard']} devices "
+                f"({report['active_shards']} active), "
+                f"routing={report['routing']}")
+    else:
+        topo = f"{report['devices']} devices"
     lines = [
         f"serve.loadgen: {report['requests']['done']}/{lg['requests']} done "
-        f"on {report['devices']} devices, policy={report['policy']}, "
-        f"batching={'on' if report['batching'] else 'off'} "
-        f"(mix={lg['mix']}, mode={lg['mode']}, seed={lg['seed']})",
+        f"on {topo}, policy={report['policy']}, "
+        + (f"batching={'on' if report['batching'] else 'off'} "
+           if "batching" in report else "")
+        + f"(mix={lg['mix']}, mode={lg['mode']}, seed={lg['seed']}"
+        + (f", lane={lg['lane']}" if lg.get("lane") else "") + ")",
         f"  wall: {report['wall_elapsed_s']:.2f} s, "
         f"{report['throughput_rps']:.0f} req/s",
         f"  latency (wall ms): p50={report['latency_wall_ms']['p50']:.2f} "
@@ -241,8 +324,9 @@ def render(report: Dict[str, Any]) -> str:
         f"p95={report['latency_sim_us']['p95']:.1f} "
         f"p99={report['latency_sim_us']['p99']:.1f}",
         f"  sim: kernel {sim['kernel_us']:.1f} us, launch overhead "
-        f"{sim['launch_overhead_us']:.1f} us, {sim['batches']} batches "
-        f"(avg {sim['avg_batch']:.2f} req/batch)",
+        f"{sim['launch_overhead_us']:.1f} us"
+        + (f", {sim['batches']} batches (avg {sim['avg_batch']:.2f} "
+           f"req/batch)" if "batches" in sim else ""),
         f"  kernel cache: {report['kernel_cache']['hits']} hits / "
         f"{report['kernel_cache']['misses']} misses "
         f"({report['kernel_cache']['hit_rate']:.0%})",
@@ -279,7 +363,39 @@ def render(report: Dict[str, Any]) -> str:
             f"(racy={len(san['racy_kernels'])}, "
             f"uninit={san['uninit_total']}, "
             f"oob={sum(san['oob_lanes'].values())})")
-    for d in report["per_device"]:
+    lanes = report.get("lanes")
+    if lanes is not None:
+        for lane_name in ("interactive", "batch"):
+            ln = lanes.get(lane_name)
+            if not ln or not ln["requests"]:
+                continue
+            lines.append(
+                f"  lane {lane_name}: {ln['done']}/{ln['requests']} done, "
+                f"slo attainment {ln['slo_attainment']:.2%} "
+                f"({ln['slo_breaches']} breaches), "
+                f"p95 {ln['latency_wall_ms']['p95']:.2f} ms")
+    scale = report.get("autoscale")
+    if scale is not None:
+        lines.append(
+            f"  autoscale: {scale['actions']} actions "
+            + ", ".join(f"{e['action']}@{e['t_wall_s']:.1f}s"
+                        for e in scale["events"][:8]))
+    ctl = report.get("control")
+    if ctl is not None:
+        lines.append(
+            f"  control: {ctl['requeued']} requeued, "
+            f"{ctl['shard_deaths']} shard deaths, "
+            f"{ctl['duplicates_dropped']} duplicates dropped")
+    for s in report.get("per_shard", ()):
+        inner = s.get("inner") or {}
+        cache = inner.get("kernel_cache") or {}
+        lines.append(
+            f"  shard{s['index']} [{s['state']}]: "
+            f"{s['requests_done']} done / {s['routed']} routed, "
+            f"inflight {s['inflight']}"
+            + (f", cache {cache.get('hit_rate', 0.0):.0%}"
+               if cache else ""))
+    for d in report.get("per_device", ()):
         lines.append(
             f"  dev{d['index']}: {d['requests']} requests, "
             f"{d['busy_sim_us']:.1f} us busy, "
@@ -292,9 +408,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.serve.loadgen",
         description="Replay a seeded synthetic trace against the "
                     "multi-device serving layer.")
-    parser.add_argument("--devices", type=int, default=2)
+    parser.add_argument("--devices", type=int, default=2,
+                        help="device count (per shard when --shards > 0)")
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="run a multi-process ShardedCluster with this "
+                             "many shard processes (0 = single process)")
+    parser.add_argument("--lane", choices=("interactive", "batch", "mixed"),
+                        default="interactive",
+                        help="priority lane for every request, or 'mixed' "
+                             "to draw per request")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline in ms (default: the "
+                             "workload's SLO wall target)")
+    parser.add_argument("--soak", type=int, default=None, metavar="N",
+                        help="closed-loop fixed-count soak of N requests "
+                             "(overrides --requests and --mode)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="let a sharded cluster add/drain shards from "
+                             "backlog and SLO burn rate")
+    parser.add_argument("--no-ship-traces", dest="ship_traces",
+                        action="store_false", default=True,
+                        help="do not ship worker span trees across the "
+                             "process boundary (raw-throughput runs)")
     parser.add_argument("--policy", choices=policy_names(),
                         default="cache-affinity")
     parser.add_argument("--mix", choices=sorted(_MIXES),
@@ -350,7 +487,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        if args.slo_target_ms > 0 else None),
         slo_objective=args.slo_objective, recorder=args.recorder,
         trace_out=args.trace_out if args.recorder else None,
-        dump_dir=args.dump_dir)
+        dump_dir=args.dump_dir,
+        shards=args.shards, lane=args.lane, deadline_ms=args.deadline_ms,
+        soak=args.soak, autoscale=args.autoscale,
+        ship_traces=args.ship_traces)
 
     if not args.quiet:
         print(render(report))

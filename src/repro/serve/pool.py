@@ -1,0 +1,175 @@
+"""Shared-memory payload pool: the sharded cluster's data plane.
+
+The control plane between the parent and its shard processes is
+pickle-cheap messages, but request *payloads* (input arrays, output
+surfaces) would dominate the pipe if they rode along.  The
+:class:`SurfacePool` carries them out of band, the unified-memory /
+zero-copy idiom applied to serving:
+
+- the parent owns **one** ``multiprocessing.shared_memory`` block,
+  carved into fixed-size slots;
+- ``put()`` writes a request's arrays into a free slot and returns a
+  :class:`PayloadRef` — slot index plus per-array geometry, a few dozen
+  bytes of picklable tuple that travels the submit queue;
+- each shard worker attaches to the block **once** (by name) and
+  ``map()``\\ s the ref into numpy views of the same physical pages —
+  no serialization, no copy;
+- kernels restore surfaces from the views and snapshot results straight
+  back into them (:meth:`repro.memory.surfaces.Surface.restore_from` /
+  ``snapshot_into``), so outputs return to the parent through the same
+  pages;
+- the parent releases the slot once the completion has been consumed.
+
+Payloads that exceed ``slot_bytes`` (or arrive when every slot is busy)
+are *not* dropped: ``put()`` returns ``None`` and the caller falls back
+to pickling the arrays through the control queue, counting the fallback
+— bounded memory, never silent.
+
+Slot ownership survives shard death: the parent owns the block, so a
+request requeued from a killed worker keeps its payload slot and the
+replacement shard maps the same pages.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+from typing import Any, Dict, NamedTuple, Optional
+
+import numpy as np
+
+#: Slot-internal alignment for each packed array (a cache line).
+_ALIGN = 64
+
+
+class PayloadRef(NamedTuple):
+    """A pickle-cheap handle to one slot's packed arrays."""
+
+    slot: int
+    #: ``(key, byte_offset, shape, dtype_str)`` per array.
+    entries: tuple
+
+
+def _padded(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SurfacePool:
+    """A slab of shared-memory slots for request payloads."""
+
+    def __init__(self, slots: int = 64, slot_bytes: int = 1 << 16) -> None:
+        if slots < 1 or slot_bytes < _ALIGN:
+            raise ValueError("need at least one slot of >= 64 bytes")
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=slots * slot_bytes)
+        self.name = self._shm.name
+        self._owner = True
+        self._free = list(range(slots - 1, -1, -1))
+        self._allocated: set = set()
+        self._lock = threading.Lock()
+        self.allocs = 0
+        self.releases = 0
+        #: payloads refused because no slot fit/was free (caller pickles).
+        self.fallbacks = 0
+
+    @classmethod
+    def attach(cls, name: str, slots: int,
+               slot_bytes: int) -> "SurfacePool":
+        """Map an existing pool by name (the shard-worker side).
+
+        Attached pools can :meth:`map` refs but never allocate or
+        release slots — ownership stays with the creating process.
+        """
+        pool = object.__new__(cls)
+        pool.slots = slots
+        pool.slot_bytes = slot_bytes
+        # Attaching registers the segment with the resource tracker as
+        # if this process owned it — a forked worker shares the parent's
+        # tracker, so a later unregister would strip the *parent's*
+        # registration too.  Suppress registration for the attach
+        # instead: ownership (and unlinking) stays with the creator.
+        from multiprocessing import resource_tracker
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            pool._shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        pool.name = name
+        pool._owner = False
+        pool._free = []
+        pool._allocated = set()
+        pool._lock = threading.Lock()
+        pool.allocs = pool.releases = pool.fallbacks = 0
+        return pool
+
+    # -- parent side -------------------------------------------------------
+
+    def put(self, arrays: Dict[str, np.ndarray]) -> Optional[PayloadRef]:
+        """Pack ``arrays`` into a free slot; ``None`` means fall back."""
+        if not self._owner:
+            raise RuntimeError("attached pools cannot allocate slots")
+        packed = {key: np.ascontiguousarray(arr)
+                  for key, arr in arrays.items()}
+        need = sum(_padded(arr.nbytes) for arr in packed.values())
+        if need > self.slot_bytes:
+            with self._lock:
+                self.fallbacks += 1
+            return None
+        with self._lock:
+            if not self._free:
+                self.fallbacks += 1
+                return None
+            slot = self._free.pop()
+            self._allocated.add(slot)
+            self.allocs += 1
+        base = slot * self.slot_bytes
+        offset = 0
+        entries = []
+        for key, arr in packed.items():
+            view = np.ndarray(arr.shape, arr.dtype, buffer=self._shm.buf,
+                              offset=base + offset)
+            view[...] = arr
+            entries.append((key, offset, arr.shape, arr.dtype.str))
+            offset += _padded(arr.nbytes)
+        return PayloadRef(slot, tuple(entries))
+
+    def release(self, ref: PayloadRef) -> None:
+        with self._lock:
+            if ref.slot in self._allocated:
+                self._allocated.remove(ref.slot)
+                self._free.append(ref.slot)
+                self.releases += 1
+
+    # -- both sides --------------------------------------------------------
+
+    def map(self, ref: PayloadRef) -> Dict[str, np.ndarray]:
+        """Zero-copy numpy views of a ref's arrays in the shared block."""
+        base = ref.slot * self.slot_bytes
+        return {
+            key: np.ndarray(shape, np.dtype(dtype), buffer=self._shm.buf,
+                            offset=base + offset)
+            for key, offset, shape, dtype in ref.entries
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "slots": self.slots,
+                "slot_bytes": self.slot_bytes,
+                "in_use": len(self._allocated),
+                "allocs": self.allocs,
+                "releases": self.releases,
+                "fallbacks": self.fallbacks,
+            }
+
+    def close(self) -> None:
+        """Unmap (both sides); the owner also unlinks the block."""
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except Exception:  # noqa: BLE001 - double-close during teardown
+            pass

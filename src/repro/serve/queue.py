@@ -17,6 +17,7 @@ the front door was hit.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -42,6 +43,17 @@ class Backpressure(RuntimeError):
 
 class ShutDown(RuntimeError):
     """Submitted to a closed queue."""
+
+
+#: Per-request retry hint used while the drain rate is unmeasured (no
+#: ``take()`` has completed yet — first requests after start or reset).
+#: Without it the hint collapses to the 1 ms floor and rejected clients
+#: hot-loop against a dispatcher that has not even woken up.
+DEFAULT_RETRY_S = 0.02
+
+#: Bounds every retry hint, measured or not.
+MIN_RETRY_S = 1e-3
+MAX_RETRY_S = 1.0
 
 
 class SubmissionQueue:
@@ -73,13 +85,35 @@ class SubmissionQueue:
 
     def __len__(self) -> int:
         with self._cv:
-            return len(self._items)
+            return self._size()
+
+    # -- storage hooks (subclasses reorder without touching admission) -----
+
+    def _push(self, request: Request) -> None:
+        self._items.append(request)
+
+    def _pop(self) -> Request:
+        return self._items.popleft()
+
+    def _size(self) -> int:
+        return len(self._items)
 
     # -- producer side ----------------------------------------------------
 
     def retry_after_s(self, overflow: int) -> float:
-        """Backpressure hint: time for the dispatcher to drain ``overflow``."""
-        return min(1.0, max(1e-3, overflow * self._drain_interval_s))
+        """Backpressure hint: time for the dispatcher to drain ``overflow``.
+
+        While the drain rate is unmeasured (nothing taken yet) or the
+        EMA has degenerated (zero / non-finite interval), the hint is a
+        bounded default rather than the raw seed — a freshly started or
+        reset queue should tell clients "come back in a beat", not
+        "hammer me every millisecond".
+        """
+        interval = self._drain_interval_s
+        if self._last_take is None or not math.isfinite(interval) \
+                or interval <= 0.0:
+            interval = DEFAULT_RETRY_S
+        return min(MAX_RETRY_S, max(MIN_RETRY_S, overflow * interval))
 
     def submit(self, request: Request, block: bool = False,
                timeout: Optional[float] = None) -> Request:
@@ -92,14 +126,14 @@ class SubmissionQueue:
             if block:
                 ok = self._cv.wait_for(
                     lambda: self._closed
-                    or len(self._items) < self.high_watermark,
+                    or self._size() < self.high_watermark,
                     timeout)
                 if not ok:
-                    raise Backpressure(len(self._items), self.capacity,
+                    raise Backpressure(self._size(), self.capacity,
                                        self.retry_after_s(1))
             if self._closed:
                 raise ShutDown("submission queue is closed")
-            depth = len(self._items)
+            depth = self._size()
             if depth >= self.high_watermark or depth >= self.capacity:
                 self._rejected.inc()
                 raise Backpressure(
@@ -108,9 +142,9 @@ class SubmissionQueue:
             request.status = RequestStatus.QUEUED
             request.t_submit_wall = time.perf_counter()
             request.queue_depth_at_admit = depth
-            self._items.append(request)
+            self._push(request)
             self._admitted.inc()
-            self._depth.set(len(self._items))
+            self._depth.set(self._size())
             self._cv.notify_all()
             return request
 
@@ -125,20 +159,21 @@ class SubmissionQueue:
         """
         with self._cv:
             ok = self._cv.wait_for(
-                lambda: self._items or self._closed, timeout)
-            if not ok or not self._items:
+                lambda: self._size() or self._closed, timeout)
+            if not ok or not self._size():
                 return []
             out = []
-            while self._items and len(out) < max_items:
-                out.append(self._items.popleft())
+            while self._size() and len(out) < max_items:
+                out.append(self._pop())
             now = time.perf_counter()
             if self._last_take is not None:
-                # Per-request drain interval, smoothed.
+                # Per-request drain interval, smoothed (non-negative by
+                # construction; the monotonic clock never runs backward).
                 sample = (now - self._last_take) / max(len(out), 1)
                 self._drain_interval_s += 0.2 * (sample -
                                                  self._drain_interval_s)
             self._last_take = now
-            self._depth.set(len(self._items))
+            self._depth.set(self._size())
             self._cv.notify_all()
             return out
 

@@ -46,6 +46,13 @@ class Request:
     #: device is free" and charges zero simulated wait.
     arrival_sim_us: Optional[float] = None
 
+    #: scheduling lane: ``"interactive"`` drains strictly before
+    #: ``"batch"`` in a :class:`~repro.serve.lanes.PriorityLaneQueue`.
+    lane: str = "interactive"
+    #: absolute wall-clock deadline (``perf_counter`` seconds); lane
+    #: queues order each lane earliest-deadline-first when set.
+    deadline_wall_s: Optional[float] = None
+
     id: int = field(default_factory=lambda: next(_ids))
     status: RequestStatus = RequestStatus.PENDING
     error: Optional[str] = None
@@ -53,6 +60,13 @@ class Request:
 
     # -- stamps filled in by the cluster ---------------------------------
     device_index: Optional[int] = None
+    #: shard that served the request (sharded cluster only).
+    shard_index: Optional[int] = None
+    #: times this request was requeued after a shard death.
+    requeues: int = 0
+    #: output payload arrays, materialized from the shared-memory data
+    #: plane when the request was submitted with ``payload=``.
+    result_payload: Any = field(default=None, repr=False)
     batch_id: Optional[int] = None
     batch_size: int = 1
     cache_hits: int = 0

@@ -124,23 +124,41 @@ _BLUR_SIG = [("img", True)]
 
 
 def _make_saxpy(params: Dict[str, Any]) -> KernelLaunch:
-    n = int(params.get("n", 256))
-    seed = int(params.get("seed", 0))
-    if n % _VEC:
-        raise ValueError(f"saxpy n must divide {_VEC}")
-    rng = np.random.default_rng(seed ^ 0x5a)
-    x = rng.standard_normal(n).astype(np.float32)
-    y = rng.standard_normal(n).astype(np.float32)
+    payload = params.get("_payload")
+    if payload is not None:
+        # Shared-memory data plane: inputs are (views of) caller-owned
+        # arrays; the result is snapshotted back into the y view in
+        # place, so a shared-memory payload round-trips without a pickle.
+        x = np.ascontiguousarray(payload["x"], dtype=np.float32)
+        y_io = payload["y"]
+        y = np.array(y_io, dtype=np.float32, copy=True)
+        n = int(x.size)
+        if n % _VEC or np.asarray(y_io).size != n:
+            raise ValueError(f"saxpy payload sizes must match and "
+                             f"divide {_VEC}")
+    else:
+        n = int(params.get("n", 256))
+        seed = int(params.get("seed", 0))
+        if n % _VEC:
+            raise ValueError(f"saxpy n must divide {_VEC}")
+        rng = np.random.default_rng(seed ^ 0x5a)
+        x = rng.standard_normal(n).astype(np.float32)
+        y = rng.standard_normal(n).astype(np.float32)
+        y_io = None
     expect = 2.0 * x + y
 
     def bind(device: Device):
-        xbuf = device.buffer(x.copy())
-        ybuf = device.buffer(y.copy())
+        xbuf = device.buffer(n * 4)
+        xbuf.restore_from(x)
+        ybuf = device.buffer(n * 4)
+        ybuf.restore_from(y)
         return [xbuf, ybuf], (lambda tid: {"tid": tid[0]})
 
     def finish(surfaces):
         out = surfaces[1].to_numpy().view(np.float32)
         assert np.allclose(out, expect, atol=1e-5), "saxpy output mismatch"
+        if y_io is not None:
+            surfaces[1].snapshot_into(y_io)
         return float(out.sum())
 
     return KernelLaunch(_saxpy_body, "serve_saxpy", _SAXPY_SIG, ["tid"],
@@ -148,21 +166,33 @@ def _make_saxpy(params: Dict[str, Any]) -> KernelLaunch:
 
 
 def _make_scale(params: Dict[str, Any]) -> KernelLaunch:
-    n = int(params.get("n", 256))
-    seed = int(params.get("seed", 0))
-    if n % _VEC:
-        raise ValueError(f"scale n must divide {_VEC}")
-    rng = np.random.default_rng(seed ^ 0xc3)
-    v = rng.standard_normal(n).astype(np.float32)
+    payload = params.get("_payload")
+    if payload is not None:
+        v_io = payload["v"]
+        v = np.array(v_io, dtype=np.float32, copy=True)
+        n = int(v.size)
+        if n % _VEC:
+            raise ValueError(f"scale payload size must divide {_VEC}")
+    else:
+        n = int(params.get("n", 256))
+        seed = int(params.get("seed", 0))
+        if n % _VEC:
+            raise ValueError(f"scale n must divide {_VEC}")
+        rng = np.random.default_rng(seed ^ 0xc3)
+        v = rng.standard_normal(n).astype(np.float32)
+        v_io = None
     expect = 3.0 * v
 
     def bind(device: Device):
-        buf = device.buffer(v.copy())
+        buf = device.buffer(n * 4)
+        buf.restore_from(v)
         return [buf], (lambda tid: {"tid": tid[0]})
 
     def finish(surfaces):
         out = surfaces[0].to_numpy().view(np.float32)
         assert np.allclose(out, expect, atol=1e-5), "scale output mismatch"
+        if v_io is not None:
+            surfaces[0].snapshot_into(v_io)
         return float(out.sum())
 
     return KernelLaunch(_scale_body, "serve_scale", _SCALE_SIG, ["tid"],
