@@ -38,7 +38,7 @@ from repro.cm.intrinsics import (
     write_scattered,
 )
 from repro.cm.kernel import cm_kernel, thread_id, thread_x, thread_y
-from repro.cm.simd_cf import SimdIf, simd_if
+from repro.cm.simd_cf import SimdIf, simd_if, simd_while
 from repro.cm.vector import (
     CMTypeError, Matrix, MatrixRef, Vector, VectorRef, matrix, vector,
 )
@@ -54,7 +54,8 @@ __all__ = [
     "read", "write", "read_scattered", "write_scattered", "atomic",
     "slm_read", "slm_write", "slm_atomic",
     # control flow / kernels
-    "simd_if", "SimdIf", "cm_kernel", "thread_x", "thread_y", "thread_id",
+    "simd_if", "simd_while", "SimdIf", "cm_kernel", "thread_x",
+    "thread_y", "thread_id",
     # functions
     "cm_sum", "cm_prod", "cm_min", "cm_max", "cm_abs", "cm_sqrt", "cm_rsqrt",
     "cm_inv", "cm_log", "cm_exp", "cm_reduce_min", "cm_reduce_max", "cm_shl",

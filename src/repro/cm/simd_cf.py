@@ -75,6 +75,59 @@ class SimdElse:
         return False
 
 
-def simd_if(cond) -> SimdIf:
-    """Open a divergent if; see the module docstring for usage."""
+def _tracing() -> bool:
+    """True when a compile-mode kernel trace is active (no eager thread)."""
+    if ctx.current() is not None:
+        return False
+    from repro.compiler import frontend as _fe
+    return getattr(_fe._trace_state, "tracer", None) is not None
+
+
+def simd_if(cond):
+    """Open a divergent if; see the module docstring for usage.
+
+    Inside a kernel trace (:func:`repro.compiler.frontend.trace_kernel`)
+    this dispatches to the trace-mode implementation, which emits the
+    structured ``simd.if``/``simd.else``/``simd.endif`` IR markers that
+    compile to Gen's masked control-flow instructions.
+    """
+    if _tracing():
+        from repro.compiler import frontend as _fe
+        return _fe.simd_if(cond)
     return SimdIf(cond)
+
+
+def simd_while(body_fn) -> None:
+    """A lane-divergent do-while loop.
+
+    ``body_fn()`` runs with the loop's active mask pushed and must
+    return the loop condition (a CM vector / bool array); lanes whose
+    condition is non-zero run the body again.  Eagerly this iterates
+    until no lane wants another trip; in trace mode the body is traced
+    once between ``simd.do`` and ``simd.while`` markers.
+    """
+    if _tracing():
+        from repro.compiler import frontend as _fe
+        _fe.simd_while(body_fn)
+        return
+    thread = ctx.require()
+    base = thread.mask  # enclosing mask, None at top level
+    ctx.emit_scalar(1)  # entering the loop (simd-do marker)
+    active = None
+    while True:
+        if active is not None:
+            thread.push_mask(active)
+        cond = body_fn()
+        if active is not None:
+            thread.pop_mask()
+        ctx.emit_scalar(2)  # back-edge test (simd-goto at the while)
+        m = _mask_values(cond)
+        if base is not None:
+            if len(base) != len(m):
+                raise ValueError(
+                    f"simd_while mask width {len(m)} != enclosing "
+                    f"width {len(base)}")
+            m = m & base
+        active = m if active is None else (active & m)
+        if not active.any():
+            break

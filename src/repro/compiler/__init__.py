@@ -3,9 +3,10 @@
 Pipeline (mirroring Fig. 3):
 
 1. **Front end** (:mod:`repro.compiler.frontend`): traces a restricted CM
-   kernel (straight-line; Python loops unroll) into an SSA IR where
-   partial vector reads/writes are the ``rdregion``/``wrregion``
-   intrinsics.
+   kernel (Python loops unroll; divergence via ``simd_if`` /
+   ``simd_while``) into an SSA IR where partial vector reads/writes are
+   the ``rdregion``/``wrregion`` intrinsics and divergent regions are
+   structured-CF markers.
 2. **Middle end** (:mod:`repro.compiler.passes`): constant folding,
    region collapsing, dead-vector removal, vector decomposition, then
    baling analysis.

@@ -104,13 +104,20 @@ def compile_kernel(body: Callable, name: str,
     with trace_span("compile", kernel=name) as span:
         with trace_span("pass:frontend", kernel=name):
             fn = trace_kernel(body, name, surfaces, scalar_params)
-        if optimize:
+        # The linear-program passes assume straight-line code: constant
+        # folding and dead-code elimination are unsound across a loop's
+        # back edge, and the send scheduler must not hoist memory ops
+        # over a divergent-region boundary.  Divergent kernels keep the
+        # unoptimized (but legalized) pipeline; baling stays on (it is
+        # restricted to within-region folds for CF functions).
+        has_cf = any(i.op.startswith("simd.") for i in fn.instrs)
+        if optimize and not has_cf:
             run_default_pipeline(fn, kernel=name)
         with trace_span("pass:baling", kernel=name):
             bales = analyze_bales(fn)
         with trace_span("pass:emit_visa", kernel=name):
             visa = emit_visa(fn, bales)
-        if optimize:
+        if optimize and not has_cf:
             with trace_span("pass:schedule_sends", kernel=name):
                 schedule_sends(visa)
         with trace_span("pass:finalize", kernel=name):

@@ -58,7 +58,13 @@ def _live_ranges(prog: VProgram) -> Dict[int, Tuple[int, int]]:
         lo, hi = ranges.get(vreg.id, (pos, pos))
         ranges[vreg.id] = (min(lo, pos), max(hi, pos))
 
+    loops: List[Tuple[int, int]] = []
+    do_stack: List[int] = []
     for pos, instr in enumerate(prog.instrs):
+        if instr.op is Opcode.SIMD_DO:
+            do_stack.append(pos)
+        elif instr.op is Opcode.SIMD_WHILE and do_stack:
+            loops.append((do_stack.pop(), pos))
         if instr.dst is not None:
             touch(instr.dst.vreg, pos)
         for s in instr.srcs:
@@ -74,6 +80,15 @@ def _live_ranges(prog: VProgram) -> Dict[int, Tuple[int, int]]:
     for vreg in prog.params.values():
         lo, hi = ranges.get(vreg.id, (0, 0))
         ranges[vreg.id] = (0, max(hi, 0))
+    # Linear positions lie about loops: a vreg live anywhere inside a
+    # [do, while] region may be read again via the back edge, so its
+    # range must cover the whole region or the allocator could recycle
+    # its register mid-loop.  Inner loops pop first, so nested regions
+    # extend inside-out.
+    for do_pos, while_pos in loops:
+        for vid, (lo, hi) in ranges.items():
+            if lo <= while_pos and hi >= do_pos:
+                ranges[vid] = (min(lo, do_pos), max(hi, while_pos))
     return ranges
 
 
@@ -241,7 +256,7 @@ class _Encoder:
             instr.op, exec_size=instr.exec_size, dst=dst, srcs=srcs,
             pred=pred, cond_mod=instr.cond_mod,
             flag=FlagOperand(0) if instr.cond_mod else None,
-            math_fn=instr.math_fn))
+            math_fn=instr.math_fn, emask=f"M{instr.emask_off}"))
 
     def _addr(self, v):
         if isinstance(v, VImm):

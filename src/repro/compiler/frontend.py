@@ -1,10 +1,12 @@
 """Trace-mode front end: CM kernels to SSA IR.
 
-A restricted CM kernel (straight-line; Python loops unroll at trace time;
-scalar control flow must not depend on traced values) is executed with
-*trace vectors* that build IR instead of computing.  Matrices are
-flattened to vectors — exactly what CMC does — and every ``select``
-becomes a ``rdregion`` (reads) or ``wrregion`` (writes).
+A restricted CM kernel (Python loops unroll at trace time; *scalar*
+control flow must not depend on traced values; per-lane divergence goes
+through :func:`simd_if` / :func:`simd_while`, which emit structured-CF
+markers) is executed with *trace vectors* that build IR instead of
+computing.  Matrices are flattened to vectors — exactly what CMC does —
+and every ``select`` becomes a ``rdregion`` (reads) or ``wrregion``
+(writes).
 
 The traced kernel's surface arguments are declared via ``params``;
 integer arguments (thread coordinates etc.) become symbolic scalars that
@@ -41,6 +43,11 @@ class _Tracer:
 
     def __init__(self, name: str) -> None:
         self.fn = Function(name)
+        #: nesting depth of divergent (simd_if / simd_while) regions.
+        #: When positive, whole-variable writes merge into the existing
+        #: storage class instead of rebinding, so inactive lanes keep
+        #: their values and loop bodies see loop-carried state.
+        self.cf_depth = 0
 
     def emit(self, op: str, result_type: Optional[VecType],
              operands: Sequence = (), region: Optional[Region] = None,
@@ -178,6 +185,9 @@ class _Arith:
         elif isinstance(other, TraceRef):
             b = other._read_value()
             b_dt = other.dtype
+        elif isinstance(other, TraceScalar):
+            b = other.value  # scalar register, broadcast by the region
+            b_dt = D
         elif isinstance(other, (int, float, np.integer, np.floating)):
             b_dt = scalar_dtype(other)
             b = other
@@ -209,7 +219,14 @@ class _Arith:
     def _cmp(self, other, cond: str) -> "TraceTemp":
         tr = _tracer()
         a = self._value()
-        b = other._value() if isinstance(other, (TraceTemp, TraceVar)) else other
+        if isinstance(other, (TraceTemp, TraceVar)):
+            b = other._value()
+        elif isinstance(other, TraceScalar):
+            b = other.value
+        elif isinstance(other, TraceRef):
+            b = other._read_value()
+        else:
+            b = other
         out = tr.emit(f"cmp.{cond}", VecType(UW, self.n), [a, b])
         return TraceTemp(out, UW, self.shape)
 
@@ -303,8 +320,27 @@ class TraceVar(_Arith):
 
     # -- whole-variable assignment ----------------------------------------
 
+    def _write_back(self, out: Value) -> Value:
+        """Bind a whole-variable write.
+
+        Outside divergent control flow this is a plain SSA rebind.
+        Inside a ``simd_if``/``simd_while`` region the new value is
+        merged into the variable's existing storage with a full-width
+        ``wrregion``: the wrregion keeps the storage class alive, so the
+        finalized mov executes under the region's emask — inactive lanes
+        keep their old values and loop iterations see carried state.
+        """
+        tr = _tracer()
+        if tr.cf_depth:
+            region = Region(vstride=self.n, width=self.n, hstride=1,
+                            offset_bytes=0)
+            out = tr.emit("wrregion", self.current.vtype,
+                          [self.current, out], region=region)
+        self.current = out
+        return out
+
     def assign(self, value) -> "TraceVar":
-        self.current = _coerce_to_value(value, self.dtype, self.n)
+        self._write_back(_coerce_to_value(value, self.dtype, self.n))
         return self
 
     def merge(self, x, mask, y=None) -> "TraceVar":
@@ -320,7 +356,7 @@ class TraceVar(_Arith):
             yv = _coerce_to_value(y, self.dtype, self.n)
             out = tr.emit("sel", VecType(self.dtype, self.n),
                           [mask_val, xv, yv])
-        self.current = out
+        self._write_back(out)
         return self
 
     def __iadd__(self, o):
@@ -348,6 +384,11 @@ def _coerce_to_value(value, dtype: DType, n: int) -> Value:
         elif isinstance(value, (TraceRef,)):
             pass
         return src
+    if isinstance(value, TraceScalar):
+        # a symbolic scalar (kernel parameter / address arithmetic):
+        # broadcast it across the lanes with a mov whose 1-wide source
+        # region splats during legalization.
+        return tr.emit("mov", VecType(dtype, n), [value.value])
     if isinstance(value, (int, float, np.integer, np.floating)):
         return tr.constant(np.full(n, value, dtype=dtype.np_dtype), dtype)
     if isinstance(value, (np.ndarray, list, tuple)):
@@ -376,13 +417,13 @@ def read(surface: SurfaceParam, arg0, arg1=None, arg2=None,
                       [surface.bti, _scalar_operand(arg0),
                        _scalar_operand(arg1)],
                       attrs={"width": cols * m.dtype.size, "height": rows})
-        m.current = out
+        m._write_back(out)
     else:
         v = arg1
         out = tr.emit("oword.read", VecType(v.dtype, v.n),
                       [surface.bti, _scalar_operand(arg0)],
                       attrs={"aligned": aligned})
-        v.current = out
+        v._write_back(out)
 
 
 def write(surface: SurfaceParam, arg0, arg1=None, arg2=None) -> None:
@@ -407,7 +448,7 @@ def read_scattered(surface: SurfaceParam, global_offset, element_offsets,
     offs = _coerce_to_value(element_offsets, as_cm_dtype(np.uint32), ret.n)
     out = tr.emit("gather", VecType(ret.dtype, ret.n),
                   [surface.bti, _scalar_operand(global_offset), offs])
-    ret.current = out
+    ret._write_back(out)
 
 
 def write_scattered(surface: SurfaceParam, global_offset, element_offsets,
@@ -418,6 +459,127 @@ def write_scattered(surface: SurfaceParam, global_offset, element_offsets,
     tr.emit("scatter", None,
             [surface.bti, _scalar_operand(global_offset), offs,
              values._value()])
+
+
+# -- SIMD (divergent) control flow, trace mode ---------------------------------
+#
+# The eager path interprets divergence with a mask stack
+# (:mod:`repro.cm.simd_cf`); trace mode instead emits structured
+# ``simd.*`` IR markers that lower to the masked-CF Gen opcodes
+# (SIMD_IF/ELSE/ENDIF/DO/WHILE/BREAK).  Conditions are full-width UW
+# vectors (cmp results); the vISA emitter turns each one into a
+# ``cmp.ne f0, cond, 0`` plus the predicated CF instruction.
+
+
+class SimdIfTrace:
+    """Trace-mode ``simd_if``: emits ``simd.if`` ... ``simd.endif``."""
+
+    def __init__(self, cond) -> None:
+        self._cond = cond
+        self._entered = False
+        self._width = 0
+
+    def __enter__(self) -> "SimdIfTrace":
+        tr = _tracer()
+        cond = self._cond
+        n = getattr(cond, "n", None)
+        if n is None:
+            raise TraceError("simd_if needs a traced vector condition")
+        tr.emit("simd.if", None, [_coerce_to_value(cond, UW, n)],
+                attrs={"width": n})
+        tr.cf_depth += 1
+        self._entered = True
+        self._width = n
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            tr = _tracer()
+            tr.cf_depth -= 1
+            tr.emit("simd.endif", None, [], attrs={"width": self._width})
+        return False
+
+    def orelse(self) -> "SimdElseTrace":
+        """The else-block; must open immediately after the if-block."""
+        if not self._entered:
+            raise TraceError("orelse() before the simd_if block ran")
+        return SimdElseTrace(self._width)
+
+
+class SimdElseTrace:
+    """Rewrites the just-emitted ``simd.endif`` into ``simd.else``."""
+
+    def __init__(self, width: int) -> None:
+        self._width = width
+
+    def __enter__(self) -> "SimdElseTrace":
+        tr = _tracer()
+        instrs = tr.fn.instrs
+        if not instrs or instrs[-1].op != "simd.endif":
+            raise TraceError(
+                "orelse() must immediately follow its simd_if block; no "
+                "instructions may be traced between the two blocks")
+        instrs[-1].op = "simd.else"
+        tr.cf_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            tr = _tracer()
+            tr.cf_depth -= 1
+            tr.emit("simd.endif", None, [], attrs={"width": self._width})
+        return False
+
+
+def simd_if(cond) -> SimdIfTrace:
+    """Open a divergent if-region in the traced kernel."""
+    return SimdIfTrace(cond)
+
+
+def simd_while(body_fn: Callable) -> None:
+    """Trace a lane-divergent do-while loop.
+
+    ``body_fn()`` is traced exactly once; it must return the loop
+    condition (a traced UW vector).  Lanes whose condition is non-zero
+    re-enter the body; the loop reconverges when every lane's condition
+    is zero.  Variables carried across iterations must be created
+    *before* the loop (their in-loop writes become masked merges into
+    the pre-loop storage).
+    """
+    tr = _tracer()
+    tr.emit("simd.do", None, [])
+    tr.cf_depth += 1
+    cond = body_fn()
+    if cond is None:
+        raise TraceError("simd_while body must return the loop condition")
+    n = getattr(cond, "n", None)
+    if n is None:
+        raise TraceError("simd_while needs a traced vector condition")
+    cv = _coerce_to_value(cond, UW, n)
+    tr.cf_depth -= 1
+    tr.emit("simd.while", None, [cv], attrs={"width": n})
+
+
+def simd_break_if(cond) -> None:
+    """Deactivate lanes (until the loop exits) where ``cond`` is true."""
+    tr = _tracer()
+    if tr.cf_depth == 0:
+        raise TraceError("simd_break_if outside a simd_while loop")
+    n = getattr(cond, "n", None)
+    if n is None:
+        raise TraceError("simd_break_if needs a traced vector condition")
+    tr.emit("simd.break", None, [_coerce_to_value(cond, UW, n)],
+            attrs={"width": n})
+
+
+def cm_min(a, b) -> TraceTemp:
+    """Elementwise minimum (mirrors the eager ``cm.cm_min``)."""
+    return a._binop(b, "min")
+
+
+def cm_max(a, b) -> TraceTemp:
+    """Elementwise maximum (mirrors the eager ``cm.cm_max``)."""
+    return a._binop(b, "max")
 
 
 # -- the tracing entry point ---------------------------------------------------
@@ -447,6 +609,9 @@ def trace_kernel(body: Callable, name: str,
             val.name = nm
             scalars.append(TraceScalar(val))
         body(cmx, *params, *scalars)
+        if tracer.cf_depth:
+            raise TraceError("kernel returned inside a divergent region "
+                             "(unbalanced simd_if/simd_while)")
     finally:
         _trace_state.tracer = None
     return tracer.fn

@@ -45,12 +45,36 @@ class BaleInfo:
         return id(instr) in self.absorbed
 
 
+def _cf_segments(fn: Function) -> Dict[int, int]:
+    """instr id -> control-flow segment index (empty when straight-line).
+
+    Every ``simd.*`` marker starts a new segment.  Folding an absorbed
+    instruction into a root moves its work to the root's position; when
+    the two sit in different segments that move crosses a divergent
+    boundary (e.g. a read hoisted into a loop body re-reads mutated
+    state every iteration), so bales must stay within one segment.
+    """
+    seg: Dict[int, int] = {}
+    if not any(i.op.startswith("simd.") for i in fn.instrs):
+        return seg
+    current = 0
+    for instr in fn.instrs:
+        if instr.op.startswith("simd."):
+            current += 1
+        seg[id(instr)] = current
+    return seg
+
+
 def analyze_bales(fn: Function) -> BaleInfo:
     info = BaleInfo()
     uses = fn.uses()
+    seg = _cf_segments(fn)
 
     def single_use(v: Value) -> bool:
         return len(uses.get(v.id, ())) == 1
+
+    def same_segment(a: Instr, b: Instr) -> bool:
+        return not seg or seg.get(id(a)) == seg.get(id(b))
 
     # 1. Fold rdregions into their single consumer's source operands.
     for instr in fn.instrs:
@@ -60,7 +84,8 @@ def analyze_bales(fn: Function) -> BaleInfo:
             if not isinstance(op, Value) or op.producer is None:
                 continue
             prod = op.producer
-            if prod.op == "rdregion" and single_use(op):
+            if prod.op == "rdregion" and single_use(op) \
+                    and same_segment(prod, instr):
                 info.absorbed[id(prod)] = "src_region"
                 info.src_regions.setdefault(id(instr), {})[i] = prod
 
@@ -74,7 +99,8 @@ def analyze_bales(fn: Function) -> BaleInfo:
         prod = src.producer
         if (prod.op in ROOT_OPS and prod.op != "mov" and single_use(src)
                 and id(prod) not in info.absorbed
-                and src.vtype.n == instr.result.vtype.n):
+                and src.vtype.n == instr.result.vtype.n
+                and same_segment(prod, instr)):
             info.absorbed[id(instr)] = "dst_conv"
             info.dst_conv[id(prod)] = instr
 
@@ -93,7 +119,8 @@ def analyze_bales(fn: Function) -> BaleInfo:
                 continue
             root = prod.operands[0].producer
         if (root is not None and root.op in ROOT_OPS and single_use(new)
-                and id(root) not in info.dst_wrregion):
+                and id(root) not in info.dst_wrregion
+                and same_segment(root, instr)):
             info.absorbed[id(instr)] = "dst_region"
             info.dst_wrregion[id(root)] = instr
     return info

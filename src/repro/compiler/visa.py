@@ -112,6 +112,10 @@ class VInstr:
     math_fn: Optional[MathFn] = None
     pred_flag: Optional[int] = None
     msg: Optional[dict] = None  # send message description
+    #: first execution-mask channel this instruction covers.  Non-zero
+    #: only for chunks of a legalized wide op inside a divergent region:
+    #: lane i of the chunk maps to SIMD-CF channel ``emask_off + i``.
+    emask_off: int = 0
 
     def __repr__(self) -> str:
         parts = [self.op.value, f"({self.exec_size})"]
@@ -145,6 +149,14 @@ class VProgram:
         return "\n".join(lines)
 
 
+#: IR control-flow markers -> the structured-CF Gen opcodes.
+_CF_OP_MAP = {
+    "simd.if": Opcode.SIMD_IF, "simd.else": Opcode.SIMD_ELSE,
+    "simd.endif": Opcode.SIMD_ENDIF, "simd.do": Opcode.SIMD_DO,
+    "simd.while": Opcode.SIMD_WHILE, "simd.break": Opcode.SIMD_BREAK,
+}
+
+
 class _Emitter:
     def __init__(self, fn: Function, bales: BaleInfo) -> None:
         self.fn = fn
@@ -154,6 +166,12 @@ class _Emitter:
         self._class: Dict[int, int] = {}
         self._vreg_of_class: Dict[int, VReg] = {}
         self._materialized_consts: Dict[int, VReg] = {}
+        #: does this function contain divergent (simd.*) control flow?
+        self._has_cf = any(i.op.startswith("simd.") for i in fn.instrs)
+        #: storage classes mutated by wrregion chains (set in emit()).
+        self._mutated_reps: set = set()
+        #: current divergent-region nesting depth during the emit walk.
+        self._cf_depth = 0
 
     # -- storage classes ----------------------------------------------------
 
@@ -234,6 +252,18 @@ class _Emitter:
 
     def emit(self) -> VProgram:
         self._assign_classes()
+        self._mutated_reps = {
+            self._rep(i.operands[0]) for i in self.fn.instrs
+            if i.op == "wrregion" and isinstance(i.operands[0], Value)}
+        if self._has_cf:
+            # Constants must live in registers before the first divergent
+            # region: a lazy materialization at the first consumer could
+            # land inside a loop body, where the init movs would re-run
+            # every iteration under the loop mask (corrupting mutated
+            # classes and leaving never-active lanes uninitialized).
+            for instr in self.fn.instrs:
+                if instr.op == "constant":
+                    self.materialize_constant(instr.result)
         for instr in self.fn.instrs:
             if self.bales.is_absorbed(instr):
                 continue
@@ -241,6 +271,9 @@ class _Emitter:
             if op == "constant":
                 uses = self.fn.uses().get(instr.result.id, [])
                 del uses  # materialized lazily by consumers
+                continue
+            if op.startswith("simd."):
+                self._emit_cf(instr)
                 continue
             if op == "param":
                 vreg = self.prog.new_vreg(4, name=instr.attrs["name"])
@@ -259,6 +292,57 @@ class _Emitter:
             else:
                 raise CompileError(f"cannot emit {op!r}")
         return self.prog
+
+    # .. structured control flow .............................................
+
+    def _emit_cf(self, instr: Instr) -> None:
+        """Lower a ``simd.*`` marker to its masked-CF Gen instruction.
+
+        Conditional markers (if/while/break) carry a full-width UW
+        condition vector; each lowers to ``cmp.ne f0, cond, 0``
+        immediately followed by the f0-predicated CF instruction.  The
+        unconditional markers (else/endif/do) are bare mask-stack ops.
+        """
+        op = _CF_OP_MAP[instr.op]
+        width = int(instr.attrs.get("width", 0) or 1)
+        if width > 32:
+            raise CompileError(
+                f"divergent control flow is limited to 32 lanes "
+                f"(got width {width})")
+        if instr.operands:
+            cond = instr.operands[0]
+            if self.fn.constant_of(cond) is not None:
+                self.materialize_constant(cond)
+            src = VOperand.packed(self.vreg_for(cond), cond.vtype.dtype,
+                                  n=cond.vtype.n)
+            self.prog.instrs.append(VInstr(
+                Opcode.CMP, exec_size=cond.vtype.n,
+                srcs=[src, VImm(0, cond.vtype.dtype)],
+                cond_mod=CondMod.NE))
+            self.prog.instrs.append(VInstr(op, exec_size=width,
+                                           pred_flag=0))
+        else:
+            self.prog.instrs.append(VInstr(op, exec_size=width))
+        if instr.op in ("simd.if", "simd.do"):
+            self._cf_depth += 1
+        elif instr.op in ("simd.endif", "simd.while"):
+            self._cf_depth -= 1
+
+    def _check_cf_dst(self, dst_idx) -> None:
+        """Divergent-region writes must map element i to lane i.
+
+        Masked execution identifies destination elements with SIMD-CF
+        channels; a strided or offset write region inside a divergent
+        region would pair element k with channel k's active bit, which
+        is only meaningful for full-width lane-major writes.
+        """
+        n = len(dst_idx)
+        if self._cf_depth and n > 1 and \
+                not np.array_equal(dst_idx, np.arange(n)):
+            raise CompileError(
+                "partial-region writes inside simd_if/simd_while are not "
+                "supported; assign whole CF-width vectors in divergent "
+                "regions")
 
     # .. roots ...............................................................
 
@@ -284,7 +368,12 @@ class _Emitter:
         if isinstance(op, Value):
             const_splat = self._const_splat(op)
             if const_splat is not None and op.producer is not None \
-                    and op.producer.op == "constant":
+                    and op.producer.op == "constant" \
+                    and not (self._has_cf
+                             and self._rep(op) in self._mutated_reps):
+                # A mutated class's init constant cannot fold to an
+                # immediate under CF: in-loop reads must see the updated
+                # register, not the initial value.
                 return ("imm", VImm(const_splat.item(), op.vtype.dtype), None)
             if self.fn.constant_of(op) is not None:
                 self.materialize_constant(op)
@@ -348,20 +437,23 @@ class _Emitter:
         x_src = self._lower_source(instr, 1, n)
         y_src = self._lower_source(instr, 2, n)
         dst_vreg = self.vreg_for(dst_val)
+        self._check_cf_dst(dst_idx)
+        in_cf = self._cf_depth > 0 and n > 1
         chunks = self._chunks(n, dst_dtype, dst_idx,
                               [mask_src, x_src, y_src])
         for lo, hi in chunks:
+            off = lo if in_cf else 0
             cmp_srcs = [self._chunk_operand(mask_src, lo, hi),
                         VImm(0, UW)]
             self.prog.instrs.append(VInstr(
                 Opcode.CMP, exec_size=hi - lo, dst=None, srcs=cmp_srcs,
-                cond_mod=CondMod.NE))
+                cond_mod=CondMod.NE, emask_off=off))
             dst = self._dst_operand(dst_vreg, dst_dtype, dst_idx, lo, hi)
             self.prog.instrs.append(VInstr(
                 Opcode.SEL, exec_size=hi - lo, dst=dst,
                 srcs=[self._chunk_operand(x_src, lo, hi),
                       self._chunk_operand(y_src, lo, hi)],
-                pred_flag=0))
+                pred_flag=0, emask_off=off))
 
     # .. legalization ........................................................
 
@@ -426,12 +518,14 @@ class _Emitter:
 
     def _emit_legalized(self, opcode, cond, dst_vreg, dst_dtype, dst_idx,
                         srcs, n) -> None:
+        self._check_cf_dst(dst_idx)
+        in_cf = self._cf_depth > 0 and n > 1
         for lo, hi in self._chunks(n, dst_dtype, dst_idx, srcs):
             dst = self._dst_operand(dst_vreg, dst_dtype, dst_idx, lo, hi)
             ops = [self._chunk_operand(s, lo, hi) for s in srcs]
             self.prog.instrs.append(VInstr(
                 opcode, exec_size=hi - lo, dst=dst, srcs=ops,
-                cond_mod=cond))
+                cond_mod=cond, emask_off=lo if in_cf else 0))
 
     # .. unbaled region ops (plain copies) ..................................
 

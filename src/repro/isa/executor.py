@@ -1,9 +1,20 @@
-"""Functional executor for straight-line Gen ISA programs.
+"""Functional executor for Gen ISA programs.
 
 This is the "hardware" that programs produced by the CM compiler back end
 run on.  It owns a :class:`~repro.isa.grf.GRFFile` per thread, a set of
 flag registers, and a binding table mapping surface indices to memory
 objects from :mod:`repro.memory`.
+
+Programs may contain structured SIMD control flow
+(:data:`~repro.isa.instructions.CF_OPCODES`): :meth:`run` becomes
+PC-driven for those, maintaining a per-thread execution-mask frame stack
+— IF/ELSE/ENDIF/BREAK only manipulate masks (every instruction is still
+stepped through, even with an all-zero mask, which keeps sequential and
+wide dispatch bit-identical in both results and timing), and WHILE is
+the single back-edge, jumping to the instruction after its matching DO.
+Vector writes inside a divergent region are merged under the active
+mask; scalar (``exec_size == 1``) instructions stay unmasked, matching
+CM's rule that non-SIMD-width operations inside SIMD CF are uniform.
 
 The executor is *functional*: it computes architectural state only.
 Timing is the job of :mod:`repro.sim.timing` (the eager path); the
@@ -20,14 +31,30 @@ import numpy as np
 from repro.isa.dtypes import DType, UD, convert, promote, signed, unsigned
 from repro.isa.grf import GRFFile, RegOperand, GRF_SIZE_BYTES
 from repro.isa.instructions import (
-    CondMod, Immediate, Instruction, MathFn, MsgKind, Opcode,
+    CF_OPCODES, CondMod, Immediate, Instruction, MathFn, MsgKind, Opcode,
 )
 from repro.isa.plans import PlanTable
 from repro.isa.regions import Region
 
+#: Upper bound on dynamically executed instructions in one CF program
+#: run — a runaway-loop guard (a divergent WHILE whose condition never
+#: clears), set far above anything a real kernel executes.
+CF_STEP_LIMIT = 4_000_000
+
 
 class ExecutionError(RuntimeError):
     """Raised when a program performs an illegal operation."""
+
+
+def _emask_off(inst: Instruction) -> int:
+    """Lane offset of the instruction's execution-mask window (``M8`` ->
+    8).  Cached on the instruction: the asm-text parse runs once."""
+    off = inst.__dict__.get("_moff")
+    if off is None:
+        em = inst.emask
+        off = int(em[1:]) if em and em[0] == "M" and em[1:].isdigit() else 0
+        inst.__dict__["_moff"] = off
+    return off
 
 
 class FunctionalExecutor:
@@ -66,6 +93,13 @@ class FunctionalExecutor:
         #: instruction.  Sequential dispatch only — the wide executor
         #: refuses to run with hooks attached.
         self.san = None
+        #: SIMD-CF state: the (32,) active-lane mask (``None`` outside a
+        #: control-flow program), the mask frame stack, the PC of the
+        #: instruction currently executing, and the back-edge request.
+        self._active: np.ndarray | None = None
+        self._cf_frames: list = []
+        self._pc: int | None = None
+        self._jump: int | None = None
 
     def reset(self) -> None:
         """Zero architectural state (GRF, flags) for the next thread.
@@ -76,6 +110,8 @@ class FunctionalExecutor:
         self.grf.bytes.fill(0)
         self.flags.clear()
         self.instructions_executed = 0
+        self._active = None
+        self._cf_frames = []
 
     def rebind(self, surfaces: Mapping[int, object]) -> None:
         """Swap the binding table (e.g. for the next launch)."""
@@ -160,6 +196,39 @@ class FunctionalExecutor:
         lanes = self._flag_lanes(inst.pred.flag.index)[: inst.exec_size]
         return ~lanes if inst.pred.invert else lanes.copy()
 
+    def _cf_active_lanes(self, inst: Instruction) -> np.ndarray | None:
+        """The SIMD-CF active-mask window for this instruction's lanes.
+
+        ``None`` means "no masking needed": either the program has no
+        control flow, the instruction is scalar (uniform inside SIMD CF
+        per the CM spec), or every covered lane is active.  Lane ``i``
+        of an instruction maps to hardware channel ``emask_offset + i``
+        (the legalizer stamps split chunks with their channel offset).
+        """
+        act = self._active
+        if act is None:
+            return None
+        n = inst.exec_size
+        if n == 1:
+            return None
+        off = _emask_off(inst)
+        if off + n > 32:
+            raise ExecutionError(
+                f"operation covers lanes {off}..{off + n - 1} inside SIMD "
+                f"control flow (only 32 execution-mask channels exist)")
+        lanes = act[off:off + n]
+        if lanes.all():
+            return None
+        return lanes
+
+    def _exec_mask(self, inst: Instruction) -> np.ndarray | None:
+        """Combined write-enable: predicate AND SIMD-CF active lanes."""
+        pred = self._pred_mask(inst)
+        lanes = self._cf_active_lanes(inst)
+        if lanes is None:
+            return pred
+        return lanes.copy() if pred is None else pred & lanes
+
     # -- main loop -----------------------------------------------------------
 
     def bind_plans(self, table: PlanTable | None) -> None:
@@ -180,9 +249,36 @@ class FunctionalExecutor:
         return table
 
     def run(self, program: Sequence[Instruction]) -> None:
-        self._bind_program(program)
-        for inst in program:
-            self.execute(inst)
+        table = self._bind_program(program)
+        if not table.cf_plan().has_cf:
+            for inst in program:
+                self.execute(inst)
+            return
+        self._run_cf(program)
+
+    def _run_cf(self, program: Sequence[Instruction]) -> None:
+        """PC-driven dispatch for programs with SIMD control flow."""
+        self._active = np.ones(32, dtype=bool)
+        self._cf_frames = []
+        pc = 0
+        n = len(program)
+        steps = 0
+        try:
+            while pc < n:
+                steps += 1
+                if steps > CF_STEP_LIMIT:
+                    raise ExecutionError(
+                        f"SIMD control flow executed more than "
+                        f"{CF_STEP_LIMIT} instructions (runaway loop?)")
+                self._pc = pc
+                self._jump = None
+                self.execute(program[pc])
+                pc = pc + 1 if self._jump is None else self._jump
+        finally:
+            self._active = None
+            self._cf_frames = []
+            self._pc = None
+            self._jump = None
 
     def execute(self, inst: Instruction) -> None:
         self.instructions_executed += 1
@@ -194,10 +290,83 @@ class FunctionalExecutor:
             self._execute_send(inst)
         elif op is Opcode.CMP:
             self._execute_cmp(inst)
+        elif op in CF_OPCODES:
+            self._execute_cf(inst)
         elif op is not Opcode.NOP and op is not Opcode.BARRIER:
             self._execute_alu(inst)
         if san is not None:
             san.after_inst(self, inst)
+
+    # -- SIMD control flow -----------------------------------------------
+
+    def _cf_cond(self, inst: Instruction) -> np.ndarray:
+        """The (32,) lane set an IF/WHILE/BREAK acts on: the predicate's
+        flag lanes (all lanes when unpredicated) ANDed with the current
+        active mask."""
+        act = self._active
+        if inst.pred is None:
+            return act.copy()
+        lanes = self._flag_lanes(inst.pred.flag.index)[: inst.exec_size]
+        if inst.pred.invert:
+            lanes = ~lanes
+        cond = np.zeros(32, dtype=bool)
+        cond[: inst.exec_size] = lanes
+        cond &= act
+        return cond
+
+    def _execute_cf(self, inst: Instruction) -> None:
+        """Mask-stack semantics of the structured CF opcodes.
+
+        Frames are ``["if", restore_mask, else_mask]`` or
+        ``["do", restore_mask, body_pc]``.  No instruction is ever
+        skipped; only WHILE changes the PC (via ``self._jump``).
+        """
+        op = inst.opcode
+        act = self._active
+        if act is None:
+            raise ExecutionError(
+                "SIMD control flow requires PC-driven dispatch; "
+                "call run() rather than execute()")
+        frames = self._cf_frames
+        if op is Opcode.SIMD_IF:
+            cond = self._cf_cond(inst)
+            frames.append(["if", act, act & ~cond])
+            self._active = cond
+        elif op is Opcode.SIMD_ELSE:
+            if not frames or frames[-1][0] != "if":
+                raise ExecutionError("simd_else without an open simd_if")
+            self._active = frames[-1][2]
+        elif op is Opcode.SIMD_ENDIF:
+            if not frames or frames[-1][0] != "if":
+                raise ExecutionError("simd_endif without an open simd_if")
+            self._active = frames.pop()[1]
+        elif op is Opcode.SIMD_DO:
+            if self._pc is None:
+                raise ExecutionError(
+                    "simd_do outside run() (no PC to capture)")
+            frames.append(["do", act, self._pc + 1])
+        elif op is Opcode.SIMD_WHILE:
+            if not frames or frames[-1][0] != "do":
+                raise ExecutionError("simd_while without an open simd_do")
+            cond = self._cf_cond(inst)
+            if cond.any():
+                self._active = cond
+                self._jump = frames[-1][2]
+            else:
+                self._active = frames.pop()[1]
+        elif op is Opcode.SIMD_BREAK:
+            cond = self._cf_cond(inst)
+            self._active = act & ~cond
+            # Broken lanes leave every IF frame up to the innermost loop
+            # too — they must not resurrect at an ELSE/ENDIF before the
+            # loop exit restores them.
+            for fr in reversed(frames):
+                if fr[0] == "do":
+                    break
+                fr[1] = fr[1] & ~cond
+                fr[2] = fr[2] & ~cond
+            else:
+                raise ExecutionError("simd_break outside a simd_do loop")
 
     # -- ALU ------------------------------------------------------------------
 
@@ -275,7 +444,7 @@ class FunctionalExecutor:
 
         if inst.sat or result.dtype != dst.dtype.np_dtype:
             result = convert(result, dst.dtype, saturate=inst.sat)
-        self._write_dst(dst, result, mask=self._pred_mask(inst), idx=dst_idx)
+        self._write_dst(dst, result, mask=self._exec_mask(inst), idx=dst_idx)
 
     def _cmp_plan(self, inst: Instruction) -> tuple:
         """Like :meth:`_alu_plan`, for CMP: source plans, the promoted
@@ -314,10 +483,16 @@ class FunctionalExecutor:
                 for idx, payload in fetchers]
         result = cmp_fn(convert(a, exec_dtype), convert(b, exec_dtype))
         flag = self._flag_lanes(inst.flag.index if inst.flag else 0)
-        flag[: inst.exec_size] = result
+        lanes = self._cf_active_lanes(inst)
+        if lanes is None:
+            flag[: inst.exec_size] = result
+        else:
+            # Inside divergent control flow only active lanes update the
+            # flag (inactive lanes keep their previous flag bits).
+            np.copyto(flag[: inst.exec_size], result, where=lanes)
         if inst.dst is not None:
             self._write_dst(inst.dst, result.astype(inst.dst.dtype.np_dtype),
-                            idx=dst_idx)
+                            mask=lanes, idx=dst_idx)
 
     # -- memory ------------------------------------------------------------
 
@@ -374,7 +549,7 @@ class FunctionalExecutor:
         # Scattered messages take element-granular offsets (CM semantics).
         offsets = (offsets + global_off) * elem.size
         base = msg.payload_reg * GRF_SIZE_BYTES
-        mask = self._pred_mask(inst)
+        mask = self._exec_mask(inst)
 
         if msg.kind is MsgKind.GATHER:
             data = surf.gather(offsets, elem, mask=mask)
@@ -396,7 +571,8 @@ class FunctionalExecutor:
 
 
 def _without_pred(inst: Instruction) -> Instruction:
-    clone = Instruction(**{**inst.__dict__})
+    clone = Instruction(**{k: v for k, v in inst.__dict__.items()
+                           if not k.startswith("_")})
     clone.pred = None
     return clone
 

@@ -44,6 +44,26 @@ class Opcode(enum.Enum):
     SEND = "send"
     BARRIER = "barrier"
     NOP = "nop"
+    # Structured SIMD control flow (Gen's simd-goto/simd-join, exposed as
+    # the IF/ELSE/ENDIF + DO/WHILE/BREAK form vISA uses).  These carry no
+    # label operands: IF/ELSE/ENDIF/BREAK are pure execution-mask-stack
+    # manipulation executed by *every* thread (empty-mask regions still
+    # step through their instructions, which is what keeps wide and
+    # sequential timing bit-identical), and the only back-edge, WHILE,
+    # jumps to the instruction after its matching DO.
+    SIMD_IF = "simd_if"
+    SIMD_ELSE = "simd_else"
+    SIMD_ENDIF = "simd_endif"
+    SIMD_DO = "simd_do"
+    SIMD_WHILE = "simd_while"
+    SIMD_BREAK = "simd_break"
+
+
+#: The structured-control-flow subset of :class:`Opcode`.
+CF_OPCODES = frozenset({
+    Opcode.SIMD_IF, Opcode.SIMD_ELSE, Opcode.SIMD_ENDIF,
+    Opcode.SIMD_DO, Opcode.SIMD_WHILE, Opcode.SIMD_BREAK,
+})
 
 
 class MathFn(enum.Enum):
@@ -197,5 +217,5 @@ class Instruction:
 
 
 def format_program(instructions: Sequence[Instruction]) -> str:
-    """Pretty-print a straight-line Gen program."""
+    """Pretty-print a Gen program."""
     return "\n".join(f"{i:>4}) {inst.asm()}" for i, inst in enumerate(instructions, 1))

@@ -56,7 +56,7 @@ class PlanTable:
     """
 
     __slots__ = ("program", "insts", "_index", "plans", "src_regs",
-                 "_cost_tables")
+                 "_cost_tables", "_cf")
 
     def __init__(self, program: Sequence) -> None:
         #: the exact program object this table is bound to (strong ref,
@@ -74,6 +74,8 @@ class PlanTable:
         #: by the (frozen, hashable) MachineConfig value so one kernel's
         #: table serves devices with different machine models.
         self._cost_tables: dict = {}
+        #: lazily-computed control-flow plan (see :mod:`repro.isa.cfg`).
+        self._cf = None
 
     def __len__(self) -> int:
         return len(self.insts)
@@ -102,3 +104,15 @@ class PlanTable:
         if slots is None:
             slots = self._cost_tables[machine] = [None] * len(self.insts)
         return slots
+
+    def cf_plan(self):
+        """The program's control-flow/reconvergence plan (cached).
+
+        Computed once per program by :func:`repro.isa.cfg.analyze_cf`;
+        raises :class:`~repro.isa.cfg.CFError` on malformed structure.
+        """
+        plan = self._cf
+        if plan is None:
+            from repro.isa.cfg import analyze_cf
+            plan = self._cf = analyze_cf(self.insts)
+        return plan

@@ -79,16 +79,21 @@ class ExecSanitizer:
             self._check_send_sources(ex, inst, inst_ix, opname)
             return
         n = inst.exec_size
-        mask = ex._pred_mask(inst)
-        if op is Opcode.SEL and mask is not None:
+        pred = ex._pred_mask(inst)
+        act = ex._cf_active_lanes(inst)
+        if op is Opcode.SEL and pred is not None:
             # each lane reads exactly one source: src0 where the
-            # predicate is set, src1 where it is not.
-            for src, lane_mask in ((inst.srcs[0], mask),
-                                   (inst.srcs[1], ~mask)):
+            # predicate is set, src1 where it is not; inside divergent
+            # control flow only the CF-active lanes read at all.
+            for src, lane_mask in ((inst.srcs[0], pred),
+                                   (inst.srcs[1], ~pred)):
+                if act is not None:
+                    lane_mask = lane_mask & act
                 if isinstance(src, RegOperand):
                     un.check_plan(ex._src_plan(src, n), lane_mask,
                                   inst_ix, opname, src)
             return
+        mask = ex._exec_mask(inst)
         for src in inst.srcs:
             if isinstance(src, RegOperand):
                 un.check_plan(ex._src_plan(src, n), mask,
@@ -114,7 +119,7 @@ class ExecSanitizer:
                                 msg.payload_bytes)
         elif kind in (MsgKind.GATHER, MsgKind.SCATTER, MsgKind.ATOMIC):
             n = inst.exec_size
-            mask = ex._pred_mask(inst)
+            mask = ex._exec_mask(inst)
             addr_op = RegOperand(msg.addr_reg, 0, UD,
                                  region=_contiguous_region(n))
             un.check_plan(ex._src_plan(addr_op, n), mask,
@@ -158,15 +163,16 @@ class ExecSanitizer:
                 # disabled lanes keep their previous (possibly
                 # undefined) contents.
                 un.mark_plan(ex._dst_plan(inst.dst, inst.exec_size),
-                             ex._pred_mask(inst))
+                             ex._exec_mask(inst))
             return
         dst = inst.dst
         if dst is None or isinstance(dst, Immediate):
             return
         n = inst.exec_size
         if op is Opcode.CMP or op is Opcode.SEL:
-            # CMP's bool-vector dst and SEL both write every lane (SEL's
-            # predicate only chooses the source).
-            un.mark_plan(ex._dst_plan(dst, n))
+            # CMP's bool-vector dst and SEL both write every CF-active
+            # lane (SEL's predicate only chooses the source; outside
+            # divergent control flow that is every lane).
+            un.mark_plan(ex._dst_plan(dst, n), ex._cf_active_lanes(inst))
             return
-        un.mark_plan(ex._dst_plan(dst, n), ex._pred_mask(inst))
+        un.mark_plan(ex._dst_plan(dst, n), ex._exec_mask(inst))

@@ -401,6 +401,30 @@ class ServeCluster:
             return self._done_cv.wait_for(
                 lambda: self._outstanding == 0, timeout)
 
+    # -- race-verdict sharing ----------------------------------------------
+
+    def drain_race_verdicts(self) -> list:
+        """(kernel name, RaceVerdict) pairs newly produced by this
+        cluster's devices since the last drain.
+
+        Lock-free (each device's drain is atomic pops), so the shard
+        worker can call it from its completion callback while device
+        threads keep running.
+        """
+        fresh = []
+        for w in self.workers:
+            fresh.extend(w.device.drain_race_verdicts())
+        return fresh
+
+    def adopt_race_verdicts(self, pairs) -> None:
+        """Adopt (kernel name, RaceVerdict) pairs onto every device, so
+        a kernel another cluster already sanitized is wide-admitted here
+        without a redundant sanitized first launch."""
+        for w in self.workers:
+            with w.lock:
+                for kname, verdict in pairs:
+                    w.device.adopt_race_verdict(kname, verdict)
+
     # -- dispatcher --------------------------------------------------------
 
     def _dispatch_loop(self) -> None:

@@ -48,12 +48,15 @@ from repro.serve.scheduler import policy_names
 #: *data* still varies per request via the ``seed`` parameter.
 _MIXES: Dict[str, List[Tuple[str, list, float]]] = {
     "compiled": [
-        ("saxpy", [{"n": 128}, {"n": 256}, {"n": 512}], 0.35),
-        ("scale", [{"n": 128}, {"n": 256}], 0.25),
+        ("saxpy", [{"n": 128}, {"n": 256}, {"n": 512}], 0.3),
+        ("scale", [{"n": 128}, {"n": 256}], 0.2),
         ("blur", [{"blocks_x": 2, "blocks_y": 2},
-                  {"blocks_x": 4, "blocks_y": 2}], 0.2),
+                  {"blocks_x": 4, "blocks_y": 2}], 0.15),
         ("sgemm", [{"m": 16, "n": 16, "k": 8},
-                   {"m": 32, "n": 16, "k": 8}], 0.2),
+                   {"m": 32, "n": 16, "k": 8}], 0.15),
+        # divergent control flow: these exercise the masked-CF wide path
+        ("bitonic_cf", [{"n": 256}, {"n": 512}], 0.1),
+        ("kmeans_cf", [{"n": 256, "k": 8}], 0.1),
     ],
     "fig5": [
         ("fig5.transpose", [{}], 0.4),

@@ -150,6 +150,17 @@ class CompleteMsg:
     #: pickle-fallback output arrays (shared-memory payloads return
     #: through the pool pages instead).
     payload_out: Optional[Dict[str, Any]] = None
+    #: (kernel name, RaceVerdict) pairs this shard's sanitized launches
+    #: produced since the last completion; the parent rebroadcasts them
+    #: so a kernel sanitized once is wide-admitted on every shard.
+    race_verdicts: List[Tuple[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class VerdictMsg:
+    """Parent -> shard: adopt race verdicts sanitized elsewhere."""
+
+    verdicts: List[Tuple[str, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -196,7 +207,8 @@ def _shard_main(shard_index: int, cfg: ShardConfig, inbox, outbox,
             wait_wall_s=req.wait_wall_s,
             sanitized_launches=req.sanitized_launches,
             sanitize_findings=list(req.sanitize_findings),
-            trace=trace_dict, payload_out=payload_out))
+            trace=trace_dict, payload_out=payload_out,
+            race_verdicts=cluster.drain_race_verdicts()))
 
     cluster.on_complete = ship
     cluster.start()
@@ -208,6 +220,9 @@ def _shard_main(shard_index: int, cfg: ShardConfig, inbox, outbox,
             if item == _SNAPSHOT:
                 outbox.put(SnapshotMsg(shard_index, os.getpid(),
                                        cluster.report()))
+                continue
+            if isinstance(item, VerdictMsg):
+                cluster.adopt_race_verdicts(item.verdicts)
                 continue
             for sub in item:
                 params = dict(sub.params)
@@ -354,10 +369,17 @@ class ShardedCluster:
         self._completed_lock = threading.Lock()
         self._outstanding = 0
         self._done_cv = threading.Condition()
+        #: kernel name -> RaceVerdict: every verdict any shard has
+        #: produced (first one sticks — the sanitize is deterministic).
+        #: Rebroadcast to live shards on arrival; new shards get the
+        #: full set at spawn, so scale-up never re-sanitizes a kernel.
+        self._verdicts: Dict[str, Any] = {}
+        self._verdicts_lock = threading.Lock()
         #: control-plane accounting (report "control" section).
         self.duplicates_dropped = 0
         self.requeued = 0
         self.shard_deaths = 0
+        self.verdicts_broadcast = 0
 
         self._router = threading.Thread(target=self._route_loop,
                                         name="shard-router", daemon=True)
@@ -400,6 +422,13 @@ class ShardedCluster:
         shard = _Shard(index, proc, inbox, outbox)
         shard.pump = threading.Thread(target=self._pump_loop, args=(shard,),
                                       name=f"shard-pump{index}", daemon=True)
+        with self._verdicts_lock:
+            seed = list(self._verdicts.items())
+        if seed:
+            try:
+                inbox.put(VerdictMsg(seed))
+            except Exception:  # noqa: BLE001 - monitor will notice a death
+                pass
         with self._shards_lock:
             self._shards[index] = shard
         shard.pump.start()
@@ -617,7 +646,34 @@ class ShardedCluster:
                 continue
             self._complete(msg)
 
+    def _adopt_verdicts(self, pairs, from_shard: int) -> None:
+        """Record shard-produced race verdicts and rebroadcast the new
+        ones so every shard (including the origin's peer devices) admits
+        the kernel wide without its own sanitized launch."""
+        fresh = []
+        with self._verdicts_lock:
+            for kname, verdict in pairs:
+                if kname in self._verdicts:
+                    continue
+                self._verdicts[kname] = verdict
+                fresh.append((kname, verdict))
+        if not fresh:
+            return
+        self.verdicts_broadcast += len(fresh)
+        with self._shards_lock:
+            shards = [s for s in self._shards.values()
+                      if s.alive and not s.stopped and not s.stop_sent]
+        for shard in shards:
+            try:
+                shard.inbox.put(VerdictMsg(fresh))
+            except Exception:  # noqa: BLE001 - spawn-seeding covers respawns
+                pass
+
     def _complete(self, msg: CompleteMsg) -> None:
+        if msg.race_verdicts:
+            # adopt before the duplicate check: a verdict that rode a
+            # duplicated completion is still news.
+            self._adopt_verdicts(msg.race_verdicts, msg.shard)
         with self._state_lock:
             if msg.origin_id in self._completed_ids:
                 self.duplicates_dropped += 1
@@ -926,5 +982,7 @@ class ShardedCluster:
                 "requeued": self.requeued,
                 "shard_deaths": self.shard_deaths,
                 "requeue_budget": self.max_requeues,
+                "verdicts_known": len(self._verdicts),
+                "verdicts_broadcast": self.verdicts_broadcast,
             },
         }

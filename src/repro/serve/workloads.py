@@ -221,6 +221,75 @@ def _make_blur(params: Dict[str, Any]) -> KernelLaunch:
                         (bw, bh), bind, finish)
 
 
+def _make_bitonic_cf(params: Dict[str, Any]) -> KernelLaunch:
+    """One divergent local-sort launch (stages 2..32 in masked SIMD CF)."""
+    from repro.workloads import bitonic
+
+    n = int(params.get("n", 512))
+    seed = int(params.get("seed", 0))
+    if n % bitonic.CF_SPAN or n & (n - 1):
+        raise ValueError(f"bitonic_cf n must be a power of two dividing "
+                         f"{bitonic.CF_SPAN}")
+    rng = np.random.default_rng(seed ^ 0x2b)
+    keys = rng.integers(0, 2**31, size=n, dtype=np.uint32)
+    # After the local stages every 32-key block is sorted, ascending for
+    # even block indices and descending for odd ones (the bitonic
+    # direction bit of the enclosing 64-key merge).
+    blocks = np.sort(keys.reshape(-1, bitonic.CF_SPAN), axis=1)
+    blocks[1::2] = blocks[1::2, ::-1]
+    expect = blocks.reshape(-1)
+
+    def bind(device: Device):
+        buf = device.buffer(keys.copy())
+        return [buf], (lambda tid: {"t": tid[0], "lgs0": 1, "lgs1": 5})
+
+    def finish(surfaces):
+        out = surfaces[0].to_numpy().view(np.uint32)
+        assert np.array_equal(out, expect), "bitonic_cf output mismatch"
+        return float(out[0])
+
+    return KernelLaunch(bitonic._cf_local_body, "cf_bitonic_local",
+                        [("buf", False)], ["t", "lgs0", "lgs1"],
+                        (n // bitonic.CF_SPAN,), bind, finish)
+
+
+def _make_kmeans_cf(params: Dict[str, Any]) -> KernelLaunch:
+    """One divergent nearest-centroid assignment launch."""
+    from repro.workloads import kmeans
+
+    n = int(params.get("n", 256))
+    k = int(params.get("k", 8))
+    seed = int(params.get("seed", 0))
+    if n % kmeans.CF_PTS:
+        raise ValueError(f"kmeans_cf n must divide {kmeans.CF_PTS}")
+    kp = kmeans._kpad(k)
+    pts, _ = kmeans.make_points(n, k=k, seed=seed ^ 0x4d)
+    rng = np.random.default_rng(seed ^ 0x4d)
+    c0 = pts[rng.choice(n, k, replace=False)].copy()
+    cent_host = np.zeros(2 * kp, dtype=np.float32)
+    cent_host[:k] = c0[:, 0]
+    cent_host[kp:kp + k] = c0[:, 1]
+    expect = kmeans._labels_oracle(pts, cent_host, k, kp)
+
+    def bind(device: Device):
+        xs = device.buffer(np.ascontiguousarray(pts[:, 0]))
+        ys = device.buffer(np.ascontiguousarray(pts[:, 1]))
+        cent = device.buffer(cent_host.copy())
+        labels = device.buffer(np.zeros(n, dtype=np.int32))
+        return [xs, ys, cent, labels], (lambda tid: {"t": tid[0]})
+
+    def finish(surfaces):
+        out = surfaces[3].to_numpy()
+        assert np.array_equal(out, expect), "kmeans_cf labels mismatch"
+        return float(out.sum())
+
+    body = kmeans._cf_assign_body(k, kp)  # memoized: stable cache identity
+    return KernelLaunch(body, f"cf_kmeans_assign_k{k}",
+                        [("xs", False), ("ys", False), ("cent", False),
+                         ("labels", False)], ["t"],
+                        (n // kmeans.CF_PTS,), bind, finish)
+
+
 def _make_sgemm(params: Dict[str, Any]) -> KernelLaunch:
     m = int(params.get("m", 16))
     n = int(params.get("n", 16))
@@ -296,6 +365,12 @@ register(ServeWorkload("blur", "compiled", _make_blur,
 register(ServeWorkload("sgemm", "compiled", _make_sgemm,
                        "C = A@B + C through the JIT pipeline "
                        "(params: m, n, k, seed)"))
+register(ServeWorkload("bitonic_cf", "compiled", _make_bitonic_cf,
+                       "divergent bitonic local sort via masked SIMD CF "
+                       "(params: n, seed)"))
+register(ServeWorkload("kmeans_cf", "compiled", _make_kmeans_cf,
+                       "divergent nearest-centroid assignment loop "
+                       "(params: n, k, seed)"))
 
 for _key in ("linear", "bitonic", "histogram", "kmeans", "spmv",
              "transpose", "gemm", "prefix"):

@@ -25,7 +25,7 @@ import numpy as np
 from repro.isa.dtypes import DType, UD, promote
 from repro.isa.executor import FunctionalExecutor, _contiguous_region
 from repro.isa.grf import GRF_SIZE_BYTES, RegOperand
-from repro.isa.instructions import Instruction, MsgKind, Opcode
+from repro.isa.instructions import CF_OPCODES, Instruction, MsgKind, Opcode
 from repro.isa.msg_geometry import (
     media_block_messages, oword_block_messages, scatter_messages,
 )
@@ -52,6 +52,16 @@ def _alu_cost(inst: Instruction, machine) -> tuple:
     lanes = machine.alu_lanes_per_cycle(exec_dtype,
                                         inst.opcode is Opcode.MATH)
     return (n_inst, max(n_inst * machine.issue_cycles_per_inst, n / lanes))
+
+
+#: Scalar-op cost of each structured-CF opcode, mirroring the eager
+#: path's accounting (simd-goto ≈ 2 scalar ops at a divergent branch,
+#: simd-join ≈ 1 at a reconvergence point).  Thread-invariant, so the
+#: wide tracer charges the identical amounts per thread.
+CF_COSTS = {
+    Opcode.SIMD_IF: 2, Opcode.SIMD_ELSE: 1, Opcode.SIMD_ENDIF: 1,
+    Opcode.SIMD_DO: 1, Opcode.SIMD_WHILE: 2, Opcode.SIMD_BREAK: 2,
+}
 
 
 class TracingExecutor(FunctionalExecutor):
@@ -147,6 +157,10 @@ class TracingExecutor(FunctionalExecutor):
         if op is Opcode.NOP:
             super().execute(inst)
             return
+        if op in CF_OPCODES:
+            super().execute(inst)
+            self.trace.scalar_op(CF_COSTS[op])
+            return
         if op is Opcode.SEND:
             super().execute(inst)
             self._account_send(inst)
@@ -213,7 +227,7 @@ class TracingExecutor(FunctionalExecutor):
             n = inst.exec_size
             elem = msg.elem_dtype
             byte_offs = self._scattered_offsets(inst)
-            mask = self._pred_mask(inst)
+            mask = self._exec_mask(inst)
             lines, new = surf.mark_lines_offsets(byte_offs, elem.size,
                                                  mask=mask)
             messages = scatter_messages(n)

@@ -228,6 +228,14 @@ class Device:
         #: taking the wide path.  Lifecycle matches the kernel cache
         #: (``reset(clear_cache=True)`` drops it).
         self._race_verdicts: dict = {}
+        #: kernel *name* -> RaceVerdict adopted from elsewhere (a peer
+        #: shard that sanitized the same kernel first); consulted when
+        #: no identity-keyed verdict exists, so an adopted ``race_free``
+        #: admits the wide path without a local sanitized launch.
+        self._adopted_verdicts: Dict[str, object] = {}
+        #: (kernel name, RaceVerdict) pairs produced by this device's
+        #: own sanitized launches, not yet drained for broadcast.
+        self._fresh_verdicts: list = []
         #: KernelSanitizeResult per sanitized launch on this device.
         self.sanitizer_results: list = []
         #: per-surface-label OOB clipped-lane totals observed by this
@@ -368,10 +376,12 @@ class Device:
         tuple to that thread's dict (how per-thread coordinates are fed).
 
         Dispatch defaults to the *wide* path (``wide=None``): because a
-        compiled program is straight-line and identical for every
-        thread, a :class:`~repro.isa.wide.WideExecutor` stacks all
-        thread register files and executes each instruction once for
-        the whole grid, chunked so at most ``max_live_threads`` threads
+        compiled program's *static* instruction sequence is identical
+        for every thread (divergence is execution masks, not skipped
+        instructions), a :class:`~repro.isa.wide.WideExecutor` stacks
+        all thread register files and executes each instruction once
+        for the whole grid — grouped by PC under divergent control
+        flow, chunked so at most ``max_live_threads`` threads
         (GRFs + traces) are live at a time.  Per-thread traces are
         reconstructed from the wide execution, so timing is
         bit-identical to the sequential path.  ``wide=False`` forces
@@ -426,7 +436,7 @@ class Device:
         scalar path when the program is ineligible.
         """
         from repro.compiler.finalizer import SCRATCH_BTI
-        from repro.isa.wide import WideTracingExecutor, wide_eligible
+        from repro.isa.wide import WideTracingExecutor, ineligible_reason
 
         kname = name or kernel.name
         self.begin_enqueue()
@@ -442,7 +452,8 @@ class Device:
         per_thread = callable(scalars)
         fixed = {} if scalars is None or per_thread else dict(scalars)
 
-        eligible = wide_eligible(kernel.program)
+        ineligible = ineligible_reason(kernel.program)
+        eligible = ineligible is None
         if validate is not None:
             mode = validate
         elif sanitize_mod.current_session() is not None:
@@ -456,6 +467,12 @@ class Device:
         cached = self._race_verdicts.get(id(kernel))
         verdict = cached[1] if (cached is not None and cached[0] is kernel) \
             else None
+        adopted = False
+        if verdict is None:
+            # fall back to a verdict adopted by kernel name (broadcast
+            # from a peer shard that already sanitized this kernel).
+            verdict = self._adopted_verdicts.get(kname)
+            adopted = verdict is not None
         #: may the wide path be taken without a sanitized launch first?
         certified = mode == "off" or (verdict is not None
                                       and verdict.race_free)
@@ -492,8 +509,15 @@ class Device:
             gate = "unverified"
         self.profile.count_gate(gate)
         gate_attrs = {"kernel": kname, "mode": mode, "outcome": gate}
+        if gate == "ineligible":
+            # distinguish *why* the program cannot vectorize: an
+            # unsupported message kind vs. malformed control flow
+            # (well-formed simd_if/simd_while programs are eligible).
+            gate_attrs["reason"] = ineligible
         if verdict is not None:
             gate_attrs["race_free"] = verdict.race_free
+        if adopted:
+            gate_attrs["adopted"] = True
         with trace_span("sanitize_gate", **gate_attrs):
             pass
 
@@ -609,6 +633,7 @@ class Device:
         """Fold a sanitized-sequential launch into verdicts and reports."""
         verdict = san.race.finish()
         self._race_verdicts[id(kernel)] = (kernel, verdict)
+        self._fresh_verdicts.append((kname, verdict))
         oob: Dict[str, int] = {}
         for surf, base in oob_base:
             delta = int(surf.oob_clipped_lanes) - base
@@ -631,6 +656,36 @@ class Device:
         sess = sanitize_mod.current_session()
         if sess is not None:
             sess.report.add(result)
+
+    def adopt_race_verdict(self, kname: str, verdict) -> None:
+        """Adopt a :class:`~repro.sanitize.race.RaceVerdict` by name.
+
+        Verdicts travel between devices by kernel name (a shard cluster
+        broadcasts each worker's fresh verdicts so a kernel sanitized
+        once is wide-admitted everywhere).  A locally produced verdict
+        (identity-keyed) always wins over an adopted one; among adopted
+        verdicts a racy one is never overwritten by a race-free one —
+        refusal is sticky.
+        """
+        prior = self._adopted_verdicts.get(kname)
+        if prior is not None and not prior.race_free:
+            return
+        self._adopted_verdicts[kname] = verdict
+
+    def drain_race_verdicts(self) -> list:
+        """Return and clear (name, verdict) pairs from local sanitized
+        launches since the last drain, for broadcast to peer devices.
+
+        Pop-based so a serving thread can drain concurrently with the
+        device thread appending (list.pop(0)/append are atomic).
+        """
+        fresh = []
+        while self._fresh_verdicts:
+            try:
+                fresh.append(self._fresh_verdicts.pop(0))
+            except IndexError:  # pragma: no cover - concurrent drain
+                break
+        return fresh
 
     def _collect_oob(self, surfs) -> None:
         """Fold per-surface OOB clip deltas into device totals + metrics."""
@@ -880,8 +935,12 @@ class Device:
             self.kernel_cache.stats = type(self.kernel_cache.stats)()
         if clear_cache:
             # sanitizer verdicts are keyed by kernel identity, exactly
-            # like cached programs: drop them together.
+            # like cached programs: drop them together (adopted,
+            # name-keyed verdicts go too — a fresh program under an old
+            # name must not inherit a stale admission).
             self._race_verdicts.clear()
+            self._adopted_verdicts.clear()
+            self._fresh_verdicts.clear()
 
     def report(self) -> str:
         """Human-readable per-run breakdown (for examples and debugging)."""

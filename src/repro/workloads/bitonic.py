@@ -128,6 +128,223 @@ def run_cm(device: Device, keys: np.ndarray) -> np.ndarray:
     return buf.to_numpy().copy()
 
 
+# -- compiled divergent implementation ----------------------------------------
+#
+# The compare-exchange direction alternates between adjacent lanes, so a
+# lane-packed bitonic step is *divergent*: half the lanes take the
+# ascending branch, half the descending one.  The compiled path expresses
+# that with masked SIMD control flow (``simd_if``/``simd_while``) and
+# dispatches on the wide tier; the eager baseline below serializes the
+# same work-items one lane at a time, which is what a per-thread
+# interpreter must do without a masked-CF ISA.
+
+#: Keys per hardware thread on the compiled divergent path.
+CF_SPAN = 32
+#: SIMD lanes per thread (= compare-exchange pairs per masked step).
+CF_WIDTH = 16
+#: Largest log2(stride) whose pairs stay inside one thread's 32-key span.
+CF_LOCAL_MAX_LG = 4
+
+
+def _cf_local_body(cmx, buf, t, lgs0, lgs1):
+    """Run every split step of stages ``2**lgs0 .. 2**lgs1`` whose stride
+    fits in the thread's 32-key span (strides 16..1), in one launch.
+
+    ``lgs0``/``lgs1`` are scalar kernel parameters, so one compiled binary
+    covers both the initial local sort (stages 2..32) and every later
+    stage's local tail.  Both loops are ``simd_while`` loops with uniform
+    trip counts; the per-lane divergence is the ascending/descending
+    branch of the compare-exchange.
+    """
+    W = CF_WIDTH
+    lane = cmx.vector(np.int32, W, np.arange(W, dtype=np.int32))
+    one = cmx.vector(np.int32, W, 1)
+    lgsize = cmx.vector(np.int32, W)
+    lgsize.assign(lgs0)
+    lglim = cmx.vector(np.int32, W)
+    lglim.assign(lgs1)
+    lg = cmx.vector(np.int32, W)
+    a_idx = cmx.vector(np.int32, W)
+    b_idx = cmx.vector(np.int32, W)
+    va = cmx.vector(np.uint32, W)
+    vb = cmx.vector(np.uint32, W)
+    out_a = cmx.vector(np.uint32, W)
+    out_b = cmx.vector(np.uint32, W)
+
+    def stage():
+        lg.assign(cmx.cm_min(lgsize - 1, CF_LOCAL_MAX_LG))
+
+        def step():
+            stride = one << lg
+            a_loc = ((lane >> lg) << (lg + 1)) | (lane & (stride - 1))
+            a_idx.assign(a_loc + t * CF_SPAN)
+            b_idx.assign(a_idx + stride)
+            cmx.read_scattered(buf, 0, a_idx, va)
+            cmx.read_scattered(buf, 0, b_idx, vb)
+            asc = ((a_idx >> lgsize) & 1) == 0
+            with cmx.simd_if(asc) as br:
+                out_a.assign(cmx.cm_min(va, vb))
+                out_b.assign(cmx.cm_max(va, vb))
+            with br.orelse():
+                out_a.assign(cmx.cm_max(va, vb))
+                out_b.assign(cmx.cm_min(va, vb))
+            cmx.write_scattered(buf, 0, a_idx, out_a)
+            cmx.write_scattered(buf, 0, b_idx, out_b)
+            lg.assign(lg - 1)
+            return lg >= 0
+
+        cmx.simd_while(step)
+        lgsize.assign(lgsize + 1)
+        return lgsize <= lglim
+
+    cmx.simd_while(stage)
+
+
+_CF_GLOBAL_BODIES: dict = {}
+
+
+def _cf_global_body(lg: int, lgsize: int):
+    """One global split step (stride ``2**lg`` >= 32), 16 pairs per thread.
+
+    The stride and stage are uniform per launch, so they are baked into
+    the trace; the ascending/descending compare-exchange keeps its
+    divergent ``simd_if`` (within a thread the direction happens to be
+    uniform at these strides, but the masked form is what the ISA
+    executes).  Memoized per ``(lg, lgsize)`` so the identity-keyed
+    kernel caches hit across sorts.
+    """
+    cached = _CF_GLOBAL_BODIES.get((lg, lgsize))
+    if cached is not None:
+        return cached
+    stride = 1 << lg
+
+    def body(cmx, buf, t):
+        W = CF_WIDTH
+        lane = cmx.vector(np.int32, W, np.arange(W, dtype=np.int32))
+        k = cmx.vector(np.int32, W)
+        k.assign(lane + t * W)
+        a_idx = cmx.vector(np.int32, W)
+        a_idx.assign(((k >> lg) << (lg + 1)) | (k & (stride - 1)))
+        b_idx = cmx.vector(np.int32, W)
+        b_idx.assign(a_idx + stride)
+        va = cmx.vector(np.uint32, W)
+        vb = cmx.vector(np.uint32, W)
+        cmx.read_scattered(buf, 0, a_idx, va)
+        cmx.read_scattered(buf, 0, b_idx, vb)
+        out_a = cmx.vector(np.uint32, W)
+        out_b = cmx.vector(np.uint32, W)
+        asc = ((a_idx >> lgsize) & 1) == 0
+        with cmx.simd_if(asc) as br:
+            out_a.assign(cmx.cm_min(va, vb))
+            out_b.assign(cmx.cm_max(va, vb))
+        with br.orelse():
+            out_a.assign(cmx.cm_max(va, vb))
+            out_b.assign(cmx.cm_min(va, vb))
+        cmx.write_scattered(buf, 0, a_idx, out_a)
+        cmx.write_scattered(buf, 0, b_idx, out_b)
+
+    _CF_GLOBAL_BODIES[(lg, lgsize)] = body
+    return body
+
+
+_CF_SIG = [("buf", False)]
+
+
+def run_cm_bitonic_compiled(device: Device, keys: np.ndarray,
+                            wide=None, validate: str = "off") -> np.ndarray:
+    """Sort via the compiled divergent kernels (wide-dispatch eligible).
+
+    One local launch covers stages 2..32 (15 split steps); each later
+    stage runs its >=32 strides as global steps and its 16..1 strides as
+    one local-tail launch of the same compiled binary.
+    """
+    n = len(keys)
+    if n & (n - 1) or n < CF_SPAN:
+        raise ValueError(f"need a power-of-two size >= {CF_SPAN}")
+    log2n = n.bit_length() - 1
+    buf = device.buffer(keys.copy())
+    threads = n // CF_SPAN
+    local = device.compile(_cf_local_body, "cf_bitonic_local", _CF_SIG,
+                           ["t", "lgs0", "lgs1"])
+
+    def launch_local(lgs0: int, lgs1: int) -> None:
+        device.run_compiled(
+            local, grid=(threads,), surfaces=[buf],
+            scalars=lambda tid, a=lgs0, b=lgs1: {"t": tid[0],
+                                                 "lgs0": a, "lgs1": b},
+            name="cf_bitonic_local", wide=wide, validate=validate)
+
+    launch_local(1, min(5, log2n))
+    for lgsize in range(6, log2n + 1):
+        for lg in range(lgsize - 1, CF_LOCAL_MAX_LG, -1):
+            name = f"cf_bitonic_g{lgsize}_{lg}"
+            kern = device.compile(_cf_global_body(lg, lgsize), name,
+                                  _CF_SIG, ["t"])
+            device.run_compiled(
+                kern, grid=(n // CF_SPAN,), surfaces=[buf],
+                scalars=lambda tid: {"t": tid[0]},
+                name=name, wide=wide, validate=validate)
+        launch_local(lgsize, lgsize)
+    return buf.to_numpy().view(np.uint32).copy()
+
+
+# -- eager per-thread divergent baseline ---------------------------------------
+
+#: Work-items (compare-exchange pairs) serialized per eager thread.
+EAGER_PAIRS = 16
+
+
+@cm.cm_kernel
+def _cm_divergent_step_eager(buf, size, stride, n):
+    """One split step with lane-serialized divergence.
+
+    The per-thread eager interpreter has no masked-CF ISA, so the 16
+    work-items the compiled path packs into SIMD lanes execute one at a
+    time: scalar loads, a scalar compare-and-branch per pair, scalar
+    stores.  This is the baseline the divergent benchmark measures the
+    compiled path against.
+    """
+    t = cm.thread_x()
+    log2s = stride.bit_length() - 1
+    for j in range(EAGER_PAIRS):
+        k = t * EAGER_PAIRS + j
+        a_idx = ((k >> log2s) << (log2s + 1)) | (k & (stride - 1))
+        b_idx = a_idx + stride
+        ctx_mod.emit_scalar(4)  # per-work-item address arithmetic
+        a = cm.vector(cm.uint, 1)
+        b = cm.vector(cm.uint, 1)
+        cm.read_scattered(buf, 0, [a_idx], a)
+        cm.read_scattered(buf, 0, [b_idx], b)
+        mn = cm.cm_min(a, b)
+        mx = cm.cm_max(a, b)
+        ctx_mod.emit_scalar(2)  # the diverging compare-and-branch
+        if (a_idx & size) == 0:
+            cm.write_scattered(buf, 0, [a_idx], mn)
+            cm.write_scattered(buf, 0, [b_idx], mx)
+        else:
+            cm.write_scattered(buf, 0, [a_idx], mx)
+            cm.write_scattered(buf, 0, [b_idx], mn)
+
+
+def run_cm_bitonic_eager(device: Device, keys: np.ndarray) -> np.ndarray:
+    """The eager per-thread path: full network, serialized divergence."""
+    n = len(keys)
+    if n & (n - 1) or n < 2 * EAGER_PAIRS:
+        raise ValueError(f"need a power-of-two size >= {2 * EAGER_PAIRS}")
+    buf = device.buffer(keys.copy())
+    threads = n // 2 // EAGER_PAIRS
+    size = 2
+    while size <= n:
+        stride = size // 2
+        while stride >= 1:
+            device.run_cm(_cm_divergent_step_eager, grid=(threads,),
+                          args=(buf, size, stride, n),
+                          name=f"cm_div_bitonic_{size}_{stride}")
+            stride //= 2
+        size *= 2
+    return buf.to_numpy().view(np.uint32).copy()
+
+
 # -- OpenCL implementation ----------------------------------------------------
 
 #: Pairs handled per work-item (the sample's int4 vectorization).

@@ -153,6 +153,195 @@ def run_cm(device: Device, points: np.ndarray, centroids0: np.ndarray,
     return np.stack([out[:k], out[kp:kp + k]], axis=1)
 
 
+# -- compiled divergent implementation ----------------------------------------
+#
+# The nearest-centroid search is a *divergent assignment loop*: each lane
+# tracks its own running best, and whether a given centroid improves it
+# differs lane by lane.  The compiled kernel expresses the per-centroid
+# loop as a ``simd_while`` and the improves-my-best update as a masked
+# ``simd_if``; the eager baseline below serializes the same loop one
+# point at a time.
+
+#: Points per hardware thread on the compiled divergent path.
+CF_PTS = 16
+
+
+_CF_ASSIGN_BODIES: dict = {}
+
+
+def _cf_assign_body(k: int, kp: int):
+    """Build the divergent assign kernel for a fixed cluster count.
+
+    Memoized per ``(k, kp)`` so the identity-keyed kernel caches
+    (``Device.compile``, serve cache-affinity routing) hit across calls.
+    """
+    cached = _CF_ASSIGN_BODIES.get((k, kp))
+    if cached is not None:
+        return cached
+
+    def body(cmx, xs, ys, cent, labels, t):
+        W = CF_PTS
+        lane = cmx.vector(np.int32, W, np.arange(W, dtype=np.int32))
+        idx = cmx.vector(np.int32, W)
+        idx.assign(lane + t * W)
+        px = cmx.vector(np.float32, W)
+        py = cmx.vector(np.float32, W)
+        cmx.read_scattered(xs, 0, idx, px)
+        cmx.read_scattered(ys, 0, idx, py)
+        best = cmx.vector(np.float32, W, 3.0e38)
+        bidx = cmx.vector(np.int32, W, 0)
+        c = cmx.vector(np.int32, W, 0)
+        cx = cmx.vector(np.float32, W)
+        cy = cmx.vector(np.float32, W)
+
+        def loop():
+            cmx.read_scattered(cent, 0, c, cx)
+            cmx.read_scattered(cent, 0, c + kp, cy)
+            dx = px - cx
+            dy = py - cy
+            dist = dx * dx + dy * dy
+            with cmx.simd_if(dist < best):
+                best.assign(dist)
+                bidx.assign(c)
+            c.assign(c + 1)
+            return c < k
+
+        cmx.simd_while(loop)
+        cmx.write_scattered(labels, 0, idx, bidx)
+
+    _CF_ASSIGN_BODIES[(k, kp)] = body
+    return body
+
+
+def _labels_oracle(pts: np.ndarray, cent_buf: np.ndarray, k: int,
+                   kp: int) -> np.ndarray:
+    """Float32 oracle with the kernel's exact op order and tie-breaking."""
+    px = pts[:, 0].astype(np.float32)[:, None]
+    py = pts[:, 1].astype(np.float32)[:, None]
+    cx = cent_buf[:k][None, :]
+    cy = cent_buf[kp:kp + k][None, :]
+    dx = px - cx
+    dy = py - cy
+    dist = dx * dx + dy * dy
+    # strict < keeps the first minimum, like np.argmin.
+    return dist.argmin(axis=1).astype(np.int32)
+
+
+def _host_update(pts: np.ndarray, labels: np.ndarray,
+                 cent_buf: np.ndarray, k: int, kp: int) -> None:
+    """Lloyd centroid update from device labels (in-place on cent_buf)."""
+    sx = np.zeros(k, dtype=np.float64)
+    sy = np.zeros(k, dtype=np.float64)
+    cnt = np.zeros(k, dtype=np.float64)
+    np.add.at(sx, labels, pts[:, 0].astype(np.float64))
+    np.add.at(sy, labels, pts[:, 1].astype(np.float64))
+    np.add.at(cnt, labels, 1.0)
+    nonzero = cnt > 0
+    cent_buf[:k][nonzero] = (sx[nonzero] / cnt[nonzero]).astype(np.float32)
+    cent_buf[kp:kp + k][nonzero] = \
+        (sy[nonzero] / cnt[nonzero]).astype(np.float32)
+
+
+def run_cm_kmeans_compiled(device: Device, points: np.ndarray,
+                           centroids0: np.ndarray, iterations: int = 2,
+                           wide=None, validate: str = "off") -> np.ndarray:
+    """Lloyd iterations with the compiled divergent assign kernel.
+
+    The assign step (where all the divergence lives) runs on the device;
+    the small uniform centroid update runs on the host.
+    """
+    n, k = len(points), len(centroids0)
+    kp = _kpad(k)
+    if n % CF_PTS:
+        raise ValueError(f"point count must divide by {CF_PTS}")
+    xs = device.buffer(np.ascontiguousarray(points[:, 0]))
+    ys = device.buffer(np.ascontiguousarray(points[:, 1]))
+    cent_host = np.zeros(2 * kp, dtype=np.float32)
+    cent_host[:k] = centroids0[:, 0]
+    cent_host[kp:kp + k] = centroids0[:, 1]
+    cent = device.buffer(cent_host)
+    labels_buf = device.buffer(np.zeros(n, dtype=np.int32))
+    name = f"cf_kmeans_assign_k{k}"
+    kern = device.compile(
+        _cf_assign_body(k, kp), name,
+        [("xs", False), ("ys", False), ("cent", False), ("labels", False)],
+        ["t"])
+    for _ in range(iterations):
+        device.run_compiled(kern, grid=(n // CF_PTS,),
+                            surfaces=[xs, ys, cent, labels_buf],
+                            scalars=lambda tid: {"t": tid[0]},
+                            name=name, wide=wide, validate=validate)
+        labels = labels_buf.to_numpy()
+        _host_update(points, labels, cent.to_numpy(), k, kp)
+    out = cent.to_numpy()
+    return np.stack([out[:k], out[kp:kp + k]], axis=1)
+
+
+# -- eager per-thread divergent baseline ---------------------------------------
+
+#: Points serialized per eager thread on the divergent baseline.
+EAGER_PTS = 16
+
+
+@cm.cm_kernel
+def _cm_assign_divergent_eager(xs, ys, cent, labels, k, kp, pts_per_thread):
+    """The assignment loop with lane-serialized divergence.
+
+    Op-for-op the same program as :func:`_cf_assign_body`, but without a
+    masked-CF ISA the per-thread eager interpreter runs it one point at
+    a time: scalar loads, a scalar centroid fetch inside the loop, a
+    scalar distance chain, and a scalar compare-and-branch per centroid.
+    """
+    t = cm.thread_x()
+    base = t * pts_per_thread
+    for j in range(pts_per_thread):
+        px = cm.vector(cm.float32, 1)
+        py = cm.vector(cm.float32, 1)
+        cm.read_scattered(xs, 0, [base + j], px)
+        cm.read_scattered(ys, 0, [base + j], py)
+        best = cm.vector(cm.float32, 1, 3.0e38)
+        bidx = cm.vector(cm.int32, 1, 0)
+        cx = cm.vector(cm.float32, 1)
+        cy = cm.vector(cm.float32, 1)
+        for c in range(k):
+            cm.read_scattered(cent, 0, [c], cx)
+            cm.read_scattered(cent, 0, [c + kp], cy)
+            dx = px - cx
+            dy = py - cy
+            dist = dx * dx
+            cm.cm_mul_add(dist, dy, dy)
+            ctx_mod.emit_scalar(2)  # the diverging compare-and-branch
+            if float(dist.to_numpy()[0]) < float(best.to_numpy()[0]):
+                best.assign(dist)
+                bidx.assign(c)
+        cm.write_scattered(labels, 0, [base + j], bidx)
+
+
+def run_cm_kmeans_eager_divergent(device: Device, points: np.ndarray,
+                                  centroids0: np.ndarray,
+                                  iterations: int = 2) -> np.ndarray:
+    """The eager per-thread path for the divergent assignment loop."""
+    n, k = len(points), len(centroids0)
+    kp = _kpad(k)
+    if n % EAGER_PTS:
+        raise ValueError(f"point count must divide by {EAGER_PTS}")
+    xs = device.buffer(np.ascontiguousarray(points[:, 0]))
+    ys = device.buffer(np.ascontiguousarray(points[:, 1]))
+    cent_host = np.zeros(2 * kp, dtype=np.float32)
+    cent_host[:k] = centroids0[:, 0]
+    cent_host[kp:kp + k] = centroids0[:, 1]
+    cent = device.buffer(cent_host)
+    labels_buf = device.buffer(np.zeros(n, dtype=np.int32))
+    for _ in range(iterations):
+        device.run_cm(_cm_assign_divergent_eager, grid=(n // EAGER_PTS,),
+                      args=(xs, ys, cent, labels_buf, k, kp, EAGER_PTS),
+                      name="cm_div_kmeans_assign")
+        labels = labels_buf.to_numpy()
+        _host_update(points, labels, cent.to_numpy(), k, kp)
+    out = cent.to_numpy()
+    return np.stack([out[:k], out[kp:kp + k]], axis=1)
+
+
 # -- OpenCL implementation ----------------------------------------------------
 
 

@@ -115,3 +115,127 @@ class TestSimdIf:
 
         dev.run_cm(kernel, grid=(1,))
         assert out["v"].tolist() == [4, 99, 6, 99]
+
+
+class TestSimdIfOrelseNested:
+    def test_orelse_under_enclosing_mask(self):
+        """An else-branch only runs lanes active in the *enclosing* mask.
+
+        Lanes 6 and 7 fail the outer condition, so even though they also
+        fail the inner condition they must not take the orelse writes.
+        """
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.int32, 8, 0)
+            a = cm.vector(cm.int32, 8, np.arange(8))
+            with cm.simd_if(a < 6):
+                with cm.simd_if(a > 2) as inner:
+                    v.assign(1)
+                with inner.orelse():
+                    v.assign(2)
+            out["v"] = v.to_numpy()
+
+        run_kernel(kernel)
+        assert out["v"].tolist() == [2, 2, 2, 1, 1, 1, 0, 0]
+
+    def test_orelse_arms_partition_active_lanes(self):
+        """then ∪ else covers exactly the enclosing active lanes, once."""
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            v = cm.vector(cm.int32, 8, 0)
+            a = cm.vector(cm.int32, 8, np.arange(8))
+            with cm.simd_if(a >= 2):
+                with cm.simd_if(a % 2 == 0) as branch:
+                    v += 10
+                with branch.orelse():
+                    v += 20
+            out["v"] = v.to_numpy()
+
+        run_kernel(kernel)
+        assert out["v"].tolist() == [0, 0, 10, 20, 10, 20, 10, 20]
+
+
+class TestSimdWhile:
+    def test_trip_count_divergence(self):
+        """Each lane iterates its own number of times (do-while: >= 1)."""
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            k = cm.vector(cm.int32, 8, [0, 1, 2, 3, 4, 3, 2, 1])
+            acc = cm.vector(cm.int32, 8, 0)
+
+            def body():
+                acc.assign(acc + 1)
+                k.assign(k - 1)
+                return k > 0
+
+            cm.simd_while(body)
+            out["acc"] = acc.to_numpy()
+
+        run_kernel(kernel)
+        # do-while semantics: every lane runs the body at least once,
+        # then per-lane until its own k reaches zero.
+        assert out["acc"].tolist() == [1, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_while_under_enclosing_if(self):
+        """Lanes outside the enclosing simd_if never enter the loop body."""
+        out = {}
+
+        @cm.cm_kernel
+        def kernel():
+            a = cm.vector(cm.int32, 8, np.arange(8))
+            k = cm.vector(cm.int32, 8, 2)
+            acc = cm.vector(cm.int32, 8, 0)
+            with cm.simd_if(a < 4):
+
+                def body():
+                    acc.assign(acc + 1)
+                    k.assign(k - 1)
+                    return k > 0
+
+                cm.simd_while(body)
+            out["acc"] = acc.to_numpy()
+            out["k"] = k.to_numpy()
+
+        run_kernel(kernel)
+        assert out["acc"].tolist() == [2, 2, 2, 2, 0, 0, 0, 0]
+        # excluded lanes keep their loop counter untouched
+        assert out["k"].tolist() == [0, 0, 0, 0, 2, 2, 2, 2]
+
+    def test_width_mismatch_rejected(self):
+        @cm.cm_kernel
+        def kernel():
+            a = cm.vector(cm.ushort, 16, 1)
+            with cm.simd_if(a > 0):
+                # loop condition is narrower than the enclosing mask
+                cm.simd_while(lambda: np.zeros(8, dtype=bool))
+
+        with pytest.raises(ValueError):
+            run_kernel(kernel)
+
+
+class TestMaskStackErrors:
+    def test_pop_mask_underflow(self):
+        from repro.sim.context import ThreadContext
+
+        thread = ThreadContext(trace=None)
+        with pytest.raises(IndexError):
+            thread.pop_mask()
+
+    def test_exit_without_enter_underflows(self):
+        @cm.cm_kernel
+        def kernel():
+            cond = cm.vector(cm.ushort, 4, 1)
+            branch = cm.simd_if(cond > 0)
+            # __exit__ without __enter__: nothing was pushed, so the
+            # simd-join's pop must underflow loudly instead of silently
+            # corrupting an enclosing region's mask.
+            branch.__exit__(None, None, None)
+
+        with pytest.raises(IndexError):
+            run_kernel(kernel)

@@ -407,6 +407,164 @@ def test_wide_predicated_atomics_thread_order(op_idx, invert, with_dst,
     assert np.array_equal(wide_grf, seq_grf)
 
 
+# -- divergent structured control flow ----------------------------------------
+#
+# Random *divergent* programs: nested SIMD_IF/ELSE/ENDIF regions and
+# DO/WHILE loops with data-dependent (thread- and lane-varying) trip
+# counts, optional data-dependent BREAKs, and straight-line work in the
+# bodies.  The wide executor must keep bit-identical GRF/flag/surface
+# state to sequential per-thread dispatch, because empty-mask regions
+# still *step through* their instructions — no thread ever takes a
+# different instruction path, only different masks.  The JIT tier has no
+# CF support yet and must decline such programs statically rather than
+# miscompile them.
+
+from repro.isa.instructions import CF_OPCODES  # noqa: E402
+from repro.isa.jit import jit_eligible as _jit_ok  # noqa: E402
+from repro.isa.wide import wide_eligible  # noqa: E402
+
+_CF_CREG_BASE = 13               # per-loop-depth trip counters
+
+
+def _emit_cf_node(node, out, depth):
+    """Append the instructions of one CF-tree node to ``out``."""
+    tag = node[0]
+    if tag == "leaf":
+        _, kind, a, b, c = node
+        out.extend(_build_step(kind, a, b, c))
+        return
+    if tag == "if":
+        _, a, b, has_else, body, orelse = node
+        # lane- and thread-varying condition from the data registers
+        out.append(Instruction(Opcode.CMP, 8, None,
+                               [_src(_DATA[a % 4], D), _src(_DATA[b % 4], D)],
+                               cond_mod=_CONDS[a % len(_CONDS)],
+                               flag=FlagOperand(0)))
+        out.append(Instruction(Opcode.SIMD_IF, 8, None, [],
+                               pred=Predicate(FlagOperand(0),
+                                              invert=bool(b % 2))))
+        for child in body:
+            _emit_cf_node(child, out, depth)
+        if has_else:
+            out.append(Instruction(Opcode.SIMD_ELSE, 8, None, []))
+            for child in orelse:
+                _emit_cf_node(child, out, depth)
+        out.append(Instruction(Opcode.SIMD_ENDIF, 8, None, []))
+        return
+    if tag == "loop":
+        _, a, use_break, body = node
+        creg = _CF_CREG_BASE + depth
+        # trip counter: 1..3 per lane plus (tid & 1) — divergent both
+        # across lanes and across threads, and strictly decreasing for
+        # every lane still in the loop, so termination is structural.
+        lanes = tuple(1 + (a + j) % 3 for j in range(8))
+        out.append(Instruction(Opcode.AND, 8, _dst(creg, UD),
+                               [_bcast(1, UD), Immediate(1, UD)]))
+        out.append(Instruction(Opcode.ADD, 8, _dst(creg, D),
+                               [_src(creg, D), VectorImmediate(lanes, D)]))
+        out.append(Instruction(Opcode.SIMD_DO, 8, None, []))
+        for child in body:
+            _emit_cf_node(child, out, depth + 1)
+        if use_break:
+            out.append(Instruction(Opcode.CMP, 8, None,
+                                   [_src(_DATA[a % 4], D),
+                                    _src(_DATA[(a + 1) % 4], D)],
+                                   cond_mod=CondMod.GT, flag=FlagOperand(1)))
+            out.append(Instruction(Opcode.SIMD_BREAK, 8, None, [],
+                                   pred=Predicate(FlagOperand(1))))
+        out.append(Instruction(Opcode.ADD, 8, _dst(creg, D),
+                               [_src(creg, D), Immediate(-1, D)]))
+        out.append(Instruction(Opcode.CMP, 8, None,
+                               [_src(creg, D), Immediate(0, D)],
+                               cond_mod=CondMod.GT, flag=FlagOperand(1)))
+        out.append(Instruction(Opcode.SIMD_WHILE, 8, None, [],
+                               pred=Predicate(FlagOperand(1))))
+        return
+    raise AssertionError(tag)
+
+
+# Body work inside divergent regions: no atomics — the race-free
+# discipline (private scatter windows, read-only gathers) carries over,
+# and colliding atomics already have their own ordered differential
+# above.
+_CF_LEAF = st.builds(
+    lambda kind, a, b, c: ("leaf", kind, a, b, c),
+    st.sampled_from(["alu", "shift", "cmp", "sel", "pred_mov",
+                     "gather", "scatter"]),
+    st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+
+
+def _if_node(children):
+    return st.builds(
+        lambda a, b, has_else, body, orelse:
+            ("if", a, b, has_else, body, orelse),
+        st.integers(0, 10**6), st.integers(0, 10**6), st.booleans(),
+        st.lists(children, min_size=1, max_size=3),
+        st.lists(children, min_size=0, max_size=2))
+
+
+def _loop_node(children):
+    return st.builds(
+        lambda a, use_break, body: ("loop", a, use_break, body),
+        st.integers(0, 10**6), st.booleans(),
+        st.lists(children, min_size=1, max_size=3))
+
+
+_CF_CHILD = st.recursive(
+    _CF_LEAF, lambda ch: st.one_of(_if_node(ch), _loop_node(ch)),
+    max_leaves=8)
+# every top-level node is a CF construct, so every generated program
+# exercises divergence
+_CF_TOP = st.one_of(_if_node(_CF_CHILD), _loop_node(_CF_CHILD))
+
+
+def _build_cf_program(nodes):
+    prog = list(_prologue())
+    for node in nodes:
+        _emit_cf_node(node, prog, 0)
+    return prog
+
+
+def _assert_cf_bit_identical(program, seed):
+    assert any(i.opcode in CF_OPCODES for i in program)
+    assert wide_eligible(program), "CF program must be wide-admitted"
+    assert not _jit_ok(program), "JIT must decline CF programs"
+    with np.errstate(all="ignore"):
+        seq_grf, seq_flags, seq_surf = _run_sequential(program, seed)
+        wide_grf, wide_flags, wide_surf = _run_wide(program, seed)
+    for bti in seq_surf:
+        assert np.array_equal(wide_surf[bti], seq_surf[bti]), \
+            f"surface {bti} state diverged"
+    assert np.array_equal(wide_grf, seq_grf), "GRF state diverged"
+    indices = set(wide_flags)
+    for t, per_thread in enumerate(seq_flags):
+        indices |= set(per_thread)
+        for idx in indices:
+            seq_f = per_thread.get(idx, np.zeros(32, dtype=bool))
+            wide_f = wide_flags[idx][t] if idx in wide_flags else \
+                np.zeros(32, dtype=bool)
+            assert np.array_equal(wide_f, seq_f), f"flag f{idx} diverged"
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_CF_TOP, min_size=1, max_size=3),
+       st.integers(0, 2**31 - 1))
+def test_wide_divergent_cf_matches_sequential(nodes, seed):
+    _assert_cf_bit_identical(_build_cf_program(nodes), seed)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_loop_node(st.one_of(_CF_LEAF, _if_node(_CF_CHILD),
+                            _loop_node(_CF_LEAF))),
+       st.booleans(), st.integers(0, 2**31 - 1))
+def test_wide_nested_loop_break_matches_sequential(loop, force_break, seed):
+    # break-heavy variant: the outer loop always carries a
+    # data-dependent BREAK, with nested IFs / inner loops in the body.
+    tag, a, use_break, body = loop
+    _assert_cf_bit_identical(
+        _build_cf_program([(tag, a, use_break or force_break, body)]), seed)
+
+
 # -- JIT megakernel vs wide vs sequential -------------------------------------
 #
 # The JIT tier (repro.isa.jit) compiles the whole program to one

@@ -407,6 +407,49 @@ class TestAutoscale:
         assert active_after < 3
 
 
+class TestVerdictBroadcast:
+    def test_kernel_sanitized_at_most_once_cluster_wide(self):
+        """A divergent kernel pays its sanitized first launch on ONE
+        shard; the race verdict rides the CompleteMsg to the parent,
+        which rebroadcasts it, so every other shard wide-admits the
+        kernel without re-sanitizing."""
+        with ShardedCluster(shards=2, devices_per_shard=1,
+                            routing="round-robin",
+                            recorder=False) as cluster:
+            # wave 1: first-ever launch of each divergent compiled
+            # kernel — the only sanitized launches the cluster may take
+            first = [cluster.submit("bitonic_cf", {"seed": 1}, block=True),
+                     cluster.submit("kmeans_cf", {"seed": 1}, block=True)]
+            assert cluster.drain(timeout=120.0)
+            # wave 2: the same kernels land on *both* shards
+            # (round-robin defeats affinity pinning on purpose)
+            rest = []
+            for workload in ("bitonic_cf", "kmeans_cf"):
+                rest.extend(cluster.submit(workload, {"seed": 2 + i},
+                                           block=True) for i in range(6))
+            assert cluster.drain(timeout=120.0)
+            report = cluster.report()
+        assert all(r.status is RequestStatus.DONE for r in first + rest), \
+            [r.error for r in first + rest
+             if r.status is not RequestStatus.DONE]
+        shards_hit = {}
+        for r in rest:
+            shards_hit.setdefault(r.workload, set()).add(r.shard_index)
+        assert all(len(s) == 2 for s in shards_hit.values()), \
+            f"wave 2 never exercised both shards: {shards_hit}"
+        sanitized = {}
+        for r in first + rest:
+            sanitized[r.workload] = (sanitized.get(r.workload, 0) +
+                                     r.sanitized_launches)
+        assert all(count <= 1 for count in sanitized.values()), \
+            f"kernel re-sanitized despite the broadcast verdict: {sanitized}"
+        assert all(r.sanitized_launches == 0 for r in rest), \
+            "a wave-2 launch re-sanitized on the adopting shard"
+        control = report["control"]
+        assert control["verdicts_known"] >= 2
+        assert control["verdicts_broadcast"] >= 2
+
+
 class TestLoadgenSharded:
     def test_sharded_loadgen_reports_per_shard(self):
         report = run_loadgen(devices=1, requests=24, seed=7, shards=2,
