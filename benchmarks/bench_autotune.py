@@ -1,0 +1,134 @@
+"""Autotuner vs hand-tuned defaults: does search pay for itself?
+
+The paper's performance chapters are a record of *manual* tuning —
+block shapes, K-band depth, and the SLM-vs-registers choice picked by
+an expert per workload per machine.  ``repro.tune`` mechanizes that
+search over the same knobs, scoring each point with the simulator's
+analytic cost model and gating every candidate bit-exactly against the
+family's reference oracle.
+
+This bench tunes the two register-blocked families (``gemm``,
+``linear_filter``) on several machine generations and enforces the
+ISSUE 10 acceptance gates:
+
+- the tuned winner is **never worse** than the hand-tuned default on
+  any (family, machine) pair (the default is always evaluated, so the
+  deterministic search can only match or beat it — the 0.95 floor
+  guards against a regression in that invariant);
+- on at least one pair the tuned variant is **>= 1.1x** faster — the
+  proof that the hand-tuned defaults genuinely leave machine-specific
+  performance on the table (empirically: Gen12's 672 threads prefer a
+  wider ``bn`` register block than the default).
+
+Results (winners, speedups, evaluation counts, per-family winner
+divergence across machines) land in ``BENCH_autotune.json``.
+
+Run directly (``python benchmarks/bench_autotune.py [--smoke]``) or via
+pytest (smoke: hill climb on two machines).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MIN_RATIO = 0.95   # tuned vs hand-tuned floor, every (family, machine)
+PEAK_RATIO = 1.1   # required somewhere across the grid
+
+
+def _machines(smoke):
+    from repro import GEN9_SKL, GEN11_ICL, GEN12_TGL, SIMD32_APL
+    if smoke:
+        return [GEN9_SKL, GEN12_TGL]
+    return [GEN9_SKL, GEN11_ICL, GEN12_TGL, SIMD32_APL]
+
+
+def run_benchmark(smoke=False, out_path="BENCH_autotune.json"):
+    from repro.tune import tune
+
+    # The hill climb lands on the grid's global winner or a
+    # near-indistinguishable local optimum in about a third of the
+    # evaluations; smoke mode uses it to keep CI short.
+    strategy = "hill" if smoke else "grid"
+    families = ["gemm", "linear_filter"]
+    machines = _machines(smoke)
+
+    rows = []
+    for family in families:
+        for machine in machines:
+            res = tune(family, machine, strategy=strategy)
+            row = {
+                "family": family,
+                "machine": res.machine_name,
+                "strategy": res.strategy,
+                "default": res.baseline_point,
+                "default_sim_us": round(res.baseline_sim_us, 3),
+                "winner": res.best_point,
+                "winner_label": res.best_label,
+                "tuned_sim_us": round(res.best_sim_us, 3),
+                "speedup": round(res.speedup, 3),
+                "n_evaluated": res.n_evaluated,
+                "n_admissible": res.n_admissible,
+            }
+            rows.append(row)
+            print(f"  [{family:13s} on {res.machine_name:24s}] "
+                  f"{res.best_label:28s} "
+                  f"{res.baseline_sim_us:8.1f}us -> "
+                  f"{res.best_sim_us:8.1f}us  "
+                  f"({res.speedup:.2f}x, {res.n_evaluated} evals, "
+                  f"{res.n_evaluated - res.n_admissible} inadmissible)")
+
+    winners = {}
+    for family in families:
+        labels = {r["machine"]: r["winner_label"] for r in rows
+                  if r["family"] == family}
+        winners[family] = {
+            "by_machine": labels,
+            "machines_disagree": len(set(labels.values())) > 1,
+        }
+
+    worst = min(r["speedup"] for r in rows)
+    peak = max(r["speedup"] for r in rows)
+    doc = {
+        "benchmark": "autotune",
+        "mode": "smoke" if smoke else "full",
+        "strategy": strategy,
+        "min_ratio": MIN_RATIO,
+        "peak_ratio": PEAK_RATIO,
+        "worst_speedup": round(worst, 3),
+        "peak_speedup": round(peak, 3),
+        "results": rows,
+        "winners": winners,
+    }
+    Path(out_path).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  worst={worst:.2f}x peak={peak:.2f}x  wrote {out_path}")
+
+    if worst < MIN_RATIO:
+        raise SystemExit(
+            f"tuned variant regressed below the hand-tuned default: "
+            f"{worst:.3f}x (floor {MIN_RATIO}x)")
+    if peak < PEAK_RATIO:
+        raise SystemExit(
+            f"autotuning never beat hand-tuning by {PEAK_RATIO}x "
+            f"anywhere (best {peak:.3f}x)")
+    return doc
+
+
+def test_autotune_beats_hand_tuned(tmp_path, capsys):
+    with capsys.disabled():
+        print()
+        doc = run_benchmark(
+            smoke=True, out_path=str(tmp_path / "BENCH_autotune.json"))
+    assert doc["worst_speedup"] >= 1.0  # baseline is always evaluated
+    assert doc["peak_speedup"] >= PEAK_RATIO
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="hill climb on two machines (CI)")
+    ap.add_argument("--out", default="BENCH_autotune.json",
+                    help="trajectory JSON path")
+    ns = ap.parse_args()
+    sys.path.insert(0, "src")
+    run_benchmark(smoke=ns.smoke, out_path=ns.out)

@@ -1,21 +1,26 @@
-"""Machine scaling: the same kernels on Gen9 SKL vs Gen11 ICL.
+"""Machine scaling: the same kernels across machine generations.
 
 The paper's artifact notes results should hold on "any Intel GPU above
-Gen9".  This bench runs the linear filter and SGEMM on both machine
-models and checks that (a) CM wins on both and (b) the bigger machine
-is faster.
+Gen9".  This bench runs the linear filter and SGEMM on the Gen9/Gen11
+models plus the natively-32-wide SIMD32 APL machine and checks that
+(a) CM wins on every machine, (b) the bigger machine is faster, and
+(c) the machines genuinely *disagree* about the best kernel variant —
+the fact that makes per-machine autotuning (``repro.tune``) worth
+doing rather than a one-time constant fold.
 """
 
 import numpy as np
 import pytest
 
-from repro import GEN9_SKL, GEN11_ICL
+from repro import GEN9_SKL, GEN11_ICL, SIMD32_APL
+from repro.tune import tune
 from repro.workloads import gemm, linear_filter as lf
 from repro.workloads.common import run_and_time
 
 
 @pytest.mark.parametrize("machine,label", [(GEN9_SKL, "Gen9 SKL"),
-                                           (GEN11_ICL, "Gen11 ICL")])
+                                           (GEN11_ICL, "Gen11 ICL"),
+                                           (SIMD32_APL, "SIMD32 APL")])
 def test_linear_filter_scales(benchmark, capsys, machine, label):
     img = lf.make_image(256, 192)
     ref = lf.reference(img)
@@ -61,3 +66,55 @@ def test_gen11_beats_gen9(benchmark, capsys):
         print(f"\n  [sgemm scaling] Gen9={skl:.1f}us Gen11={icl:.1f}us "
               f"({skl / icl:.2f}x)")
     assert skl > icl
+
+
+def test_apl_beats_gen11_on_sgemm(benchmark, capsys):
+    """The 32-wide APL model (768 threads, 32 fp32 lanes/EU) outruns
+    Gen11 on the same register-blocked SGEMM."""
+    a, b, c = gemm.make_inputs(256, 256, 128)
+    out = {}
+
+    def once():
+        out["icl"] = run_and_time(
+            "icl", lambda d: gemm.run_cm_sgemm(d, a, b, c),
+            machine=GEN11_ICL)
+        out["apl"] = run_and_time(
+            "apl", lambda d: gemm.run_cm_sgemm(d, a, b, c),
+            machine=SIMD32_APL)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    icl, apl = out["icl"].kernel_time_us, out["apl"].kernel_time_us
+    benchmark.extra_info.update({"icl_us": round(icl, 1),
+                                 "apl_us": round(apl, 1)})
+    with capsys.disabled():
+        print(f"\n  [sgemm scaling] Gen11={icl:.1f}us APL={apl:.1f}us "
+              f"({icl / apl:.2f}x)")
+    assert icl > apl
+
+
+def test_machines_prefer_different_transpose_variants(benchmark, capsys):
+    """The autotuned transpose winner is machine-dependent: Gen11's 512
+    threads favor small register tiles, while the SIMD32 APL machine
+    (768 threads, 32-bank SLM) tunes into the SLM path at full
+    dispatch width.  This is the divergence the per-machine tuned
+    registry exists to capture."""
+    res = {}
+
+    def once():
+        res["icl"] = tune("transpose", GEN11_ICL)
+        res["apl"] = tune("transpose", SIMD32_APL)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    icl, apl = res["icl"], res["apl"]
+    benchmark.extra_info.update({
+        "icl_winner": icl.best_label, "apl_winner": apl.best_label,
+        "icl_speedup": round(icl.speedup, 3),
+        "apl_speedup": round(apl.speedup, 3),
+    })
+    with capsys.disabled():
+        print(f"\n  [transpose tuning] Gen11 -> {icl.best_label} "
+              f"({icl.speedup:.2f}x)  APL -> {apl.best_label} "
+              f"({apl.speedup:.2f}x)")
+    assert icl.best_point != apl.best_point
+    assert icl.best_point["use_slm"] == 0
+    assert apl.best_point["use_slm"] == 1

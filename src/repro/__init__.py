@@ -14,9 +14,10 @@ An explicit SIMD programming stack for a simulated Intel Gen GPU:
 """
 
 from repro.sim.device import Device
-from repro.sim.machine import GEN9_SKL, GEN11_ICL, GEN12_TGL, MachineConfig
+from repro.sim.machine import (GEN9_SKL, GEN11_ICL, GEN12_TGL, SIMD32_APL,
+                               MachineConfig)
 
 __version__ = "1.0.0"
 
 __all__ = ["Device", "MachineConfig", "GEN11_ICL", "GEN9_SKL",
-           "GEN12_TGL", "__version__"]
+           "GEN12_TGL", "SIMD32_APL", "__version__"]

@@ -34,13 +34,21 @@ class WorkItem:
     """A request resolved against the workload registry."""
 
     request: Request
-    kind: str                  # "compiled" | "eager"
+    kind: str                  # "compiled" | "eager" | "tuned"
     launch: Any = None         # KernelLaunch when compiled
     runner: Any = None         # device -> WorkloadRun when eager
+    task: Any = None           # TunedTask when tuned
 
     @property
     def batch_key(self) -> Optional[tuple]:
-        return self.launch.batch_key if self.kind == "compiled" else None
+        if self.kind == "compiled":
+            return self.launch.batch_key
+        if self.kind == "tuned":
+            # Same family + same problem coalesce; the device resolves
+            # them all to its machine's one tuned variant, so the batch
+            # still repeats a single program.
+            return self.task.batch_key
+        return None
 
 
 @dataclass
@@ -59,7 +67,11 @@ class Batch:
     @property
     def affinity_key(self) -> Optional[tuple]:
         first = self.items[0]
-        return first.launch.affinity_key if first.kind == "compiled" else None
+        if first.kind == "compiled":
+            return first.launch.affinity_key
+        if first.kind == "tuned":
+            return first.task.affinity_key
+        return None
 
     @property
     def kernel_name(self) -> str:

@@ -31,7 +31,9 @@ from __future__ import annotations
 import queue as _stdqueue
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 import repro.sanitize as sanitize_mod
 from repro.obs import get_observability
@@ -69,6 +71,8 @@ class DeviceWorker(threading.Thread):
         self.device = device
         self.cluster = cluster
         self.inbox: _stdqueue.Queue = _stdqueue.Queue()
+        #: tuned-variant accounting: "family:label" -> requests served.
+        self.variants_served: Dict[str, int] = {}
         #: serializes every touch of the device and its kernel cache.
         self.lock = threading.Lock()
         #: device-free point on the simulated timeline.
@@ -197,6 +201,8 @@ class DeviceWorker(threading.Thread):
                 req.tier = run.path
                 if launch.finish is not None:
                     req.result = launch.finish(surfaces)
+            elif item.kind == "tuned":
+                self._run_tuned(item)
             else:
                 wrun = item.runner(device)
                 req.kernel_sim_us = wrun.kernel_time_us
@@ -223,12 +229,54 @@ class DeviceWorker(threading.Thread):
             # device doesn't accumulate (and re-scan) dead bindings.
             del device.surfaces[n_surfaces:]
 
+    def _run_tuned(self, item: WorkItem) -> None:
+        """Serve a tuned request: resolve the family against THIS
+        device's machine in the cluster's tuned registry (falling back
+        to the family's hand-tuned default point) and run that variant.
+        """
+        from repro.tune.workloads import get_tunable
+        req = item.request
+        device = self.device
+        task = item.task
+        wl = get_tunable(task.family)
+        entry = None
+        if self.cluster.tuned is not None:
+            entry = self.cluster.tuned.lookup(task.family, task.problem,
+                                              device.machine.name)
+        point = dict(entry.point) if entry is not None \
+            else wl.space_for(task.problem).default_point()
+        variant = wl.variant(task.problem, point)
+        runs0 = len(device.runs)
+        t0 = device.kernel_time_us
+        with trace_span("tuned_variant", family=task.family,
+                        variant=variant.label, kernel=variant.kernel_name,
+                        machine=device.machine.name,
+                        tuned=entry is not None):
+            out = variant.run(device, task.inputs)
+        if task.check:
+            expect = wl.reference(task.problem, task.inputs)
+            if not np.array_equal(out, expect):
+                raise AssertionError(
+                    f"tuned {task.family} variant {variant.label} output "
+                    f"does not match the reference oracle")
+        req.kernel_sim_us = device.kernel_time_us - t0
+        req.launches = len(device.runs) - runs0
+        req.dram_bytes = int(sum(r.timing.dram_bytes
+                                 for r in device.runs[runs0:]))
+        req.tier = "tuned"
+        req.variant = variant.label
+        req.result = f"{task.family}:{variant.label}"
+        vkey = f"{task.family}:{variant.label}"
+        self.variants_served[vkey] = self.variants_served.get(vkey, 0) + 1
+
 
 class ServeCluster:
     """A pool of simulated devices behind a scheduling front end."""
 
     def __init__(self, num_devices: int = 2,
-                 machine: MachineConfig = GEN11_ICL,
+                 machine: Union[MachineConfig,
+                                Sequence[MachineConfig]] = GEN11_ICL,
+                 tuned=None,
                  policy="round-robin",
                  batching: bool = True,
                  max_batch: int = 8,
@@ -283,8 +331,26 @@ class ServeCluster:
             self.recorder = None
         self.dispatch_window = dispatch_window
         self.batch_linger_s = batch_linger_s
-        self.workers = [DeviceWorker(i, Device(machine, obs=self.obs), self)
-                        for i in range(num_devices)]
+        #: a single MachineConfig builds a homogeneous pool; a sequence
+        #: is striped round-robin across workers (device i gets
+        #: machines[i % len]) for mixed-generation clusters.
+        machines = list(machine) \
+            if isinstance(machine, (list, tuple)) else [machine]
+        if not machines:
+            raise ValueError("machine sequence must be non-empty")
+        self.machines: List[MachineConfig] = machines
+        #: tuned-variant registry (repro.tune.registry.TunedRegistry) or
+        #: a path to its JSON dump; consulted per device machine when
+        #: serving "tuned.*" workloads, pre-seeded into each device's
+        #: kernel cache at start().
+        if isinstance(tuned, str):
+            from repro.tune.registry import TunedRegistry
+            tuned = TunedRegistry.load(tuned)
+        self.tuned = tuned
+        self.workers = [
+            DeviceWorker(i, Device(machines[i % len(machines)],
+                                   obs=self.obs), self)
+            for i in range(num_devices)]
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True)
         self._outstanding = 0
@@ -325,6 +391,12 @@ class ServeCluster:
             return self
         self._started = True
         self._t_start = time.perf_counter()
+        if self.tuned is not None:
+            # Warm every device's kernel cache with its own machine's
+            # tuned winners before the first request arrives.
+            for w in self.workers:
+                with w.lock:
+                    self.tuned.preseed(w.device)
         for w in self.workers:
             w.start()
         self._dispatcher.start()
@@ -495,6 +567,8 @@ class ServeCluster:
             return None
         if wl.kind == "compiled":
             return WorkItem(request=req, kind="compiled", launch=made)
+        if wl.kind == "tuned":
+            return WorkItem(request=req, kind="tuned", task=made)
         return WorkItem(request=req, kind="eager", runner=made)
 
     def _estimate_batch_us(self, batch: Batch) -> float:
@@ -604,6 +678,10 @@ class ServeCluster:
                 tiers[tier] = tiers.get(tier, 0) + n
             for outcome, n in w.device.profile.gate_outcomes.items():
                 gate[outcome] = gate.get(outcome, 0) + n
+        variants: Dict[str, int] = {}
+        for w in self.workers:
+            for vkey, n in w.variants_served.items():
+                variants[vkey] = variants.get(vkey, 0) + n
         extra: Dict[str, Any] = {}
         if self.slo is not None:
             extra["slo"] = self.slo.snapshot()
@@ -612,6 +690,12 @@ class ServeCluster:
         return extra | {
             "policy": self.policy.name,
             "devices": self.num_devices,
+            "machines": sorted({m.name for m in self.machines}),
+            "tuned": {
+                "enabled": self.tuned is not None,
+                "entries": len(self.tuned) if self.tuned is not None else 0,
+                "variants_served": variants,
+            },
             "batching": self.batcher.enabled,
             "requests": by_status | {"total": len(reqs)},
             "wall_elapsed_s": wall_s,
@@ -643,6 +727,8 @@ class ServeCluster:
             "per_device": [
                 {
                     "index": w.index,
+                    "machine": w.device.machine.name,
+                    "variants": dict(w.variants_served),
                     "requests": w.requests_done,
                     "batches": w.batches_done,
                     "busy_sim_us": w.busy_sim_us,

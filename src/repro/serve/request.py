@@ -80,8 +80,13 @@ class Request:
     trace_id: Optional[str] = None
     trace: Any = field(default=None, repr=False)
     #: dispatch tier the (last) launch took: ``sequential`` / ``wide``
-    #: / ``jit`` for compiled requests, ``eager`` otherwise.
+    #: / ``jit`` for compiled requests, ``eager`` otherwise (``tuned``
+    #: for autotuned-workload requests).
     tier: Optional[str] = None
+    #: label of the tuned variant that served this request (tuned
+    #: workloads only) — e.g. ``"bm=8,bn=16,ktile=16"``; which label a
+    #: request gets depends on the machine of the device it landed on.
+    variant: Optional[str] = None
     #: queue depth observed at admission (queue_wait span label).
     queue_depth_at_admit: int = 0
     #: SLO verdict, stamped by the cluster's tracker at completion.

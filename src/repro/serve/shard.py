@@ -49,6 +49,7 @@ RequestTrace.graft`) — so the flight recorder, SLO tracker, and
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import multiprocessing as mp
 import os
@@ -103,6 +104,9 @@ class ShardConfig:
     #: (cheap to turn off for raw-throughput runs).
     ship_traces: bool = True
     machine: MachineConfig = GEN11_ICL
+    #: tuned-variant registry (TunedRegistry) handed to the inner
+    #: cluster, so each shard serves its own machine's tuned winners.
+    tuned: Any = None
 
 
 @dataclass
@@ -136,6 +140,8 @@ class CompleteMsg:
     dram_bytes: int = 0
     launches: int = 0
     tier: Optional[str] = None
+    #: tuned-variant label the serving device resolved (tuned requests).
+    variant: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
     device_index: Optional[int] = None
@@ -181,6 +187,7 @@ def _shard_main(shard_index: int, cfg: ShardConfig, inbox, outbox,
         if pool_name else None
     cluster = ServeCluster(
         num_devices=cfg.devices_per_shard, machine=cfg.machine,
+        tuned=cfg.tuned,
         policy=cfg.policy, batching=cfg.batching, max_batch=cfg.max_batch,
         queue_capacity=cfg.queue_capacity, validate=cfg.validate,
         lanes=cfg.lanes, slo=None, recorder=cfg.ship_traces)
@@ -201,7 +208,7 @@ def _shard_main(shard_index: int, cfg: ShardConfig, inbox, outbox,
             kernel_sim_us=req.kernel_sim_us,
             overhead_sim_us=req.overhead_sim_us,
             dram_bytes=req.dram_bytes, launches=req.launches,
-            tier=req.tier, cache_hits=req.cache_hits,
+            tier=req.tier, variant=req.variant, cache_hits=req.cache_hits,
             cache_misses=req.cache_misses, device_index=req.device_index,
             batch_id=req.batch_id, batch_size=req.batch_size,
             wait_wall_s=req.wait_wall_s,
@@ -274,6 +281,8 @@ class _Shard:
         self.requests_done = 0
         self.routed = 0
         self.last_snapshot: Optional[SnapshotMsg] = None
+        #: name of the MachineConfig this shard's devices simulate.
+        self.machine_name: Optional[str] = None
 
     @property
     def alive(self) -> bool:
@@ -292,7 +301,8 @@ class ShardedCluster:
 
     def __init__(self, shards: int = 2,
                  devices_per_shard: int = 2,
-                 machine: MachineConfig = GEN11_ICL,
+                 machine=GEN11_ICL,
+                 tuned=None,
                  policy: str = "cache-affinity",
                  routing: str = "affinity",
                  batching: bool = True,
@@ -329,11 +339,23 @@ class ShardedCluster:
         self.shard_inflight = shard_inflight if shard_inflight is not None \
             else max(16, 2 * devices_per_shard * max_batch)
         self.initial_shards = shards
+        #: a sequence of MachineConfigs stripes generations across
+        #: shards (shard i gets machines[i % len]) — a heterogeneous
+        #: fleet behind one front door.
+        self.machines: List[MachineConfig] = list(machine) \
+            if isinstance(machine, (list, tuple)) else [machine]
+        if not self.machines:
+            raise ValueError("machine sequence must be non-empty")
+        if isinstance(tuned, str):
+            from repro.tune.registry import TunedRegistry
+            tuned = TunedRegistry.load(tuned)
+        self.tuned = tuned
         self.cfg = ShardConfig(
             devices_per_shard=devices_per_shard, policy=policy,
             batching=batching, max_batch=max_batch,
             queue_capacity=shard_queue_capacity, validate=validate,
-            ship_traces=ship_traces, machine=machine)
+            ship_traces=ship_traces, machine=self.machines[0],
+            tuned=tuned)
         self.obs = get_observability()
         self.registry: MetricsRegistry = (
             self.obs.registry if self.obs.enabled else MetricsRegistry())
@@ -413,13 +435,17 @@ class ShardedCluster:
         index = next(self._shard_ids)
         inbox = _CTX.Queue()
         outbox = _CTX.Queue()
+        machine = self.machines[index % len(self.machines)]
+        cfg = self.cfg if machine is self.cfg.machine \
+            else dataclasses.replace(self.cfg, machine=machine)
         proc = _CTX.Process(
             target=_shard_main,
-            args=(index, self.cfg, inbox, outbox, self.pool.name,
+            args=(index, cfg, inbox, outbox, self.pool.name,
                   self.pool.slots, self.pool.slot_bytes),
             name=f"serve-shard{index}", daemon=True)
         proc.start()
         shard = _Shard(index, proc, inbox, outbox)
+        shard.machine_name = machine.name
         shard.pump = threading.Thread(target=self._pump_loop, args=(shard,),
                                       name=f"shard-pump{index}", daemon=True)
         with self._verdicts_lock:
@@ -693,6 +719,7 @@ class ShardedCluster:
         req.dram_bytes = msg.dram_bytes
         req.launches = msg.launches
         req.tier = msg.tier
+        req.variant = msg.variant
         req.cache_hits = msg.cache_hits
         req.cache_misses = msg.cache_misses
         req.result = msg.result
@@ -919,6 +946,7 @@ class ShardedCluster:
         for s in shards:
             entry: Dict[str, Any] = {
                 "index": s.index,
+                "machine": s.machine_name,
                 "state": s.state(),
                 "alive": s.alive,
                 "routed": s.routed,
@@ -942,6 +970,17 @@ class ShardedCluster:
         horizon = max(
             (s.last_snapshot.report.get("sim", {}).get("horizon_us", 0.0)
              for s in shards if s.last_snapshot is not None), default=0.0)
+        # Which tuned variant served each request, split by the machine
+        # of the shard that ran it — the heterogeneity evidence.
+        machine_of = {s.index: s.machine_name for s in shards}
+        variants_by_machine: Dict[str, Dict[str, int]] = {}
+        for r in done:
+            if r.variant is None:
+                continue
+            mname = machine_of.get(r.shard_index) or "?"
+            per = variants_by_machine.setdefault(mname, {})
+            key = f"{r.workload}:{r.variant}"
+            per[key] = per.get(key, 0) + 1
         extra: Dict[str, Any] = {}
         if self.slo is not None:
             extra["slo"] = self.slo.snapshot()
@@ -953,6 +992,12 @@ class ShardedCluster:
             "shards": len(shards),
             "active_shards": len(self._active_shards()),
             "devices_per_shard": self.cfg.devices_per_shard,
+            "machines": sorted({m.name for m in self.machines}),
+            "tuned": {
+                "enabled": self.tuned is not None,
+                "entries": len(self.tuned) if self.tuned is not None else 0,
+                "variants_by_machine": variants_by_machine,
+            },
             "policy": self.cfg.policy,
             "routing": self.routing,
             "requests": by_status | {"total": len(reqs)},

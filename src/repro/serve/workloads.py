@@ -345,6 +345,49 @@ def _make_fig5(key: str):
     return make
 
 
+# -- tuned workload adapters --------------------------------------------------
+#
+# A "tuned" request names an autotunable family (repro.tune.workloads)
+# instead of a concrete kernel.  Resolution stops at a TunedTask — the
+# *variant* is deliberately not chosen here, because batches form before
+# a device is picked: the DeviceWorker resolves the task against its own
+# machine's entry in the cluster's TunedRegistry, so the same request
+# stream dispatches different kernels on a Gen9 device than on a Gen12
+# or SIMD32 one.
+
+
+@dataclass
+class TunedTask:
+    """A resolved tuned request: family + problem + deterministic data."""
+
+    family: str
+    problem: Dict[str, Any]
+    inputs: Dict[str, Any] = field(repr=False, default_factory=dict)
+    #: re-check the output against the family oracle on the device.
+    check: bool = False
+
+    @property
+    def affinity_key(self) -> tuple:
+        from repro.tune.space import param_digest
+        return ("tuned", self.family, param_digest(self.problem))
+
+    @property
+    def batch_key(self) -> tuple:
+        return self.affinity_key
+
+
+def _make_tuned(family: str):
+    def make(params: Dict[str, Any]) -> TunedTask:
+        from repro.tune.workloads import get_tunable
+        wl = get_tunable(family)
+        problem = dict(wl.default_problem)
+        problem.update({k: v for k, v in params.items() if k in problem})
+        inputs = wl.make_inputs(problem, seed=int(params.get("seed", 0)))
+        return TunedTask(family, problem, inputs,
+                         check=bool(params.get("check", False)))
+    return make
+
+
 # -- the registry -------------------------------------------------------------
 
 _REGISTRY: Dict[str, ServeWorkload] = {}
@@ -377,6 +420,12 @@ for _key in ("linear", "bitonic", "histogram", "kmeans", "spmv",
     register(ServeWorkload(
         f"fig5.{_key}", "eager", _make_fig5(_key),
         f"quick-size Figure 5 {_key} pair side (params: side=cm|ocl)"))
+
+for _fam in ("gemm", "linear_filter", "transpose", "systolic"):
+    register(ServeWorkload(
+        f"tuned.{_fam}", "tuned", _make_tuned(_fam),
+        f"autotuned {_fam}: each device serves its machine's tuned "
+        f"variant (params: problem dims, seed, check)"))
 
 
 def get_workload(key: str) -> ServeWorkload:

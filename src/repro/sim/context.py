@@ -8,6 +8,7 @@ there is no context and operations simply compute without recording.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -15,7 +16,11 @@ import numpy as np
 from repro.isa.dtypes import DType
 from repro.sim.trace import MemEvent, MemKind, ThreadTrace
 
-_current: Optional["ThreadContext"] = None
+# The active context is *Python-thread*-local: a serving cluster runs
+# one worker thread per simulated device, and each worker interprets
+# eager kernels on its own device — a process-global slot would let one
+# worker's deactivate() tear down another's mid-kernel.
+_tls = threading.local()
 
 
 class ThreadContext:
@@ -69,23 +74,22 @@ class ThreadContext:
 
 
 def activate(ctx: ThreadContext) -> None:
-    global _current
-    _current = ctx
+    _tls.ctx = ctx
 
 
 def deactivate() -> None:
-    global _current
-    _current = None
+    _tls.ctx = None
 
 
 def current() -> Optional[ThreadContext]:
-    return _current
+    return getattr(_tls, "ctx", None)
 
 
 def require() -> ThreadContext:
-    if _current is None:
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
         raise RuntimeError("no kernel thread context is active")
-    return _current
+    return ctx
 
 
 # -- recording helpers (no-ops outside a kernel) -----------------------------
@@ -93,25 +97,30 @@ def require() -> ThreadContext:
 
 def emit_alu(n: int, dtype: DType, is_math: bool = False,
              inst_factor: int = 1) -> None:
-    if _current is not None:
-        _current.trace.alu(n, dtype, is_math=is_math, inst_factor=inst_factor)
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.trace.alu(n, dtype, is_math=is_math, inst_factor=inst_factor)
 
 
 def emit_scalar(count: int = 1) -> None:
-    if _current is not None:
-        _current.trace.scalar_op(count)
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.trace.scalar_op(count)
 
 
 def emit_memory(kind: MemKind, **kw) -> Optional[MemEvent]:
-    if _current is not None:
-        return _current.trace.memory(kind, **kw)
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        return ctx.trace.memory(kind, **kw)
     return None
 
 
 def consume(event: Optional[MemEvent]) -> None:
-    if _current is not None and event is not None:
-        _current.trace.consume(event)
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None and event is not None:
+        ctx.trace.consume(event)
 
 
 def current_mask() -> Optional[np.ndarray]:
-    return _current.mask if _current is not None else None
+    ctx = getattr(_tls, "ctx", None)
+    return ctx.mask if ctx is not None else None

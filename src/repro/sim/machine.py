@@ -72,6 +72,13 @@ class MachineConfig:
     pipelined_launch_us: float = 1.0
     #: Per-instruction front-end issue cost in cycles.
     issue_cycles_per_inst: int = 1
+    #: Widest ALU operand in bytes (Gen: 2 GRFs = 64 B, so fp32 executes
+    #: at most 16 lanes per instruction; a 32-wide SIMD-group design
+    #: doubles this to 128 B).
+    max_operand_bytes: int = 64
+    #: fp32 FPU lanes retired per cycle per EU; other execution types
+    #: derive from this base rate (see :meth:`alu_lanes_per_cycle`).
+    fp32_lanes_per_cycle: float = 8.0
 
     # -- derived helpers -------------------------------------------------
 
@@ -90,21 +97,24 @@ class MachineConfig:
     def alu_lanes_per_cycle(self, dtype: DType, is_math: bool = False) -> float:
         """FPU lanes per cycle per EU for the given execution type.
 
-        Gen EUs execute 8 fp32/int32 lanes per cycle (2x SIMD4 pipes),
-        double rate for <=2-byte integer types, and a reduced rate for
-        8-byte types and extended-math functions.
+        Rates scale from :attr:`fp32_lanes_per_cycle` (Gen: 8 fp32/int32
+        lanes per cycle, 2x SIMD4 pipes): double rate for <=2-byte
+        integer types, quarter rate for 8-byte types and extended-math
+        functions.
         """
         if is_math:
-            return 2.0
+            return self.fp32_lanes_per_cycle / 4.0
         if dtype.size >= 8:
-            return 2.0
+            return self.fp32_lanes_per_cycle / 4.0
         if dtype.size <= 2 and not dtype.is_float:
-            return 16.0
-        return 8.0
+            return self.fp32_lanes_per_cycle * 2.0
+        return self.fp32_lanes_per_cycle
 
     def native_simd(self, elem_size: int) -> int:
-        """Max elements per instruction: operands are capped at 2 GRFs."""
-        return max(1, min(32, 64 // max(elem_size, 1)))
+        """Max elements per instruction, capped at the 32-wide exec mask:
+        operands are limited to :attr:`max_operand_bytes` (2 GRFs on Gen).
+        """
+        return max(1, min(32, self.max_operand_bytes // max(elem_size, 1)))
 
     def cycles_to_us(self, cycles: float) -> float:
         return cycles / self.frequency_hz * 1e6
@@ -130,4 +140,32 @@ GEN12_TGL = MachineConfig(
     dram_bw_bytes=55e9,
     l3_bytes_per_cycle=768,
     llc_capacity_bytes=12e6,
+)
+
+#: A 32-wide SIMD-group design in the Apple-GPU mold (Metal's fixed
+#: 32-thread simdgroups): fewer, wider cores with deep per-core thread
+#: occupancy, 128-byte ALU operands (full 32-lane fp32 instructions),
+#: a fat unified-memory path with longer load latency, and a heavier
+#: command-buffer submission cost.  Nothing Gen-specific in the timing
+#: model depends on the Gen ratios, so this config doubles as the
+#: portability proof for the autotuner: the same compiled kernels price
+#: differently here and different variants win.
+SIMD32_APL = MachineConfig(
+    name="SIMD32 APL (32 core)",
+    num_eus=32,
+    threads_per_eu=24,
+    eus_per_subslice=4,
+    frequency_hz=1.3e9,
+    dram_bw_bytes=100e9,
+    l3_bytes_per_cycle=1024,
+    llc_capacity_bytes=24e6,
+    max_operand_bytes=128,
+    fp32_lanes_per_cycle=32.0,
+    dram_latency=260,
+    dataport_latency=210,
+    slm_latency=40,
+    slm_banks=32,
+    barrier_cycles=24,
+    launch_overhead_us=10.0,
+    pipelined_launch_us=0.8,
 )

@@ -1,0 +1,28 @@
+"""Autotuner: search the optimization space the simulator prices.
+
+The paper's performance numbers come from hand-tuned kernels — block
+sizes, SIMD widths, K-band depths and SLM-vs-register choices picked by
+an expert for one machine.  This package turns those choices into
+declared :class:`~repro.tune.space.TuneSpace` knobs, searches them with
+the analytic simulator as the (deterministic) cost oracle
+(:func:`~repro.tune.search.tune`), and persists per-machine winners in
+a :class:`~repro.tune.registry.TunedRegistry` that the serving stack
+consumes: a heterogeneous cluster dispatches each device generation its
+own tuned variant (``ServeCluster(tuned=...)``).
+
+CLI: ``python -m repro.tune`` runs a search and prints the winner table.
+"""
+
+from repro.tune.registry import TunedEntry, TunedRegistry
+from repro.tune.search import Evaluation, TuneResult, tune
+from repro.tune.space import (Knob, TuneSpace, canonical_point,
+                              param_digest, point_label)
+from repro.tune.workloads import (TUNABLES, TunableWorkload, Variant,
+                                  get_tunable, tunable_families)
+
+__all__ = [
+    "Evaluation", "Knob", "TUNABLES", "TunableWorkload", "TuneResult",
+    "TuneSpace", "TunedEntry", "TunedRegistry", "Variant",
+    "canonical_point", "get_tunable", "param_digest", "point_label",
+    "tunable_families", "tune",
+]

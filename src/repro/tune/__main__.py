@@ -1,0 +1,72 @@
+"""CLI: run autotuning searches and print the winner table.
+
+Examples::
+
+    python -m repro.tune                          # all families, all machines
+    python -m repro.tune --family gemm --machine gen12
+    python -m repro.tune --strategy hill --budget 20 --out tuned.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.machine import GEN9_SKL, GEN11_ICL, GEN12_TGL, SIMD32_APL
+from repro.tune.registry import TunedRegistry
+from repro.tune.search import STRATEGIES, tune
+from repro.tune.workloads import tunable_families
+
+MACHINES = {
+    "gen9": GEN9_SKL,
+    "gen11": GEN11_ICL,
+    "gen12": GEN12_TGL,
+    "apl": SIMD32_APL,
+}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="search tunable kernel families per machine")
+    ap.add_argument("--family", action="append", dest="families",
+                    choices=tunable_families(),
+                    help="family to tune (repeatable; default: all)")
+    ap.add_argument("--machine", action="append", dest="machines",
+                    choices=sorted(MACHINES),
+                    help="machine to tune for (repeatable; default: all)")
+    ap.add_argument("--strategy", choices=STRATEGIES, default="grid")
+    ap.add_argument("--budget", type=int, default=None,
+                    help="max evaluated points per search")
+    ap.add_argument("--out", default=None,
+                    help="write the tuned registry JSON here")
+    args = ap.parse_args(argv)
+
+    families = args.families or tunable_families()
+    machines = args.machines or sorted(MACHINES)
+    registry = TunedRegistry()
+
+    header = (f"{'family':<14} {'machine':<26} {'winner':<30} "
+              f"{'sim_us':>8} {'base_us':>8} {'speedup':>7} {'evals':>5}")
+    print(header)
+    print("-" * len(header))
+    for fam in families:
+        for mname in machines:
+            result = tune(fam, MACHINES[mname], strategy=args.strategy,
+                          budget=args.budget)
+            registry.record(result)
+            base = result.baseline_sim_us
+            speedup = result.speedup
+            print(f"{fam:<14} {result.machine_name:<26} "
+                  f"{result.best_label:<30} {result.best_sim_us:>8.2f} "
+                  f"{base if base is not None else float('nan'):>8.2f} "
+                  f"{speedup if speedup is not None else float('nan'):>6.2f}x "
+                  f"{result.n_evaluated:>5}")
+    if args.out:
+        registry.save(args.out)
+        print(f"\nwrote {len(registry)} tuned entries to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

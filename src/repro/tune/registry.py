@@ -1,0 +1,163 @@
+"""Tuned-variant cache: persist winners, pre-seed kernel caches.
+
+A :class:`TunedRegistry` maps ``(kernel_family, param_digest,
+machine_name)`` — the digest is :func:`repro.tune.space.param_digest`
+of the *problem* dict — to the winning point of a past search.  It
+round-trips through a JSON table, so winners found once (a CI tuning
+job, the ``python -m repro.tune`` CLI) follow the repo, and a serving
+cluster can :meth:`preseed` every device's :class:`KernelCache` with
+its own machine's tuned programs before the first request arrives.
+
+Entries are plain data (family + problem + point); the runnable variant
+is reconstructed on demand through :data:`repro.tune.workloads.
+TUNABLES`, which is what lets an entry survive both ``Device.reset``
+(the kernel cache persists by default; a ``clear_cache=True`` reset
+just means the next lookup recompiles or re-seeds) and process
+boundaries (the sharded cluster forwards the registry to its shard
+workers).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.device import Device
+from repro.tune.search import TuneResult
+from repro.tune.space import param_digest
+from repro.tune.workloads import Point, Problem, Variant, get_tunable
+
+Key = Tuple[str, str, str]  # (family, problem digest, machine name)
+
+
+@dataclass
+class TunedEntry:
+    """One persisted winner."""
+
+    family: str
+    problem: Dict[str, Any]
+    param_digest: str
+    machine_name: str
+    point: Point
+    label: str
+    sim_us: float
+    baseline_sim_us: Optional[float] = None
+    strategy: str = "grid"
+    n_evaluated: int = 0
+
+    @property
+    def key(self) -> Key:
+        return (self.family, self.param_digest, self.machine_name)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.baseline_sim_us is None or self.sim_us <= 0:
+            return None
+        return self.baseline_sim_us / self.sim_us
+
+    def variant(self) -> Variant:
+        """Rebuild the runnable variant for this entry."""
+        return get_tunable(self.family).variant(self.problem, self.point)
+
+
+class TunedRegistry:
+    """Thread-safe (family, problem, machine) -> winner table."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Key, TunedEntry] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # The lock only guards mutation races in-process; a registry crossing
+    # to a shard worker is effectively frozen, so drop the lock there.
+    def __getstate__(self) -> dict:
+        return {"entries": list(self._entries.values())}
+
+    def __setstate__(self, state: dict) -> None:
+        self._entries = {e.key: e for e in state["entries"]}
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, result: TuneResult) -> TunedEntry:
+        """Store a search winner (overwrites any previous entry)."""
+        entry = TunedEntry(
+            family=result.family, problem=dict(result.problem),
+            param_digest=param_digest(result.problem),
+            machine_name=result.machine_name,
+            point=dict(result.best_point), label=result.best_label,
+            sim_us=result.best_sim_us,
+            baseline_sim_us=result.baseline_sim_us,
+            strategy=result.strategy, n_evaluated=result.n_evaluated)
+        with self._lock:
+            self._entries[entry.key] = entry
+        return entry
+
+    def add(self, entry: TunedEntry) -> None:
+        with self._lock:
+            self._entries[entry.key] = entry
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, family: str, problem: Problem,
+               machine_name: str) -> Optional[TunedEntry]:
+        key = (family, param_digest(problem), machine_name)
+        return self._entries.get(key)
+
+    def best_point(self, family: str, problem: Problem,
+                   machine_name: str) -> Optional[Point]:
+        entry = self.lookup(family, problem, machine_name)
+        return dict(entry.point) if entry is not None else None
+
+    def entries(self) -> List[TunedEntry]:
+        with self._lock:
+            return sorted(self._entries.values(), key=lambda e: e.key)
+
+    def machines(self) -> List[str]:
+        return sorted({e.machine_name for e in self.entries()})
+
+    # -- kernel-cache pre-seeding ------------------------------------------
+
+    def preseed(self, device: Device) -> int:
+        """Compile this device's machine's winners into its kernel cache.
+
+        Returns the number of programs compiled (or re-validated as
+        cache hits).  Non-compiled variants (eager/OCL winners, e.g. a
+        transpose that tuned to the SLM path) have nothing to seed and
+        are skipped.
+        """
+        seeded = 0
+        for entry in self.entries():
+            if entry.machine_name != device.machine.name:
+                continue
+            variant = entry.variant()
+            if variant.compile_on is None:
+                continue
+            variant.compile_on(device)
+            seeded += 1
+        return seeded
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> None:
+        data = {"version": 1,
+                "entries": [asdict(e) for e in self.entries()]}
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "TunedRegistry":
+        reg = cls()
+        with open(path) as fh:
+            data = json.load(fh)
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported tuned-registry version "
+                             f"{data.get('version')!r}")
+        for raw in data["entries"]:
+            reg.add(TunedEntry(**raw))
+        return reg
